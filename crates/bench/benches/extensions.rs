@@ -1,0 +1,98 @@
+//! Ablations for the post-paper extensions: what do length bounds,
+//! streaming normalization, and the coarse FTW-style pruning stage cost
+//! or save?
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_core::{
+    BoundedConfig, BoundedSpring, NormalizedSpring, SlopeLimited, Spring, SpringConfig,
+};
+use spring_data::noise::Gaussian;
+use spring_data::util::sine;
+use spring_data::MaskedChirp;
+use spring_dtw::coarse::{coarse_lower_bound, CoarseSeq};
+use spring_dtw::full::dtw_distance_with;
+use spring_dtw::kernels::Squared;
+
+fn workload() -> (Vec<f64>, Vec<f64>) {
+    let mut cfg = MaskedChirp::small();
+    cfg.query_len = 256;
+    (cfg.generate().0.values, cfg.query().values)
+}
+
+/// Per-tick overhead of the monitor variants against plain SPRING.
+fn bench_monitor_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_variants_per_tick");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    let (values, query) = workload();
+
+    group.bench_function("plain", |b| {
+        let mut s = Spring::new(&query, SpringConfig::new(100.0)).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            s.step(values[i % values.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("bounded", |b| {
+        let mut s = BoundedSpring::new(&query, BoundedConfig::new(100.0, 16, 2_048)).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            s.step(values[i % values.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("normalized_w256", |b| {
+        let mut s = NormalizedSpring::new(&query, 100.0, 256).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            s.step(values[i % values.len()]);
+            i += 1;
+        });
+    });
+    for r in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("slope_limited", r), &r, |b, &r| {
+            let mut s = SlopeLimited::new(&query, 100.0, r).unwrap();
+            let mut i = 0;
+            b.iter(|| {
+                s.step(values[i % values.len()]);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Coarse lower bound vs exact DTW at several resolutions.
+fn bench_coarse_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarse_bound");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    let mut g = Gaussian::new(5);
+    let x: Vec<f64> = sine(2_048, 100.0, 1.0, 0.0)
+        .into_iter()
+        .map(|v| v + g.sample() * 0.1)
+        .collect();
+    let y: Vec<f64> = sine(2_048, 90.0, 1.1, 0.4)
+        .into_iter()
+        .map(|v| v + g.sample() * 0.1)
+        .collect();
+    for segments in [16usize, 64, 256] {
+        let xc = CoarseSeq::new(&x, segments).unwrap();
+        let yc = CoarseSeq::new(&y, segments).unwrap();
+        group.bench_with_input(BenchmarkId::new("coarse", segments), &segments, |b, _| {
+            b.iter(|| coarse_lower_bound(&xc, &yc, Squared))
+        });
+    }
+    group.bench_function("exact_dtw_n2048", |b| {
+        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor_variants, bench_coarse_bound);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Stored-set search ablation (paper Sec. 2.1 substrate): how cheap the
+//! lower bounds are next to full DTW, and how much the LB cascade prunes
+//! in nearest-neighbour search.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spring_data::noise::Gaussian;
+use spring_data::util::sine;
+use spring_dtw::full::dtw_distance_with;
+use spring_dtw::kernels::Squared;
+use spring_dtw::lower_bounds::{lb_keogh, lb_kim, lb_yi, Envelope};
+use spring_dtw::search::SequenceSet;
+
+fn make_set(count: usize, len: usize) -> Vec<Vec<f64>> {
+    let mut g = Gaussian::new(99);
+    (0..count)
+        .map(|k| {
+            let base = sine(len, 30.0 + k as f64, 1.0, k as f64 * 0.1);
+            base.into_iter().map(|v| v + g.sample() * 0.2).collect()
+        })
+        .collect()
+}
+
+fn bench_bound_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_cost");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(50);
+    let x = sine(256, 32.0, 1.0, 0.0);
+    let y = sine(256, 30.0, 1.1, 0.3);
+    let env = Envelope::new(&y, 16).unwrap();
+    group.bench_function("lb_kim", |b| b.iter(|| lb_kim(&x, &y, Squared).unwrap()));
+    group.bench_function("lb_yi", |b| b.iter(|| lb_yi(&x, &y, Squared).unwrap()));
+    group.bench_function("lb_keogh_r16", |b| {
+        b.iter(|| lb_keogh(&x, &env, Squared).unwrap())
+    });
+    group.bench_function("full_dtw", |b| {
+        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_search_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stored_set_search");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
+    let seqs = make_set(200, 256);
+    let query = seqs[17].clone();
+    let set = SequenceSet::new(seqs.clone(), 16, Squared).unwrap();
+    group.bench_function("cascade_nearest", |b| {
+        b.iter(|| set.nearest(&query).unwrap())
+    });
+    group.bench_function("brute_force_nearest", |b| {
+        b.iter(|| {
+            seqs.iter()
+                .map(|s| dtw_distance_with(&query, s, Squared).unwrap())
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_costs, bench_search_cascade);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Monitoring-engine ablation (DESIGN.md §6): per-sample cost as the
+//! number of attached queries grows — the "multiple streams, multiple
+//! patterns" deployment the paper motivates.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spring_data::util::sine;
+use spring_monitor::{Engine, GapPolicy};
+
+fn bench_attachment_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_attachments");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for attachments in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(attachments as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(attachments),
+            &attachments,
+            |b, &attachments| {
+                let mut engine = Engine::new();
+                let stream = engine.add_stream("s");
+                for k in 0..attachments {
+                    let pattern = sine(64, 12.0 + k as f64, 1.0, 0.0);
+                    let q = engine.add_query(format!("q{k}"), pattern).unwrap();
+                    engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
+                }
+                let mut t = 0u64;
+                b.iter(|| {
+                    engine.push(stream, (t as f64 * 0.05).sin()).unwrap();
+                    t += 1;
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_streams");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for streams in [1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(streams),
+            &streams,
+            |b, &streams| {
+                let mut engine = Engine::new();
+                let pattern = sine(64, 12.0, 1.0, 0.0);
+                let q = engine.add_query("q", pattern).unwrap();
+                let ids: Vec<_> = (0..streams)
+                    .map(|k| {
+                        let s = engine.add_stream(format!("s{k}"));
+                        engine.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+                        s
+                    })
+                    .collect();
+                let mut t = 0u64;
+                b.iter(|| {
+                    // One sample per stream per iteration.
+                    for &s in &ids {
+                        engine.push(s, (t as f64 * 0.05).sin()).unwrap();
+                    }
+                    t += 1;
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attachment_scaling, bench_stream_fanout);
+criterion_main!(benches);

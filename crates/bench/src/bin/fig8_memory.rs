@@ -1,0 +1,69 @@
+//! Regenerates Figure 8: memory consumption for disjoint queries as a
+//! function of stream length n — Naive, SPRING(path), and SPRING
+//! (m = 256).
+//!
+//! Memory is accounted explicitly (`MemoryUse`): the bytes of live
+//! warping-matrix state each monitor retains. The Naive series is exact
+//! and analytic (`NaiveMonitor::bytes_for`) — identical to what the live
+//! monitor reports (cross-checked in tests) but computable at n = 10⁶
+//! without allocating gigabytes. SPRING and SPRING(path) are measured
+//! live by streaming MaskedChirp data through them.
+//!
+//! Run with: `cargo run --release -p spring-bench --bin fig8_memory`
+
+use spring_core::mem::{format_bytes, MemoryUse};
+use spring_core::{NaiveMonitor, PathSpring, Spring, SpringConfig};
+use spring_data::MaskedChirp;
+use spring_dtw::kernels::Squared;
+
+const M: usize = 256;
+const EPS: f64 = 100.0;
+
+fn main() {
+    let mut cfg = MaskedChirp::paper();
+    cfg.query_len = M;
+    cfg.stream_len = 1_000_000;
+    cfg.bursts = (0..40)
+        .map(|k| (2_000 + k as u64 * 25_000, 2_000 + (k % 5) * 400))
+        .collect();
+    let query = cfg.query();
+    let (stream, _) = cfg.generate();
+
+    println!("Figure 8 — memory for disjoint queries, m = {M}");
+    println!(
+        "{:>10} {:>14} {:>16} {:>14}",
+        "n", "Naive (B)", "SPRING(path) (B)", "SPRING (B)"
+    );
+
+    let mut spring = Spring::new(&query.values, SpringConfig::new(EPS)).unwrap();
+    let mut path = PathSpring::new(&query.values, SpringConfig::new(EPS)).unwrap();
+    let mut path_peak = 0usize;
+
+    let checkpoints = [1_000usize, 10_000, 100_000, 1_000_000];
+    let mut next = 0usize;
+    for (t, &x) in stream.values.iter().enumerate() {
+        spring.step(x);
+        path.step(x);
+        path_peak = path_peak.max(path.bytes_used());
+        if next < checkpoints.len() && t + 1 == checkpoints[next] {
+            let n = checkpoints[next];
+            println!(
+                "{n:>10} {:>14} {:>16} {:>14}",
+                NaiveMonitor::<Squared>::bytes_for(n, M),
+                path_peak,
+                spring.bytes_used()
+            );
+            next += 1;
+        }
+    }
+
+    println!("\nHuman-readable at n = 10^6:");
+    println!(
+        "  Naive        {}",
+        format_bytes(NaiveMonitor::<Squared>::bytes_for(1_000_000, M))
+    );
+    println!("  SPRING(path) {}", format_bytes(path_peak));
+    println!("  SPRING       {}", format_bytes(spring.bytes_used()));
+    println!("\nPaper reference: Naive linear in n (GB-scale at 10^6); SPRING(path)");
+    println!("data-dependent but orders of magnitude below Naive; SPRING small and constant.");
+}

@@ -1,0 +1,105 @@
+//! Regenerates Table 2: results of disjoint queries.
+//!
+//! Prints the same columns the paper reports — query length, threshold,
+//! and per-match starting position, length, distance, and output time —
+//! for MaskedChirp, Temperature, Kursk, and Sunspots.
+//!
+//! Run with: `cargo run --release -p spring-bench --bin table2`
+
+use spring_core::{Match, Spring, SpringConfig};
+use spring_data::{fill_missing, MaskedChirp, MissingPolicy, Seismic, Sunspots, Temperature};
+
+fn run_spring(stream: &[f64], query: &[f64], epsilon: f64) -> Vec<Match> {
+    let mut spring = Spring::new(query, SpringConfig::new(epsilon)).expect("valid generator query");
+    let mut out: Vec<Match> = stream.iter().filter_map(|&x| spring.step(x)).collect();
+    out.extend(spring.finish());
+    out
+}
+
+fn rows(dataset: &str, m: usize, epsilon: f64, matches: &[Match]) {
+    for (k, hit) in matches.iter().enumerate() {
+        let (ds, len, eps) = if k == 0 {
+            (dataset, format!("{m}"), format!("{epsilon:.1e}"))
+        } else {
+            ("", String::new(), String::new())
+        };
+        println!(
+            "{ds:<14} {len:>6} {eps:>8} {:>10} {:>8} {:>12.4e} {:>9}",
+            hit.start,
+            hit.len(),
+            hit.distance,
+            hit.reported_at
+        );
+    }
+}
+
+fn main() {
+    println!("Table 2 — results of disjoint queries");
+    println!(
+        "{:<14} {:>6} {:>8} {:>10} {:>8} {:>12} {:>9}",
+        "Data set", "Qlen", "eps", "Start", "Length", "Distance", "Output t"
+    );
+
+    let cfg = MaskedChirp::paper();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    rows(
+        "MaskedChirp",
+        q.len(),
+        100.0,
+        &run_spring(&ts.values, &q.values, 100.0),
+    );
+
+    let cfg = Temperature::paper();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    let filled = fill_missing(&ts.values, MissingPolicy::CarryForward);
+    rows(
+        "Temperature",
+        q.len(),
+        1_000.0,
+        &run_spring(&filled, &q.values, 1_000.0),
+    );
+
+    let cfg = Seismic::paper();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    rows(
+        "Kursk",
+        q.len(),
+        5.0e8,
+        &run_spring(&ts.values, &q.values, 5.0e8),
+    );
+
+    let cfg = Sunspots::paper();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    rows(
+        "Sunspots",
+        q.len(),
+        8.0e5,
+        &run_spring(&ts.values, &q.values, 8.0e5),
+    );
+
+    println!("\nPaper reference (real data): MaskedChirp 4 matches (starts 513/4614/9103/15171),");
+    println!("Temperature 2 (13293/24406), Kursk 1 (28013), Sunspots 4 (2466/6878/9734/13266).");
+    println!(
+        "Output time is within ~1 query length of each match's end position, as in the paper."
+    );
+
+    // Sec. 5.1's side claim: "the output time does not depend on
+    // threshold eps" — the report fires when condition (9) confirms the
+    // group optimum, which is a property of the matrix, not of eps.
+    println!("\nOutput-time independence from eps (MaskedChirp):");
+    let cfg = MaskedChirp::paper();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    println!("{:>8} output times of the four matches", "eps");
+    for eps in [30.0, 100.0, 300.0] {
+        let times: Vec<String> = run_spring(&ts.values, &q.values, eps)
+            .iter()
+            .map(|m| m.reported_at.to_string())
+            .collect();
+        println!("{eps:>8} {}", times.join("  "));
+    }
+}

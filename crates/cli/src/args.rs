@@ -1,0 +1,207 @@
+//! Minimal argument parsing: positionals, `--flag value`, and boolean
+//! `--flag` switches, with typed accessors and unknown-flag detection.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Argument parsing errors, with the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` that the command does not define.
+    UnknownFlag(String),
+    /// A value flag appeared without a value.
+    MissingValue(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A value failed to parse (flag, value, expected type).
+    BadValue(String, String, &'static str),
+    /// Too many / too few positional arguments.
+    Positionals {
+        /// Positionals expected by the command.
+        expected: usize,
+        /// Positionals actually provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ArgError::Required(flag) => write!(f, "missing required flag `{flag}`"),
+            ArgError::BadValue(flag, value, ty) => {
+                write!(f, "flag `{flag}`: `{value}` is not a valid {ty}")
+            }
+            ArgError::Positionals { expected, got } => {
+                write!(f, "expected {expected} positional argument(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    positionals: Vec<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    /// Parses `argv` (after the subcommand name). `value_flags` take one
+    /// argument; `switch_flags` take none.
+    pub fn parse(
+        argv: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Parsed, ArgError> {
+        let mut out = Parsed::default();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if switch_flags.contains(&flag) {
+                    out.switches.push(flag.to_string());
+                } else if value_flags.contains(&flag) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+                    out.values.insert(flag.to_string(), value.clone());
+                } else {
+                    return Err(ArgError::UnknownFlag(tok.clone()));
+                }
+            } else {
+                out.positionals.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The positional arguments, validated against an exact count.
+    pub fn positionals(&self, expected: usize) -> Result<&[String], ArgError> {
+        if self.positionals.len() != expected {
+            return Err(ArgError::Positionals {
+                expected,
+                got: self.positionals.len(),
+            });
+        }
+        Ok(&self.positionals)
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::Required(format!("--{flag}")))
+    }
+
+    /// An optional typed flag.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        ty: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError::BadValue(format!("--{flag}"), raw.to_string(), ty)),
+        }
+    }
+
+    /// A required typed flag.
+    pub fn require_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        ty: &'static str,
+    ) -> Result<T, ArgError> {
+        let raw = self.require(flag)?;
+        raw.parse()
+            .map_err(|_| ArgError::BadValue(format!("--{flag}"), raw.to_string(), ty))
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        let p = Parsed::parse(
+            &argv("a.csv --epsilon 1.5 --path b.csv"),
+            &["epsilon"],
+            &["path"],
+        )
+        .unwrap();
+        assert_eq!(
+            p.positionals(2).unwrap(),
+            &["a.csv".to_string(), "b.csv".to_string()]
+        );
+        assert_eq!(p.require_parsed::<f64>("epsilon", "number").unwrap(), 1.5);
+        assert!(p.has("path"));
+        assert!(!p.has("other"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Parsed::parse(&argv("--bogus 1"), &["epsilon"], &[]).unwrap_err();
+        assert_eq!(err, ArgError::UnknownFlag("--bogus".into()));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Parsed::parse(&argv("--epsilon"), &["epsilon"], &[]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("--epsilon".into()));
+    }
+
+    #[test]
+    fn reports_missing_required_flag() {
+        let p = Parsed::parse(&argv(""), &["query"], &[]).unwrap();
+        assert_eq!(
+            p.require("query").unwrap_err(),
+            ArgError::Required("--query".into())
+        );
+    }
+
+    #[test]
+    fn reports_bad_typed_values() {
+        let p = Parsed::parse(&argv("--epsilon abc"), &["epsilon"], &[]).unwrap();
+        let err = p.require_parsed::<f64>("epsilon", "number").unwrap_err();
+        assert!(matches!(err, ArgError::BadValue(..)));
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn validates_positional_count() {
+        let p = Parsed::parse(&argv("one two"), &[], &[]).unwrap();
+        assert!(matches!(
+            p.positionals(1),
+            Err(ArgError::Positionals {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn optional_typed_flag_defaults_to_none() {
+        let p = Parsed::parse(&argv(""), &["seed"], &[]).unwrap();
+        assert_eq!(p.get_parsed::<u64>("seed", "integer").unwrap(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # spring-cli — command-line stream monitoring under DTW
+//!
+//! The `spring` binary exposes the library over files and pipes:
+//!
+//! ```text
+//! spring monitor   --query q.csv --epsilon 10 [--stream s.csv] [--kernel absolute] [--gap carry]
+//! spring bestmatch --query q.csv [--stream s.csv]
+//! spring dtw       a.csv b.csv [--kernel absolute] [--band 16] [--path]
+//! spring serve     --query q.csv --epsilon 10 [--port 7471] [--once]
+//! spring generate  <maskedchirp|temperature|kursk|sunspots> --out DIR [--seed N] [--small]
+//! ```
+//!
+//! `monitor` and `bestmatch` read one value per line from `--stream` or
+//! stdin (blank lines and `#` comments ignored, `NaN` marks a missing
+//! reading) and print matches as they are confirmed, so the binary can
+//! sit at the end of a shell pipeline exactly like the paper's streaming
+//! setting. `generate` writes the reproduction workloads as CSV.
+//!
+//! Argument parsing is a small hand-rolled layer ([`args`]) to keep the
+//! dependency set to the sanctioned crates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod serve;
+
+pub use args::{ArgError, Parsed};

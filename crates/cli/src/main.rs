@@ -1,0 +1,23 @@
+//! The `spring` binary: see [`spring_cli`] for the command set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match spring_cli::commands::run(&argv, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        // `spring ... | head` closes our stdout early; that is how pipes
+        // end, not an error.
+        Err(spring_cli::commands::CliError::Io(e))
+            if e.kind() == std::io::ErrorKind::BrokenPipe =>
+        {
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! `spring serve` — a line-protocol monitoring server.
+//!
+//! The paper's motivating deployments (network monitoring, sensor
+//! fleets) push values over sockets; this subcommand accepts them. Each
+//! TCP connection is one independent stream monitored by its own SPRING
+//! instance:
+//!
+//! ```text
+//! client → one numeric value per line (`NaN` = missing reading)
+//! server → "match ticks S..=E len L distance D reported_at T" per
+//!          confirmed match, "done N match(es) over T ticks" at EOF
+//! ```
+//!
+//! Clients that half-close their write side still receive the trailing
+//! `finish()` flush. `--once` serves a single connection then exits
+//! (used by the tests; production deployments run without it).
+//!
+//! The listener binds **loopback only** (`127.0.0.1`): the protocol is
+//! unauthenticated, so exposure beyond the host should go through a
+//! reverse proxy or tunnel that adds transport security.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use spring_core::{Spring, SpringConfig};
+use spring_dtw::Kernel;
+
+use crate::args::Parsed;
+use crate::commands::CliError;
+
+/// Options resolved from the `serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Query pattern values.
+    pub query: Vec<f64>,
+    /// Match threshold.
+    pub epsilon: f64,
+    /// Distance kernel.
+    pub kernel: Kernel,
+    /// Serve a single connection, then return.
+    pub once: bool,
+}
+
+/// Handles one client connection: one stream, one monitor.
+fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> {
+    let peer = stream.peer_addr()?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut spring =
+        match Spring::with_kernel(&opts.query, SpringConfig::new(opts.epsilon), opts.kernel) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(writer, "error: {e}")?;
+                return writer.flush();
+            }
+        };
+    let mut count = 0u64;
+    let mut last = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Ok(v) = line.parse::<f64>() else {
+            writeln!(writer, "error: `{line}` is not a number")?;
+            writer.flush()?;
+            continue;
+        };
+        // Missing readings carry the last observation (sensors hold).
+        let x = if v.is_finite() {
+            last = Some(v);
+            v
+        } else {
+            match last {
+                Some(prev) => prev,
+                None => continue,
+            }
+        };
+        if let Some(m) = spring.step(x) {
+            count += 1;
+            writeln!(
+                writer,
+                "match ticks {}..={} len {} distance {:.6} reported_at {}",
+                m.start,
+                m.end,
+                m.len(),
+                m.distance,
+                m.reported_at
+            )?;
+            // Matches are alerts: deliver immediately, not on buffer fill.
+            writer.flush()?;
+        }
+    }
+    if let Some(m) = spring.finish() {
+        count += 1;
+        writeln!(
+            writer,
+            "match ticks {}..={} len {} distance {:.6} reported_at {} (stream end)",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance,
+            m.reported_at
+        )?;
+    }
+    writeln!(
+        writer,
+        "done {count} match(es) over {} ticks",
+        spring.tick()
+    )?;
+    writer.flush()?;
+    let _ = peer; // retained for future per-peer logging
+    Ok(())
+}
+
+/// Serves connections from an already-bound listener. Exposed so tests
+/// can bind an ephemeral port; `run_serve` is the CLI entry point.
+pub fn serve_listener(
+    listener: TcpListener,
+    opts: ServeOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    writeln!(out, "listening on {}", listener.local_addr()?)?;
+    out.flush()?;
+    let opts = Arc::new(opts);
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let once = opts.once;
+        let worker_opts = Arc::clone(&opts);
+        let handle = std::thread::spawn(move || {
+            // A dropped client mid-stream is normal; log-and-continue.
+            if let Err(e) = handle_client(conn, &worker_opts) {
+                eprintln!("client error: {e}");
+            }
+        });
+        if once {
+            let _ = handle.join();
+            return Ok(());
+        }
+        // Detached: collecting handles would grow without bound on a
+        // long-running server, and there is nothing to do with them —
+        // worker errors are already logged from the worker itself.
+        drop(handle);
+    }
+    Ok(())
+}
+
+/// `spring serve` — parse flags, bind, and serve.
+pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let p = Parsed::parse(argv, &["query", "epsilon", "port", "kernel"], &["once"])?;
+    p.positionals(0)?;
+    let query = crate::commands::read_query(p.require("query")?)?;
+    let epsilon: f64 = p.require_parsed("epsilon", "number")?;
+    let kernel = crate::commands::kernel_from(&p)?;
+    let port: u16 = p.get_parsed("port", "integer")?.unwrap_or(7471);
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    serve_listener(
+        listener,
+        ServeOptions {
+            query,
+            epsilon,
+            kernel,
+            once: p.has("once"),
+        },
+        out,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    fn start(query: Vec<f64>, epsilon: f64) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            serve_listener(
+                listener,
+                ServeOptions {
+                    query,
+                    epsilon,
+                    kernel: Kernel::Squared,
+                    once: true,
+                },
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn streams_values_and_receives_matches_live() {
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // Quiet, then the pattern, then quiet: the report confirms one
+        // tick after the pattern completes.
+        for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("match ticks 3..=5"), "{response}");
+        assert!(
+            response.contains("done 1 match(es) over 7 ticks"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn trailing_candidate_flushes_at_eof() {
+        let (addr, server) = start(vec![1.0, 2.0, 3.0], 0.5);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for v in [9.0, 1.0, 2.0, 3.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("(stream end)"), "{response}");
+        assert!(response.contains("ticks 2..=4"), "{response}");
+    }
+
+    #[test]
+    fn garbage_lines_get_an_error_without_killing_the_session() {
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        writeln!(conn, "not-a-number").unwrap();
+        for v in [0.0, 9.0, 0.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("error: `not-a-number`"), "{response}");
+        assert!(response.contains("done 1 match(es)"), "{response}");
+    }
+
+    #[test]
+    fn missing_readings_carry_forward() {
+        let (addr, server) = start(vec![1.0, 2.0, 3.0], 0.1);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for v in ["9", "1", "2", "NaN", "3", "9", "9"] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("ticks 2..=5"), "{response}");
+    }
+}

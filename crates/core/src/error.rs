@@ -1,0 +1,109 @@
+//! Error type for SPRING configuration and input validation.
+
+use std::fmt;
+
+/// Errors produced when constructing or feeding a SPRING monitor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpringError {
+    /// The query sequence was empty.
+    EmptyQuery,
+    /// The query contained a NaN or infinite value.
+    NonFiniteQuery {
+        /// Index of the offending element.
+        index: usize,
+    },
+    /// The threshold `ε` was negative, NaN, or infinite.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// A stream value fed to `step_checked` was NaN or infinite.
+    NonFiniteInput {
+        /// 1-based tick at which the value arrived.
+        tick: u64,
+    },
+    /// A vector-stream element had the wrong number of channels.
+    DimensionMismatch {
+        /// Channels expected (from the query).
+        expected: usize,
+        /// Channels received.
+        found: usize,
+    },
+    /// A multivariate query was empty or ragged.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for SpringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpringError::EmptyQuery => write!(f, "query sequence is empty"),
+            SpringError::NonFiniteQuery { index } => {
+                write!(f, "query contains a non-finite value at index {index}")
+            }
+            SpringError::InvalidEpsilon { value } => {
+                write!(f, "epsilon must be finite and non-negative, got {value}")
+            }
+            SpringError::NonFiniteInput { tick } => {
+                write!(f, "stream value at tick {tick} is not finite")
+            }
+            SpringError::DimensionMismatch { expected, found } => {
+                write!(f, "expected {expected} channels, got {found}")
+            }
+            SpringError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpringError {}
+
+pub(crate) fn check_query(query: &[f64]) -> Result<(), SpringError> {
+    if query.is_empty() {
+        return Err(SpringError::EmptyQuery);
+    }
+    if let Some(index) = query.iter().position(|v| !v.is_finite()) {
+        return Err(SpringError::NonFiniteQuery { index });
+    }
+    Ok(())
+}
+
+pub(crate) fn check_epsilon(epsilon: f64) -> Result<(), SpringError> {
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(SpringError::InvalidEpsilon { value: epsilon });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_validation() {
+        assert_eq!(check_query(&[]), Err(SpringError::EmptyQuery));
+        assert_eq!(
+            check_query(&[1.0, f64::NAN]),
+            Err(SpringError::NonFiniteQuery { index: 1 })
+        );
+        assert!(check_query(&[1.0, -2.0]).is_ok());
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.0).is_ok());
+        assert!(check_epsilon(1e12).is_ok());
+        assert!(check_epsilon(-1.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(SpringError::InvalidEpsilon { value: -2.0 }
+            .to_string()
+            .contains("-2"));
+        assert!(SpringError::NonFiniteInput { tick: 17 }
+            .to_string()
+            .contains("17"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Explicit memory accounting.
+//!
+//! Figure 8 of the paper plots the bytes needed to keep the time warping
+//! matrix (matrices) as the stream grows. We account for that explicitly
+//! and deterministically — each monitor reports the bytes of its live
+//! algorithmic state — instead of hooking the global allocator, so the
+//! figure regenerates identically on any platform.
+
+/// Bytes of live algorithmic state held by a monitor.
+pub trait MemoryUse {
+    /// Current number of bytes retained by the monitor's data structures
+    /// (warping-matrix columns, start positions, path arenas, …).
+    /// Excludes the fixed-size struct header itself.
+    fn bytes_used(&self) -> usize;
+}
+
+/// Formats a byte count with binary units for harness output.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_plain_bytes() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+    }
+
+    #[test]
+    fn formats_scaled_units() {
+        assert_eq!(format_bytes(1024), "1.00 KiB");
+        assert_eq!(format_bytes(1536), "1.50 KiB");
+        assert_eq!(format_bytes(1024 * 1024), "1.00 MiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+}

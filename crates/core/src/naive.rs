@@ -1,0 +1,444 @@
+//! The Naive baseline (Sec. 3.1.3) and brute-force oracles.
+//!
+//! The naive solution maintains one time warping matrix per start
+//! position: at time-tick `n` it keeps `O(n)` matrices (two columns each)
+//! and updates `O(nm)` numbers per tick (paper Lemma 3). It produces
+//! exactly the same answers as SPRING — the tests exploit this as an
+//! equivalence oracle — at a per-tick cost that grows with the stream.
+//!
+//! `Super-Naive` (recomputing every matrix from scratch each tick,
+//! `O(n²m)` per tick) is represented here by [`all_subsequence_distances`],
+//! the exhaustive enumeration used as the ground-truth oracle in tests.
+
+use spring_dtw::kernels::{DistanceKernel, Squared};
+
+use crate::error::{check_epsilon, check_query, SpringError};
+use crate::mem::MemoryUse;
+use crate::policy::{ColumnOps, DisjointPolicy};
+use crate::types::Match;
+
+/// One per-start warping matrix: the two rolling columns of the standard
+/// DTW recurrence (Equation 2) for the matrix that begins at `start`.
+#[derive(Debug, Clone)]
+struct StartMatrix {
+    /// 1-based tick this matrix's subsequences start at.
+    start: u64,
+    /// `col[i] = f_start(k, i)` for the `k` ticks consumed so far,
+    /// `i = 0 ..= m`; `col[0]` is `∞` for `k ≥ 1` (Equation 2 boundary).
+    col: Vec<f64>,
+}
+
+/// Streaming naive monitor: answers both best-match and disjoint queries
+/// by maintaining every per-start matrix (the paper's `Naive`).
+#[derive(Debug, Clone)]
+pub struct NaiveMonitor<K: DistanceKernel = Squared> {
+    query: Vec<f64>,
+    kernel: K,
+    matrices: Vec<StartMatrix>,
+    t: u64,
+    policy: DisjointPolicy,
+    // Best-match bookkeeping.
+    best_distance: f64,
+    best_start: u64,
+    best_end: u64,
+    /// Scratch: per-row minimum distance and its start (the naive
+    /// equivalent of the STWM column, rebuilt each tick).
+    row_min_d: Vec<f64>,
+    row_min_s: Vec<u64>,
+}
+
+impl NaiveMonitor<Squared> {
+    /// Naive monitor with the paper's default squared kernel.
+    pub fn new(query: &[f64], epsilon: f64) -> Result<Self, SpringError> {
+        Self::with_kernel(query, epsilon, Squared)
+    }
+}
+
+impl<K: DistanceKernel> NaiveMonitor<K> {
+    /// Naive monitor with an explicit distance kernel.
+    pub fn with_kernel(query: &[f64], epsilon: f64, kernel: K) -> Result<Self, SpringError> {
+        check_query(query)?;
+        check_epsilon(epsilon)?;
+        let m = query.len();
+        Ok(NaiveMonitor {
+            query: query.to_vec(),
+            kernel,
+            matrices: Vec::new(),
+            t: 0,
+            policy: DisjointPolicy::new(epsilon),
+            best_distance: f64::INFINITY,
+            best_start: 0,
+            best_end: 0,
+            row_min_d: vec![f64::INFINITY; m + 1],
+            row_min_s: vec![0; m + 1],
+        })
+    }
+
+    /// Current 1-based tick.
+    pub fn tick(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of live per-start matrices (equals the tick count).
+    pub fn matrix_count(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// The best subsequence seen so far (best-match query).
+    pub fn best(&self) -> Option<Match> {
+        self.best_distance.is_finite().then_some(Match {
+            start: self.best_start,
+            end: self.best_end,
+            distance: self.best_distance,
+            reported_at: self.t,
+            group_start: self.best_start,
+            group_end: self.best_end,
+        })
+    }
+
+    /// Consumes the next stream value, updating **every** matrix
+    /// (`O(n·m)` work), and applies the same disjoint-query reporting
+    /// policy as SPRING.
+    pub fn step(&mut self, x: f64) -> Option<Match> {
+        debug_assert!(x.is_finite(), "stream value must be finite");
+        self.t += 1;
+        let m = self.query.len();
+
+        // A new matrix starts at this tick with its k = 0 column:
+        // f(0, 0) = 0, f(0, i) = ∞.
+        let mut fresh = vec![f64::INFINITY; m + 1];
+        fresh[0] = 0.0;
+        self.matrices.push(StartMatrix {
+            start: self.t,
+            col: fresh,
+        });
+
+        // The per-cell base distance is shared by every matrix; hoist it.
+        let base_row: Vec<f64> = self.query.iter().map(|&y| self.kernel.dist(x, y)).collect();
+
+        // Advance every matrix by one column, in place, and fold the
+        // per-row minima. Equation (2): f(k, 0) = ∞ for k ≥ 1; col[0] is
+        // 0 only on the first update after the matrix was created.
+        self.row_min_d.fill(f64::INFINITY);
+        self.row_min_s.fill(0);
+        for mat in &mut self.matrices {
+            let col = &mut mat.col;
+            let mut diag = col[0]; // f(k−1, i−1), starting at i = 1
+            col[0] = f64::INFINITY;
+            for i in 1..=m {
+                let down = col[i]; //  f(k−1, i)
+                let left = col[i - 1]; // f(k, i−1), already overwritten
+                let best = left.min(down).min(diag);
+                col[i] = if best.is_finite() {
+                    base_row[i - 1] + best
+                } else {
+                    f64::INFINITY
+                };
+                diag = down;
+                if col[i] < self.row_min_d[i] {
+                    self.row_min_d[i] = col[i];
+                    self.row_min_s[i] = mat.start;
+                }
+            }
+        }
+
+        // Best-match bookkeeping over f_t0(·, m).
+        let dm = self.row_min_d[m];
+        if dm < self.best_distance {
+            self.best_distance = dm;
+            self.best_start = self.row_min_s[m];
+            self.best_end = self.t;
+        }
+
+        // Disjoint-query policy — the same decisions as SPRING, computed
+        // from the per-row minima (the naive solution "computes the
+        // distances of all possible subsequences, and then chooses").
+        struct NaiveOps<'a> {
+            matrices: &'a mut Vec<StartMatrix>,
+            row_min_d: &'a mut [f64],
+            row_min_s: &'a mut [u64],
+            m: usize,
+        }
+
+        impl ColumnOps for NaiveOps<'_> {
+            fn confirmed(&self, dmin: f64, te: u64) -> bool {
+                (1..=self.m).all(|i| self.row_min_d[i] >= dmin || self.row_min_s[i] > te)
+            }
+
+            fn invalidate(&mut self, te: u64) {
+                // Retire matrices belonging to the reported group, then
+                // rebuild the row minima from the survivors.
+                self.matrices.retain(|mat| mat.start > te);
+                self.row_min_d.fill(f64::INFINITY);
+                self.row_min_s.fill(0);
+                for mat in self.matrices.iter() {
+                    for i in 1..=self.m {
+                        if mat.col[i] < self.row_min_d[i] {
+                            self.row_min_d[i] = mat.col[i];
+                            self.row_min_s[i] = mat.start;
+                        }
+                    }
+                }
+            }
+
+            fn current(&self) -> (f64, u64) {
+                (self.row_min_d[self.m], self.row_min_s[self.m])
+            }
+        }
+
+        let mut ops = NaiveOps {
+            matrices: &mut self.matrices,
+            row_min_d: &mut self.row_min_d,
+            row_min_s: &mut self.row_min_s,
+            m,
+        };
+        self.policy.step(self.t, &mut ops)
+    }
+
+    /// Declares the end of the stream, reporting a pending group optimum.
+    pub fn finish(&mut self) -> Option<Match> {
+        self.policy.finish(self.t)
+    }
+
+    /// Pre-populates `n` matrices with synthetic finite state.
+    ///
+    /// **Benchmarking only**: the per-tick cost of the naive method does
+    /// not depend on cell values, so Fig. 7 can measure a tick at stream
+    /// length `n` without paying the `O(n²m)` cost of actually streaming
+    /// `n` values through the monitor first.
+    pub fn prefill_for_benchmark(&mut self, n: usize) {
+        let m = self.query.len();
+        self.matrices.clear();
+        self.matrices.reserve(n);
+        for j in 0..n {
+            let mut col = vec![0.0f64; m + 1];
+            col[0] = f64::INFINITY;
+            for (i, c) in col.iter_mut().enumerate().skip(1) {
+                *c = (i + j) as f64;
+            }
+            self.matrices.push(StartMatrix {
+                start: j as u64 + 1,
+                col,
+            });
+        }
+        self.t = n as u64;
+    }
+
+    /// Exact bytes a naive monitor holds at stream length `n` with query
+    /// length `m` — the analytic form of Fig. 8's `Naive` series
+    /// (used so the figure can extend beyond physically allocatable n).
+    pub fn bytes_for(n: usize, m: usize) -> usize {
+        // Per matrix: one live column of m+1 f64 plus the start tick.
+        n * ((m + 1) * std::mem::size_of::<f64>() + std::mem::size_of::<u64>())
+            // Query + the two shared row-minimum arrays.
+            + m * std::mem::size_of::<f64>()
+            + (m + 1) * (std::mem::size_of::<f64>() + std::mem::size_of::<u64>())
+    }
+}
+
+impl<K: DistanceKernel> MemoryUse for NaiveMonitor<K> {
+    fn bytes_used(&self) -> usize {
+        let col_bytes: usize = self
+            .matrices
+            .iter()
+            .map(|m| m.col.capacity() * std::mem::size_of::<f64>() + std::mem::size_of::<u64>())
+            .sum();
+        col_bytes
+            + self.query.capacity() * std::mem::size_of::<f64>()
+            + self.row_min_d.capacity() * std::mem::size_of::<f64>()
+            + self.row_min_s.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Exhaustively computes the DTW distance of **every** subsequence
+/// `X[ts : te]` against `query` — the Super-Naive oracle. `O(n²m)` time;
+/// for tests and tiny inputs only.
+///
+/// Returns `(ts, te, distance)` triples with 1-based inclusive ticks,
+/// ordered by `ts` then `te`.
+pub fn all_subsequence_distances<K: DistanceKernel>(
+    stream: &[f64],
+    query: &[f64],
+    kernel: K,
+) -> Vec<(u64, u64, f64)> {
+    let m = query.len();
+    let mut out = Vec::with_capacity(stream.len() * (stream.len() + 1) / 2);
+    for ts in 0..stream.len() {
+        // One fixed-start matrix, rolled column by column.
+        let mut prev = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for (te, &x) in stream.iter().enumerate().skip(ts) {
+            let mut cur = vec![f64::INFINITY; m + 1];
+            for i in 1..=m {
+                let base = kernel.dist(x, query[i - 1]);
+                let best = cur[i - 1].min(prev[i]).min(prev[i - 1]);
+                cur[i] = if best.is_finite() {
+                    base + best
+                } else {
+                    f64::INFINITY
+                };
+            }
+            out.push((ts as u64 + 1, te as u64 + 1, cur[m]));
+            prev = cur;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spring::{Spring, SpringConfig};
+
+    fn pseudo_stream(len: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random walk without external crates.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut v = 0.0;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                v += ((state % 17) as f64 - 8.0) * 0.25;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn naive_and_spring_agree_on_the_disjoint_query_guarantees() {
+        // The two are not bit-identical: after a report SPRING's single
+        // merged matrix discards suboptimal-start path information that
+        // the naive per-start matrices retain, so the naive grouping can
+        // merge overlapping groups that SPRING splits (and ties can break
+        // differently). What both must guarantee — and what this oracle
+        // checks — is:
+        //   (a) every reported distance is exact for its positions,
+        //   (b) every naive group optimum also appears in SPRING's
+        //       reports (same distance, overlapping position): SPRING
+        //       has no false dismissals relative to the naive grouping,
+        //   (c) reports from each monitor are pairwise disjoint.
+        let query = [0.0, 2.0, -1.0, 1.0];
+        for seed in 1..8 {
+            let stream = pseudo_stream(120, seed);
+            let eps = 6.0;
+            let mut spring = Spring::new(&query, SpringConfig::new(eps)).unwrap();
+            let mut naive = NaiveMonitor::new(&query, eps).unwrap();
+            let mut spring_out: Vec<Match> =
+                stream.iter().filter_map(|&x| spring.step(x)).collect();
+            let mut naive_out: Vec<Match> = stream.iter().filter_map(|&x| naive.step(x)).collect();
+            spring_out.extend(spring.finish());
+            naive_out.extend(naive.finish());
+
+            for out in [&spring_out, &naive_out] {
+                for m in out.iter() {
+                    assert!(m.distance <= eps, "seed {seed}");
+                    let exact = spring_dtw::dtw_distance(&stream[m.range0()], &query).unwrap();
+                    assert!((m.distance - exact).abs() < 1e-9, "seed {seed}: {m:?}");
+                }
+                for w in out.windows(2) {
+                    assert!(!w[0].overlaps(&w[1]), "seed {seed}");
+                }
+            }
+            for b in &naive_out {
+                let found = spring_out
+                    .iter()
+                    .any(|a| a.overlaps(b) && (a.distance - b.distance).abs() < 1e-9);
+                assert!(
+                    found,
+                    "seed {seed}: naive optimum {b:?} missing from SPRING"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_equals_spring_on_best_match() {
+        let query = [1.0, -1.0, 1.5];
+        for seed in 1..6 {
+            let stream = pseudo_stream(80, seed);
+            let mut bm = crate::best::BestMatch::new(&query).unwrap();
+            let mut naive = NaiveMonitor::new(&query, f64::MAX.sqrt()).unwrap();
+            for &x in &stream {
+                bm.step(x);
+                naive.step(x);
+            }
+            let a = bm.best().unwrap();
+            let b = naive.best().unwrap();
+            assert_eq!((a.start, a.end), (b.start, b.end), "seed {seed}");
+            assert!((a.distance - b.distance).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn super_naive_oracle_agrees_with_plain_dtw() {
+        let stream = pseudo_stream(25, 3);
+        let query = [0.5, -0.5, 1.0];
+        for (ts, te, d) in all_subsequence_distances(&stream, &query, Squared) {
+            let sub = &stream[ts as usize - 1..te as usize];
+            let exact = spring_dtw::dtw_distance(sub, &query).unwrap();
+            assert!((d - exact).abs() < 1e-9, "X[{ts}:{te}]");
+        }
+    }
+
+    #[test]
+    fn matrix_count_grows_per_tick_until_a_report_retires_a_group() {
+        let query = [0.0, 10.0, 0.0];
+        let mut naive = NaiveMonitor::new(&query, 1.0).unwrap();
+        for &x in &[50.0, 50.0, 0.0, 10.0, 0.0] {
+            naive.step(x);
+        }
+        assert_eq!(naive.matrix_count(), 5);
+        // The report retires every matrix whose subsequences start inside
+        // the reported group.
+        let r = naive.step(50.0).expect("match reported");
+        assert_eq!((r.start, r.end, r.distance), (3, 5, 0.0));
+        assert!(naive.matrix_count() < 6);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_stream_length() {
+        let query = vec![1.0; 8];
+        let mut naive = NaiveMonitor::new(&query, 0.0).unwrap();
+        let mut prev = naive.bytes_used();
+        for t in 0..50 {
+            naive.step(t as f64 * 100.0); // no matches, nothing retired
+            assert!(naive.bytes_used() > prev);
+            prev = naive.bytes_used();
+        }
+    }
+
+    #[test]
+    fn bytes_for_tracks_live_accounting() {
+        let m = 8;
+        let query = vec![1.0; m];
+        let mut naive = NaiveMonitor::new(&query, 0.0).unwrap();
+        for t in 0..32 {
+            naive.step(t as f64 * 100.0);
+        }
+        let analytic = NaiveMonitor::<Squared>::bytes_for(32, m);
+        let live = naive.bytes_used();
+        let ratio = live as f64 / analytic as f64;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "live {live} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn prefill_creates_requested_state() {
+        let mut naive = NaiveMonitor::new(&[1.0, 2.0], 1.0).unwrap();
+        naive.prefill_for_benchmark(100);
+        assert_eq!(naive.matrix_count(), 100);
+        assert_eq!(naive.tick(), 100);
+        // And it can still step.
+        naive.step(1.0);
+        assert_eq!(naive.matrix_count(), 101);
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        assert!(NaiveMonitor::new(&[], 1.0).is_err());
+        assert!(NaiveMonitor::new(&[1.0], -1.0).is_err());
+    }
+}

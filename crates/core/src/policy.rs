@@ -1,0 +1,246 @@
+//! The disjoint-query reporting policy (paper Fig. 4), shared by every
+//! monitor.
+//!
+//! All five monitors — [`crate::Spring`], [`crate::VectorSpring`],
+//! [`crate::BoundedSpring`], [`crate::SlopeLimited`], and
+//! [`crate::NaiveMonitor`] — make the same decisions per tick:
+//!
+//! 1. if a candidate is captured and condition (9) holds
+//!    (`∀i: d_i ≥ dmin ∨ s_i > te`), report it and invalidate the
+//!    reported group's cells;
+//! 2. if the best subsequence ending now qualifies (`d_m ≤ ε`), is
+//!    eligible (monitor-specific: length bounds etc.), and beats the
+//!    captured candidate, capture it;
+//! 3. track the extent of the whole overlapping group.
+//!
+//! Only the *column representation* differs between monitors, so the
+//! policy talks to it through [`ColumnOps`] and owns everything else.
+//! Fixing a policy subtlety here fixes it for every monitor at once.
+
+use crate::types::Match;
+
+/// A monitor's view of its freshly computed warping column, as the
+/// policy needs it.
+pub(crate) trait ColumnOps {
+    /// Equation (9): every live cell has `d ≥ dmin` or starts after `te`.
+    fn confirmed(&self, dmin: f64, te: u64) -> bool;
+
+    /// Resets every cell whose path starts at or before `te` (called
+    /// only when a report fires).
+    fn invalidate(&mut self, te: u64);
+
+    /// `(d_m, s_m)` of the best subsequence ending now, read *after*
+    /// any invalidation (the pseudocode's order).
+    fn current(&self) -> (f64, u64);
+
+    /// Monitor-specific capture filter (length bounds and the like).
+    fn eligible(&self, _dm: f64, _sm: u64) -> bool {
+        true
+    }
+}
+
+/// The dmin/report/group bookkeeping of the disjoint query.
+#[derive(Debug, Clone)]
+pub(crate) struct DisjointPolicy {
+    pub epsilon: f64,
+    dmin: f64,
+    ts: u64,
+    te: u64,
+    group_start: u64,
+    group_end: u64,
+}
+
+impl DisjointPolicy {
+    pub fn new(epsilon: f64) -> Self {
+        DisjointPolicy {
+            epsilon,
+            dmin: f64::INFINITY,
+            ts: 0,
+            te: 0,
+            group_start: 0,
+            group_end: 0,
+        }
+    }
+
+    /// The captured-but-unconfirmed candidate: `(distance, start, end)`.
+    pub fn pending(&self) -> Option<(f64, u64, u64)> {
+        (self.dmin <= self.epsilon).then_some((self.dmin, self.ts, self.te))
+    }
+
+    /// Runs the per-tick policy after the monitor filled its column for
+    /// tick `t`. Returns the confirmed group optimum, if any.
+    pub fn step(&mut self, t: u64, col: &mut impl ColumnOps) -> Option<Match> {
+        let mut report = None;
+        if self.dmin <= self.epsilon && col.confirmed(self.dmin, self.te) {
+            report = Some(self.take_match(t));
+            col.invalidate(self.te);
+        }
+        let (dm, sm) = col.current();
+        if dm <= self.epsilon {
+            if dm < self.dmin && col.eligible(dm, sm) {
+                if self.dmin.is_infinite() {
+                    // First candidate of a fresh group.
+                    self.group_start = sm;
+                    self.group_end = t;
+                }
+                self.dmin = dm;
+                self.ts = sm;
+                self.te = t;
+            }
+            if self.dmin.is_finite() {
+                self.group_start = self.group_start.min(sm);
+                self.group_end = self.group_end.max(t);
+            }
+        }
+        report
+    }
+
+    /// Raw bookkeeping for checkpointing:
+    /// `(dmin, ts, te, group_start, group_end)`.
+    pub fn state(&self) -> (f64, u64, u64, u64, u64) {
+        (
+            self.dmin,
+            self.ts,
+            self.te,
+            self.group_start,
+            self.group_end,
+        )
+    }
+
+    /// Restores bookkeeping captured by [`DisjointPolicy::state`].
+    pub fn set_state(&mut self, state: (f64, u64, u64, u64, u64)) {
+        (
+            self.dmin,
+            self.ts,
+            self.te,
+            self.group_start,
+            self.group_end,
+        ) = state;
+    }
+
+    /// End-of-stream flush of a pending candidate. Idempotent.
+    pub fn finish(&mut self, t: u64) -> Option<Match> {
+        (self.dmin <= self.epsilon).then(|| self.take_match(t))
+    }
+
+    fn take_match(&mut self, reported_at: u64) -> Match {
+        let m = Match {
+            start: self.ts,
+            end: self.te,
+            distance: self.dmin,
+            reported_at,
+            group_start: self.group_start,
+            group_end: self.group_end,
+        };
+        self.dmin = f64::INFINITY;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy column: fixed (d, s) pairs plus the current cell.
+    struct Toy {
+        cells: Vec<(f64, u64)>,
+        current: (f64, u64),
+        invalidated_at: Option<u64>,
+    }
+
+    impl ColumnOps for Toy {
+        fn confirmed(&self, dmin: f64, te: u64) -> bool {
+            self.cells.iter().all(|&(d, s)| d >= dmin || s > te)
+        }
+        fn invalidate(&mut self, te: u64) {
+            self.invalidated_at = Some(te);
+            self.cells.retain(|&(_, s)| s > te);
+        }
+        fn current(&self) -> (f64, u64) {
+            self.current
+        }
+    }
+
+    #[test]
+    fn captures_then_confirms_then_reports() {
+        let mut p = DisjointPolicy::new(10.0);
+        // t=1: a qualifying candidate appears.
+        let mut col = Toy {
+            cells: vec![(5.0, 1)],
+            current: (5.0, 1),
+            invalidated_at: None,
+        };
+        assert!(p.step(1, &mut col).is_none());
+        assert_eq!(p.pending(), Some((5.0, 1, 1)));
+        // t=2: nothing blocks; report fires and cells are invalidated.
+        let mut col = Toy {
+            cells: vec![(99.0, 1)],
+            current: (99.0, 2),
+            invalidated_at: None,
+        };
+        let m = p.step(2, &mut col).expect("report");
+        assert_eq!((m.start, m.end, m.distance, m.reported_at), (1, 1, 5.0, 2));
+        assert_eq!(col.invalidated_at, Some(1));
+        assert_eq!(p.pending(), None);
+    }
+
+    #[test]
+    fn blocked_while_a_cheaper_overlapping_path_lives() {
+        let mut p = DisjointPolicy::new(10.0);
+        let mut col = Toy {
+            cells: vec![(5.0, 1)],
+            current: (5.0, 1),
+            invalidated_at: None,
+        };
+        p.step(1, &mut col);
+        // A live cell cheaper than dmin starting inside the group.
+        let mut col = Toy {
+            cells: vec![(2.0, 1)],
+            current: (99.0, 2),
+            invalidated_at: None,
+        };
+        assert!(p.step(2, &mut col).is_none());
+        assert_eq!(col.invalidated_at, None);
+    }
+
+    #[test]
+    fn ineligible_candidates_do_not_capture() {
+        struct Picky(Toy);
+        impl ColumnOps for Picky {
+            fn confirmed(&self, dmin: f64, te: u64) -> bool {
+                self.0.confirmed(dmin, te)
+            }
+            fn invalidate(&mut self, te: u64) {
+                self.0.invalidate(te)
+            }
+            fn current(&self) -> (f64, u64) {
+                self.0.current()
+            }
+            fn eligible(&self, _dm: f64, _sm: u64) -> bool {
+                false
+            }
+        }
+        let mut p = DisjointPolicy::new(10.0);
+        let mut col = Picky(Toy {
+            cells: vec![(5.0, 1)],
+            current: (5.0, 1),
+            invalidated_at: None,
+        });
+        assert!(p.step(1, &mut col).is_none());
+        assert_eq!(p.pending(), None);
+        assert!(p.finish(1).is_none());
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut p = DisjointPolicy::new(10.0);
+        let mut col = Toy {
+            cells: vec![(3.0, 1)],
+            current: (3.0, 1),
+            invalidated_at: None,
+        };
+        p.step(1, &mut col);
+        assert!(p.finish(1).is_some());
+        assert!(p.finish(1).is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! Monitor state checkpointing.
+//!
+//! SPRING monitors run for the lifetime of a stream — weeks, in the
+//! paper's sensor scenarios — so an operational deployment needs to
+//! survive restarts without losing the warping state accumulated since
+//! the last group boundary. A monitor's entire live state is `O(m)`
+//! (that is the point of the algorithm), so a checkpoint is tiny: the
+//! current STWM column, the tick counter, and the pending-candidate
+//! bookkeeping.
+//!
+//! [`Spring::snapshot`] captures that state as a plain-data
+//! [`SpringSnapshot`]; [`Spring::restore`] resumes from it, producing a
+//! monitor whose future reports are **identical** to one that never
+//! stopped (property-tested). With the `serde` feature the snapshot
+//! (de)serializes to any serde format.
+
+use spring_dtw::kernels::{DistanceKernel, Squared};
+
+use crate::error::SpringError;
+use crate::spring::{Spring, SpringConfig};
+
+/// A resumable checkpoint of a [`Spring`] monitor. Plain data: `O(m)`
+/// numbers, independent of how long the stream has been running.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpringSnapshot {
+    /// The monitored query sequence.
+    pub query: Vec<f64>,
+    /// The threshold `ε`.
+    pub epsilon: f64,
+    /// 1-based tick of the last consumed value.
+    pub tick: u64,
+    /// Current STWM distance column, `d(t, 0 ..= m)`. Invalidated cells
+    /// are `+∞`, which JSON cannot represent natively — the serde codec
+    /// maps them to `null` and back.
+    #[cfg_attr(feature = "serde", serde(with = "inf_as_null_vec"))]
+    pub distances: Vec<f64>,
+    /// Current STWM start-position column, `s(t, 0 ..= m)`.
+    pub starts: Vec<u64>,
+    /// Pending-candidate bookkeeping.
+    pub candidate: CandidateState,
+    /// Matches reported so far.
+    pub reported: u64,
+}
+
+/// The pending-candidate portion of a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CandidateState {
+    /// Group-minimum distance; `+∞` (serialized as `null`) when no
+    /// candidate is captured.
+    #[cfg_attr(feature = "serde", serde(with = "inf_as_null"))]
+    pub dmin: f64,
+    /// Candidate start tick (1-based).
+    pub ts: u64,
+    /// Candidate end tick (1-based).
+    pub te: u64,
+    /// Leftmost start among the current group's candidates.
+    pub group_start: u64,
+    /// Rightmost end among the current group's candidates.
+    pub group_end: u64,
+}
+
+/// JSON has no `Infinity`; encode non-finite distances as `null`.
+#[cfg(feature = "serde")]
+mod inf_as_null {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        v.is_finite().then_some(*v).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    }
+}
+
+/// Vector form of [`inf_as_null`].
+#[cfg(feature = "serde")]
+mod inf_as_null_vec {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let opts: Vec<Option<f64>> = v.iter().map(|&x| x.is_finite().then_some(x)).collect();
+        opts.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
+        Ok(opts
+            .into_iter()
+            .map(|o| o.unwrap_or(f64::INFINITY))
+            .collect())
+    }
+}
+
+impl<K: DistanceKernel> Spring<K> {
+    /// Captures the monitor's complete live state.
+    pub fn snapshot(&self) -> SpringSnapshot {
+        let stwm = self.stwm();
+        SpringSnapshot {
+            query: stwm.query().to_vec(),
+            epsilon: self.epsilon(),
+            tick: stwm.tick(),
+            distances: stwm.distances().to_vec(),
+            starts: stwm.starts().to_vec(),
+            candidate: {
+                let (dmin, ts, te, group_start, group_end) = self.policy_state();
+                CandidateState {
+                    dmin,
+                    ts,
+                    te,
+                    group_start,
+                    group_end,
+                }
+            },
+            reported: self.reported_count(),
+        }
+    }
+
+    /// Resumes a monitor from a snapshot, with the kernel supplied by
+    /// the caller (kernels are zero-sized strategies, not data).
+    ///
+    /// # Errors
+    /// Rejects snapshots whose column lengths disagree with the query,
+    /// whose tick/candidate fields are inconsistent, or whose query is
+    /// invalid.
+    pub fn restore(snapshot: &SpringSnapshot, kernel: K) -> Result<Self, SpringError> {
+        let m = snapshot.query.len();
+        if snapshot.distances.len() != m + 1 || snapshot.starts.len() != m + 1 {
+            return Err(SpringError::InvalidQuery(format!(
+                "snapshot columns have {} / {} entries, query needs {}",
+                snapshot.distances.len(),
+                snapshot.starts.len(),
+                m + 1
+            )));
+        }
+        let CandidateState {
+            dmin,
+            ts,
+            te,
+            group_start: gs,
+            group_end: ge,
+        } = snapshot.candidate;
+        if dmin <= snapshot.epsilon && !(ts >= 1 && ts <= te && te <= snapshot.tick && gs <= ge) {
+            return Err(SpringError::InvalidQuery(
+                "snapshot candidate positions are inconsistent".into(),
+            ));
+        }
+        let mut spring =
+            Spring::with_kernel(&snapshot.query, SpringConfig::new(snapshot.epsilon), kernel)?;
+        spring.load_state(snapshot);
+        Ok(spring)
+    }
+}
+
+impl Spring<Squared> {
+    /// [`Spring::restore`] with the paper's default squared kernel.
+    pub fn restore_squared(snapshot: &SpringSnapshot) -> Result<Self, SpringError> {
+        Self::restore(snapshot, Squared)
+    }
+}
+
+/// A resumable checkpoint of a [`crate::VectorSpring`] monitor
+/// (Sec. 5.3 vector streams). Same shape as [`SpringSnapshot`] with a
+/// multivariate query.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VectorSnapshot {
+    /// The monitored query, one row of channel values per tick.
+    pub query: Vec<Vec<f64>>,
+    /// The threshold `ε`.
+    pub epsilon: f64,
+    /// 1-based tick of the last consumed sample.
+    pub tick: u64,
+    /// Current STWM distance column (`+∞` serialized as `null`).
+    #[cfg_attr(feature = "serde", serde(with = "inf_as_null_vec"))]
+    pub distances: Vec<f64>,
+    /// Current STWM start-position column.
+    pub starts: Vec<u64>,
+    /// Pending-candidate bookkeeping.
+    pub candidate: CandidateState,
+}
+
+impl crate::VectorSpring<Squared> {
+    /// Captures the monitor's complete live state.
+    pub fn snapshot(&self) -> VectorSnapshot {
+        let (tick, distances, starts, (dmin, ts, te, group_start, group_end)) = self.state();
+        VectorSnapshot {
+            query: self.query_rows(),
+            epsilon: self.epsilon(),
+            tick,
+            distances,
+            starts,
+            candidate: CandidateState {
+                dmin,
+                ts,
+                te,
+                group_start,
+                group_end,
+            },
+        }
+    }
+
+    /// Resumes a vector monitor from a snapshot.
+    pub fn restore(snapshot: &VectorSnapshot) -> Result<Self, SpringError> {
+        let m = snapshot.query.len();
+        if snapshot.distances.len() != m + 1 || snapshot.starts.len() != m + 1 {
+            return Err(SpringError::InvalidQuery(format!(
+                "snapshot columns have {} / {} entries, query needs {}",
+                snapshot.distances.len(),
+                snapshot.starts.len(),
+                m + 1
+            )));
+        }
+        let c = snapshot.candidate;
+        if c.dmin <= snapshot.epsilon
+            && !(c.ts >= 1 && c.ts <= c.te && c.te <= snapshot.tick && c.group_start <= c.group_end)
+        {
+            return Err(SpringError::InvalidQuery(
+                "snapshot candidate positions are inconsistent".into(),
+            ));
+        }
+        let mut vs = crate::VectorSpring::new(&snapshot.query, snapshot.epsilon)?;
+        vs.load_state(
+            snapshot.tick,
+            &snapshot.distances,
+            &snapshot.starts,
+            (c.dmin, c.ts, c.te, c.group_start, c.group_end),
+        );
+        Ok(vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Match;
+    use spring_data_free::pseudo_stream;
+
+    /// Deterministic stream without external crates (mirrors naive.rs).
+    mod spring_data_free {
+        pub fn pseudo_stream(len: usize, seed: u64) -> Vec<f64> {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut v = 0.0;
+            (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    v += ((state % 17) as f64 - 8.0) * 0.25;
+                    v
+                })
+                .collect()
+        }
+    }
+
+    fn run_all(spring: &mut Spring, stream: &[f64]) -> Vec<Match> {
+        let mut out: Vec<Match> = stream.iter().filter_map(|&x| spring.step(x)).collect();
+        out.extend(spring.finish());
+        out
+    }
+
+    #[test]
+    fn resume_is_indistinguishable_from_uninterrupted() {
+        let query = [0.0, 2.0, -1.0, 1.0];
+        for seed in 1..5 {
+            let stream = pseudo_stream(150, seed);
+            for cut in [1usize, 40, 75, 149] {
+                // Uninterrupted reference.
+                let mut whole = Spring::new(&query, SpringConfig::new(5.0)).unwrap();
+                let expected = run_all(&mut whole, &stream);
+
+                // Stop at `cut`, snapshot, restore, continue.
+                let mut first = Spring::new(&query, SpringConfig::new(5.0)).unwrap();
+                let mut got: Vec<Match> = stream[..cut]
+                    .iter()
+                    .filter_map(|&x| first.step(x))
+                    .collect();
+                let snap = first.snapshot();
+                drop(first);
+                let mut second = Spring::restore_squared(&snap).unwrap();
+                got.extend(stream[cut..].iter().filter_map(|&x| second.step(x)));
+                got.extend(second.finish());
+
+                assert_eq!(got, expected, "seed {seed}, cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_carries_pending_candidate_and_counters() {
+        let query = [1.0, 2.0, 3.0];
+        let mut spring = Spring::new(&query, SpringConfig::new(0.5)).unwrap();
+        for x in [9.0, 1.0, 2.0, 3.0] {
+            spring.step(x);
+        }
+        let snap = spring.snapshot();
+        assert_eq!(snap.tick, 4);
+        assert!(snap.candidate.dmin <= 0.5, "candidate captured: {snap:?}");
+        let mut resumed = Spring::restore_squared(&snap).unwrap();
+        assert_eq!(resumed.pending(), spring.pending());
+        // The pending match flushes identically from both.
+        assert_eq!(resumed.finish(), spring.finish());
+    }
+
+    #[test]
+    fn snapshot_size_is_independent_of_stream_length() {
+        let query = vec![0.5; 32];
+        let mut spring = Spring::new(&query, SpringConfig::new(1.0)).unwrap();
+        spring.step(0.0);
+        let early = spring.snapshot();
+        for t in 0..10_000 {
+            spring.step((t as f64 * 0.01).sin());
+        }
+        let late = spring.snapshot();
+        assert_eq!(early.distances.len(), late.distances.len());
+        assert_eq!(early.starts.len(), late.starts.len());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut spring = Spring::new(&[1.0, 2.0], SpringConfig::new(1.0)).unwrap();
+        spring.step(1.0);
+        let good = spring.snapshot();
+
+        let mut bad = good.clone();
+        bad.distances.pop();
+        assert!(Spring::restore_squared(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.query.clear();
+        assert!(Spring::restore_squared(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.epsilon = -1.0;
+        assert!(Spring::restore_squared(&bad).is_err());
+
+        // Candidate claiming to end after the snapshot tick.
+        let mut bad = good.clone();
+        bad.candidate = CandidateState {
+            dmin: 0.5,
+            ts: 1,
+            te: 99,
+            group_start: 1,
+            group_end: 99,
+        };
+        assert!(Spring::restore_squared(&bad).is_err());
+    }
+
+    #[test]
+    fn restore_with_absolute_kernel_respects_the_kernel() {
+        use spring_dtw::kernels::Absolute;
+        let query = [0.0, 4.0];
+        let mut a = Spring::with_kernel(&query, SpringConfig::new(1.0), Absolute).unwrap();
+        a.step(9.0);
+        let snap = a.snapshot();
+        let mut b = Spring::restore(&snap, Absolute).unwrap();
+        // Next step must use |x−y|, not (x−y)²: feed an exact occurrence.
+        let mut hits = Vec::new();
+        for x in [0.0, 4.0, 9.0] {
+            hits.extend(b.step(x));
+        }
+        hits.extend(b.finish());
+        assert!(hits.iter().any(|m| m.distance == 0.0), "{hits:?}");
+    }
+}
+
+#[cfg(test)]
+mod vector_tests {
+    use crate::VectorSpring;
+
+    fn rows(seed: u64, len: usize) -> Vec<Vec<f64>> {
+        (0..len)
+            .map(|t| {
+                vec![
+                    ((t as f64 + seed as f64) * 0.7).sin() * 3.0,
+                    ((t as f64 * 1.3 + seed as f64) * 0.4).cos() * 2.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_resume_is_indistinguishable_from_uninterrupted() {
+        let query = rows(9, 5);
+        let stream = rows(2, 80);
+        for cut in [1usize, 30, 79] {
+            let mut whole = VectorSpring::new(&query, 6.0).unwrap();
+            let mut expected = Vec::new();
+            for r in &stream {
+                expected.extend(whole.step(r).unwrap());
+            }
+            expected.extend(whole.finish());
+
+            let mut first = VectorSpring::new(&query, 6.0).unwrap();
+            let mut got = Vec::new();
+            for r in &stream[..cut] {
+                got.extend(first.step(r).unwrap());
+            }
+            let snap = first.snapshot();
+            drop(first);
+            let mut second = VectorSpring::restore(&snap).unwrap();
+            for r in &stream[cut..] {
+                got.extend(second.step(r).unwrap());
+            }
+            got.extend(second.finish());
+            assert_eq!(got, expected, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn vector_restore_rejects_corrupt_snapshots() {
+        let query = rows(1, 3);
+        let mut vs = VectorSpring::new(&query, 1.0).unwrap();
+        vs.step(&[0.0, 0.0]).unwrap();
+        let good = vs.snapshot();
+        let mut bad = good.clone();
+        bad.starts.pop();
+        assert!(VectorSpring::restore(&bad).is_err());
+        let mut bad = good.clone();
+        bad.query.clear();
+        assert!(VectorSpring::restore(&bad).is_err());
+    }
+}

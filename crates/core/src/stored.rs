@@ -1,0 +1,314 @@
+//! Batch conveniences for finite, stored sequences.
+//!
+//! SPRING "can obviously be applied to stored sequence sets, too"
+//! (paper Sec. 6). These helpers run the streaming monitors over a slice
+//! in one call — the natural entry point for offline analysis and for the
+//! test-suite oracles.
+
+use spring_dtw::kernels::{DistanceKernel, Squared};
+
+use crate::best::BestMatch;
+use crate::error::SpringError;
+use crate::spring::{Spring, SpringConfig};
+use crate::types::Match;
+
+/// The subsequence of `stream` with the smallest DTW distance to `query`
+/// (Problem 1), under the default squared kernel.
+pub fn best_subsequence_match(stream: &[f64], query: &[f64]) -> Result<Option<Match>, SpringError> {
+    best_subsequence_match_with(stream, query, Squared)
+}
+
+/// [`best_subsequence_match`] with an explicit kernel.
+pub fn best_subsequence_match_with<K: DistanceKernel>(
+    stream: &[f64],
+    query: &[f64],
+    kernel: K,
+) -> Result<Option<Match>, SpringError> {
+    let mut bm = BestMatch::with_kernel(query, kernel)?;
+    for &x in stream {
+        bm.step_checked(x)?;
+    }
+    Ok(bm.best())
+}
+
+/// All disjoint matches of `query` in `stream` within `epsilon`
+/// (Problem 2), including a trailing unconfirmed group, under the default
+/// squared kernel.
+pub fn disjoint_matches(
+    stream: &[f64],
+    query: &[f64],
+    epsilon: f64,
+) -> Result<Vec<Match>, SpringError> {
+    disjoint_matches_with(stream, query, epsilon, Squared)
+}
+
+/// [`disjoint_matches`] with an explicit kernel.
+pub fn disjoint_matches_with<K: DistanceKernel>(
+    stream: &[f64],
+    query: &[f64],
+    epsilon: f64,
+    kernel: K,
+) -> Result<Vec<Match>, SpringError> {
+    let mut spring = Spring::with_kernel(query, SpringConfig::new(epsilon), kernel)?;
+    let mut out = Vec::new();
+    for &x in stream {
+        out.extend(spring.step_checked(x)?);
+    }
+    out.extend(spring.finish());
+    Ok(out)
+}
+
+/// The `k` best pairwise-disjoint matches of `query` in `stream`,
+/// ordered by increasing distance, under the default squared kernel.
+///
+/// No threshold needed — this is the offline top-k companion to the
+/// streaming disjoint query: pick the global best match, carve its span
+/// out of the stream, and repeat on the remaining segments. Each
+/// iteration selects the minimum over everything still available, so
+/// distances are non-decreasing. Returns fewer than `k` matches when the
+/// stream fragments run out (each surviving segment must still be
+/// non-empty).
+/// # Examples
+/// ```
+/// use spring_core::stored::top_k_matches;
+///
+/// let mut stream = vec![9.0; 4];
+/// stream.extend([0.0, 5.0, 0.0]); // perfect occurrence
+/// stream.extend(vec![9.0; 4]);
+/// stream.extend([0.5, 5.5, 0.5]); // slightly worse occurrence
+/// stream.extend(vec![9.0; 4]);
+/// let top = top_k_matches(&stream, &[0.0, 5.0, 0.0], 2).unwrap();
+/// assert_eq!(top.len(), 2);
+/// assert!(top[0].distance <= top[1].distance);
+/// ```
+pub fn top_k_matches(stream: &[f64], query: &[f64], k: usize) -> Result<Vec<Match>, SpringError> {
+    top_k_matches_with(stream, query, k, Squared)
+}
+
+/// [`top_k_matches`] with an explicit kernel.
+pub fn top_k_matches_with<K: DistanceKernel>(
+    stream: &[f64],
+    query: &[f64],
+    k: usize,
+    kernel: K,
+) -> Result<Vec<Match>, SpringError> {
+    crate::error::check_query(query)?;
+    if let Some(idx) = stream.iter().position(|v| !v.is_finite()) {
+        return Err(SpringError::NonFiniteInput {
+            tick: idx as u64 + 1,
+        });
+    }
+    // Best match of a 0-based half-open segment, in stream ticks.
+    let best_of = |lo: usize, hi: usize| -> Result<Option<Match>, SpringError> {
+        if lo >= hi {
+            return Ok(None);
+        }
+        let mut bm = BestMatch::with_kernel(query, kernel)?;
+        for &x in &stream[lo..hi] {
+            bm.step(x);
+        }
+        Ok(bm.best().map(|mut m| {
+            let shift = lo as u64;
+            m.start += shift;
+            m.end += shift;
+            m.reported_at += shift;
+            m.group_start += shift;
+            m.group_end += shift;
+            m
+        }))
+    };
+    // Each surviving segment is scanned once and its best match cached;
+    // only the two fragments a split produces are recomputed, so the
+    // whole loop costs O(n·m + k·fragment·m) rather than O(k·n·m).
+    let mut segments: Vec<(usize, usize, Match)> = Vec::new();
+    if let Some(m) = best_of(0, stream.len())? {
+        segments.push((0, stream.len(), m));
+    }
+    let mut picked: Vec<Match> = Vec::new();
+    while picked.len() < k {
+        let Some(seg_idx) = segments
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.2.distance.total_cmp(&b.2.distance))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (lo, hi, m) = segments.swap_remove(seg_idx);
+        let cut_lo = m.start as usize - 1;
+        let cut_hi = m.end as usize;
+        if let Some(frag) = best_of(lo, cut_lo)? {
+            segments.push((lo, cut_lo, frag));
+        }
+        if let Some(frag) = best_of(cut_hi, hi)? {
+            segments.push((cut_hi, hi, frag));
+        }
+        picked.push(m);
+    }
+    picked.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    Ok(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::all_subsequence_distances;
+
+    #[test]
+    fn best_match_agrees_with_exhaustive_enumeration() {
+        let stream: Vec<f64> = (0..50).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+        let query = [0.0, 4.0, -2.0];
+        let best = best_subsequence_match(&stream, &query).unwrap().unwrap();
+        let brute = all_subsequence_distances(&stream, &query, Squared)
+            .into_iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .unwrap();
+        assert!((best.distance - brute.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_gives_no_best_match() {
+        assert_eq!(best_subsequence_match(&[], &[1.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn disjoint_matches_are_sorted_and_non_overlapping() {
+        let query = [0.0, 8.0, 0.0];
+        let mut stream = Vec::new();
+        for _ in 0..5 {
+            stream.extend(vec![99.0; 4]);
+            stream.extend([0.0, 8.0, 0.0]);
+        }
+        let out = disjoint_matches(&stream, &query, 1.0).unwrap();
+        assert_eq!(out.len(), 5);
+        for w in out.windows(2) {
+            assert!(
+                w[0].end < w[1].start,
+                "matches must be disjoint and ordered"
+            );
+        }
+    }
+
+    #[test]
+    fn every_match_satisfies_the_threshold() {
+        let stream: Vec<f64> = (0..200).map(|i| (i as f64 * 0.21).sin() * 3.0).collect();
+        let query = [0.0, 2.5, 0.0, -2.5];
+        let eps = 3.0;
+        for m in disjoint_matches(&stream, &query, eps).unwrap() {
+            assert!(m.distance <= eps);
+        }
+    }
+
+    #[test]
+    fn no_false_dismissals_against_the_exhaustive_oracle() {
+        // Lemma 2's guarantee concerns the *optimal* subsequence ending
+        // at each tick (dominated subsequences that share cells with a
+        // better overlapping match are deliberately suppressed by the
+        // disjoint query's second condition).
+        let stream: Vec<f64> = (0..80).map(|i| ((i * 7) % 23) as f64 * 0.5 - 5.0).collect();
+        let query = [0.0, 1.0, -1.0];
+        let eps = 2.0;
+        let reported = disjoint_matches(&stream, &query, eps).unwrap();
+        let mut best_per_end: std::collections::HashMap<u64, (u64, f64)> =
+            std::collections::HashMap::new();
+        for (ts, te, d) in all_subsequence_distances(&stream, &query, Squared) {
+            let entry = best_per_end.entry(te).or_insert((ts, d));
+            if d < entry.1 {
+                *entry = (ts, d);
+            }
+        }
+        for (&te, &(ts, d)) in &best_per_end {
+            if d <= eps {
+                let covered = reported
+                    .iter()
+                    .any(|m| m.group_start <= te && ts <= m.group_end && m.distance <= d + 1e-9);
+                assert!(covered, "optimal X[{ts}:{te}] (d = {d}) not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn propagates_input_validation() {
+        assert!(disjoint_matches(&[1.0, f64::NAN], &[1.0], 1.0).is_err());
+        assert!(disjoint_matches(&[1.0], &[], 1.0).is_err());
+        assert!(best_subsequence_match(&[f64::INFINITY], &[1.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod top_k_tests {
+    use super::*;
+
+    fn plant_three() -> (Vec<f64>, [f64; 3]) {
+        let query = [0.0, 8.0, 0.0];
+        let mut stream = Vec::new();
+        // Three occurrences of decreasing quality.
+        for jitter in [0.0, 0.5, 1.0] {
+            stream.extend(vec![99.0; 6]);
+            stream.extend([0.0 + jitter, 8.0 + jitter, 0.0]);
+        }
+        stream.extend(vec![99.0; 6]);
+        (stream, query)
+    }
+
+    #[test]
+    fn k1_equals_best_match() {
+        let (stream, query) = plant_three();
+        let top = top_k_matches(&stream, &query, 1).unwrap();
+        let best = best_subsequence_match(&stream, &query).unwrap().unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].distance, best.distance);
+        assert_eq!((top[0].start, top[0].end), (best.start, best.end));
+    }
+
+    #[test]
+    fn results_are_disjoint_sorted_and_ranked_by_quality() {
+        let (stream, query) = plant_three();
+        let top = top_k_matches(&stream, &query, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(w[0].distance <= w[1].distance, "sorted by distance");
+        }
+        let mut by_pos = top.clone();
+        by_pos.sort_by_key(|m| m.start);
+        for w in by_pos.windows(2) {
+            assert!(w[0].end < w[1].start, "pairwise disjoint");
+        }
+        // The cleanest occurrence (zero jitter, planted first) wins.
+        assert_eq!(top[0].start, 7);
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let (stream, query) = plant_three();
+        for m in top_k_matches(&stream, &query, 3).unwrap() {
+            let exact = spring_dtw::dtw_distance(&stream[m.range0()], &query).unwrap();
+            assert!((exact - m.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn requesting_more_than_available_returns_what_exists() {
+        let query = [5.0, 6.0];
+        let stream = [5.0, 6.0]; // one segment; carving it leaves nothing
+        let top = top_k_matches(&stream, &query, 10).unwrap();
+        assert!(!top.is_empty());
+        assert!(top.len() < 10);
+    }
+
+    #[test]
+    fn k_zero_and_empty_stream() {
+        let query = [1.0];
+        assert!(top_k_matches(&[1.0, 2.0], &query, 0).unwrap().is_empty());
+        assert!(top_k_matches(&[], &query, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(top_k_matches(&[1.0], &[], 1).is_err());
+        assert!(matches!(
+            top_k_matches(&[1.0, f64::NAN], &[1.0], 1),
+            Err(SpringError::NonFiniteInput { tick: 2 })
+        ));
+    }
+}

@@ -1,0 +1,327 @@
+//! The star-padded Subsequence Time Warping Matrix (STWM).
+//!
+//! Implements Equations (4)–(8) of the paper: a single warping matrix
+//! between the stream `X` and the star-padded query
+//! `Y' = (y0, y1, …, ym)`, where `y0` is the "don't care" interval
+//! `(−∞, +∞)` with zero distance to everything. Each cell carries both
+//! the cumulative distance `d(t, i)` and the starting position `s(t, i)`
+//! of its best warping path.
+//!
+//! Only two columns (current and previous) are retained — `O(m)` space —
+//! and one column is filled per incoming value — `O(m)` time per tick.
+
+use spring_dtw::kernels::{DistanceKernel, Squared};
+
+use crate::error::{check_query, SpringError};
+use crate::mem::MemoryUse;
+
+/// Rolling two-column STWM between an evolving stream and a fixed query.
+///
+/// This type is the shared engine beneath [`crate::Spring`] (disjoint
+/// queries), [`crate::BestMatch`] (best-match queries), and
+/// [`crate::PathSpring`]. It exposes the freshly computed column after
+/// each [`Stwm::step`], so the policy layers above decide what to report.
+#[derive(Debug, Clone)]
+pub struct Stwm<K: DistanceKernel = Squared> {
+    query: Vec<f64>,
+    kernel: K,
+    /// `d_cur[i] = d(t, i)` for `i = 0 ..= m`; index 0 is the star row.
+    d_cur: Vec<f64>,
+    /// `d_prev[i] = d(t−1, i)`.
+    d_prev: Vec<f64>,
+    /// `s_cur[i] = s(t, i)`: 1-based starting tick of the best path.
+    s_cur: Vec<u64>,
+    s_prev: Vec<u64>,
+    /// Current 1-based tick (0 before the first value).
+    t: u64,
+}
+
+/// Which predecessor supplied `dbest` in Equation (7); used by
+/// [`crate::PathSpring`] to thread warping-path back-pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// `d(t, i−1)`: the query advanced while the stream tick repeats.
+    Left,
+    /// `d(t−1, i)`: the stream advanced while the query element repeats.
+    Down,
+    /// `d(t−1, i−1)`: both advanced.
+    Diag,
+}
+
+impl<K: DistanceKernel> Stwm<K> {
+    /// Creates the STWM for `query` under `kernel`.
+    pub fn with_kernel(query: &[f64], kernel: K) -> Result<Self, SpringError> {
+        check_query(query)?;
+        let m = query.len();
+        Ok(Stwm {
+            query: query.to_vec(),
+            kernel,
+            // Star row: d(t, 0) = 0 for every t. Rows 1..=m start at
+            // d(0, i) = ∞ (no stream value consumed yet).
+            d_cur: vec![f64::INFINITY; m + 1],
+            d_prev: vec![f64::INFINITY; m + 1],
+            s_cur: vec![0; m + 1],
+            s_prev: vec![0; m + 1],
+            t: 0,
+        })
+    }
+
+    /// Query length `m`.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// The monitored query sequence.
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// The distance kernel in use.
+    pub fn kernel(&self) -> K {
+        self.kernel
+    }
+
+    /// Current 1-based tick (0 before any value has been consumed).
+    pub fn tick(&self) -> u64 {
+        self.t
+    }
+
+    /// Consumes the next stream value and fills the column for tick
+    /// `t + 1`. Equations (7) and (8) of the paper.
+    pub fn step(&mut self, x: f64) {
+        self.step_traced(x, |_, _| {});
+    }
+
+    /// Like [`Stwm::step`], but invokes `trace(i, step)` for every query
+    /// row with the predecessor that won Equation (7) — the hook
+    /// [`crate::PathSpring`] uses to record back-pointers. `i` is the
+    /// 1-based query row.
+    pub fn step_traced(&mut self, x: f64, mut trace: impl FnMut(usize, Step)) {
+        self.t += 1;
+        let t = self.t;
+        let m = self.query.len();
+        // Star row: distance 0; a path entering from (t, 0) or diagonally
+        // from (t−1, 0) starts its first real element at tick t.
+        self.d_cur[0] = 0.0;
+        self.s_cur[0] = t;
+        self.d_prev[0] = 0.0;
+        self.s_prev[0] = t;
+        for i in 1..=m {
+            let base = self.kernel.dist(x, self.query[i - 1]);
+            let left = self.d_cur[i - 1]; //  d(t,   i−1)
+            let down = self.d_prev[i]; //     d(t−1, i)
+            let diag = self.d_prev[i - 1]; // d(t−1, i−1)
+                                           // Tie-break in the order of Equation (8).
+            let (dbest, s, step) = if left <= down && left <= diag {
+                (left, self.s_cur[i - 1], Step::Left)
+            } else if down <= diag {
+                (down, self.s_prev[i], Step::Down)
+            } else {
+                (diag, self.s_prev[i - 1], Step::Diag)
+            };
+            self.d_cur[i] = base + dbest;
+            self.s_cur[i] = s;
+            trace(i, step);
+        }
+        std::mem::swap(&mut self.d_cur, &mut self.d_prev);
+        std::mem::swap(&mut self.s_cur, &mut self.s_prev);
+    }
+
+    /// Distance column of the current tick: `d(t, i)` for `i = 0 ..= m`
+    /// (index 0 is the star row, value 0).
+    ///
+    /// Empty semantics before the first step: all `∞` except the star row.
+    pub fn distances(&self) -> &[f64] {
+        // Columns are swapped after each step, so `d_prev` is tick t's.
+        &self.d_prev
+    }
+
+    /// Start-position column of the current tick: `s(t, i)`, 1-based.
+    pub fn starts(&self) -> &[u64] {
+        &self.s_prev
+    }
+
+    /// `d(t, m)`: distance of the best subsequence ending exactly now.
+    pub fn current_distance(&self) -> f64 {
+        self.d_prev[self.query.len()]
+    }
+
+    /// `s(t, m)`: start of the best subsequence ending exactly now.
+    pub fn current_start(&self) -> u64 {
+        self.s_prev[self.query.len()]
+    }
+
+    /// Overwrites `d(t, i)` (used by the disjoint-query reset: the
+    /// algorithm sets in-group cells to `∞` after reporting).
+    pub(crate) fn invalidate(&mut self, i: usize) {
+        self.d_prev[i] = f64::INFINITY;
+    }
+
+    /// Restores the current column from a checkpoint (`distances` and
+    /// `starts` are full `m + 1` columns including the star row).
+    /// Lengths are the caller's responsibility.
+    pub(crate) fn load_column(&mut self, tick: u64, distances: &[f64], starts: &[u64]) {
+        debug_assert_eq!(distances.len(), self.query.len() + 1);
+        debug_assert_eq!(starts.len(), self.query.len() + 1);
+        self.d_prev.copy_from_slice(distances);
+        self.s_prev.copy_from_slice(starts);
+        self.d_cur.fill(f64::INFINITY);
+        self.s_cur.fill(0);
+        self.t = tick;
+    }
+
+    /// Resets the matrix to its initial (tick 0) state, keeping the query.
+    pub fn reset(&mut self) {
+        self.d_cur.fill(f64::INFINITY);
+        self.d_prev.fill(f64::INFINITY);
+        self.s_cur.fill(0);
+        self.s_prev.fill(0);
+        self.t = 0;
+    }
+}
+
+impl Stwm<Squared> {
+    /// Creates the STWM with the paper's default squared kernel.
+    pub fn new(query: &[f64]) -> Result<Self, SpringError> {
+        Self::with_kernel(query, Squared)
+    }
+}
+
+impl<K: DistanceKernel> MemoryUse for Stwm<K> {
+    fn bytes_used(&self) -> usize {
+        // Query + two distance columns + two start columns.
+        self.query.capacity() * std::mem::size_of::<f64>()
+            + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
+            + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the STWM over the paper's Fig. 5 example and returns the
+    /// full (d, s) matrix column by column.
+    fn fig5_columns() -> Vec<(Vec<f64>, Vec<u64>)> {
+        let query = [11.0, 6.0, 9.0, 4.0];
+        let stream = [5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0];
+        let mut stwm = Stwm::new(&query).unwrap();
+        stream
+            .iter()
+            .map(|&x| {
+                stwm.step(x);
+                (stwm.distances()[1..].to_vec(), stwm.starts()[1..].to_vec())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig5_distances_match_the_paper_cell_by_cell() {
+        // Rows bottom (i=1) to top (i=4), columns t = 1..=7, from Fig. 5.
+        let expected: [[f64; 7]; 4] = [
+            [36.0, 1.0, 25.0, 1.0, 25.0, 36.0, 4.0],
+            [37.0, 37.0, 1.0, 17.0, 1.0, 2.0, 51.0],
+            [53.0, 46.0, 10.0, 2.0, 10.0, 17.0, 18.0],
+            [54.0, 110.0, 14.0, 38.0, 6.0, 7.0, 88.0],
+        ];
+        let cols = fig5_columns();
+        for (t, (d, _)) in cols.iter().enumerate() {
+            for i in 0..4 {
+                assert_eq!(d[i], expected[i][t], "d(t={}, i={})", t + 1, i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_starting_positions_match_the_paper_cell_by_cell() {
+        let expected: [[u64; 7]; 4] = [
+            [1, 2, 3, 4, 5, 6, 7],
+            [1, 2, 2, 4, 4, 4, 4],
+            [1, 2, 2, 2, 4, 4, 4],
+            [1, 2, 2, 2, 2, 2, 2],
+        ];
+        let cols = fig5_columns();
+        for (t, (_, s)) in cols.iter().enumerate() {
+            for i in 0..4 {
+                assert_eq!(s[i], expected[i][t], "s(t={}, i={})", t + 1, i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn star_row_is_always_zero_with_start_now() {
+        let mut stwm = Stwm::new(&[1.0, 2.0]).unwrap();
+        for (k, x) in [5.0, -3.0, 0.0].into_iter().enumerate() {
+            stwm.step(x);
+            assert_eq!(stwm.distances()[0], 0.0);
+            assert_eq!(stwm.starts()[0], k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn first_row_always_restarts() {
+        // s(t, 1) = t for every t, because the star row is free.
+        let mut stwm = Stwm::new(&[7.0, 3.0, 9.0]).unwrap();
+        for t in 1..=20u64 {
+            stwm.step((t as f64).sin() * 10.0);
+            assert_eq!(stwm.starts()[1], t);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_queries() {
+        assert!(Stwm::new(&[]).is_err());
+        assert!(Stwm::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut stwm = Stwm::new(&[1.0, 2.0]).unwrap();
+        stwm.step(1.0);
+        stwm.step(2.0);
+        assert_eq!(stwm.current_distance(), 0.0);
+        stwm.reset();
+        assert_eq!(stwm.tick(), 0);
+        assert!(stwm.current_distance().is_infinite());
+        // And it works again after the reset.
+        stwm.step(1.0);
+        stwm.step(2.0);
+        assert_eq!(stwm.current_distance(), 0.0);
+    }
+
+    #[test]
+    fn exact_query_occurrence_reaches_zero_distance() {
+        let query = [3.0, 1.0, 4.0, 1.0];
+        let mut stwm = Stwm::new(&query).unwrap();
+        for &x in &[9.0, 9.0] {
+            stwm.step(x);
+        }
+        for &x in &query {
+            stwm.step(x);
+        }
+        assert_eq!(stwm.current_distance(), 0.0);
+        assert_eq!(stwm.current_start(), 3); // starts right after the noise
+    }
+
+    #[test]
+    fn memory_is_constant_in_stream_length() {
+        let mut stwm = Stwm::new(&vec![0.5; 64]).unwrap();
+        let before = stwm.bytes_used();
+        for t in 0..10_000 {
+            stwm.step((t as f64).cos());
+        }
+        assert_eq!(stwm.bytes_used(), before);
+    }
+
+    #[test]
+    fn trace_reports_plausible_steps() {
+        let mut stwm = Stwm::new(&[1.0, 2.0, 3.0]).unwrap();
+        let mut seen = Vec::new();
+        stwm.step_traced(1.0, |i, s| seen.push((i, s)));
+        assert_eq!(seen.len(), 3);
+        // At t = 1 every cell must come from the current column (Left) —
+        // the previous column is all ∞ except the star row, and row 1's
+        // best predecessor is the star cell d(1, 0) = 0 via Left.
+        assert_eq!(seen[0], (1, Step::Left));
+    }
+}

@@ -1,0 +1,106 @@
+//! Public result types.
+
+use std::ops::Range;
+
+/// A qualifying subsequence reported by a SPRING monitor.
+///
+/// Tick numbering follows the paper: the first stream value arrives at
+/// tick **1**, and `start ..= end` are inclusive 1-based tick numbers
+/// (`X[ts : te]` in the paper's notation). Use [`Match::range0`] for a
+/// 0-based half-open range suitable for slicing a buffered stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Match {
+    /// First tick of the subsequence (1-based, inclusive) — `ts`.
+    pub start: u64,
+    /// Last tick of the subsequence (1-based, inclusive) — `te`.
+    pub end: u64,
+    /// DTW distance between the subsequence and the query.
+    pub distance: f64,
+    /// Tick at which the monitor confirmed and reported the match.
+    ///
+    /// The disjoint-query algorithm delays the report until no upcoming
+    /// subsequence can replace the captured optimum, so
+    /// `reported_at >= end` always holds ("Output time" in Table 2).
+    pub reported_at: u64,
+    /// First tick of the whole group of overlapping qualifying
+    /// subsequences this match was the optimum of (equals `start` unless
+    /// other candidates extended further left).
+    pub group_start: u64,
+    /// Last tick of the overlapping group (equals `end` unless other
+    /// candidates extended further right).
+    pub group_end: u64,
+}
+
+impl Match {
+    /// Number of ticks covered by the match.
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Matches always cover at least one tick.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// 0-based half-open tick range, for indexing into a buffer that
+    /// holds the stream from tick 1 at index 0.
+    pub fn range0(&self) -> Range<usize> {
+        (self.start as usize - 1)..(self.end as usize)
+    }
+
+    /// Delay between the end of the subsequence and its report
+    /// (`reported_at − end`): how long confirmation took.
+    pub fn report_delay(&self) -> u64 {
+        self.reported_at - self.end
+    }
+
+    /// Whether this match overlaps another (shares at least one tick).
+    pub fn overlaps(&self, other: &Match) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(start: u64, end: u64) -> Match {
+        Match {
+            start,
+            end,
+            distance: 0.0,
+            reported_at: end,
+            group_start: start,
+            group_end: end,
+        }
+    }
+
+    #[test]
+    fn len_is_inclusive() {
+        assert_eq!(m(2, 5).len(), 4);
+        assert_eq!(m(7, 7).len(), 1);
+    }
+
+    #[test]
+    fn range0_slices_a_buffer_correctly() {
+        let buf = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let hit = m(2, 4); // ticks 2..=4 -> values 20, 30, 40
+        assert_eq!(&buf[hit.range0()], &[20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_boundary_inclusive() {
+        assert!(m(1, 5).overlaps(&m(5, 9)));
+        assert!(m(5, 9).overlaps(&m(1, 5)));
+        assert!(!m(1, 4).overlaps(&m(5, 9)));
+        assert!(m(3, 3).overlaps(&m(1, 9)));
+    }
+
+    #[test]
+    fn report_delay() {
+        let mut hit = m(2, 5);
+        hit.reported_at = 7;
+        assert_eq!(hit.report_delay(), 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! SPRING over multi-dimensional ("vector") streams — Sec. 5.3.
+//!
+//! Each time-tick carries a vector of `k` numbers (motion capture:
+//! k = 62 joint velocities) and the query is a `k`-dimensional sequence
+//! of `m` ticks. The element distance becomes the sum of per-channel
+//! kernel distances; the star-padding/STWM machinery is otherwise
+//! unchanged, so all accuracy guarantees carry over.
+//!
+//! The paper modifies the reporting for motion capture "to report the
+//! starting and ending positions of the range of overlapping
+//! subsequences" — that is exactly the `group_start`/`group_end` extent
+//! every [`Match`] already carries.
+
+use spring_dtw::kernels::{DistanceKernel, Squared};
+use spring_dtw::multivariate::element_distance;
+
+use crate::error::{check_epsilon, SpringError};
+use crate::mem::MemoryUse;
+use crate::policy::{ColumnOps, DisjointPolicy};
+use crate::types::Match;
+
+/// Validates a multivariate query and returns its dimensionality.
+fn check_vector_query(query: &[Vec<f64>]) -> Result<usize, SpringError> {
+    if query.is_empty() {
+        return Err(SpringError::EmptyQuery);
+    }
+    let dim = query[0].len();
+    if dim == 0 {
+        return Err(SpringError::InvalidQuery("query has zero channels".into()));
+    }
+    for (idx, row) in query.iter().enumerate() {
+        if row.len() != dim {
+            return Err(SpringError::InvalidQuery(format!(
+                "query row {idx} has {} channels, expected {dim}",
+                row.len()
+            )));
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(SpringError::NonFiniteQuery { index: idx });
+        }
+    }
+    Ok(dim)
+}
+
+/// Rolling STWM over a `k`-dimensional stream.
+///
+/// The query is stored row-major (`m × k`, flattened) for cache-friendly
+/// per-tick scans.
+#[derive(Debug, Clone)]
+struct VectorStwm<K: DistanceKernel> {
+    /// Flattened query, row `i` at `[i*dim .. (i+1)*dim]`.
+    query: Vec<f64>,
+    dim: usize,
+    m: usize,
+    kernel: K,
+    d_cur: Vec<f64>,
+    d_prev: Vec<f64>,
+    s_cur: Vec<u64>,
+    s_prev: Vec<u64>,
+    t: u64,
+}
+
+impl<K: DistanceKernel> VectorStwm<K> {
+    fn new(query: &[Vec<f64>], kernel: K) -> Result<Self, SpringError> {
+        let dim = check_vector_query(query)?;
+        let m = query.len();
+        let mut flat = Vec::with_capacity(m * dim);
+        for row in query {
+            flat.extend_from_slice(row);
+        }
+        Ok(VectorStwm {
+            query: flat,
+            dim,
+            m,
+            kernel,
+            d_cur: vec![f64::INFINITY; m + 1],
+            d_prev: vec![f64::INFINITY; m + 1],
+            s_cur: vec![0; m + 1],
+            s_prev: vec![0; m + 1],
+            t: 0,
+        })
+    }
+
+    fn step(&mut self, x: &[f64]) -> Result<(), SpringError> {
+        if x.len() != self.dim {
+            return Err(SpringError::DimensionMismatch {
+                expected: self.dim,
+                found: x.len(),
+            });
+        }
+        self.t += 1;
+        let t = self.t;
+        self.d_cur[0] = 0.0;
+        self.s_cur[0] = t;
+        self.d_prev[0] = 0.0;
+        self.s_prev[0] = t;
+        for i in 1..=self.m {
+            let row = &self.query[(i - 1) * self.dim..i * self.dim];
+            let base = element_distance(x, row, self.kernel);
+            let left = self.d_cur[i - 1];
+            let down = self.d_prev[i];
+            let diag = self.d_prev[i - 1];
+            let (dbest, s) = if left <= down && left <= diag {
+                (left, self.s_cur[i - 1])
+            } else if down <= diag {
+                (down, self.s_prev[i])
+            } else {
+                (diag, self.s_prev[i - 1])
+            };
+            self.d_cur[i] = base + dbest;
+            self.s_cur[i] = s;
+        }
+        std::mem::swap(&mut self.d_cur, &mut self.d_prev);
+        std::mem::swap(&mut self.s_cur, &mut self.s_prev);
+        Ok(())
+    }
+
+    fn bytes(&self) -> usize {
+        self.query.capacity() * std::mem::size_of::<f64>()
+            + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
+            + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
+/// Disjoint-query monitor over a `k`-dimensional stream.
+#[derive(Debug, Clone)]
+pub struct VectorSpring<K: DistanceKernel = Squared> {
+    stwm: VectorStwm<K>,
+    policy: DisjointPolicy,
+}
+
+/// [`ColumnOps`] over a vector-STWM column.
+struct VectorOps<'a, K: DistanceKernel>(&'a mut VectorStwm<K>);
+
+impl<K: DistanceKernel> ColumnOps for VectorOps<'_, K> {
+    fn confirmed(&self, dmin: f64, te: u64) -> bool {
+        (1..=self.0.m).all(|i| self.0.d_prev[i] >= dmin || self.0.s_prev[i] > te)
+    }
+
+    fn invalidate(&mut self, te: u64) {
+        for i in 1..=self.0.m {
+            if self.0.s_prev[i] <= te {
+                self.0.d_prev[i] = f64::INFINITY;
+            }
+        }
+    }
+
+    fn current(&self) -> (f64, u64) {
+        (self.0.d_prev[self.0.m], self.0.s_prev[self.0.m])
+    }
+}
+
+impl VectorSpring<Squared> {
+    /// Vector monitor with the paper's default squared kernel.
+    pub fn new(query: &[Vec<f64>], epsilon: f64) -> Result<Self, SpringError> {
+        Self::with_kernel(query, epsilon, Squared)
+    }
+}
+
+impl<K: DistanceKernel> VectorSpring<K> {
+    /// Vector monitor with an explicit kernel.
+    pub fn with_kernel(query: &[Vec<f64>], epsilon: f64, kernel: K) -> Result<Self, SpringError> {
+        check_epsilon(epsilon)?;
+        Ok(VectorSpring {
+            stwm: VectorStwm::new(query, kernel)?,
+            policy: DisjointPolicy::new(epsilon),
+        })
+    }
+
+    /// Stream dimensionality `k`.
+    pub fn dim(&self) -> usize {
+        self.stwm.dim
+    }
+
+    /// Query length `m`.
+    pub fn query_len(&self) -> usize {
+        self.stwm.m
+    }
+
+    /// Current 1-based tick.
+    pub fn tick(&self) -> u64 {
+        self.stwm.t
+    }
+
+    /// The captured-but-unconfirmed candidate, if any:
+    /// `(distance, start, end)`.
+    pub fn pending(&self) -> Option<(f64, u64, u64)> {
+        self.policy.pending()
+    }
+
+    /// The threshold `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.policy.epsilon
+    }
+
+    /// The monitored query, one row per tick.
+    pub fn query_rows(&self) -> Vec<Vec<f64>> {
+        self.stwm
+            .query
+            .chunks_exact(self.stwm.dim)
+            .map(<[f64]>::to_vec)
+            .collect()
+    }
+
+    /// Snapshot/restore plumbing (see [`crate::snapshot`]).
+    #[allow(clippy::type_complexity)] // internal plumbing tuple, consumed once
+    pub(crate) fn state(&self) -> (u64, Vec<f64>, Vec<u64>, (f64, u64, u64, u64, u64)) {
+        (
+            self.stwm.t,
+            self.stwm.d_prev.clone(),
+            self.stwm.s_prev.clone(),
+            self.policy.state(),
+        )
+    }
+
+    /// Restores checkpointed state; the monitor must have been built
+    /// with the snapshot's query and epsilon.
+    pub(crate) fn load_state(
+        &mut self,
+        tick: u64,
+        distances: &[f64],
+        starts: &[u64],
+        candidate: (f64, u64, u64, u64, u64),
+    ) {
+        self.stwm.d_prev.copy_from_slice(distances);
+        self.stwm.s_prev.copy_from_slice(starts);
+        self.stwm.d_cur.fill(f64::INFINITY);
+        self.stwm.s_cur.fill(0);
+        self.stwm.t = tick;
+        self.policy.set_state(candidate);
+    }
+
+    /// Consumes the next `k`-dimensional sample.
+    ///
+    /// # Errors
+    /// Fails when `x` has the wrong number of channels; the monitor state
+    /// is unchanged in that case.
+    pub fn step(&mut self, x: &[f64]) -> Result<Option<Match>, SpringError> {
+        self.stwm.step(x)?;
+        let t = self.stwm.t;
+        Ok(self.policy.step(t, &mut VectorOps(&mut self.stwm)))
+    }
+
+    /// Declares the end of the stream, reporting a pending group optimum.
+    pub fn finish(&mut self) -> Option<Match> {
+        self.policy.finish(self.stwm.t)
+    }
+}
+
+impl<K: DistanceKernel> MemoryUse for VectorSpring<K> {
+    fn bytes_used(&self) -> usize {
+        self.stwm.bytes()
+    }
+}
+
+/// Best-match monitor over a `k`-dimensional stream.
+#[derive(Debug, Clone)]
+pub struct VectorBestMatch<K: DistanceKernel = Squared> {
+    stwm: VectorStwm<K>,
+    best_distance: f64,
+    best_start: u64,
+    best_end: u64,
+}
+
+impl VectorBestMatch<Squared> {
+    /// Best-match monitor with the paper's default squared kernel.
+    pub fn new(query: &[Vec<f64>]) -> Result<Self, SpringError> {
+        Self::with_kernel(query, Squared)
+    }
+}
+
+impl<K: DistanceKernel> VectorBestMatch<K> {
+    /// Best-match monitor with an explicit kernel.
+    pub fn with_kernel(query: &[Vec<f64>], kernel: K) -> Result<Self, SpringError> {
+        Ok(VectorBestMatch {
+            stwm: VectorStwm::new(query, kernel)?,
+            best_distance: f64::INFINITY,
+            best_start: 0,
+            best_end: 0,
+        })
+    }
+
+    /// Consumes the next sample; returns `true` when the best improved.
+    pub fn step(&mut self, x: &[f64]) -> Result<bool, SpringError> {
+        self.stwm.step(x)?;
+        let dm = self.stwm.d_prev[self.stwm.m];
+        if dm < self.best_distance {
+            self.best_distance = dm;
+            self.best_start = self.stwm.s_prev[self.stwm.m];
+            self.best_end = self.stwm.t;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// The best subsequence seen so far.
+    pub fn best(&self) -> Option<Match> {
+        self.best_distance.is_finite().then_some(Match {
+            start: self.best_start,
+            end: self.best_end,
+            distance: self.best_distance,
+            reported_at: self.best_end,
+            group_start: self.best_start,
+            group_end: self.best_end,
+        })
+    }
+}
+
+impl<K: DistanceKernel> MemoryUse for VectorBestMatch<K> {
+    fn bytes_used(&self) -> usize {
+        self.stwm.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lifts a scalar sequence into 1-dimensional vector samples.
+    fn lift(xs: &[f64]) -> Vec<Vec<f64>> {
+        xs.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn one_channel_agrees_with_scalar_spring() {
+        use crate::spring::{Spring, SpringConfig};
+        let query = [11.0, 6.0, 9.0, 4.0];
+        let stream = [5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0];
+        let mut scalar = Spring::new(&query, SpringConfig::new(15.0)).unwrap();
+        let mut vector = VectorSpring::new(&lift(&query), 15.0).unwrap();
+        for &x in &stream {
+            let a = scalar.step(x);
+            let b = vector.step(&[x]).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(scalar.finish(), vector.finish());
+    }
+
+    #[test]
+    fn detects_a_planted_multichannel_pattern() {
+        // 3-channel query with distinct per-channel shapes.
+        let query: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![i as f64, 10.0 - i as f64, (i * i) as f64])
+            .collect();
+        let mut stream: Vec<Vec<f64>> = (0..10).map(|_| vec![99.0, 99.0, 99.0]).collect();
+        stream.extend(query.clone());
+        stream.extend((0..10).map(|_| vec![99.0, 99.0, 99.0]));
+        let mut vs = VectorSpring::new(&query, 1.0).unwrap();
+        let mut out = Vec::new();
+        for x in &stream {
+            out.extend(vs.step(x).unwrap());
+        }
+        out.extend(vs.finish());
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].start, out[0].end, out[0].distance), (11, 15, 0.0));
+    }
+
+    #[test]
+    fn reported_distance_matches_multivariate_dtw() {
+        let query: Vec<Vec<f64>> = (0..4)
+            .map(|i| vec![(i as f64 * 1.3).sin(), (i as f64 * 0.7).cos()])
+            .collect();
+        let stream: Vec<Vec<f64>> = (0..60)
+            .map(|t| vec![(t as f64 * 0.4).sin(), (t as f64 * 0.2).cos()])
+            .collect();
+        let mut vs = VectorSpring::new(&query, 1.5).unwrap();
+        let mut out = Vec::new();
+        for x in &stream {
+            out.extend(vs.step(x).unwrap());
+        }
+        out.extend(vs.finish());
+        for m in &out {
+            let sub = &stream[m.start as usize - 1..m.end as usize];
+            let exact = spring_dtw::multivariate::dtw_multivariate(sub, &query, Squared).unwrap();
+            assert!((m.distance - exact).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_match_equals_brute_force_multivariate() {
+        let query: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let stream: Vec<Vec<f64>> = (0..25)
+            .map(|t| vec![((t * 3) % 7) as f64, -(((t * 5) % 9) as f64)])
+            .collect();
+        let mut bm = VectorBestMatch::new(&query).unwrap();
+        for x in &stream {
+            bm.step(x).unwrap();
+        }
+        let best = bm.best().unwrap();
+        let mut brute = f64::INFINITY;
+        for ts in 0..stream.len() {
+            for te in ts..stream.len() {
+                let d =
+                    spring_dtw::multivariate::dtw_multivariate(&stream[ts..=te], &query, Squared)
+                        .unwrap();
+                brute = brute.min(d);
+            }
+        }
+        assert!((best.distance - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_and_state_preserved() {
+        let query = vec![vec![1.0, 2.0]];
+        let mut vs = VectorSpring::new(&query, 1.0).unwrap();
+        vs.step(&[1.0, 2.0]).unwrap();
+        let before_tick = vs.tick();
+        assert!(matches!(
+            vs.step(&[1.0]),
+            Err(SpringError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert_eq!(vs.tick(), before_tick);
+    }
+
+    #[test]
+    fn invalid_queries_rejected() {
+        assert!(VectorSpring::new(&[], 1.0).is_err());
+        assert!(VectorSpring::new(&[vec![]], 1.0).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(VectorSpring::new(&ragged, 1.0).is_err());
+        let nan = vec![vec![f64::NAN]];
+        assert!(VectorSpring::new(&nan, 1.0).is_err());
+    }
+
+    #[test]
+    fn memory_constant_in_stream_length() {
+        let query: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64; 8]).collect();
+        let mut vs = VectorSpring::new(&query, 10.0).unwrap();
+        let sample = vec![0.5; 8];
+        let before = vs.bytes_used();
+        for _ in 0..5_000 {
+            vs.step(&sample).unwrap();
+        }
+        assert_eq!(vs.bytes_used(), before);
+    }
+}

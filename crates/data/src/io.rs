@@ -1,0 +1,191 @@
+//! Dataset persistence: CSV (one value per line, `NaN` for missing) and
+//! JSON via serde.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::series::{MultiSeries, TimeSeries};
+
+/// Writes a scalar series as CSV: a `# name` header comment followed by
+/// one value per line (`NaN` for missing ticks).
+pub fn write_csv(series: &TimeSeries, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# {}", series.name)?;
+    for v in &series.values {
+        if v.is_finite() {
+            writeln!(w, "{v}")?;
+        } else {
+            writeln!(w, "NaN")?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a scalar series written by [`write_csv`]. Lines starting with
+/// `#` are comments; the first comment names the series.
+pub fn read_csv(path: &Path) -> io::Result<TimeSeries> {
+    let r = BufReader::new(File::open(path)?);
+    let mut name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut named = false;
+    let mut values = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if !named {
+                name = comment.trim().to_string();
+                named = true;
+            }
+            continue;
+        }
+        let v: f64 = line.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        values.push(v);
+    }
+    Ok(TimeSeries::new(name, values))
+}
+
+/// Writes a multi-channel series as CSV: `# name` then one
+/// comma-separated row per tick.
+pub fn write_multi_csv(series: &MultiSeries, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# {}", series.name)?;
+    for row in &series.rows {
+        let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", line.join(","))?;
+    }
+    w.flush()
+}
+
+/// Reads a multi-channel series written by [`write_multi_csv`].
+pub fn read_multi_csv(path: &Path) -> io::Result<MultiSeries> {
+    let r = BufReader::new(File::open(path)?);
+    let mut name = String::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if name.is_empty() {
+                name = comment.trim().to_string();
+            }
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line.split(',').map(|f| f.trim().parse()).collect();
+        let row = row.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: ragged row", lineno + 1),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    let channels = rows.first().map_or(0, Vec::len);
+    Ok(MultiSeries::new(name, channels, rows))
+}
+
+/// Serializes a series to pretty JSON.
+pub fn write_json(series: &TimeSeries, path: &Path) -> io::Result<()> {
+    let w = BufWriter::new(File::create(path)?);
+    serde_json::to_writer_pretty(w, series).map_err(io::Error::from)
+}
+
+/// Deserializes a series from JSON.
+pub fn read_json(path: &Path) -> io::Result<TimeSeries> {
+    let r = BufReader::new(File::open(path)?);
+    serde_json::from_reader(r).map_err(io::Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("spring-data-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_values_and_name() {
+        let s = TimeSeries::new("roundtrip", vec![1.0, -2.5, 3.25]);
+        let p = tmp("rt.csv");
+        write_csv(&s, &p).unwrap();
+        let back = read_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_missing_values() {
+        let s = TimeSeries::new("gaps", vec![1.0, f64::NAN, 3.0]);
+        let p = tmp("gaps.csv");
+        write_csv(&s, &p).unwrap();
+        let back = read_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back.len(), 3);
+        assert!(back.values[1].is_nan());
+        assert_eq!(back.values[2], 3.0);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "1.0\nnot-a-number\n").unwrap();
+        let err = read_csv(&p).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn multi_csv_roundtrip() {
+        let s = MultiSeries::new("multi", 3, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let p = tmp("multi.csv");
+        write_multi_csv(&s, &p).unwrap();
+        let back = read_multi_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn multi_csv_rejects_ragged_rows() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2\n3\n").unwrap();
+        let err = read_multi_csv(&p).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert!(err.to_string().contains("ragged"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = TimeSeries::new("json", vec![0.5; 10]);
+        let p = tmp("s.json");
+        write_json(&s, &p).unwrap();
+        let back = read_json(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, s);
+    }
+}

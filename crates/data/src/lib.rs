@@ -1,0 +1,48 @@
+//! # spring-data — workloads and dataset I/O for the SPRING reproduction
+//!
+//! Deterministic, seeded generators for every dataset the paper evaluates
+//! on (Sec. 5), plus simple CSV/JSON persistence:
+//!
+//! * [`chirp`] — **MaskedChirp**: discontinuous sine bursts of varying
+//!   period in white noise (the paper's own synthetic data, Fig. 6a,
+//!   Table 2, and the workload behind Figs. 7–8).
+//! * [`temperature`] — a Critter-like sensor temperature trace: diurnal
+//!   quasi-periodicity between ~20 and ~32 °C, weather drift, *missing
+//!   values*, and planted cool→hot swing episodes (Fig. 6b).
+//! * [`seismic`] — Kursk-like seismic recordings: quiet background, one
+//!   explosion signature whose inter-spike interval is stretched relative
+//!   to the query's, and distractor spikes (Fig. 6c).
+//! * [`sunspots`] — solar-cycle-like daily counts with time-varying cycle
+//!   length and amplitude (Fig. 6d).
+//! * [`mocap`] — a 62-channel synthetic motion-capture stream of
+//!   concatenated motions (walk / jump / punch / kick), Sec. 5.3 / Fig. 9.
+//! * [`noise`] — seeded Gaussian/uniform noise, random walks, and
+//!   missing-value injection/filling policies.
+//! * [`series`] — the [`TimeSeries`] / [`MultiSeries`] containers.
+//! * [`io`] — CSV and JSON round-tripping.
+//!
+//! The real Critter, Kursk, and sunspot traces (and the CMU mocap
+//! database) are not redistributable; DESIGN.md §4 documents how each
+//! generator preserves the property the paper's experiment demonstrates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chirp;
+pub mod io;
+pub mod mocap;
+pub mod noise;
+pub mod seismic;
+pub mod series;
+pub mod sunspots;
+pub mod temperature;
+pub mod util;
+
+pub use chirp::MaskedChirp;
+pub use mocap::{MocapGenerator, Motion};
+pub use noise::{fill_missing, MissingPolicy};
+pub use seismic::Seismic;
+pub use series::{MultiSeries, TimeSeries};
+pub use sunspots::Sunspots;
+pub use temperature::Temperature;
+pub use util::resample;

@@ -1,0 +1,291 @@
+//! Synthetic motion-capture streams (Sec. 5.3, Fig. 9).
+//!
+//! The paper's multi-stream experiment uses CMU motion capture: 62 joint
+//! velocities sampled ~60×/s, a stream of 7 consecutive motions
+//! (walking, jumping, walking, punching, walking, kicking, punching) and
+//! 4 query sequences, one per motion class. SPRING captures all 7.
+//!
+//! The CMU database cannot be bundled, so this generator synthesizes
+//! 62-channel motions with class-distinct structure:
+//!
+//! * every class has a characteristic per-channel amplitude/phase
+//!   profile (drawn deterministically from the class id), concentrated on
+//!   "leg" channels for walking/kicking and "arm" channels for
+//!   punching/jumping;
+//! * periodic classes (walk) are sinusoidal; ballistic classes (jump,
+//!   punch, kick) are burst envelopes;
+//! * every *instance* of a class is re-timed (length jitter) and
+//!   re-noised, so query and stream instances differ exactly the way two
+//!   recordings of the same action differ — which is what vector-DTW must
+//!   absorb.
+
+use crate::noise::Gaussian;
+use crate::series::MultiSeries;
+use crate::util::resample;
+
+/// Motion classes of the Fig. 9 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Motion {
+    /// Periodic gait.
+    Walk,
+    /// Ballistic whole-body burst.
+    Jump,
+    /// Arm-dominant strike.
+    Punch,
+    /// Leg-dominant strike.
+    Kick,
+}
+
+impl Motion {
+    /// All classes, in a fixed order.
+    pub const ALL: [Motion; 4] = [Motion::Walk, Motion::Jump, Motion::Punch, Motion::Kick];
+
+    /// Class name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Motion::Walk => "walking",
+            Motion::Jump => "jumping",
+            Motion::Punch => "punching",
+            Motion::Kick => "kicking",
+        }
+    }
+
+    fn class_id(&self) -> u64 {
+        match self {
+            Motion::Walk => 1,
+            Motion::Jump => 2,
+            Motion::Punch => 3,
+            Motion::Kick => 4,
+        }
+    }
+}
+
+/// Generator for synthetic mocap streams.
+#[derive(Debug, Clone)]
+pub struct MocapGenerator {
+    /// Channels per tick (the paper's k = 62).
+    pub channels: usize,
+    /// Nominal ticks per motion segment (~2 s at 60 Hz).
+    pub segment_len: usize,
+    /// Per-instance length jitter (0.2 → lengths vary ±20%).
+    pub length_jitter: f64,
+    /// Per-channel sample noise standard deviation.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MocapGenerator {
+    /// The paper's setting: 62 channels, ~120-tick segments.
+    pub fn paper() -> Self {
+        MocapGenerator {
+            channels: 62,
+            segment_len: 120,
+            length_jitter: 0.2,
+            noise_std: 0.05,
+            seed: 20070419,
+        }
+    }
+
+    /// A smaller setting for fast tests.
+    pub fn small() -> Self {
+        MocapGenerator {
+            channels: 8,
+            segment_len: 40,
+            length_jitter: 0.2,
+            noise_std: 0.05,
+            seed: 20070419,
+        }
+    }
+
+    /// Deterministic per-(class, channel) amplitude and phase: class
+    /// signatures are fixed properties of the "actor's body", not of any
+    /// particular recording.
+    fn profile(&self, motion: Motion, channel: usize) -> (f64, f64) {
+        let mut h = motion.class_id().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (channel as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        // Channel groups: first half "legs", second half "arms".
+        let legs = channel < self.channels / 2;
+        let dominant = match motion {
+            Motion::Walk | Motion::Kick => legs,
+            Motion::Jump | Motion::Punch => !legs,
+        };
+        let base = if dominant { 1.0 } else { 0.25 };
+        let amp = base * (0.5 + (h % 1000) as f64 / 1000.0);
+        let phase = ((h >> 10) % 628) as f64 / 100.0;
+        (amp, phase)
+    }
+
+    /// Noise-free canonical waveform of one class at the nominal length.
+    fn canonical(&self, motion: Motion, len: usize) -> Vec<Vec<f64>> {
+        (0..len)
+            .map(|t| {
+                let u = t as f64 / (len.max(2) - 1) as f64;
+                (0..self.channels)
+                    .map(|c| {
+                        let (amp, phase) = self.profile(motion, c);
+                        match motion {
+                            // Two gait cycles per segment.
+                            Motion::Walk => amp * (4.0 * std::f64::consts::PI * u + phase).sin(),
+                            // One crouch-extend-land envelope.
+                            Motion::Jump => {
+                                let env = (-((u - 0.5) * 5.0).powi(2)).exp();
+                                amp * env * (8.0 * u + phase).cos()
+                            }
+                            // A sharp early strike then recoil.
+                            Motion::Punch => {
+                                let env = (-((u - 0.3) * 7.0).powi(2)).exp();
+                                amp * env * (12.0 * u + phase).sin()
+                            }
+                            // A later, slower strike.
+                            Motion::Kick => {
+                                let env = (-((u - 0.6) * 6.0).powi(2)).exp();
+                                amp * env * (10.0 * u + phase).sin()
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// One fresh instance of `motion`: the canonical waveform re-timed by
+    /// the length jitter and re-noised. Distinct `instance_seed`s give
+    /// distinct recordings of the same action.
+    pub fn instance(&self, motion: Motion, instance_seed: u64) -> MultiSeries {
+        let mut g = Gaussian::new(self.seed ^ instance_seed.wrapping_mul(0x9E37_79B9));
+        let jitter = 1.0 + self.length_jitter * (2.0 * g.uniform() - 1.0);
+        let len = ((self.segment_len as f64) * jitter).round().max(4.0) as usize;
+        let canon = self.canonical(motion, self.segment_len);
+        // Re-time channel by channel (linear resample), then add noise.
+        let mut rows = vec![vec![0.0; self.channels]; len];
+        for c in 0..self.channels {
+            let chan: Vec<f64> = canon.iter().map(|r| r[c]).collect();
+            for (t, v) in resample(&chan, len).into_iter().enumerate() {
+                rows[t][c] = v + g.sample() * self.noise_std;
+            }
+        }
+        MultiSeries::new(format!("mocap/{}", motion.name()), self.channels, rows)
+    }
+
+    /// The Fig. 9 stream: 7 consecutive motions
+    /// (walk, jump, walk, punch, walk, kick, punch). Returns the stream
+    /// and the ground-truth segments as (motion, 1-based start, end).
+    pub fn fig9_stream(&self) -> (MultiSeries, Vec<(Motion, u64, u64)>) {
+        let order = [
+            Motion::Walk,
+            Motion::Jump,
+            Motion::Walk,
+            Motion::Punch,
+            Motion::Walk,
+            Motion::Kick,
+            Motion::Punch,
+        ];
+        let mut rows = Vec::new();
+        let mut truth = Vec::with_capacity(order.len());
+        for (k, &motion) in order.iter().enumerate() {
+            let inst = self.instance(motion, 100 + k as u64);
+            let start = rows.len() as u64 + 1;
+            let end = start + inst.len() as u64 - 1;
+            rows.extend(inst.rows);
+            truth.push((motion, start, end));
+        }
+        (MultiSeries::new("mocap/fig9", self.channels, rows), truth)
+    }
+
+    /// A query for one motion class: a fresh instance not present in the
+    /// stream (instance seeds 0–3 are reserved for queries).
+    pub fn query(&self, motion: Motion) -> MultiSeries {
+        self.instance(motion, motion.class_id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spring_dtw::kernels::Squared;
+    use spring_dtw::multivariate::dtw_multivariate;
+
+    #[test]
+    fn paper_config_has_62_channels_and_7_segments() {
+        let gen = MocapGenerator::paper();
+        let (stream, truth) = gen.fig9_stream();
+        assert_eq!(stream.channels, 62);
+        assert_eq!(truth.len(), 7);
+        // Segments tile the stream exactly.
+        assert_eq!(truth[0].1, 1);
+        assert_eq!(truth[6].2 as usize, stream.len());
+        for w in truth.windows(2) {
+            assert_eq!(w[0].2 + 1, w[1].1);
+        }
+    }
+
+    #[test]
+    fn instances_of_one_class_differ_but_match_under_dtw() {
+        let gen = MocapGenerator::small();
+        let a = gen.instance(Motion::Walk, 11);
+        let b = gen.instance(Motion::Walk, 22);
+        assert_ne!(a.rows, b.rows, "instances must be distinct recordings");
+        let d_same = dtw_multivariate(&a.rows, &b.rows, Squared).unwrap();
+        let c = gen.instance(Motion::Punch, 33);
+        let d_cross = dtw_multivariate(&a.rows, &c.rows, Squared).unwrap();
+        assert!(
+            d_same < d_cross / 3.0,
+            "same-class {d_same:.2} vs cross-class {d_cross:.2}"
+        );
+    }
+
+    #[test]
+    fn every_query_is_closest_to_its_own_class_segments() {
+        let gen = MocapGenerator::small();
+        let (stream, truth) = gen.fig9_stream();
+        for &qm in &Motion::ALL {
+            let q = gen.query(qm);
+            // Distance from this query to each stream segment.
+            let mut same = Vec::new();
+            let mut other = Vec::new();
+            for &(m, s, e) in &truth {
+                let d = dtw_multivariate(stream.subsequence(s, e), &q.rows, Squared).unwrap();
+                if m == qm {
+                    same.push(d);
+                } else {
+                    other.push(d);
+                }
+            }
+            let worst_same = same.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let best_other = other.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(
+                worst_same < best_other,
+                "{}: worst same {worst_same:.2} vs best other {best_other:.2}",
+                qm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lengths_jitter_between_instances() {
+        let gen = MocapGenerator::small();
+        let lens: Vec<usize> = (0..10)
+            .map(|k| gen.instance(Motion::Jump, k).len())
+            .collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max > min, "no length jitter: {lens:?}");
+        let nominal = gen.segment_len as f64;
+        for &l in &lens {
+            assert!((l as f64) > nominal * 0.75 && (l as f64) < nominal * 1.25);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = MocapGenerator::small();
+        assert_eq!(
+            gen.instance(Motion::Kick, 5).rows,
+            gen.instance(Motion::Kick, 5).rows
+        );
+    }
+}

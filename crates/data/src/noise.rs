@@ -1,0 +1,255 @@
+//! Seeded noise sources and missing-value handling.
+//!
+//! All generators in this crate draw from these primitives so every
+//! workload is reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian noise source (Box–Muller over `StdRng`).
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    rng: StdRng,
+    /// Cached second variate from the last Box–Muller draw.
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// New source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gaussian {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal variate.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One normal variate with the given mean and standard deviation.
+    pub fn sample_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample()
+    }
+
+    /// A vector of `n` standard-normal variates.
+    pub fn vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// One uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// One uniform integer in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// A seeded Gaussian random walk (used as filler/background signal).
+pub fn random_walk(len: usize, step_std: f64, seed: u64) -> Vec<f64> {
+    let mut g = Gaussian::new(seed);
+    let mut v = 0.0;
+    (0..len)
+        .map(|_| {
+            v += g.sample() * step_std;
+            v
+        })
+        .collect()
+}
+
+/// Marks a fraction `prob` of ticks as missing (NaN), reproducing the
+/// Critter data's dropout behaviour ("many missing values, which arise
+/// all the time").
+pub fn inject_missing(values: &mut [f64], prob: f64, seed: u64) {
+    let mut g = Gaussian::new(seed);
+    for v in values.iter_mut() {
+        if g.uniform() < prob {
+            *v = f64::NAN;
+        }
+    }
+}
+
+/// Policy for turning a series with missing (NaN) ticks into the dense
+/// stream a monitor consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissingPolicy {
+    /// Repeat the last observed value (sensor hold). Leading missing
+    /// ticks take the first observed value.
+    CarryForward,
+    /// Linearly interpolate between the neighbouring observed values.
+    Interpolate,
+    /// Drop missing ticks entirely (the stream shortens; tick numbers of
+    /// later values shift, which DTW tolerates by design).
+    Drop,
+}
+
+/// Applies a [`MissingPolicy`]; returns a series with no NaNs.
+///
+/// Returns an empty vector when *every* value is missing.
+pub fn fill_missing(values: &[f64], policy: MissingPolicy) -> Vec<f64> {
+    let first_obs = match values.iter().find(|v| v.is_finite()) {
+        Some(&v) => v,
+        None => return Vec::new(),
+    };
+    match policy {
+        MissingPolicy::Drop => values.iter().copied().filter(|v| v.is_finite()).collect(),
+        MissingPolicy::CarryForward => {
+            let mut last = first_obs;
+            values
+                .iter()
+                .map(|&v| {
+                    if v.is_finite() {
+                        last = v;
+                    }
+                    last
+                })
+                .collect()
+        }
+        MissingPolicy::Interpolate => {
+            let mut out = values.to_vec();
+            let n = out.len();
+            let mut i = 0;
+            while i < n {
+                if out[i].is_finite() {
+                    i += 1;
+                    continue;
+                }
+                // Find the gap [i, j) of missing values.
+                let mut j = i;
+                while j < n && !out[j].is_finite() {
+                    j += 1;
+                }
+                let left = if i == 0 { None } else { Some(out[i - 1]) };
+                let right = if j == n { None } else { Some(out[j]) };
+                match (left, right) {
+                    (Some(a), Some(b)) => {
+                        let gap = (j - i + 1) as f64;
+                        for (k, slot) in out[i..j].iter_mut().enumerate() {
+                            *slot = a + (b - a) * (k + 1) as f64 / gap;
+                        }
+                    }
+                    (Some(a), None) => out[i..j].fill(a),
+                    (None, Some(b)) => out[i..j].fill(b),
+                    (None, None) => unreachable!("guarded by first_obs"),
+                }
+                i = j;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let a = Gaussian::new(7).vec(100);
+        let b = Gaussian::new(7).vec(100);
+        let c = Gaussian::new(8).vec(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let xs = Gaussian::new(42).vec(100_000);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn sample_with_scales_and_shifts() {
+        let mut g = Gaussian::new(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| g.sample_with(10.0, 2.0)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn random_walk_is_continuous() {
+        let w = random_walk(1000, 0.5, 3);
+        assert_eq!(w.len(), 1000);
+        for pair in w.windows(2) {
+            assert!((pair[1] - pair[0]).abs() < 5.0); // 10 sigma
+        }
+    }
+
+    #[test]
+    fn inject_missing_marks_roughly_the_requested_fraction() {
+        let mut v = vec![1.0; 10_000];
+        inject_missing(&mut v, 0.2, 9);
+        let missing = v.iter().filter(|x| x.is_nan()).count();
+        assert!((1500..2500).contains(&missing), "{missing}");
+    }
+
+    #[test]
+    fn carry_forward_holds_last_observation() {
+        let v = [1.0, f64::NAN, f64::NAN, 4.0, f64::NAN];
+        assert_eq!(
+            fill_missing(&v, MissingPolicy::CarryForward),
+            vec![1.0, 1.0, 1.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn carry_forward_backfills_leading_gap() {
+        let v = [f64::NAN, f64::NAN, 3.0];
+        assert_eq!(
+            fill_missing(&v, MissingPolicy::CarryForward),
+            vec![3.0, 3.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn interpolate_bridges_gaps_linearly() {
+        let v = [1.0, f64::NAN, f64::NAN, 4.0];
+        assert_eq!(
+            fill_missing(&v, MissingPolicy::Interpolate),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn interpolate_extends_flat_at_edges() {
+        let v = [f64::NAN, 2.0, f64::NAN];
+        assert_eq!(
+            fill_missing(&v, MissingPolicy::Interpolate),
+            vec![2.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn drop_removes_missing_ticks() {
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(fill_missing(&v, MissingPolicy::Drop), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn all_missing_yields_empty() {
+        let v = [f64::NAN, f64::NAN];
+        for p in [
+            MissingPolicy::CarryForward,
+            MissingPolicy::Interpolate,
+            MissingPolicy::Drop,
+        ] {
+            assert!(fill_missing(&v, p).is_empty());
+        }
+    }
+}

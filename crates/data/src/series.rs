@@ -1,0 +1,266 @@
+//! Time-series containers.
+
+use serde::{Deserialize, Serialize};
+
+/// A named scalar time series (one value per tick).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Human-readable name (dataset, sensor id, …).
+    pub name: String,
+    /// Values; index 0 is tick 1 in the paper's 1-based convention.
+    /// Missing ticks are NaN, serialized as JSON `null`.
+    #[serde(with = "nan_as_null")]
+    pub values: Vec<f64>,
+}
+
+/// JSON cannot represent NaN; encode missing ticks as `null` both ways.
+mod nan_as_null {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(values: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let opts: Vec<Option<f64>> = values.iter().map(|&v| v.is_finite().then_some(v)).collect();
+        opts.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
+        Ok(opts.into_iter().map(|o| o.unwrap_or(f64::NAN)).collect())
+    }
+}
+
+impl TimeSeries {
+    /// New series from a name and values.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean over the finite values (NaN marks missing ticks).
+    pub fn mean(&self) -> f64 {
+        let (sum, n) = self
+            .values
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold((0.0, 0usize), |(s, n), &v| (s + v, n + 1));
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Population standard deviation over the finite values.
+    pub fn std(&self) -> f64 {
+        let mu = self.mean();
+        if !mu.is_finite() {
+            return f64::NAN;
+        }
+        let (ss, n) = self
+            .values
+            .iter()
+            .filter(|v| v.is_finite())
+            .fold((0.0, 0usize), |(s, n), &v| (s + (v - mu) * (v - mu), n + 1));
+        (ss / n as f64).sqrt()
+    }
+
+    /// Minimum over the finite values.
+    pub fn min(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum over the finite values.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of missing (non-finite) ticks.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_finite()).count()
+    }
+
+    /// Extracts the subsequence covering 1-based inclusive ticks
+    /// `start ..= end` (the paper's `X[ts : te]`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty or out of bounds.
+    pub fn subsequence(&self, start: u64, end: u64) -> &[f64] {
+        assert!(start >= 1 && start <= end && end as usize <= self.values.len());
+        &self.values[start as usize - 1..end as usize]
+    }
+
+    /// Z-normalized copy (mean 0, std 1 over finite values); series with
+    /// zero variance normalize to all-zero.
+    pub fn znormalized(&self) -> TimeSeries {
+        let mu = self.mean();
+        let sd = self.std();
+        let values = self
+            .values
+            .iter()
+            .map(|&v| {
+                if !v.is_finite() {
+                    v
+                } else if sd > 0.0 {
+                    (v - mu) / sd
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        TimeSeries {
+            name: format!("{}/znorm", self.name),
+            values,
+        }
+    }
+}
+
+/// A named multi-channel time series (a `k`-vector per tick; Sec. 5.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSeries {
+    /// Human-readable name.
+    pub name: String,
+    /// Channels per tick (`k`).
+    pub channels: usize,
+    /// One row of `channels` values per tick.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl MultiSeries {
+    /// New multi-channel series. Every row must have `channels` values.
+    ///
+    /// # Panics
+    /// Panics on a ragged row (constructors in this crate never produce
+    /// one; use this only with trusted shapes or validate first).
+    pub fn new(name: impl Into<String>, channels: usize, rows: Vec<Vec<f64>>) -> Self {
+        assert!(
+            rows.iter().all(|r| r.len() == channels),
+            "ragged multivariate rows"
+        );
+        MultiSeries {
+            name: name.into(),
+            channels,
+            rows,
+        }
+    }
+
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the series holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// One scalar channel as a [`TimeSeries`].
+    ///
+    /// # Panics
+    /// Panics when `channel >= self.channels`.
+    pub fn channel(&self, channel: usize) -> TimeSeries {
+        assert!(channel < self.channels);
+        TimeSeries::new(
+            format!("{}/ch{channel}", self.name),
+            self.rows.iter().map(|r| r[channel]).collect(),
+        )
+    }
+
+    /// Extracts 1-based inclusive ticks `start ..= end` as rows.
+    ///
+    /// # Panics
+    /// Panics when the range is empty or out of bounds.
+    pub fn subsequence(&self, start: u64, end: u64) -> &[Vec<f64>] {
+        assert!(start >= 1 && start <= end && end as usize <= self.rows.len());
+        &self.rows[start as usize - 1..end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_a_known_series() {
+        let s = TimeSeries::new("t", vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.std() - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_skip_missing_values() {
+        let s = TimeSeries::new("t", vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.missing_count(), 1);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn empty_series_stats_are_nan() {
+        let s = TimeSeries::new("t", vec![]);
+        assert!(s.mean().is_nan());
+        assert!(s.std().is_nan());
+    }
+
+    #[test]
+    fn subsequence_uses_paper_indexing() {
+        let s = TimeSeries::new("t", vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.subsequence(2, 3), &[20.0, 30.0]);
+        assert_eq!(s.subsequence(1, 1), &[10.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subsequence_rejects_out_of_bounds() {
+        TimeSeries::new("t", vec![1.0]).subsequence(1, 2);
+    }
+
+    #[test]
+    fn znormalization_centers_and_scales() {
+        let s = TimeSeries::new("t", vec![2.0, 4.0, 6.0]);
+        let z = s.znormalized();
+        assert!(z.mean().abs() < 1e-12);
+        assert!((z.std() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalization_of_constant_series_is_zero() {
+        let s = TimeSeries::new("t", vec![5.0; 4]);
+        assert_eq!(s.znormalized().values, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn multiseries_channel_extraction() {
+        let ms = MultiSeries::new("m", 2, vec![vec![1.0, 10.0], vec![2.0, 20.0]]);
+        assert_eq!(ms.channel(0).values, vec![1.0, 2.0]);
+        assert_eq!(ms.channel(1).values, vec![10.0, 20.0]);
+        assert_eq!(ms.subsequence(2, 2), &[vec![2.0, 20.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multiseries_rejects_ragged_rows() {
+        MultiSeries::new("m", 2, vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Sunspot-like daily counts (Sec. 5.1, Fig. 6d).
+//!
+//! Sunspot numbers rise and fall "in a regular cycle of between 9.5 and
+//! 11 years"; SPRING captures the bursty sunspot periods and identifies
+//! the time-varying periodicity. This generator synthesizes daily counts
+//! with the same structure: non-negative activity cycles of varying
+//! length and amplitude separated by quiet minima, with multiplicative
+//! burst noise. The default layout plants the four active cycles of
+//! Table 2 (starts 2 466, 6 878, 9 734, 13 266; lengths 1 717, 1 599,
+//! 1 587, 1 994) into a ~17 000-tick stream; the 2 000-tick query is a
+//! fresh cycle instance.
+
+use crate::noise::Gaussian;
+use crate::series::TimeSeries;
+
+/// Generator for sunspot-like count streams.
+#[derive(Debug, Clone)]
+pub struct Sunspots {
+    /// Total stream length in ticks (≈ days).
+    pub stream_len: usize,
+    /// Planted activity cycles as (1-based start, length, peak count).
+    pub cycles: Vec<(u64, usize, f64)>,
+    /// Query length in ticks.
+    pub query_len: usize,
+    /// Query peak count.
+    pub query_peak: f64,
+    /// Relative burstiness of the day-to-day counts.
+    pub burst_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Sunspots {
+    /// The paper's layout: four cycles at Table 2's positions, peaks in
+    /// the 150–260 range (Fig. 6d's value axis reaches 300).
+    pub fn paper() -> Self {
+        Sunspots {
+            stream_len: 17_000,
+            cycles: vec![
+                (2_466, 1_717, 205.0),
+                (6_878, 1_599, 190.0),
+                (9_734, 1_587, 215.0),
+                (13_266, 1_994, 198.0),
+            ],
+            query_len: 2_000,
+            query_peak: 200.0,
+            burst_noise: 0.12,
+            seed: 20070418,
+        }
+    }
+
+    /// A ~16× smaller configuration for fast tests.
+    pub fn small() -> Self {
+        Sunspots {
+            stream_len: 1_063,
+            cycles: vec![
+                (155, 108, 205.0),
+                (430, 100, 190.0),
+                (609, 100, 215.0),
+                (830, 125, 198.0),
+            ],
+            query_len: 125,
+            query_peak: 200.0,
+            burst_noise: 0.12,
+            seed: 20070418,
+        }
+    }
+
+    /// Noise-free activity-cycle template: a sin² hump (sharp rise,
+    /// slower decay is added by skewing the argument).
+    fn template(len: usize, peak: f64) -> Vec<f64> {
+        (0..len)
+            .map(|t| {
+                let u = t as f64 / (len.max(2) - 1) as f64;
+                // Skew: solar cycles rise faster than they decay.
+                let s = u.powf(0.7);
+                peak * (std::f64::consts::PI * s).sin().max(0.0).powi(2)
+            })
+            .collect()
+    }
+
+    fn noisy_cycle(&self, len: usize, peak: f64, g: &mut Gaussian) -> Vec<f64> {
+        Self::template(len, peak)
+            .into_iter()
+            .map(|v| {
+                let bursty = v * (1.0 + self.burst_noise * g.sample());
+                // Counts are non-negative and, like the Wolf numbers of
+                // Fig. 6d, top out around ~300.
+                (bursty + g.sample().abs() * 2.0).clamp(0.0, 320.0)
+            })
+            .collect()
+    }
+
+    /// The query: a fresh noisy cycle instance.
+    pub fn query(&self) -> TimeSeries {
+        let mut g = Gaussian::new(self.seed ^ 0x5EED_0005);
+        TimeSeries::new(
+            "sunspots/query",
+            self.noisy_cycle(self.query_len, self.query_peak, &mut g),
+        )
+    }
+
+    /// Generates the stream and the ground-truth planted ranges.
+    pub fn generate(&self) -> (TimeSeries, Vec<(u64, u64)>) {
+        let mut g = Gaussian::new(self.seed);
+        // Quiet minimum between cycles: a handful of spots at most
+        // (the Maunder-minimum-like background).
+        let mut values: Vec<f64> = (0..self.stream_len)
+            .map(|_| (g.sample().abs() * 3.0).min(15.0))
+            .collect();
+        let mut truth = Vec::with_capacity(self.cycles.len());
+        for &(start1, len, peak) in &self.cycles {
+            let start = start1 as usize - 1;
+            assert!(start + len <= self.stream_len, "cycle exceeds stream");
+            // Each cycle is a time-stretched instance of the same hump
+            // shape: the template already parameterizes by length.
+            let cycle = self.noisy_cycle(len, peak, &mut g);
+            values[start..start + len].copy_from_slice(&cycle);
+            truth.push((start1, start1 + len as u64 - 1));
+        }
+        (TimeSeries::new("sunspots", values), truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout() {
+        let cfg = Sunspots::paper();
+        let (ts, truth) = cfg.generate();
+        assert_eq!(ts.len(), 17_000);
+        assert_eq!(truth.len(), 4);
+        assert_eq!(truth[0], (2_466, 4_182));
+        assert_eq!(truth[3], (13_266, 15_259));
+    }
+
+    #[test]
+    fn counts_are_non_negative_and_bounded_like_the_paper() {
+        let (ts, _) = Sunspots::paper().generate();
+        assert!(ts.min() >= 0.0);
+        assert!(ts.max() < 400.0, "max {}", ts.max());
+        assert!(ts.max() > 150.0, "cycles too weak: {}", ts.max());
+    }
+
+    #[test]
+    fn quiet_background_between_cycles() {
+        let (ts, truth) = Sunspots::small().generate();
+        let gap = &ts.values[(truth[0].1 as usize + 20)..(truth[1].0 as usize - 20)];
+        let gap_max = gap.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(gap_max < 20.0, "background too active: {gap_max}");
+    }
+
+    #[test]
+    fn query_matches_each_cycle_far_better_than_background() {
+        let cfg = Sunspots::small();
+        let (ts, truth) = cfg.generate();
+        let query = cfg.query();
+        let bg = &ts.values[..cfg.query_len];
+        let d_bg = spring_dtw::dtw_distance(bg, &query.values).unwrap();
+        for &(s, e) in &truth {
+            let d = spring_dtw::dtw_distance(ts.subsequence(s, e), &query.values).unwrap();
+            assert!(
+                d < d_bg / 2.0,
+                "cycle at {s}: {d:.3e} vs background {d_bg:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Sunspots::small().generate().0;
+        let b = Sunspots::small().generate().0;
+        assert_eq!(a.values, b.values);
+    }
+}

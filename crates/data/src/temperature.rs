@@ -1,0 +1,202 @@
+//! Critter-like sensor temperature trace (Sec. 5.1, Fig. 6b).
+//!
+//! The paper's Temperature experiment uses the Critter sensor data set:
+//! readings roughly once a minute, values fluctuating between ~20 and
+//! ~32 °C with weather, and "many missing values, which arise all the
+//! time". SPRING finds two episodes where the temperature swings from
+//! cool to hot, despite the dropouts.
+//!
+//! The real Critter trace is not redistributable, so this generator
+//! synthesizes an equivalent: a diurnal sinusoid plus slow weather drift
+//! and sensor noise, with missing values injected at a configurable rate,
+//! and two planted cool→hot swing episodes — time-stretched instances of
+//! the same template the query is drawn from (Table 2: starts 13 293 and
+//! 24 406, lengths 3 602 and 4 073, query length 3 000).
+
+use crate::noise::{inject_missing, Gaussian};
+use crate::series::TimeSeries;
+use crate::util::resample;
+
+/// Generator for Critter-like temperature streams.
+#[derive(Debug, Clone)]
+pub struct Temperature {
+    /// Total stream length in ticks (≈ minutes).
+    pub stream_len: usize,
+    /// Planted swing episodes as (1-based start, length).
+    pub episodes: Vec<(u64, usize)>,
+    /// Query length in ticks.
+    pub query_len: usize,
+    /// Coolest baseline temperature (°C).
+    pub low: f64,
+    /// Hottest baseline temperature (°C).
+    pub high: f64,
+    /// Diurnal period in ticks (1 440 minutes = 1 day).
+    pub diurnal_period: f64,
+    /// Sensor noise standard deviation (°C).
+    pub noise_std: f64,
+    /// Fraction of ticks whose reading is missing.
+    pub missing_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Temperature {
+    /// The paper's layout: 30 000-tick stream, 3 000-tick query, two
+    /// episodes at Table 2's positions.
+    pub fn paper() -> Self {
+        Temperature {
+            stream_len: 30_000,
+            episodes: vec![(13_293, 3_602), (24_406, 4_073)],
+            query_len: 3_000,
+            low: 20.0,
+            high: 32.0,
+            diurnal_period: 1_440.0,
+            noise_std: 0.3,
+            missing_prob: 0.02,
+            seed: 20070416,
+        }
+    }
+
+    /// A ~16× smaller configuration for fast tests.
+    pub fn small() -> Self {
+        Temperature {
+            stream_len: 1_875,
+            episodes: vec![(830, 225), (1_525, 255)],
+            query_len: 188,
+            low: 20.0,
+            high: 32.0,
+            diurnal_period: 90.0,
+            noise_std: 0.3,
+            missing_prob: 0.02,
+            seed: 20070416,
+        }
+    }
+
+    /// Noise-free cool→hot swing template of a given length: a smooth
+    /// ramp from `low` toward `high` with diurnal ripple on top.
+    fn template(&self, len: usize) -> Vec<f64> {
+        let ripple = 1.5;
+        (0..len)
+            .map(|t| {
+                let u = t as f64 / (len.max(2) - 1) as f64;
+                // Smoothstep ramp: flat at both ends, steep mid-swing.
+                let ramp = u * u * (3.0 - 2.0 * u);
+                let base = self.low + (self.high - self.low - 2.0 * ripple) * ramp + ripple;
+                base + ripple * (2.0 * std::f64::consts::PI * t as f64 / self.diurnal_period).sin()
+            })
+            .collect()
+    }
+
+    /// The query: a fresh noisy instance of the swing template.
+    pub fn query(&self) -> TimeSeries {
+        let mut g = Gaussian::new(self.seed ^ 0x5EED_0002);
+        let values = self
+            .template(self.query_len)
+            .into_iter()
+            .map(|v| v + g.sample() * self.noise_std)
+            .collect();
+        TimeSeries::new("temperature/query", values)
+    }
+
+    /// Generates the stream (with NaN marking missing readings) and the
+    /// ground-truth planted ranges (1-based inclusive).
+    pub fn generate(&self) -> (TimeSeries, Vec<(u64, u64)>) {
+        let mut g = Gaussian::new(self.seed);
+        // Background: mild diurnal cycle around the low end + drift.
+        let mid = self.low + 2.0;
+        let mut drift = 0.0;
+        let mut values: Vec<f64> = (0..self.stream_len)
+            .map(|t| {
+                drift += g.sample() * 0.01;
+                drift = drift.clamp(-1.5, 1.5);
+                mid + drift
+                    + 1.5 * (2.0 * std::f64::consts::PI * t as f64 / self.diurnal_period).sin()
+                    + g.sample() * self.noise_std
+            })
+            .collect();
+        let base = self.template(self.query_len);
+        let mut truth = Vec::with_capacity(self.episodes.len());
+        for &(start1, len) in &self.episodes {
+            let start = start1 as usize - 1;
+            assert!(start + len <= self.stream_len, "episode exceeds stream");
+            let episode = resample(&base, len);
+            for (k, v) in episode.into_iter().enumerate() {
+                values[start + k] = v + g.sample() * self.noise_std;
+            }
+            truth.push((start1, start1 + len as u64 - 1));
+        }
+        inject_missing(&mut values, self.missing_prob, self.seed ^ 0x5EED_0003);
+        (TimeSeries::new("temperature", values), truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{fill_missing, MissingPolicy};
+
+    #[test]
+    fn paper_layout() {
+        let cfg = Temperature::paper();
+        let (ts, truth) = cfg.generate();
+        assert_eq!(ts.len(), 30_000);
+        assert_eq!(truth, vec![(13_293, 16_894), (24_406, 28_478)]);
+    }
+
+    #[test]
+    fn values_stay_in_a_sensor_plausible_band() {
+        let (ts, _) = Temperature::small().generate();
+        let filled = fill_missing(&ts.values, MissingPolicy::CarryForward);
+        for &v in &filled {
+            assert!((10.0..45.0).contains(&v), "implausible reading {v}");
+        }
+    }
+
+    #[test]
+    fn missing_values_are_present_but_bounded() {
+        let cfg = Temperature::paper();
+        let (ts, _) = cfg.generate();
+        let frac = ts.missing_count() as f64 / ts.len() as f64;
+        assert!(frac > 0.005 && frac < 0.05, "missing fraction {frac}");
+    }
+
+    #[test]
+    fn episodes_swing_from_cool_to_hot() {
+        let cfg = Temperature::small();
+        let (ts, truth) = cfg.generate();
+        for &(s, e) in &truth {
+            let ep = fill_missing(ts.subsequence(s, e), MissingPolicy::CarryForward);
+            let head: f64 = ep[..20].iter().sum::<f64>() / 20.0;
+            let tail: f64 = ep[ep.len() - 20..].iter().sum::<f64>() / 20.0;
+            assert!(
+                tail - head > 6.0,
+                "no swing: head {head:.1}, tail {tail:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_matches_planted_episodes_under_dtw() {
+        let cfg = Temperature::small();
+        let (ts, truth) = cfg.generate();
+        let query = cfg.query();
+        let filled = fill_missing(&ts.values, MissingPolicy::CarryForward);
+        for &(s, e) in &truth {
+            let d = spring_dtw::dtw_distance(&filled[s as usize - 1..e as usize], &query.values)
+                .unwrap();
+            // A background window of the same length must be far worse.
+            let bg = &filled[..(e - s + 1) as usize];
+            let d_bg = spring_dtw::dtw_distance(bg, &query.values).unwrap();
+            assert!(d < d_bg / 4.0, "episode d {d} vs background {d_bg}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Temperature::small().generate().0;
+        let b = Temperature::small().generate().0;
+        // NaN != NaN, so compare bit patterns.
+        let bits = |v: &TimeSeries| v.values.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+}

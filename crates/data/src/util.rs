@@ -1,0 +1,144 @@
+//! Shared signal utilities: resampling (time warping a template) and
+//! pattern planting.
+
+/// Linearly resamples `pattern` to `new_len` samples — the generator-side
+/// time stretch/shrink that DTW is supposed to absorb.
+///
+/// # Panics
+/// Panics when `pattern` is empty or `new_len == 0`.
+pub fn resample(pattern: &[f64], new_len: usize) -> Vec<f64> {
+    assert!(!pattern.is_empty() && new_len > 0);
+    let n = pattern.len();
+    if n == 1 {
+        return vec![pattern[0]; new_len];
+    }
+    (0..new_len)
+        .map(|j| {
+            let pos = if new_len == 1 {
+                0.0
+            } else {
+                j as f64 * (n - 1) as f64 / (new_len - 1) as f64
+            };
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            pattern[lo] * (1.0 - frac) + pattern[hi] * frac
+        })
+        .collect()
+}
+
+/// Overwrites `host[start .. start + pattern.len()]` with `pattern`
+/// (0-based `start`). Returns the 1-based inclusive tick range planted,
+/// for cross-checking detections against ground truth.
+///
+/// # Panics
+/// Panics when the pattern does not fit.
+pub fn plant(host: &mut [f64], start: usize, pattern: &[f64]) -> (u64, u64) {
+    assert!(start + pattern.len() <= host.len(), "pattern does not fit");
+    host[start..start + pattern.len()].copy_from_slice(pattern);
+    (start as u64 + 1, (start + pattern.len()) as u64)
+}
+
+/// A sine wave: `amplitude · sin(2π t / period + phase)` for `len` ticks.
+///
+/// # Panics
+/// Panics when `period` is not positive.
+pub fn sine(len: usize, period: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+    assert!(period > 0.0);
+    (0..len)
+        .map(|t| amplitude * (2.0 * std::f64::consts::PI * t as f64 / period + phase).sin())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_identity_when_lengths_match() {
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(resample(&p, 3), p.to_vec());
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let p = [5.0, 1.0, 9.0, 2.0];
+        for len in [2, 5, 17, 100] {
+            let r = resample(&p, len);
+            assert_eq!(r.len(), len);
+            assert_eq!(r[0], 5.0);
+            assert_eq!(*r.last().unwrap(), 2.0);
+        }
+    }
+
+    #[test]
+    fn resample_upsamples_linearly() {
+        let p = [0.0, 2.0];
+        assert_eq!(resample(&p, 5), vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn resample_singleton_repeats() {
+        assert_eq!(resample(&[7.0], 4), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn resample_stretched_template_has_near_zero_dtw() {
+        // The whole point: stretching a template must be invisible to DTW.
+        let p = sine(100, 25.0, 1.0, 0.0);
+        let stretched = resample(&p, 173);
+        let d = spring_dtw_distance(&p, &stretched);
+        // Residual comes only from linear-interpolation error; it must be
+        // negligible next to the signal energy (~0.5 · 173 ≈ 86) and next
+        // to a lock-step comparison against a quarter-period shift.
+        assert!(d < 1.0, "dtw after stretch = {d}");
+        let shifted = sine(100, 25.0, 1.0, std::f64::consts::FRAC_PI_2);
+        let lockstep: f64 = p.iter().zip(&shifted).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(d < lockstep / 20.0);
+    }
+
+    // Tiny local DTW (squared kernel) so this crate stays dependency-free.
+    fn spring_dtw_distance(x: &[f64], y: &[f64]) -> f64 {
+        let m = y.len();
+        let mut prev = vec![f64::INFINITY; m];
+        let mut cur = vec![0.0; m];
+        for (t, &xt) in x.iter().enumerate() {
+            for i in 0..m {
+                let d = (xt - y[i]) * (xt - y[i]);
+                let best = match (t, i) {
+                    (0, 0) => 0.0,
+                    (0, _) => cur[i - 1],
+                    (_, 0) => prev[0],
+                    _ => cur[i - 1].min(prev[i]).min(prev[i - 1]),
+                };
+                cur[i] = d + best;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[m - 1]
+    }
+
+    #[test]
+    fn plant_returns_one_based_range() {
+        let mut host = vec![0.0; 10];
+        let (s, e) = plant(&mut host, 3, &[7.0, 8.0]);
+        assert_eq!((s, e), (4, 5));
+        assert_eq!(host[3], 7.0);
+        assert_eq!(host[4], 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn plant_rejects_overflow() {
+        let mut host = vec![0.0; 3];
+        plant(&mut host, 2, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sine_period_and_amplitude() {
+        let s = sine(100, 50.0, 2.0, 0.0);
+        assert_eq!(s[0], 0.0);
+        let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - 2.0).abs() < 0.01);
+    }
+}

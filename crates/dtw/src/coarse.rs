@@ -1,0 +1,215 @@
+//! Coarse-resolution DTW lower bounding (FTW-style).
+//!
+//! Sakurai et al.'s FTW (PODS'05) — the same authors' stored-set
+//! predecessor of SPRING — accelerates whole-sequence DTW search with
+//! *successive approximations*: compare cheap, coarse versions of the
+//! sequences first, and refine only survivors. The key ingredient is a
+//! coarse representation that yields a **lower bound** on the true DTW
+//! distance, so pruning never causes a false dismissal.
+//!
+//! [`CoarseSeq`] keeps the per-segment value *range* `[lower, upper]`
+//! (not the mean — means do not lower-bound). The distance between two
+//! coarse cells is the squared (or absolute) gap between their ranges,
+//! which is ≤ every pointwise distance between values drawn from those
+//! ranges; a coarse warping path therefore costs no more than the fine
+//! path it is the projection of, one coarse cell charged per visit
+//! (a conservative weighting — FTW's segment-length weighting is tighter
+//! but requires its specific path-counting argument).
+//!
+//! [`coarse_lower_bound`] runs DTW over the coarse cells;
+//! [`crate::search::SequenceSet`] can use it ahead of the exact
+//! computation for long sequences where LB_Keogh does not apply.
+
+use crate::error::{check_sequence, DtwError};
+use crate::kernels::DistanceKernel;
+
+/// A sequence reduced to `w` segments, each keeping its value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseSeq {
+    /// Per-segment minimum.
+    pub lower: Vec<f64>,
+    /// Per-segment maximum.
+    pub upper: Vec<f64>,
+    /// Original sequence length.
+    pub source_len: usize,
+}
+
+impl CoarseSeq {
+    /// Reduces `x` to `segments` range segments (fair index split, like
+    /// [`crate::paa::paa`]).
+    pub fn new(x: &[f64], segments: usize) -> Result<Self, DtwError> {
+        check_sequence(x, "x")?;
+        if segments == 0 {
+            return Err(DtwError::InvalidConfig("segments must be > 0".into()));
+        }
+        if segments > x.len() {
+            return Err(DtwError::InvalidConfig(format!(
+                "segments ({segments}) exceeds input length ({})",
+                x.len()
+            )));
+        }
+        let n = x.len();
+        let mut lower = Vec::with_capacity(segments);
+        let mut upper = Vec::with_capacity(segments);
+        for j in 0..segments {
+            let lo = j * n / segments;
+            let hi = (j + 1) * n / segments;
+            let seg = &x[lo..hi];
+            lower.push(seg.iter().copied().fold(f64::INFINITY, f64::min));
+            upper.push(seg.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+        Ok(CoarseSeq {
+            lower,
+            upper,
+            source_len: n,
+        })
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// True when the representation holds no segments (constructor
+    /// forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Gap between this segment's range and another's: 0 when the ranges
+    /// overlap, else the distance between the nearest endpoints.
+    #[inline]
+    fn gap(&self, i: usize, other: &CoarseSeq, j: usize) -> f64 {
+        let (al, au) = (self.lower[i], self.upper[i]);
+        let (bl, bu) = (other.lower[j], other.upper[j]);
+        if al > bu {
+            al - bu
+        } else if bl > au {
+            bl - au
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Lower bound on `DTW(x, y)` from coarse range representations.
+///
+/// `O(wx · wy)` time — with `w ≪ n` this is the cheap first stage of a
+/// refinement cascade. Guaranteed `≤ dtw_distance_with(x, y, kernel)`
+/// for any kernel monotone in `|x − y|` (both built-ins).
+pub fn coarse_lower_bound<K: DistanceKernel>(xc: &CoarseSeq, yc: &CoarseSeq, kernel: K) -> f64 {
+    let (wx, wy) = (xc.len(), yc.len());
+    let mut prev = vec![f64::INFINITY; wy];
+    let mut cur = vec![0.0f64; wy];
+    for a in 0..wx {
+        for b in 0..wy {
+            let gap = xc.gap(a, yc, b);
+            // Charge one fine cell's worth: kernel distance of the gap.
+            let base = kernel.dist(gap, 0.0);
+            let best = match (a, b) {
+                (0, 0) => 0.0,
+                (0, _) => cur[b - 1],
+                (_, 0) => prev[0],
+                _ => cur[b - 1].min(prev[b]).min(prev[b - 1]),
+            };
+            cur[b] = base + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[wy - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::dtw_distance_with;
+    use crate::kernels::{Absolute, Squared};
+
+    fn wavy(n: usize, f: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|t| amp * (t as f64 * f).sin()).collect()
+    }
+
+    #[test]
+    fn coarse_seq_ranges_cover_their_segments() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let c = CoarseSeq::new(&x, 3).unwrap();
+        assert_eq!(c.lower, vec![1.0, 1.0, 5.0]);
+        assert_eq!(c.upper, vec![3.0, 4.0, 9.0]);
+        assert_eq!(c.source_len, 6);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_dtw() {
+        let x = wavy(120, 0.31, 2.0);
+        let y = wavy(90, 0.27, 1.7);
+        let true_d = dtw_distance_with(&x, &y, Squared).unwrap();
+        for w in [2usize, 5, 10, 30] {
+            let xc = CoarseSeq::new(&x, w).unwrap();
+            let yc = CoarseSeq::new(&y, w.min(y.len())).unwrap();
+            let lb = coarse_lower_bound(&xc, &yc, Squared);
+            assert!(lb <= true_d + 1e-9, "w = {w}: {lb} > {true_d}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_holds_under_absolute_kernel() {
+        let x = wavy(64, 0.4, 3.0);
+        let y: Vec<f64> = wavy(64, 0.4, 3.0).iter().map(|v| v + 5.0).collect();
+        let true_d = dtw_distance_with(&x, &y, Absolute).unwrap();
+        let xc = CoarseSeq::new(&x, 8).unwrap();
+        let yc = CoarseSeq::new(&y, 8).unwrap();
+        assert!(coarse_lower_bound(&xc, &yc, Absolute) <= true_d + 1e-9);
+    }
+
+    #[test]
+    fn separated_sequences_get_a_nontrivial_bound() {
+        // x in [-1, 1], y in [9, 11]: every gap is >= 8, so the coarse
+        // bound must be clearly positive.
+        let x = wavy(50, 0.5, 1.0);
+        let y: Vec<f64> = wavy(50, 0.5, 1.0).iter().map(|v| v + 10.0).collect();
+        let xc = CoarseSeq::new(&x, 5).unwrap();
+        let yc = CoarseSeq::new(&y, 5).unwrap();
+        let lb = coarse_lower_bound(&xc, &yc, Squared);
+        assert!(lb >= 5.0 * 64.0, "lb = {lb}");
+    }
+
+    #[test]
+    fn overlapping_ranges_give_zero_bound() {
+        let x = wavy(40, 0.3, 1.0);
+        let y = wavy(40, 0.9, 1.0); // same amplitude -> ranges overlap
+        let xc = CoarseSeq::new(&x, 4).unwrap();
+        let yc = CoarseSeq::new(&y, 4).unwrap();
+        assert_eq!(coarse_lower_bound(&xc, &yc, Squared), 0.0);
+    }
+
+    #[test]
+    fn finer_resolution_gives_tighter_or_equal_bounds_on_average() {
+        // Not guaranteed per-pair, but on a separated pair refinement
+        // should not hurt and typically helps.
+        let x = wavy(100, 0.21, 1.0);
+        let y: Vec<f64> = (0..100).map(|t| 6.0 + (t as f64 * 0.21).cos()).collect();
+        let coarse2 = coarse_lower_bound(
+            &CoarseSeq::new(&x, 2).unwrap(),
+            &CoarseSeq::new(&y, 2).unwrap(),
+            Squared,
+        );
+        let coarse20 = coarse_lower_bound(
+            &CoarseSeq::new(&x, 20).unwrap(),
+            &CoarseSeq::new(&y, 20).unwrap(),
+            Squared,
+        );
+        let true_d = dtw_distance_with(&x, &y, Squared).unwrap();
+        assert!(coarse2 <= true_d && coarse20 <= true_d);
+        assert!(
+            coarse20 >= coarse2 * 0.9,
+            "finer bound collapsed: {coarse20} vs {coarse2}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_segmentation() {
+        assert!(CoarseSeq::new(&[], 1).is_err());
+        assert!(CoarseSeq::new(&[1.0], 0).is_err());
+        assert!(CoarseSeq::new(&[1.0], 2).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Error type shared by the DTW routines.
+
+use std::fmt;
+
+/// Errors produced by DTW computations and their inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DtwError {
+    /// One of the input sequences was empty.
+    EmptySequence {
+        /// Which argument was empty (`"x"` or `"y"`).
+        which: &'static str,
+    },
+    /// A value in the input was NaN or infinite.
+    NonFiniteInput {
+        /// Which argument held the offending value.
+        which: &'static str,
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// Multivariate inputs disagreed on dimensionality.
+    DimensionMismatch {
+        /// Dimensionality found in the first sequence.
+        expected: usize,
+        /// Dimensionality found in the other sequence.
+        found: usize,
+    },
+    /// A global constraint left no admissible warping path
+    /// (e.g. a Sakoe–Chiba band too narrow for very different lengths).
+    InfeasibleConstraint,
+    /// A configuration parameter was invalid (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DtwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtwError::EmptySequence { which } => {
+                write!(f, "input sequence `{which}` is empty")
+            }
+            DtwError::NonFiniteInput { which, index } => {
+                write!(
+                    f,
+                    "input `{which}` contains a non-finite value at index {index}"
+                )
+            }
+            DtwError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} channels, found {found}"
+                )
+            }
+            DtwError::InfeasibleConstraint => {
+                write!(
+                    f,
+                    "global constraint admits no warping path for these lengths"
+                )
+            }
+            DtwError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DtwError {}
+
+/// Validates that every value in `seq` is finite.
+pub(crate) fn check_finite(seq: &[f64], which: &'static str) -> Result<(), DtwError> {
+    match seq.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(DtwError::NonFiniteInput { which, index }),
+        None => Ok(()),
+    }
+}
+
+/// Validates that `seq` is non-empty and finite.
+pub(crate) fn check_sequence(seq: &[f64], which: &'static str) -> Result<(), DtwError> {
+    if seq.is_empty() {
+        return Err(DtwError::EmptySequence { which });
+    }
+    check_finite(seq, which)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_argument() {
+        let e = DtwError::EmptySequence { which: "y" };
+        assert!(e.to_string().contains("`y`"));
+        let e = DtwError::NonFiniteInput {
+            which: "x",
+            index: 3,
+        };
+        assert!(e.to_string().contains("index 3"));
+    }
+
+    #[test]
+    fn check_sequence_accepts_finite() {
+        assert!(check_sequence(&[1.0, -2.5, 0.0], "x").is_ok());
+    }
+
+    #[test]
+    fn check_sequence_rejects_empty() {
+        assert_eq!(
+            check_sequence(&[], "x"),
+            Err(DtwError::EmptySequence { which: "x" })
+        );
+    }
+
+    #[test]
+    fn check_sequence_rejects_nan_and_inf() {
+        assert_eq!(
+            check_sequence(&[0.0, f64::NAN], "y"),
+            Err(DtwError::NonFiniteInput {
+                which: "y",
+                index: 1
+            })
+        );
+        assert_eq!(
+            check_sequence(&[f64::INFINITY], "y"),
+            Err(DtwError::NonFiniteInput {
+                which: "y",
+                index: 0
+            })
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Whole-sequence DTW.
+//!
+//! * [`dtw_distance`] / [`dtw_distance_with`] — the `O(nm)`-time,
+//!   `O(m)`-space distance of Equation (1), using the two rolling columns
+//!   the paper describes ("the algorithm needs only two columns ... of the
+//!   time warping matrix").
+//! * [`dtw_with_path`] — full-matrix variant that also recovers the
+//!   optimal warping path.
+
+use crate::error::{check_sequence, DtwError};
+use crate::kernels::{DistanceKernel, Squared};
+use crate::matrix::WarpingMatrix;
+
+/// An optimal warping path: monotone sequence of 0-based `(t, i)` cell
+/// coordinates from `(0, 0)` to `(n-1, m-1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpingPath(pub Vec<(usize, usize)>);
+
+impl WarpingPath {
+    /// Number of matched cell pairs on the path.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the path is empty (never produced by this crate's APIs).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(t, i)` pairs in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// DTW distance of `x` and `y` under the paper's default squared kernel.
+///
+/// `O(nm)` time, `O(min(n, m))` space.
+///
+/// # Examples
+/// ```
+/// let d = spring_dtw::dtw_distance(&[0.0, 1.0, 2.0], &[0.0, 1.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(d, 0.0);
+/// ```
+pub fn dtw_distance(x: &[f64], y: &[f64]) -> Result<f64, DtwError> {
+    dtw_distance_with(x, y, Squared)
+}
+
+/// DTW distance under an arbitrary [`DistanceKernel`].
+pub fn dtw_distance_with<K: DistanceKernel>(
+    x: &[f64],
+    y: &[f64],
+    kernel: K,
+) -> Result<f64, DtwError> {
+    check_sequence(x, "x")?;
+    check_sequence(y, "y")?;
+    // Roll over the shorter sequence to minimize the working set.
+    if y.len() <= x.len() {
+        Ok(dtw_rolling(x, y, kernel))
+    } else {
+        // DTW with a symmetric kernel is symmetric in its arguments.
+        Ok(dtw_rolling(y, x, kernel))
+    }
+}
+
+/// Rolling-column DTW: `cur[i]` is `f(t, i)` for the row `t` being filled.
+fn dtw_rolling<K: DistanceKernel>(x: &[f64], y: &[f64], kernel: K) -> f64 {
+    let m = y.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![0.0f64; m];
+    for (t, &xt) in x.iter().enumerate() {
+        for i in 0..m {
+            let base = kernel.dist(xt, y[i]);
+            let best = match (t, i) {
+                (0, 0) => 0.0,
+                (0, _) => cur[i - 1],
+                (_, 0) => prev[0],
+                _ => cur[i - 1].min(prev[i]).min(prev[i - 1]),
+            };
+            cur[i] = base + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+/// DTW distance plus the optimal warping path.
+///
+/// Materializes the full `n × m` matrix (`O(nm)` space); use
+/// [`dtw_distance_with`] when the path is not needed.
+pub fn dtw_with_path<K: DistanceKernel>(
+    x: &[f64],
+    y: &[f64],
+    kernel: K,
+) -> Result<(f64, WarpingPath), DtwError> {
+    let matrix = WarpingMatrix::compute(x, y, kernel)?;
+    Ok((matrix.distance(), WarpingPath(matrix.path())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Absolute, Kernel};
+
+    #[test]
+    fn matches_full_matrix() {
+        let x = [5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0];
+        let y = [11.0, 6.0, 9.0, 4.0];
+        let m = WarpingMatrix::compute(&x, &y, Squared).unwrap();
+        assert_eq!(dtw_distance(&x, &y).unwrap(), m.distance());
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let x = [1.0, 3.0, 2.0, 8.0, 1.0];
+        let y = [2.0, 9.0, 0.0];
+        assert_eq!(dtw_distance(&x, &y).unwrap(), dtw_distance(&y, &x).unwrap());
+        assert_eq!(
+            dtw_distance_with(&x, &y, Absolute).unwrap(),
+            dtw_distance_with(&y, &x, Absolute).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_on_identical_inputs() {
+        let x = [0.5, -1.0, 3.25];
+        assert_eq!(dtw_distance(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reduces_to_pointwise_sum_on_equal_length_monotone_case() {
+        // When both sequences are constant, every path cell costs the same,
+        // and the optimal path is the diagonal with n cells.
+        let x = [2.0; 4];
+        let y = [5.0; 4];
+        assert_eq!(dtw_distance(&x, &y).unwrap(), 4.0 * 9.0);
+    }
+
+    #[test]
+    fn singleton_vs_sequence_sums_all_distances() {
+        // A single x element must match every y element.
+        let d = dtw_distance(&[0.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d, 1.0 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn path_distance_consistent_with_rolling_distance() {
+        let x = [1.0, 5.0, 2.0, 7.0, 7.0, 1.0];
+        let y = [1.0, 6.0, 2.0, 7.0, 0.0];
+        let (d, path) = dtw_with_path(&x, &y, Squared).unwrap();
+        assert_eq!(d, dtw_distance(&x, &y).unwrap());
+        // Re-summing kernel costs along the path must reproduce d.
+        let resum: f64 = path.iter().map(|(t, i)| Squared.dist(x[t], y[i])).sum();
+        assert!((resum - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_enum_agrees_with_static_kernels() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let y = [2.0, 7.0, 1.0];
+        assert_eq!(
+            dtw_distance_with(&x, &y, Kernel::Squared).unwrap(),
+            dtw_distance_with(&x, &y, Squared).unwrap()
+        );
+        assert_eq!(
+            dtw_distance_with(&x, &y, Kernel::Absolute).unwrap(),
+            dtw_distance_with(&x, &y, Absolute).unwrap()
+        );
+    }
+
+    #[test]
+    fn propagates_input_errors() {
+        assert!(dtw_distance(&[], &[1.0]).is_err());
+        assert!(dtw_distance(&[1.0], &[f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Lower bounds for the DTW distance.
+//!
+//! The paper's related work (Sec. 2.1) leans on lower bounding to make
+//! stored-set DTW search tractable: Yi et al. (ICDE'98), Kim et al.
+//! (ICDE'01), and Keogh's envelope bound (VLDB'02). We implement all three
+//! for the squared and absolute kernels, with the no-false-dismissal
+//! guarantee (`LB(x, y) ≤ DTW(x, y)`) property-tested in this crate.
+
+use std::collections::VecDeque;
+
+use crate::error::{check_sequence, DtwError};
+use crate::kernels::DistanceKernel;
+
+/// Upper/lower envelope of a query sequence within a warping band, as used
+/// by LB_Keogh: `upper[i] = max(y[i−r ..= i+r])`, `lower[i] = min(...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Pointwise upper envelope.
+    pub upper: Vec<f64>,
+    /// Pointwise lower envelope.
+    pub lower: Vec<f64>,
+    /// Band radius the envelope was built for.
+    pub radius: usize,
+}
+
+impl Envelope {
+    /// Builds the envelope of `y` for band radius `radius` in `O(m)` time
+    /// using monotonic deques.
+    pub fn new(y: &[f64], radius: usize) -> Result<Self, DtwError> {
+        check_sequence(y, "y")?;
+        let m = y.len();
+        let mut upper = vec![0.0; m];
+        let mut lower = vec![0.0; m];
+        // Sliding-window max/min over the window [i-radius, i+radius].
+        let mut maxq: VecDeque<usize> = VecDeque::new();
+        let mut minq: VecDeque<usize> = VecDeque::new();
+        for i in 0..m + radius {
+            if i < m {
+                while maxq.back().is_some_and(|&j| y[j] <= y[i]) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(i);
+                while minq.back().is_some_and(|&j| y[j] >= y[i]) {
+                    minq.pop_back();
+                }
+                minq.push_back(i);
+            }
+            if i >= radius {
+                let center = i - radius;
+                if center >= m {
+                    break;
+                }
+                while maxq.front().is_some_and(|&j| j + radius < center) {
+                    maxq.pop_front();
+                }
+                while minq.front().is_some_and(|&j| j + radius < center) {
+                    minq.pop_front();
+                }
+                upper[center] = y[*maxq.front().expect("window non-empty")];
+                lower[center] = y[*minq.front().expect("window non-empty")];
+            }
+        }
+        Ok(Envelope {
+            upper,
+            lower,
+            radius,
+        })
+    }
+
+    /// Envelope length.
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// True when the envelope is empty (never produced by [`Envelope::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+}
+
+/// LB_Kim: maximum of the distances between the four forced/feature pairs
+/// (first, last, global min, global max).
+///
+/// Valid lower bound on the unconstrained DTW distance for any kernel that
+/// is monotone in `|x − y|` (both built-in kernels are).
+pub fn lb_kim<K: DistanceKernel>(x: &[f64], y: &[f64], kernel: K) -> Result<f64, DtwError> {
+    check_sequence(x, "x")?;
+    check_sequence(y, "y")?;
+    let fold = |s: &[f64], f: fn(f64, f64) -> f64| s.iter().copied().fold(s[0], f);
+    let first = kernel.dist(x[0], y[0]);
+    let last = kernel.dist(*x.last().expect("non-empty"), *y.last().expect("non-empty"));
+    let mins = kernel.dist(fold(x, f64::min), fold(y, f64::min));
+    let maxs = kernel.dist(fold(x, f64::max), fold(y, f64::max));
+    Ok(first.max(last).max(mins).max(maxs))
+}
+
+/// LB_Yi: clamp each element of one sequence into the other's value range
+/// and sum the residual distances; the larger of the two directions.
+pub fn lb_yi<K: DistanceKernel>(x: &[f64], y: &[f64], kernel: K) -> Result<f64, DtwError> {
+    check_sequence(x, "x")?;
+    check_sequence(y, "y")?;
+    Ok(lb_yi_one_sided(x, y, kernel).max(lb_yi_one_sided(y, x, kernel)))
+}
+
+fn lb_yi_one_sided<K: DistanceKernel>(x: &[f64], y: &[f64], kernel: K) -> f64 {
+    let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    x.iter()
+        .map(|&v| {
+            if v > hi {
+                kernel.dist(v, hi)
+            } else if v < lo {
+                kernel.dist(v, lo)
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// LB_Keogh: sum of distances from `x` to the envelope of `y`.
+///
+/// Requires `x.len() == envelope.len()` (the classic whole-matching
+/// setting). The result lower-bounds the *band-constrained* DTW distance
+/// for the envelope's radius; with `radius >= m − 1` it lower-bounds the
+/// unconstrained distance as well.
+pub fn lb_keogh<K: DistanceKernel>(
+    x: &[f64],
+    envelope: &Envelope,
+    kernel: K,
+) -> Result<f64, DtwError> {
+    check_sequence(x, "x")?;
+    if x.len() != envelope.len() {
+        return Err(DtwError::DimensionMismatch {
+            expected: envelope.len(),
+            found: x.len(),
+        });
+    }
+    let mut sum = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > envelope.upper[i] {
+            sum += kernel.dist(v, envelope.upper[i]);
+        } else if v < envelope.lower[i] {
+            sum += kernel.dist(v, envelope.lower[i]);
+        }
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{dtw_constrained, GlobalConstraint};
+    use crate::full::dtw_distance_with;
+    use crate::kernels::{Absolute, Squared};
+
+    fn naive_envelope(y: &[f64], r: usize) -> (Vec<f64>, Vec<f64>) {
+        let m = y.len();
+        let mut u = vec![0.0; m];
+        let mut l = vec![0.0; m];
+        for i in 0..m {
+            let lo = i.saturating_sub(r);
+            let hi = (i + r).min(m - 1);
+            u[i] = y[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            l[i] = y[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min);
+        }
+        (u, l)
+    }
+
+    #[test]
+    fn envelope_matches_naive_sliding_window() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        for r in 0..=10 {
+            let env = Envelope::new(&y, r).unwrap();
+            let (u, l) = naive_envelope(&y, r);
+            assert_eq!(env.upper, u, "upper, r={r}");
+            assert_eq!(env.lower, l, "lower, r={r}");
+        }
+    }
+
+    #[test]
+    fn envelope_radius_zero_is_identity() {
+        let y = [2.0, 8.0, -1.0];
+        let env = Envelope::new(&y, 0).unwrap();
+        assert_eq!(env.upper, y.to_vec());
+        assert_eq!(env.lower, y.to_vec());
+    }
+
+    #[test]
+    fn envelope_widens_with_radius() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let mut prev = Envelope::new(&y, 0).unwrap();
+        for r in 1..8 {
+            let env = Envelope::new(&y, r).unwrap();
+            for i in 0..y.len() {
+                assert!(env.upper[i] >= prev.upper[i]);
+                assert!(env.lower[i] <= prev.lower[i]);
+            }
+            prev = env;
+        }
+    }
+
+    #[test]
+    fn lb_kim_lower_bounds_dtw() {
+        let x = [1.0, 7.0, 2.0, 9.0, 3.0, 3.0];
+        let y = [2.0, 6.0, 1.0, 8.0];
+        let dtw = dtw_distance_with(&x, &y, Squared).unwrap();
+        assert!(lb_kim(&x, &y, Squared).unwrap() <= dtw);
+        let dtw = dtw_distance_with(&x, &y, Absolute).unwrap();
+        assert!(lb_kim(&x, &y, Absolute).unwrap() <= dtw);
+    }
+
+    #[test]
+    fn lb_yi_lower_bounds_dtw() {
+        let x = [10.0, -5.0, 2.0, 9.0, 30.0, 3.0];
+        let y = [2.0, 6.0, 1.0, 8.0, 0.0];
+        let dtw = dtw_distance_with(&x, &y, Squared).unwrap();
+        assert!(lb_yi(&x, &y, Squared).unwrap() <= dtw);
+    }
+
+    #[test]
+    fn lb_yi_zero_when_ranges_coincide() {
+        // Both value ranges are [2, 4], so both one-sided sums vanish.
+        let x = [2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 3.0];
+        assert_eq!(lb_yi(&x, &y, Squared).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lb_yi_uses_the_tighter_direction() {
+        // x sits inside y's range (forward sum 0) but y spills out of x's
+        // range, so the reverse sum provides a non-trivial bound.
+        let x = [2.0, 3.0, 4.0];
+        let y = [1.0, 5.0, 2.0];
+        let lb = lb_yi(&x, &y, Squared).unwrap();
+        assert_eq!(lb, 1.0 + 1.0); // (1→2)² + (5→4)²
+        assert!(lb <= dtw_distance_with(&x, &y, Squared).unwrap());
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_banded_dtw() {
+        let x = [1.0, 7.0, 2.0, 9.0, 3.0, 3.0, 8.0, 0.0];
+        let y = [2.0, 6.0, 1.0, 8.0, 4.0, 4.0, 9.0, 1.0];
+        for r in 0..y.len() {
+            let env = Envelope::new(&y, r).unwrap();
+            let lb = lb_keogh(&x, &env, Squared).unwrap();
+            let banded =
+                dtw_constrained(&x, &y, Squared, GlobalConstraint::SakoeChiba { radius: r })
+                    .unwrap();
+            assert!(lb <= banded + 1e-12, "r={r}: {lb} > {banded}");
+        }
+    }
+
+    #[test]
+    fn lb_keogh_full_radius_lower_bounds_unconstrained_dtw() {
+        let x = [5.0, 12.0, 6.0, 10.0];
+        let y = [11.0, 6.0, 9.0, 4.0];
+        let env = Envelope::new(&y, y.len() - 1).unwrap();
+        let lb = lb_keogh(&x, &env, Squared).unwrap();
+        assert!(lb <= dtw_distance_with(&x, &y, Squared).unwrap());
+    }
+
+    #[test]
+    fn lb_keogh_rejects_length_mismatch() {
+        let env = Envelope::new(&[1.0, 2.0], 1).unwrap();
+        assert!(matches!(
+            lb_keogh(&[1.0, 2.0, 3.0], &env, Squared),
+            Err(DtwError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_bounds() {
+        let x = [1.0, 4.0, 2.0];
+        assert_eq!(lb_kim(&x, &x, Squared).unwrap(), 0.0);
+        assert_eq!(lb_yi(&x, &x, Squared).unwrap(), 0.0);
+        let env = Envelope::new(&x, 1).unwrap();
+        assert_eq!(lb_keogh(&x, &env, Squared).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dense time warping matrix.
+//!
+//! The `O(nm)` matrix of Equation (1). The `O(m)`-space routines in
+//! [`crate::full`] never materialize it; this type exists for warping-path
+//! recovery, for debugging, and for reproducing the paper's worked example
+//! (Fig. 5) cell by cell.
+
+use std::fmt;
+
+use crate::error::{check_sequence, DtwError};
+use crate::kernels::DistanceKernel;
+
+/// A dense `n × m` time warping matrix for sequences `x` (length `n`,
+/// one row of the display per query element) and `y` (length `m`).
+///
+/// Cell `(t, i)` — both 0-based here, unlike the paper's 1-based indexing —
+/// holds the cumulative distance `f(t+1, i+1)` of Equation (1).
+#[derive(Debug, Clone)]
+pub struct WarpingMatrix {
+    n: usize,
+    m: usize,
+    cells: Vec<f64>,
+}
+
+impl WarpingMatrix {
+    /// Computes the full warping matrix of `x` and `y` under `kernel`,
+    /// with the paper's boundary conditions (`f(0,0)=0`, borders `∞`).
+    pub fn compute<K: DistanceKernel>(x: &[f64], y: &[f64], kernel: K) -> Result<Self, DtwError> {
+        check_sequence(x, "x")?;
+        check_sequence(y, "y")?;
+        let (n, m) = (x.len(), y.len());
+        let mut cells = vec![0.0f64; n * m];
+        for t in 0..n {
+            for i in 0..m {
+                let base = kernel.dist(x[t], y[i]);
+                let prev = match (t, i) {
+                    (0, 0) => 0.0,
+                    (0, _) => cells[i - 1],       // f(t, i-1) only
+                    (_, 0) => cells[(t - 1) * m], // f(t-1, i) only
+                    _ => {
+                        let left = cells[t * m + i - 1]; // f(t, i-1)
+                        let down = cells[(t - 1) * m + i]; // f(t-1, i)
+                        let diag = cells[(t - 1) * m + i - 1]; // f(t-1, i-1)
+                        left.min(down).min(diag)
+                    }
+                };
+                cells[t * m + i] = base + prev;
+            }
+        }
+        Ok(WarpingMatrix { n, m, cells })
+    }
+
+    /// Number of rows (length of `x`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (length of `y`).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Cumulative distance at `(t, i)`, 0-based.
+    ///
+    /// # Panics
+    /// Panics if `t >= n` or `i >= m`.
+    pub fn get(&self, t: usize, i: usize) -> f64 {
+        assert!(t < self.n && i < self.m, "cell ({t},{i}) out of bounds");
+        self.cells[t * self.m + i]
+    }
+
+    /// The DTW distance `f(n, m)`.
+    pub fn distance(&self) -> f64 {
+        self.cells[self.n * self.m - 1]
+    }
+
+    /// Recovers the optimal warping path by backtracking from `(n-1, m-1)`
+    /// to `(0, 0)`. Returned in increasing `(t, i)` order.
+    ///
+    /// Ties are broken preferring the diagonal step, then the `t-1` step,
+    /// matching the shortest (most diagonal) of the optimal paths.
+    pub fn path(&self) -> Vec<(usize, usize)> {
+        let mut path = Vec::with_capacity(self.n + self.m);
+        let (mut t, mut i) = (self.n - 1, self.m - 1);
+        path.push((t, i));
+        while t > 0 || i > 0 {
+            let (nt, ni) = match (t, i) {
+                (0, _) => (0, i - 1),
+                (_, 0) => (t - 1, 0),
+                _ => {
+                    let diag = self.get(t - 1, i - 1);
+                    let down = self.get(t - 1, i);
+                    let left = self.get(t, i - 1);
+                    if diag <= down && diag <= left {
+                        (t - 1, i - 1)
+                    } else if down <= left {
+                        (t - 1, i)
+                    } else {
+                        (t, i - 1)
+                    }
+                }
+            };
+            t = nt;
+            i = ni;
+            path.push((t, i));
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl fmt::Display for WarpingMatrix {
+    /// Renders the matrix with `y` as rows (top row = `y[m-1]`), the layout
+    /// of the paper's Fig. 5.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.m).rev() {
+            write!(f, "i={:<3}", i + 1)?;
+            for t in 0..self.n {
+                write!(f, " {:>8.1}", self.get(t, i))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "     ")?;
+        for t in 0..self.n {
+            write!(f, " {:>8}", format!("t={}", t + 1))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Squared;
+
+    #[test]
+    fn single_cell_matrix() {
+        let m = WarpingMatrix::compute(&[3.0], &[5.0], Squared).unwrap();
+        assert_eq!(m.distance(), 4.0);
+        assert_eq!(m.path(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance_and_diagonal_path() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let m = WarpingMatrix::compute(&x, &x, Squared).unwrap();
+        assert_eq!(m.distance(), 0.0);
+        assert_eq!(m.path(), vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn warping_absorbs_time_stretch() {
+        // y is x with the middle element repeated; DTW should be 0.
+        let x = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let y = [0.0, 1.0, 1.0, 2.0, 2.0, 1.0, 0.0];
+        let m = WarpingMatrix::compute(&x, &y, Squared).unwrap();
+        assert_eq!(m.distance(), 0.0);
+    }
+
+    #[test]
+    fn path_endpoints_are_corners_and_steps_are_local() {
+        let x = [5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0];
+        let y = [11.0, 6.0, 9.0, 4.0];
+        let m = WarpingMatrix::compute(&x, &y, Squared).unwrap();
+        let p = m.path();
+        assert_eq!(*p.first().unwrap(), (0, 0));
+        assert_eq!(*p.last().unwrap(), (x.len() - 1, y.len() - 1));
+        for w in p.windows(2) {
+            let (dt, di) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            assert!(dt <= 1 && di <= 1 && dt + di >= 1);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(WarpingMatrix::compute(&[], &[1.0], Squared).is_err());
+        assert!(WarpingMatrix::compute(&[1.0], &[], Squared).is_err());
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let m = WarpingMatrix::compute(&[1.0, 2.0], &[1.0, 2.0, 3.0], Squared).unwrap();
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 4); // 3 query rows + axis row
+    }
+}

@@ -1,0 +1,151 @@
+//! DTW over multi-dimensional ("vector stream") elements.
+//!
+//! Sec. 5.3 of the paper extends SPRING to streams where each time-tick
+//! carries a vector of `k` numbers (motion capture: k = 62). The element
+//! distance becomes the sum of the per-channel kernel distances; nothing
+//! else about the dynamic programming changes. This module provides the
+//! whole-sequence counterpart used as the oracle for the vector SPRING.
+
+use crate::error::DtwError;
+use crate::kernels::DistanceKernel;
+
+/// Sum of per-channel kernel distances between two `k`-dimensional samples.
+#[inline]
+pub fn element_distance<K: DistanceKernel>(a: &[f64], b: &[f64], kernel: K) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| kernel.dist(x, y)).sum()
+}
+
+fn check_multivariate(seq: &[Vec<f64>], which: &'static str) -> Result<usize, DtwError> {
+    if seq.is_empty() {
+        return Err(DtwError::EmptySequence { which });
+    }
+    let dim = seq[0].len();
+    if dim == 0 {
+        return Err(DtwError::InvalidConfig(format!(
+            "`{which}` has zero channels"
+        )));
+    }
+    for (i, row) in seq.iter().enumerate() {
+        if row.len() != dim {
+            return Err(DtwError::DimensionMismatch {
+                expected: dim,
+                found: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(DtwError::NonFiniteInput { which, index: i });
+        }
+    }
+    Ok(dim)
+}
+
+/// DTW distance between two multivariate sequences.
+///
+/// `O(nm·k)` time, `O(m)` space. Both sequences must agree on the number
+/// of channels.
+pub fn dtw_multivariate<K: DistanceKernel>(
+    x: &[Vec<f64>],
+    y: &[Vec<f64>],
+    kernel: K,
+) -> Result<f64, DtwError> {
+    let dx = check_multivariate(x, "x")?;
+    let dy = check_multivariate(y, "y")?;
+    if dx != dy {
+        return Err(DtwError::DimensionMismatch {
+            expected: dx,
+            found: dy,
+        });
+    }
+    let m = y.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![0.0f64; m];
+    for (t, xt) in x.iter().enumerate() {
+        for i in 0..m {
+            let base = element_distance(xt, &y[i], kernel);
+            let best = match (t, i) {
+                (0, 0) => 0.0,
+                (0, _) => cur[i - 1],
+                (_, 0) => prev[0],
+                _ => cur[i - 1].min(prev[i]).min(prev[i - 1]),
+            };
+            cur[i] = base + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Ok(prev[m - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::dtw_distance_with;
+    use crate::kernels::Squared;
+
+    fn lift(seq: &[f64]) -> Vec<Vec<f64>> {
+        seq.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn one_channel_reduces_to_scalar_dtw() {
+        let x = [1.0, 5.0, 2.0, 8.0, 1.0];
+        let y = [2.0, 4.0, 3.0, 7.0];
+        assert_eq!(
+            dtw_multivariate(&lift(&x), &lift(&y), Squared).unwrap(),
+            dtw_distance_with(&x, &y, Squared).unwrap()
+        );
+    }
+
+    #[test]
+    fn identical_multivariate_sequences_are_zero() {
+        let x = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        assert_eq!(dtw_multivariate(&x, &x, Squared).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn independent_channels_sum_on_lockstep_paths() {
+        // Constant sequences: the optimal path is any monotone path; with
+        // equal lengths the diagonal gives n cells, each costing the sum
+        // of per-channel squared differences.
+        let x = vec![vec![0.0, 0.0]; 3];
+        let y = vec![vec![1.0, 2.0]; 3];
+        assert_eq!(
+            dtw_multivariate(&x, &y, Squared).unwrap(),
+            3.0 * (1.0 + 4.0)
+        );
+    }
+
+    #[test]
+    fn warping_absorbs_stretch_per_vector() {
+        let x = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
+        let y = vec![
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![2.0, 3.0],
+            vec![4.0, 5.0],
+        ];
+        assert_eq!(dtw_multivariate(&x, &y, Squared).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let x = vec![vec![1.0, 2.0]];
+        let y = vec![vec![1.0]];
+        assert!(matches!(
+            dtw_multivariate(&x, &y, Squared),
+            Err(DtwError::DimensionMismatch { .. })
+        ));
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(dtw_multivariate(&ragged, &x, Squared).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        let x: Vec<Vec<f64>> = vec![];
+        assert!(dtw_multivariate(&x, &[vec![1.0]], Squared).is_err());
+        let bad = vec![vec![f64::NAN]];
+        assert!(dtw_multivariate(&bad, &[vec![1.0]], Squared).is_err());
+        let zero_dim = vec![vec![]];
+        assert!(dtw_multivariate(&zero_dim, &[vec![1.0]], Squared).is_err());
+    }
+}

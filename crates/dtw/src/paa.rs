@@ -1,0 +1,113 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! Dimensionality reduction used by the coarse level of the stored-set
+//! search in [`crate::search`] (the successive-approximation idea of the
+//! FTW line of work the paper cites).
+
+use crate::error::{check_sequence, DtwError};
+
+/// Reduces `x` to `segments` segment means.
+///
+/// Segment `j` covers the index range `[j·n/w, (j+1)·n/w)` (fair split
+/// when `w` does not divide `n`); every input index lands in exactly one
+/// segment.
+///
+/// # Errors
+/// Fails on empty/non-finite input, `segments == 0`, or
+/// `segments > x.len()`.
+pub fn paa(x: &[f64], segments: usize) -> Result<Vec<f64>, DtwError> {
+    check_sequence(x, "x")?;
+    if segments == 0 {
+        return Err(DtwError::InvalidConfig("segments must be > 0".into()));
+    }
+    if segments > x.len() {
+        return Err(DtwError::InvalidConfig(format!(
+            "segments ({segments}) exceeds input length ({})",
+            x.len()
+        )));
+    }
+    let n = x.len();
+    let mut out = Vec::with_capacity(segments);
+    for j in 0..segments {
+        let lo = j * n / segments;
+        let hi = (j + 1) * n / segments;
+        let sum: f64 = x[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f64);
+    }
+    Ok(out)
+}
+
+/// Inverse of [`paa`] for visual/debug purposes: repeats each segment mean
+/// over its covered index range, reconstructing a length-`n` step function.
+pub fn paa_expand(means: &[f64], n: usize) -> Result<Vec<f64>, DtwError> {
+    check_sequence(means, "means")?;
+    let w = means.len();
+    if w > n {
+        return Err(DtwError::InvalidConfig(format!(
+            "cannot expand {w} segments to length {n}"
+        )));
+    }
+    let mut out = vec![0.0; n];
+    for (j, &mean) in means.iter().enumerate() {
+        let lo = j * n / w;
+        let hi = (j + 1) * n / w;
+        out[lo..hi].fill(mean);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let x = [1.0, 3.0, 5.0, 7.0];
+        assert_eq!(paa(&x, 2).unwrap(), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn single_segment_is_global_mean() {
+        let x = [2.0, 4.0, 6.0];
+        assert_eq!(paa(&x, 1).unwrap(), vec![4.0]);
+    }
+
+    #[test]
+    fn full_segments_is_identity() {
+        let x = [2.0, 4.0, 6.0];
+        assert_eq!(paa(&x, 3).unwrap(), x.to_vec());
+    }
+
+    #[test]
+    fn uneven_division_covers_every_index() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = paa(&x, 2).unwrap();
+        // Segments are [0,2) and [2,5).
+        assert_eq!(p, vec![1.5, 4.0]);
+    }
+
+    #[test]
+    fn mean_is_preserved_by_weighted_mean_of_segments() {
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let w = 5;
+        let p = paa(&x, w).unwrap();
+        let expanded = paa_expand(&p, x.len()).unwrap();
+        let mean_x: f64 = x.iter().sum::<f64>() / x.len() as f64;
+        let mean_e: f64 = expanded.iter().sum::<f64>() / expanded.len() as f64;
+        assert!((mean_x - mean_e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_segment_counts() {
+        assert!(paa(&[1.0, 2.0], 0).is_err());
+        assert!(paa(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn expand_roundtrip_lengths() {
+        let p = [1.0, 2.0, 3.0];
+        let e = paa_expand(&p, 7).unwrap();
+        assert_eq!(e.len(), 7);
+        assert!(paa_expand(&p, 2).is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Whole-sequence search over stored sets.
+//!
+//! The "finite, stored sequence sets" setting of the paper's Sec. 2.1:
+//! given a collection of sequences, answer nearest-neighbour and range
+//! queries under DTW without false dismissals, pruning with a lower-bound
+//! cascade (LB_Kim → LB_Keogh → early-abandoning full DTW). SPRING
+//! complements this machinery for the streaming case; the benches compare
+//! both regimes.
+
+use crate::coarse::{coarse_lower_bound, CoarseSeq};
+use crate::error::{check_sequence, DtwError};
+use crate::kernels::DistanceKernel;
+use crate::lower_bounds::{lb_keogh, lb_kim, Envelope};
+
+/// Segment length targeted by the coarse first stage of the cascade.
+const COARSE_SEGMENT_LEN: usize = 16;
+
+fn coarse_segments(len: usize) -> usize {
+    (len / COARSE_SEGMENT_LEN).max(1)
+}
+
+/// Statistics from one search, exposing how much the cascade pruned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates eliminated by the coarse (FTW-style) range bound.
+    pub pruned_coarse: usize,
+    /// Candidates eliminated by LB_Kim.
+    pub pruned_kim: usize,
+    /// Candidates eliminated by LB_Keogh.
+    pub pruned_keogh: usize,
+    /// Full DTW computations performed.
+    pub dtw_computed: usize,
+    /// Of those, computations abandoned early by the cutoff.
+    pub dtw_abandoned: usize,
+}
+
+/// A search result: index into the stored set plus the exact DTW distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Index of the stored sequence.
+    pub index: usize,
+    /// Exact DTW distance to the query.
+    pub distance: f64,
+}
+
+/// An in-memory set of stored sequences indexed for DTW search.
+#[derive(Debug, Clone)]
+pub struct SequenceSet<K: DistanceKernel> {
+    sequences: Vec<Vec<f64>>,
+    envelopes: Vec<Envelope>,
+    coarse: Vec<CoarseSeq>,
+    radius: usize,
+    kernel: K,
+}
+
+impl<K: DistanceKernel> SequenceSet<K> {
+    /// Indexes `sequences` with envelopes of the given Sakoe–Chiba
+    /// `radius` (used only for LB_Keogh pruning; the final distances are
+    /// unconstrained DTW, so a small radius only weakens pruning between
+    /// equal-length pairs — it never changes results).
+    pub fn new(sequences: Vec<Vec<f64>>, radius: usize, kernel: K) -> Result<Self, DtwError> {
+        if sequences.is_empty() {
+            return Err(DtwError::InvalidConfig("sequence set is empty".into()));
+        }
+        let mut envelopes = Vec::with_capacity(sequences.len());
+        for (idx, s) in sequences.iter().enumerate() {
+            check_sequence(s, "stored sequence").map_err(|_| {
+                DtwError::InvalidConfig(format!("stored sequence {idx} is empty or non-finite"))
+            })?;
+            // Full-length envelope so LB_Keogh bounds *unconstrained* DTW.
+            let r = radius.max(s.len().saturating_sub(1));
+            envelopes.push(Envelope::new(s, r)?);
+        }
+        let coarse = sequences
+            .iter()
+            .map(|s| CoarseSeq::new(s, coarse_segments(s.len())))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SequenceSet {
+            sequences,
+            envelopes,
+            coarse,
+            radius,
+            kernel,
+        })
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// True when the set holds no sequences (constructor forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Envelope band radius requested at construction.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Borrow a stored sequence.
+    pub fn get(&self, index: usize) -> Option<&[f64]> {
+        self.sequences.get(index).map(Vec::as_slice)
+    }
+
+    /// Exact nearest neighbour of `query` under DTW, with pruning stats.
+    ///
+    /// Guaranteed no false dismissals: the cascade only ever discards a
+    /// candidate when a *lower bound* on its DTW distance already exceeds
+    /// the best exact distance found so far.
+    pub fn nearest(&self, query: &[f64]) -> Result<(Hit, SearchStats), DtwError> {
+        check_sequence(query, "query")?;
+        let query_coarse = CoarseSeq::new(query, coarse_segments(query.len()))?;
+        let mut stats = SearchStats::default();
+        let mut best = Hit {
+            index: usize::MAX,
+            distance: f64::INFINITY,
+        };
+        for (idx, seq) in self.sequences.iter().enumerate() {
+            if coarse_lower_bound(&query_coarse, &self.coarse[idx], self.kernel) >= best.distance {
+                stats.pruned_coarse += 1;
+                continue;
+            }
+            if lb_kim(query, seq, self.kernel)? >= best.distance {
+                stats.pruned_kim += 1;
+                continue;
+            }
+            if query.len() == seq.len()
+                && lb_keogh(query, &self.envelopes[idx], self.kernel)? >= best.distance
+            {
+                stats.pruned_keogh += 1;
+                continue;
+            }
+            stats.dtw_computed += 1;
+            match dtw_early_abandon(query, seq, self.kernel, best.distance) {
+                Some(d) if d < best.distance => {
+                    best = Hit {
+                        index: idx,
+                        distance: d,
+                    }
+                }
+                Some(_) => {}
+                None => stats.dtw_abandoned += 1,
+            }
+        }
+        debug_assert!(best.index != usize::MAX, "set is non-empty");
+        Ok((best, stats))
+    }
+
+    /// All stored sequences within DTW distance `epsilon` of `query`,
+    /// sorted by distance. No false dismissals.
+    pub fn range(&self, query: &[f64], epsilon: f64) -> Result<(Vec<Hit>, SearchStats), DtwError> {
+        check_sequence(query, "query")?;
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(DtwError::InvalidConfig(format!(
+                "epsilon must be non-negative, got {epsilon}"
+            )));
+        }
+        let query_coarse = CoarseSeq::new(query, coarse_segments(query.len()))?;
+        let mut stats = SearchStats::default();
+        let mut hits = Vec::new();
+        for (idx, seq) in self.sequences.iter().enumerate() {
+            if coarse_lower_bound(&query_coarse, &self.coarse[idx], self.kernel) > epsilon {
+                stats.pruned_coarse += 1;
+                continue;
+            }
+            if lb_kim(query, seq, self.kernel)? > epsilon {
+                stats.pruned_kim += 1;
+                continue;
+            }
+            if query.len() == seq.len()
+                && lb_keogh(query, &self.envelopes[idx], self.kernel)? > epsilon
+            {
+                stats.pruned_keogh += 1;
+                continue;
+            }
+            stats.dtw_computed += 1;
+            match dtw_early_abandon(query, seq, self.kernel, epsilon) {
+                Some(d) if d <= epsilon => hits.push(Hit {
+                    index: idx,
+                    distance: d,
+                }),
+                Some(_) => {}
+                None => stats.dtw_abandoned += 1,
+            }
+        }
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        Ok((hits, stats))
+    }
+}
+
+/// Early-abandoning DTW: returns `None` as soon as every cell of the
+/// current column exceeds `cutoff` (the true distance is then provably
+/// `> cutoff`), otherwise the exact distance.
+///
+/// Callers must ensure the inputs are non-empty and finite.
+pub fn dtw_early_abandon<K: DistanceKernel>(
+    x: &[f64],
+    y: &[f64],
+    kernel: K,
+    cutoff: f64,
+) -> Option<f64> {
+    let m = y.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![0.0f64; m];
+    for (t, &xt) in x.iter().enumerate() {
+        let mut col_min = f64::INFINITY;
+        for i in 0..m {
+            let base = kernel.dist(xt, y[i]);
+            let best = match (t, i) {
+                (0, 0) => 0.0,
+                (0, _) => cur[i - 1],
+                (_, 0) => prev[0],
+                _ => cur[i - 1].min(prev[i]).min(prev[i - 1]),
+            };
+            cur[i] = base + best;
+            col_min = col_min.min(cur[i]);
+        }
+        // Cumulative costs only grow along a warping path, so if the whole
+        // column is above the cutoff the final cell will be too.
+        if col_min > cutoff {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Some(prev[m - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::dtw_distance_with;
+    use crate::kernels::Squared;
+
+    fn toy_set() -> SequenceSet<Squared> {
+        let seqs = vec![
+            vec![0.0, 1.0, 2.0, 1.0, 0.0],
+            vec![5.0, 5.0, 5.0, 5.0, 5.0],
+            vec![0.0, 2.0, 4.0, 2.0, 0.0],
+            vec![-1.0, -2.0, -3.0, -2.0, -1.0],
+        ];
+        SequenceSet::new(seqs, 1, Squared).unwrap()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let set = toy_set();
+        let query = [0.0, 1.0, 2.0, 2.0, 1.0, 0.0];
+        let (hit, _) = set.nearest(&query).unwrap();
+        let mut best = (usize::MAX, f64::INFINITY);
+        for i in 0..set.len() {
+            let d = dtw_distance_with(&query, set.get(i).unwrap(), Squared).unwrap();
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        assert_eq!((hit.index, hit.distance), best);
+    }
+
+    #[test]
+    fn range_matches_brute_force_and_is_sorted() {
+        let set = toy_set();
+        let query = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let eps = 10.0;
+        let (hits, _) = set.range(&query, eps).unwrap();
+        let brute: Vec<usize> = (0..set.len())
+            .filter(|&i| dtw_distance_with(&query, set.get(i).unwrap(), Squared).unwrap() <= eps)
+            .collect();
+        let mut got: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute);
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn exact_member_found_at_distance_zero() {
+        let set = toy_set();
+        let (hit, _) = set
+            .nearest(set.get(2).unwrap().to_vec().as_slice())
+            .unwrap();
+        assert_eq!(hit.index, 2);
+        assert_eq!(hit.distance, 0.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact_when_not_abandoned() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y = [2.0, 4.0, 3.0, 7.0];
+        let exact = dtw_distance_with(&x, &y, Squared).unwrap();
+        assert_eq!(
+            dtw_early_abandon(&x, &y, Squared, f64::INFINITY),
+            Some(exact)
+        );
+        assert_eq!(dtw_early_abandon(&x, &y, Squared, exact), Some(exact));
+    }
+
+    #[test]
+    fn early_abandon_abandons_below_true_distance() {
+        let x = [0.0, 0.0, 0.0];
+        let y = [100.0, 100.0, 100.0];
+        assert_eq!(dtw_early_abandon(&x, &y, Squared, 1.0), None);
+    }
+
+    #[test]
+    fn pruning_happens_but_never_changes_the_answer() {
+        // Large set with one close and many far sequences.
+        let mut seqs = vec![vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0]];
+        for k in 1..40 {
+            let off = 50.0 + k as f64;
+            seqs.push(vec![off; 6]);
+        }
+        let set = SequenceSet::new(seqs, 2, Squared).unwrap();
+        let query = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let (hit, stats) = set.nearest(&query).unwrap();
+        assert_eq!(hit.index, 0);
+        assert_eq!(hit.distance, 0.0);
+        assert!(
+            stats.pruned_coarse + stats.pruned_kim + stats.pruned_keogh + stats.dtw_abandoned > 0,
+            "cascade should prune something: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(SequenceSet::new(vec![], 0, Squared).is_err());
+        assert!(SequenceSet::new(vec![vec![]], 0, Squared).is_err());
+        let set = toy_set();
+        assert!(set.nearest(&[]).is_err());
+        assert!(set.range(&[1.0], -1.0).is_err());
+        assert!(set.range(&[1.0], f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! The single-threaded monitoring engine.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use spring_core::mem::MemoryUse;
+use spring_core::{Match, Spring, SpringConfig, SpringError};
+use spring_dtw::Kernel;
+
+/// Identifier of a registered stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+/// Identifier of a registered query pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+/// Identifier of a (stream, query) attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttachmentId(pub u32);
+
+/// How an attachment treats a missing (NaN) sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GapPolicy {
+    /// Skip the tick: the monitor does not advance (DTW tolerates the
+    /// resulting time-axis compression by design). The default.
+    #[default]
+    Skip,
+    /// Repeat the last observed value; before any observation, skip.
+    CarryForward,
+    /// Treat a missing sample as an error.
+    Fail,
+}
+
+/// A confirmed match on one attachment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Stream the match occurred on.
+    pub stream: StreamId,
+    /// Query that matched.
+    pub query: QueryId,
+    /// Attachment that produced the event.
+    pub attachment: AttachmentId,
+    /// The match itself (ticks are per-stream, 1-based).
+    pub m: Match,
+}
+
+/// Errors from engine configuration and ingestion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MonitorError {
+    /// Referenced stream id was never registered.
+    UnknownStream(StreamId),
+    /// Referenced query id was never registered.
+    UnknownQuery(QueryId),
+    /// Underlying SPRING error (invalid query / epsilon / input).
+    Spring(SpringError),
+    /// A missing sample arrived on an attachment with [`GapPolicy::Fail`].
+    MissingSample {
+        /// Stream the sample arrived on.
+        stream: StreamId,
+        /// 1-based tick of the offending sample.
+        tick: u64,
+    },
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::UnknownStream(id) => write!(f, "unknown stream {}", id.0),
+            MonitorError::UnknownQuery(id) => write!(f, "unknown query {}", id.0),
+            MonitorError::Spring(e) => write!(f, "{e}"),
+            MonitorError::MissingSample { stream, tick } => {
+                write!(f, "missing sample on stream {} at tick {tick}", stream.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<SpringError> for MonitorError {
+    fn from(e: SpringError) -> Self {
+        MonitorError::Spring(e)
+    }
+}
+
+#[derive(Debug)]
+struct StreamState {
+    name: String,
+    /// Ticks pushed so far (including skipped/missing ones).
+    ticks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct QueryDef {
+    name: String,
+    values: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Attachment {
+    id: AttachmentId,
+    stream: StreamId,
+    query: QueryId,
+    spring: Spring<Kernel>,
+    gap_policy: GapPolicy,
+    last_observed: Option<f64>,
+}
+
+/// Monitors any number of streams against any number of query patterns.
+///
+/// # Examples
+/// ```
+/// use spring_monitor::{Engine, GapPolicy};
+///
+/// let mut engine = Engine::new();
+/// let sensor = engine.add_stream("sensor-1");
+/// let spike = engine.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+/// engine.attach(sensor, spike, 1.0, GapPolicy::Skip).unwrap();
+///
+/// let mut events = Vec::new();
+/// for x in [50.0, 50.0, 0.0, 10.0, 0.0, 50.0, 50.0] {
+///     events.extend(engine.push(sensor, x).unwrap());
+/// }
+/// events.extend(engine.finish_stream(sensor).unwrap());
+/// assert_eq!(events.len(), 1);
+/// assert_eq!((events[0].m.start, events[0].m.end), (3, 5));
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    streams: Vec<StreamState>,
+    queries: Vec<QueryDef>,
+    attachments: Vec<Attachment>,
+    /// Attachment indices per stream, for O(per-stream) dispatch.
+    by_stream: HashMap<StreamId, Vec<usize>>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Registers a stream and returns its id.
+    pub fn add_stream(&mut self, name: impl Into<String>) -> StreamId {
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamState {
+            name: name.into(),
+            ticks: 0,
+        });
+        self.by_stream.entry(id).or_default();
+        id
+    }
+
+    /// Registers a query pattern and returns its id.
+    ///
+    /// # Errors
+    /// Fails when the pattern is empty or non-finite.
+    pub fn add_query(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<QueryId, MonitorError> {
+        // Validate eagerly so broken queries fail at registration.
+        Spring::with_kernel(&values, SpringConfig::new(0.0), Kernel::Squared)?;
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push(QueryDef {
+            name: name.into(),
+            values,
+        });
+        Ok(id)
+    }
+
+    /// Attaches `query` to `stream` with threshold `epsilon` (squared
+    /// kernel) and the given gap policy. One query may be attached to
+    /// many streams and vice versa; each attachment is independent.
+    pub fn attach(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        epsilon: f64,
+        gap_policy: GapPolicy,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_with_kernel(stream, query, epsilon, gap_policy, Kernel::Squared)
+    }
+
+    /// [`Engine::attach`] with an explicit kernel.
+    pub fn attach_with_kernel(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        epsilon: f64,
+        gap_policy: GapPolicy,
+        kernel: Kernel,
+    ) -> Result<AttachmentId, MonitorError> {
+        if stream.0 as usize >= self.streams.len() {
+            return Err(MonitorError::UnknownStream(stream));
+        }
+        let def = self
+            .queries
+            .get(query.0 as usize)
+            .ok_or(MonitorError::UnknownQuery(query))?;
+        let spring = Spring::with_kernel(&def.values, SpringConfig::new(epsilon), kernel)?;
+        let id = AttachmentId(self.attachments.len() as u32);
+        let idx = self.attachments.len();
+        self.attachments.push(Attachment {
+            id,
+            stream,
+            query,
+            spring,
+            gap_policy,
+            last_observed: None,
+        });
+        self.by_stream.entry(stream).or_default().push(idx);
+        Ok(id)
+    }
+
+    /// Name of a registered stream.
+    pub fn stream_name(&self, id: StreamId) -> Option<&str> {
+        self.streams.get(id.0 as usize).map(|s| s.name.as_str())
+    }
+
+    /// Name of a registered query.
+    pub fn query_name(&self, id: QueryId) -> Option<&str> {
+        self.queries.get(id.0 as usize).map(|q| q.name.as_str())
+    }
+
+    /// Number of attachments.
+    pub fn attachment_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// The (stream, query) pair of an attachment.
+    pub fn attachment_info(&self, id: AttachmentId) -> Option<(StreamId, QueryId)> {
+        self.attachments
+            .get(id.0 as usize)
+            .map(|a| (a.stream, a.query))
+    }
+
+    /// Ticks pushed so far on a stream.
+    pub fn stream_ticks(&self, id: StreamId) -> Option<u64> {
+        self.streams.get(id.0 as usize).map(|s| s.ticks)
+    }
+
+    /// Pushes one sample (NaN = missing) to a stream; returns the events
+    /// confirmed at this tick across all of the stream's attachments.
+    pub fn push(&mut self, stream: StreamId, value: f64) -> Result<Vec<Event>, MonitorError> {
+        let state = self
+            .streams
+            .get_mut(stream.0 as usize)
+            .ok_or(MonitorError::UnknownStream(stream))?;
+        state.ticks += 1;
+        let tick = state.ticks;
+        let mut events = Vec::new();
+        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
+        for idx in indices {
+            let att = &mut self.attachments[idx];
+            let x = if value.is_finite() {
+                att.last_observed = Some(value);
+                value
+            } else {
+                match att.gap_policy {
+                    GapPolicy::Skip => continue,
+                    GapPolicy::CarryForward => match att.last_observed {
+                        Some(v) => v,
+                        None => continue,
+                    },
+                    GapPolicy::Fail => {
+                        return Err(MonitorError::MissingSample { stream, tick });
+                    }
+                }
+            };
+            if let Some(m) = att.spring.step(x) {
+                events.push(Event {
+                    stream,
+                    query: att.query,
+                    attachment: att.id,
+                    m,
+                });
+            }
+        }
+        Ok(events)
+    }
+
+    /// Declares a stream finished, flushing pending group optima on all
+    /// of its attachments.
+    pub fn finish_stream(&mut self, stream: StreamId) -> Result<Vec<Event>, MonitorError> {
+        if stream.0 as usize >= self.streams.len() {
+            return Err(MonitorError::UnknownStream(stream));
+        }
+        let mut events = Vec::new();
+        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
+        for idx in indices {
+            let att = &mut self.attachments[idx];
+            if let Some(m) = att.spring.finish() {
+                events.push(Event {
+                    stream,
+                    query: att.query,
+                    attachment: att.id,
+                    m,
+                });
+            }
+        }
+        Ok(events)
+    }
+
+    /// Total bytes of live monitoring state across all attachments
+    /// (constant per attachment — Lemma 4 per pair).
+    pub fn bytes_used(&self) -> usize {
+        self.attachments.iter().map(|a| a.spring.bytes_used()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spike_stream(spike_at: &[usize], len: usize) -> Vec<f64> {
+        let mut v = vec![50.0; len];
+        for &s in spike_at {
+            v[s] = 0.0;
+            v[s + 1] = 10.0;
+            v[s + 2] = 0.0;
+        }
+        v
+    }
+
+    #[test]
+    fn single_stream_single_query_end_to_end() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let mut events = Vec::new();
+        for x in spike_stream(&[5, 20], 30) {
+            events.extend(e.push(s, x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].m.start, events[0].m.end), (6, 8));
+        assert_eq!((events[1].m.start, events[1].m.end), (21, 23));
+    }
+
+    #[test]
+    fn many_queries_on_one_stream_fire_independently() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let spike = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        let dip = e.add_query("dip", vec![50.0, 45.0, 50.0]).unwrap();
+        e.attach(s, spike, 1.0, GapPolicy::Skip).unwrap();
+        e.attach(s, dip, 1.0, GapPolicy::Skip).unwrap();
+        let mut stream = spike_stream(&[5], 30);
+        stream[15] = 45.0; // a dip
+        let mut events = Vec::new();
+        for x in stream {
+            events.extend(e.push(s, x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        let spikes: Vec<_> = events.iter().filter(|ev| ev.query == spike).collect();
+        let dips: Vec<_> = events.iter().filter(|ev| ev.query == dip).collect();
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(dips.len(), 1);
+        assert_eq!((dips[0].m.start, dips[0].m.end), (15, 17));
+    }
+
+    #[test]
+    fn one_query_on_many_streams_has_independent_tick_counters() {
+        let mut e = Engine::new();
+        let s1 = e.add_stream("s1");
+        let s2 = e.add_stream("s2");
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach(s1, q, 1.0, GapPolicy::Skip).unwrap();
+        e.attach(s2, q, 1.0, GapPolicy::Skip).unwrap();
+        // Interleave pushes: s2 lags s1 by an offset.
+        let v1 = spike_stream(&[3], 12);
+        let v2 = spike_stream(&[7], 12);
+        let mut events = Vec::new();
+        for i in 0..12 {
+            events.extend(e.push(s1, v1[i]).unwrap());
+            events.extend(e.push(s2, v2[i]).unwrap());
+        }
+        events.extend(e.finish_stream(s1).unwrap());
+        events.extend(e.finish_stream(s2).unwrap());
+        let on1: Vec<_> = events.iter().filter(|ev| ev.stream == s1).collect();
+        let on2: Vec<_> = events.iter().filter(|ev| ev.stream == s2).collect();
+        assert_eq!(on1.len(), 1);
+        assert_eq!(on2.len(), 1);
+        assert_eq!(on1[0].m.start, 4);
+        assert_eq!(on2[0].m.start, 8);
+    }
+
+    #[test]
+    fn gap_policy_skip_tolerates_dropouts_inside_a_match() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("spike", vec![0.0, 10.0, 10.0, 0.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        // The pattern appears with a missing tick in the middle; Skip
+        // compresses the time axis, which DTW absorbs.
+        let stream = [50.0, 50.0, 0.0, 10.0, f64::NAN, 10.0, 0.0, 50.0, 50.0];
+        let mut events = Vec::new();
+        for x in stream {
+            events.extend(e.push(s, x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].m.distance, 0.0);
+    }
+
+    #[test]
+    fn gap_policy_fail_surfaces_the_tick() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("q", vec![1.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Fail).unwrap();
+        e.push(s, 1.0).unwrap();
+        let err = e.push(s, f64::NAN).unwrap_err();
+        assert_eq!(err, MonitorError::MissingSample { stream: s, tick: 2 });
+    }
+
+    #[test]
+    fn gap_policy_carry_forward_keeps_raw_tick_alignment() {
+        // Under CarryForward the monitor advances on the missing tick
+        // (repeating the last observation), so reported positions stay in
+        // raw-stream coordinates: the match spans the gap tick.
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("ramp", vec![1.0, 2.0, 3.0]).unwrap();
+        e.attach(s, q, 0.1, GapPolicy::CarryForward).unwrap();
+        let mut events = Vec::new();
+        for x in [9.0, 1.0, 2.0, f64::NAN, 3.0, 9.0, 9.0] {
+            events.extend(e.push(s, x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].m.distance, 0.0); // carried 2.0 warps onto y2
+        assert_eq!((events[0].m.start, events[0].m.end), (2, 5));
+    }
+
+    #[test]
+    fn gap_policy_skip_compresses_tick_space() {
+        // Under Skip the monitor does not advance on missing ticks, so
+        // positions are in observed-sample coordinates.
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("ramp", vec![1.0, 2.0, 3.0]).unwrap();
+        e.attach(s, q, 0.1, GapPolicy::Skip).unwrap();
+        let mut events = Vec::new();
+        for x in [9.0, 1.0, 2.0, f64::NAN, 3.0, 9.0, 9.0] {
+            events.extend(e.push(s, x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].m.distance, 0.0);
+        // Observed samples: 9, 1, 2, 3, 9, 9 -> match at observed 2..=4.
+        assert_eq!((events[0].m.start, events[0].m.end), (2, 4));
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("q", vec![1.0]).unwrap();
+        assert!(matches!(
+            e.attach(StreamId(9), q, 1.0, GapPolicy::Skip),
+            Err(MonitorError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            e.attach(s, QueryId(9), 1.0, GapPolicy::Skip),
+            Err(MonitorError::UnknownQuery(_))
+        ));
+        assert!(matches!(
+            e.push(StreamId(9), 1.0),
+            Err(MonitorError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            e.finish_stream(StreamId(9)),
+            Err(MonitorError::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_queries_and_epsilons_are_rejected_at_registration() {
+        let mut e = Engine::new();
+        assert!(e.add_query("empty", vec![]).is_err());
+        assert!(e.add_query("nan", vec![f64::NAN]).is_err());
+        let s = e.add_stream("s");
+        let q = e.add_query("ok", vec![1.0]).unwrap();
+        assert!(e.attach(s, q, -1.0, GapPolicy::Skip).is_err());
+    }
+
+    #[test]
+    fn names_and_counters_are_queryable() {
+        let mut e = Engine::new();
+        let s = e.add_stream("sensor-7");
+        let q = e.add_query("pattern-x", vec![1.0, 2.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        assert_eq!(e.stream_name(s), Some("sensor-7"));
+        assert_eq!(e.query_name(q), Some("pattern-x"));
+        assert_eq!(e.attachment_count(), 1);
+        e.push(s, 1.0).unwrap();
+        assert_eq!(e.stream_ticks(s), Some(1));
+        assert!(e.bytes_used() > 0);
+    }
+
+    #[test]
+    fn memory_is_constant_per_attachment_over_time() {
+        let mut e = Engine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("q", vec![0.5; 64]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        e.push(s, 0.0).unwrap();
+        let before = e.bytes_used();
+        for t in 0..10_000 {
+            e.push(s, (t as f64 * 0.1).sin()).unwrap();
+        }
+        assert_eq!(e.bytes_used(), before);
+    }
+}

@@ -1,0 +1,31 @@
+//! # spring-monitor — multi-stream, multi-query monitoring on SPRING
+//!
+//! The paper's motivating setting (Sec. 1, Sec. 5.3) is *monitoring
+//! multiple numerical streams*: many sensors, each watched for many
+//! patterns. This crate operationalizes that:
+//!
+//! * [`engine`] — a single-threaded [`Engine`]: register streams and
+//!   queries, attach any query to any stream with its own threshold, push
+//!   values, receive [`Event`]s. Handles missing values (sensor dropouts)
+//!   per attachment via a [`GapPolicy`].
+//! * [`sink`] — pluggable match consumers: collect into a vector, call a
+//!   closure, or forward over a crossbeam channel.
+//! * [`runner`] — a threaded runner that shards attachments across worker
+//!   threads and fans incoming samples out to them, for deployments where
+//!   one core cannot sustain `streams × queries × O(m)` per tick.
+//!
+//! Per-tick cost per attachment is `O(m)` and memory is `O(m)` — SPRING's
+//! guarantees are preserved independently for every (stream, query) pair.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod runner;
+pub mod sink;
+pub mod vector_engine;
+
+pub use engine::{AttachmentId, Engine, Event, GapPolicy, MonitorError, QueryId, StreamId};
+pub use runner::Runner;
+pub use sink::{ChannelSink, FnSink, MatchSink, VecSink};
+pub use vector_engine::{VectorEngine, VectorEvent};

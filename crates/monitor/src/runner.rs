@@ -1,0 +1,284 @@
+//! Threaded monitoring runner.
+//!
+//! Shards attachments across worker threads: each worker owns the SPRING
+//! states of its shard (no locking on the hot path) and receives the
+//! samples of the streams it watches over a bounded crossbeam channel.
+//! Matches go to a shared [`MatchSink`].
+//!
+//! Scaling model: with `A` attachments of query length `m` spread over
+//! `w` workers, each incoming sample costs `O(A·m / w)` on the critical
+//! path — the `monitor_scaling` bench measures exactly this.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crossbeam::channel::{bounded, Sender};
+
+use spring_core::{Spring, SpringConfig};
+use spring_dtw::Kernel;
+
+use crate::engine::{AttachmentId, Event, GapPolicy, MonitorError, QueryId, StreamId};
+use crate::sink::MatchSink;
+
+/// One attachment specification for a [`Runner`].
+#[derive(Debug, Clone)]
+pub struct RunnerAttachment {
+    /// Stream to watch.
+    pub stream: StreamId,
+    /// Query pattern values.
+    pub query: Vec<f64>,
+    /// Query id reported in events.
+    pub query_id: QueryId,
+    /// Match threshold.
+    pub epsilon: f64,
+    /// Missing-sample policy.
+    pub gap_policy: GapPolicy,
+}
+
+enum Msg {
+    Sample { stream: StreamId, value: f64 },
+    FinishStream(StreamId),
+    Shutdown,
+}
+
+struct WorkerAttachment {
+    id: AttachmentId,
+    stream: StreamId,
+    query_id: QueryId,
+    spring: Spring<Kernel>,
+    gap_policy: GapPolicy,
+    last_observed: Option<f64>,
+}
+
+/// A running pool of monitor workers.
+///
+/// Samples are pushed from any thread via [`Runner::push`]; matches
+/// arrive at the sink from worker threads. Call [`Runner::shutdown`] to
+/// flush and join.
+pub struct Runner {
+    senders: Vec<Sender<Msg>>,
+    /// Worker indices interested in each stream.
+    routes: HashMap<StreamId, Vec<usize>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Runner {
+    /// Spawns `workers` threads sharing out `attachments` round-robin.
+    ///
+    /// # Errors
+    /// Fails when `workers == 0` or any attachment has an invalid query
+    /// or threshold.
+    pub fn spawn(
+        attachments: Vec<RunnerAttachment>,
+        workers: usize,
+        sink: Arc<dyn MatchSink>,
+    ) -> Result<Self, MonitorError> {
+        if workers == 0 {
+            return Err(MonitorError::Spring(
+                spring_core::SpringError::InvalidQuery("runner needs at least one worker".into()),
+            ));
+        }
+        let mut shards: Vec<Vec<WorkerAttachment>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut routes: HashMap<StreamId, Vec<usize>> = HashMap::new();
+        for (i, spec) in attachments.into_iter().enumerate() {
+            let spring = Spring::with_kernel(
+                &spec.query,
+                SpringConfig::new(spec.epsilon),
+                Kernel::Squared,
+            )?;
+            let worker = i % workers;
+            shards[worker].push(WorkerAttachment {
+                id: AttachmentId(i as u32),
+                stream: spec.stream,
+                query_id: spec.query_id,
+                spring,
+                gap_policy: spec.gap_policy,
+                last_observed: None,
+            });
+            let entry = routes.entry(spec.stream).or_default();
+            if !entry.contains(&worker) {
+                entry.push(worker);
+            }
+        }
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in shards {
+            let (tx, rx) = bounded::<Msg>(1024);
+            let sink = Arc::clone(&sink);
+            let handle = thread::spawn(move || {
+                let mut shard = shard;
+                for msg in rx {
+                    match msg {
+                        Msg::Sample { stream, value } => {
+                            for att in shard.iter_mut().filter(|a| a.stream == stream) {
+                                let x = if value.is_finite() {
+                                    att.last_observed = Some(value);
+                                    value
+                                } else {
+                                    match att.gap_policy {
+                                        GapPolicy::Skip | GapPolicy::Fail => continue,
+                                        GapPolicy::CarryForward => match att.last_observed {
+                                            Some(v) => v,
+                                            None => continue,
+                                        },
+                                    }
+                                };
+                                if let Some(m) = att.spring.step(x) {
+                                    sink.on_match(&Event {
+                                        stream,
+                                        query: att.query_id,
+                                        attachment: att.id,
+                                        m,
+                                    });
+                                }
+                            }
+                        }
+                        Msg::FinishStream(stream) => {
+                            for att in shard.iter_mut().filter(|a| a.stream == stream) {
+                                if let Some(m) = att.spring.finish() {
+                                    sink.on_match(&Event {
+                                        stream,
+                                        query: att.query_id,
+                                        attachment: att.id,
+                                        m,
+                                    });
+                                }
+                            }
+                        }
+                        Msg::Shutdown => break,
+                    }
+                }
+            });
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Ok(Runner {
+            senders,
+            routes,
+            handles,
+        })
+    }
+
+    /// Pushes one sample to every worker watching `stream`.
+    pub fn push(&self, stream: StreamId, value: f64) {
+        if let Some(workers) = self.routes.get(&stream) {
+            for &w in workers {
+                // Workers only stop after Shutdown, so sends cannot fail
+                // while the Runner is alive.
+                let _ = self.senders[w].send(Msg::Sample { stream, value });
+            }
+        }
+    }
+
+    /// Flushes pending group optima on a stream's attachments.
+    pub fn finish_stream(&self, stream: StreamId) {
+        if let Some(workers) = self.routes.get(&stream) {
+            for &w in workers {
+                let _ = self.senders[w].send(Msg::FinishStream(stream));
+            }
+        }
+    }
+
+    /// Drains all queues, stops the workers, and joins them.
+    pub fn shutdown(self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+
+    fn spike_stream(spike_at: &[usize], len: usize) -> Vec<f64> {
+        let mut v = vec![50.0; len];
+        for &s in spike_at {
+            v[s] = 0.0;
+            v[s + 1] = 10.0;
+            v[s + 2] = 0.0;
+        }
+        v
+    }
+
+    fn spike_attachment(stream: StreamId, qid: u32) -> RunnerAttachment {
+        RunnerAttachment {
+            stream,
+            query: vec![0.0, 10.0, 0.0],
+            query_id: QueryId(qid),
+            epsilon: 1.0,
+            gap_policy: GapPolicy::Skip,
+        }
+    }
+
+    #[test]
+    fn single_worker_end_to_end() {
+        let sink = Arc::new(VecSink::new());
+        let runner =
+            Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+        for x in spike_stream(&[4, 15], 25) {
+            runner.push(StreamId(0), x);
+        }
+        runner.finish_stream(StreamId(0));
+        runner.shutdown();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].m.start, 5);
+        assert_eq!(events[1].m.start, 16);
+    }
+
+    #[test]
+    fn many_workers_many_streams() {
+        let sink = Arc::new(VecSink::new());
+        let n_streams = 6;
+        let attachments: Vec<RunnerAttachment> = (0..n_streams)
+            .map(|s| spike_attachment(StreamId(s), s))
+            .collect();
+        let runner = Runner::spawn(attachments, 3, sink.clone()).unwrap();
+        for s in 0..n_streams {
+            for x in spike_stream(&[3 + s as usize], 20) {
+                runner.push(StreamId(s), x);
+            }
+            runner.finish_stream(StreamId(s));
+        }
+        runner.shutdown();
+        let events = sink.events();
+        assert_eq!(events.len(), n_streams as usize);
+        for s in 0..n_streams {
+            let ev = events.iter().find(|e| e.stream == StreamId(s)).unwrap();
+            assert_eq!(ev.m.start, 4 + s as u64);
+        }
+    }
+
+    #[test]
+    fn per_stream_event_order_is_preserved() {
+        let sink = Arc::new(VecSink::new());
+        let runner =
+            Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+        for x in spike_stream(&[3, 10, 17, 24], 32) {
+            runner.push(StreamId(0), x);
+        }
+        runner.finish_stream(StreamId(0));
+        runner.shutdown();
+        let starts: Vec<u64> = sink.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![4, 11, 18, 25]);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let sink = Arc::new(VecSink::new());
+        assert!(Runner::spawn(vec![], 0, sink).is_err());
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic_joins_cleanly() {
+        let sink = Arc::new(VecSink::new());
+        let runner = Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 4, sink).unwrap();
+        runner.shutdown();
+    }
+}

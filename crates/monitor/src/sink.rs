@@ -1,0 +1,134 @@
+//! Pluggable consumers for match events.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use crate::engine::Event;
+
+/// A consumer of confirmed match events. Implementations must be cheap:
+/// they run on the ingestion path.
+pub trait MatchSink: Send + Sync {
+    /// Called once per confirmed match, in confirmation order per stream.
+    fn on_match(&self, event: &Event);
+}
+
+/// Collects events into a shared vector (test/offline usage).
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Snapshot of the events received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events received so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when no event was received yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl MatchSink for VecSink {
+    fn on_match(&self, event: &Event) {
+        self.events.lock().push(*event);
+    }
+}
+
+/// Invokes a closure per event.
+pub struct FnSink<F: Fn(&Event) + Send + Sync>(pub F);
+
+impl<F: Fn(&Event) + Send + Sync> MatchSink for FnSink<F> {
+    fn on_match(&self, event: &Event) {
+        (self.0)(event);
+    }
+}
+
+/// Forwards events over a crossbeam channel (e.g. to an alerting thread).
+/// Events are dropped silently once the receiver disconnects.
+#[derive(Debug, Clone)]
+pub struct ChannelSink {
+    tx: Sender<Event>,
+}
+
+impl ChannelSink {
+    /// A sink forwarding into `tx`.
+    pub fn new(tx: Sender<Event>) -> Self {
+        ChannelSink { tx }
+    }
+}
+
+impl MatchSink for ChannelSink {
+    fn on_match(&self, event: &Event) {
+        let _ = self.tx.send(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AttachmentId, QueryId, StreamId};
+    use spring_core::Match;
+
+    fn event(start: u64) -> Event {
+        Event {
+            stream: StreamId(0),
+            query: QueryId(0),
+            attachment: AttachmentId(0),
+            m: Match {
+                start,
+                end: start + 1,
+                distance: 0.0,
+                reported_at: start + 2,
+                group_start: start,
+                group_end: start + 1,
+            },
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let sink = VecSink::new();
+        assert!(sink.is_empty());
+        sink.on_match(&event(1));
+        sink.on_match(&event(5));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].m.start, 1);
+        assert_eq!(evs[1].m.start, 5);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let sink = FnSink(|_: &Event| {
+            count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        sink.on_match(&event(1));
+        sink.on_match(&event(2));
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn channel_sink_forwards_and_tolerates_disconnect() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let sink = ChannelSink::new(tx);
+        sink.on_match(&event(3));
+        assert_eq!(rx.recv().unwrap().m.start, 3);
+        drop(rx);
+        sink.on_match(&event(4)); // must not panic
+    }
+}

@@ -1,0 +1,134 @@
+//! Robust monitoring with the SPRING extensions: length bounds and
+//! streaming z-normalization.
+//!
+//! Two practical failure modes of raw subsequence DTW, and their fixes:
+//!
+//! 1. **Pathological stretch** — one query element can absorb a long flat
+//!    stretch, so a "match" may be 10× the query length.
+//!    [`BoundedSpring`] caps the match length inside the matrix.
+//! 2. **Baseline drift / gain mismatch** — a sensor reporting the same
+//!    shape at +100 offset never matches a fixed query.
+//!    [`NormalizedSpring`] matches z-scores against a sliding window.
+//!
+//! Run with: `cargo run --release --example robust_monitoring`
+
+use spring::core::{BoundedConfig, BoundedSpring, NormalizedSpring, Spring, SpringConfig};
+use spring_data::noise::Gaussian;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // Part 1 — length bounds.
+    // ----------------------------------------------------------------
+    println!("== Length-bounded matching ==\n");
+    let query = [0.0, 9.0, 0.0];
+    // The stream holds a heavily stretched occurrence: 0, then 9 held for
+    // twelve ticks, then 0 — DTW distance 0 to the query, length 14.
+    let mut stream = vec![50.0; 5];
+    stream.push(0.0);
+    stream.extend(vec![9.0; 12]);
+    stream.push(0.0);
+    stream.extend(vec![50.0; 5]);
+    // And one crisp occurrence.
+    stream.extend([0.0, 9.0, 0.0]);
+    stream.extend(vec![50.0; 5]);
+
+    let mut plain = Spring::new(&query, SpringConfig::new(1.0)).unwrap();
+    let mut plain_hits = Vec::new();
+    for &x in &stream {
+        plain_hits.extend(plain.step(x));
+    }
+    plain_hits.extend(plain.finish());
+    println!("plain SPRING:");
+    for m in &plain_hits {
+        println!(
+            "   [{} : {}] len {:>2}  d = {}",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance
+        );
+    }
+
+    let mut bounded = BoundedSpring::new(&query, BoundedConfig::new(1.0, 2, 5)).unwrap();
+    let mut bounded_hits = Vec::new();
+    for &x in &stream {
+        bounded_hits.extend(bounded.step(x));
+    }
+    bounded_hits.extend(bounded.finish());
+    println!("bounded SPRING (len in [2, 5]):");
+    for m in &bounded_hits {
+        println!(
+            "   [{} : {}] len {:>2}  d = {}",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance
+        );
+    }
+    assert!(bounded_hits.iter().all(|m| m.len() <= 5));
+
+    // ----------------------------------------------------------------
+    // Part 2 — streaming z-normalization.
+    // ----------------------------------------------------------------
+    println!("\n== Normalized matching under baseline drift ==\n");
+    // Two full oscillations, 24 ticks: long enough that random noise
+    // cannot cheaply cover every query element even with warping.
+    let template: Vec<f64> = (0..24)
+        .map(|i| 3.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+        .collect();
+    // Sensor baseline drifts slowly from 0 to ~12 over the stream (slow
+    // relative to the normalization window, as real drift is); the
+    // pattern appears twice, at different offsets and gains.
+    let mut g = Gaussian::new(7);
+    let mut stream = Vec::new();
+    let mut truth = Vec::new();
+    for t in 0..240usize {
+        let baseline = t as f64 * 0.05;
+        if t == 60 || t == 160 {
+            let gain = if t == 60 { 1.0 } else { 2.5 };
+            truth.push((
+                stream.len() as u64 + 1,
+                (stream.len() + template.len()) as u64,
+            ));
+            for &v in &template {
+                stream.push(baseline + gain * v + g.sample() * 0.1);
+            }
+        } else {
+            stream.push(baseline + g.sample() * 0.3);
+        }
+    }
+
+    let mut raw = Spring::new(&template, SpringConfig::new(10.0)).unwrap();
+    let mut raw_hits = Vec::new();
+    for &x in &stream {
+        raw_hits.extend(raw.step(x));
+    }
+    raw_hits.extend(raw.finish());
+    println!(
+        "raw SPRING found {} of {} planted patterns",
+        raw_hits.len(),
+        truth.len()
+    );
+
+    // Window ≈ pattern length, so in-pattern window statistics resemble
+    // the pattern's own (the usual guidance for local normalization).
+    let mut norm = NormalizedSpring::new(&template, 8.0, 24).unwrap();
+    let mut norm_hits = Vec::new();
+    for &x in &stream {
+        norm_hits.extend(norm.step(x));
+    }
+    norm_hits.extend(norm.finish());
+    let captured = truth
+        .iter()
+        .filter(|&&(s, e)| norm_hits.iter().any(|m| m.start <= e && s <= m.end))
+        .count();
+    println!("normalized SPRING (window 24):");
+    for m in &norm_hits {
+        println!("   [{} : {}]  d = {:.2}", m.start, m.end, m.distance);
+    }
+    println!(
+        "captured {captured}/{} planted patterns despite drift and gain",
+        truth.len()
+    );
+    assert_eq!(captured, truth.len());
+}

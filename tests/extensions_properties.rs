@@ -1,0 +1,233 @@
+//! Property tests for the post-paper extensions (bounded matching,
+//! streaming normalization, coarse bounds, vector streams) plus failure
+//! injection with extreme inputs.
+
+use proptest::prelude::*;
+
+use spring::core::{
+    BoundedConfig, BoundedSpring, Match, NormalizedSpring, Spring, SpringConfig, VectorSpring,
+};
+use spring::dtw::coarse::{coarse_lower_bound, CoarseSeq};
+use spring::dtw::kernels::Squared;
+use spring::dtw::{dtw_distance_with, multivariate::dtw_multivariate};
+
+fn small_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, 1..=max_len)
+}
+
+fn run_bounded(query: &[f64], stream: &[f64], cfg: BoundedConfig) -> Vec<Match> {
+    let mut bs = BoundedSpring::new(query, cfg).unwrap();
+    let mut out: Vec<Match> = stream.iter().filter_map(|&x| bs.step(x)).collect();
+    out.extend(bs.finish());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bounded_reports_are_exact_within_bounds_and_disjoint(
+        stream in small_seq(40),
+        query in small_seq(5),
+        eps in 0.5f64..40.0,
+        min_len in 1u64..4,
+        extra in 0u64..8,
+    ) {
+        let cfg = BoundedConfig::new(eps, min_len, min_len + extra);
+        for m in run_bounded(&query, &stream, cfg) {
+            prop_assert!(m.distance <= eps);
+            prop_assert!(m.len() >= cfg.min_len && m.len() <= cfg.max_len);
+            let exact = dtw_distance_with(&stream[m.range0()], &query, Squared).unwrap();
+            prop_assert!((exact - m.distance).abs() < 1e-9);
+        }
+        let out = run_bounded(&query, &stream, cfg);
+        for w in out.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+    }
+
+    #[test]
+    fn unbounded_config_matches_plain_spring(
+        stream in small_seq(40),
+        query in small_seq(5),
+        eps in 0.5f64..40.0,
+    ) {
+        let cfg = BoundedConfig::new(eps, 1, u64::MAX);
+        let bounded = run_bounded(&query, &stream, cfg);
+        let mut plain = Spring::new(&query, SpringConfig::new(eps)).unwrap();
+        let mut expected: Vec<Match> =
+            stream.iter().filter_map(|&x| plain.step(x)).collect();
+        expected.extend(plain.finish());
+        prop_assert_eq!(bounded, expected);
+    }
+
+    #[test]
+    fn coarse_bound_is_sound_at_every_resolution(
+        x in small_seq(48),
+        y in small_seq(48),
+    ) {
+        let true_d = dtw_distance_with(&x, &y, Squared).unwrap();
+        for w in [1usize, 2, 4, 8] {
+            let wx = w.min(x.len());
+            let wy = w.min(y.len());
+            let xc = CoarseSeq::new(&x, wx).unwrap();
+            let yc = CoarseSeq::new(&y, wy).unwrap();
+            let lb = coarse_lower_bound(&xc, &yc, Squared);
+            prop_assert!(lb <= true_d + 1e-9, "w = {}: {} > {}", w, lb, true_d);
+        }
+    }
+
+    #[test]
+    fn normalized_monitor_never_reports_into_warmup(
+        stream in small_seq(60),
+        query in small_seq(5),
+        window in 2usize..12,
+    ) {
+        prop_assume!(query.len() >= 2);
+        let mut ns = NormalizedSpring::new(&query, 5.0, window).unwrap();
+        let mut hits: Vec<Match> = stream.iter().filter_map(|&x| ns.step(x)).collect();
+        hits.extend(ns.finish());
+        for m in hits {
+            prop_assert!(m.start >= window as u64);
+            prop_assert!(m.end as usize <= stream.len());
+            prop_assert!(m.reported_at as usize <= stream.len());
+        }
+    }
+
+    #[test]
+    fn vector_spring_distances_are_exact(
+        stream_flat in prop::collection::vec(-5.0f64..5.0, 8..60),
+        query_flat in prop::collection::vec(-5.0f64..5.0, 2..8),
+        eps in 0.5f64..30.0,
+    ) {
+        // Interpret flat vectors as 2-channel rows.
+        let stream: Vec<Vec<f64>> =
+            stream_flat.chunks_exact(2).map(|c| c.to_vec()).collect();
+        let query: Vec<Vec<f64>> =
+            query_flat.chunks_exact(2).map(|c| c.to_vec()).collect();
+        prop_assume!(!stream.is_empty() && !query.is_empty());
+        let mut vs = VectorSpring::new(&query, eps).unwrap();
+        let mut hits = Vec::new();
+        for row in &stream {
+            hits.extend(vs.step(row).unwrap());
+        }
+        hits.extend(vs.finish());
+        for m in hits {
+            prop_assert!(m.distance <= eps);
+            let sub = &stream[m.start as usize - 1..m.end as usize];
+            let exact = dtw_multivariate(sub, &query, Squared).unwrap();
+            prop_assert!((exact - m.distance).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure injection: extreme magnitudes must degrade gracefully (no
+// panics, no bogus reports), even where squared distances overflow to ∞.
+// ---------------------------------------------------------------------
+
+#[test]
+fn huge_magnitudes_do_not_panic_or_produce_spurious_matches() {
+    let query = [1.0, 2.0, 3.0];
+    let mut spring = Spring::new(&query, SpringConfig::new(1.0)).unwrap();
+    let mut hits = Vec::new();
+    for &x in &[1e200, -1e200, 1e308, -1e308, 0.0, 1.0, 2.0, 3.0, 0.0] {
+        hits.extend(spring.step(x));
+    }
+    hits.extend(spring.finish());
+    // The genuine occurrence at the end must still be found; the huge
+    // values (whose squared distances overflow to +inf) must not be.
+    assert_eq!(hits.len(), 1);
+    assert_eq!((hits[0].start, hits[0].end), (6, 8)); // the 1.0, 2.0, 3.0 ticks
+    for m in &hits {
+        assert!(m.distance.is_finite());
+    }
+}
+
+#[test]
+fn denormal_and_tiny_values_behave() {
+    let query = [0.0, f64::MIN_POSITIVE, 0.0];
+    let stream = [f64::MIN_POSITIVE; 10];
+    let mut spring = Spring::new(&query, SpringConfig::new(1e-300)).unwrap();
+    let mut hits = Vec::new();
+    for &x in &stream {
+        hits.extend(spring.step(x));
+    }
+    hits.extend(spring.finish());
+    assert!(!hits.is_empty(), "tiny but exact matches must be reported");
+}
+
+#[test]
+fn alternating_extremes_keep_the_monitor_consistent() {
+    // Alternating ±1e154 keeps squared distances finite (≈4e308 barely
+    // overflows; use 1e150 to stay finite) — the point is long streams of
+    // wild dynamics never corrupt tick bookkeeping.
+    let query = [0.0, 1.0];
+    let mut spring = Spring::new(&query, SpringConfig::new(0.1)).unwrap();
+    for t in 0..10_000u64 {
+        let x = if t % 2 == 0 { 1e150 } else { -1e150 };
+        spring.step(x);
+        assert_eq!(spring.tick(), t + 1);
+    }
+    assert_eq!(spring.reported_count(), 0);
+}
+
+#[test]
+fn bounded_monitor_survives_overflowing_inputs() {
+    let query = [1.0, 2.0];
+    let mut bs = BoundedSpring::new(&query, BoundedConfig::new(0.5, 1, 4)).unwrap();
+    for &x in &[1e308, 1e308, 1.0, 2.0, 1e308] {
+        bs.step(x);
+    }
+    let tail = bs.finish();
+    if let Some(m) = tail {
+        assert!(m.distance.is_finite());
+        assert!(m.len() <= 4);
+    }
+}
+
+#[test]
+fn normalized_monitor_handles_constant_then_wild_input() {
+    let mut ns = NormalizedSpring::new(&[0.0, 1.0, 0.0], 1.0, 8).unwrap();
+    for _ in 0..100 {
+        ns.step(5.0); // zero variance window
+    }
+    for t in 0..100 {
+        ns.step((t as f64).exp().min(1e300)); // explosive growth
+    }
+    // No panic and ticks tracked.
+    assert_eq!(ns.tick(), 200);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore: property-based resume equivalence.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_resume_reports_identically(
+        stream in prop::collection::vec(-10.0f64..10.0, 2..60),
+        query in prop::collection::vec(-10.0f64..10.0, 1..6),
+        eps in 0.5f64..40.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cut = ((stream.len() as f64 * cut_frac) as usize).clamp(1, stream.len() - 1);
+
+        let mut whole = Spring::new(&query, SpringConfig::new(eps)).unwrap();
+        let mut expected: Vec<Match> =
+            stream.iter().filter_map(|&x| whole.step(x)).collect();
+        expected.extend(whole.finish());
+
+        let mut first = Spring::new(&query, SpringConfig::new(eps)).unwrap();
+        let mut got: Vec<Match> =
+            stream[..cut].iter().filter_map(|&x| first.step(x)).collect();
+        let snap = first.snapshot();
+        let mut second = spring::core::Spring::restore_squared(&snap).unwrap();
+        got.extend(stream[cut..].iter().filter_map(|&x| second.step(x)));
+        got.extend(second.finish());
+
+        prop_assert_eq!(got, expected);
+    }
+}

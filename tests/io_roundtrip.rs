@@ -1,0 +1,78 @@
+//! Persistence integration: a generated workload written to disk and
+//! reloaded must yield byte-identical detections.
+
+use std::path::PathBuf;
+
+use spring::core::stored::disjoint_matches;
+use spring::data::io::{
+    read_csv, read_json, read_multi_csv, write_csv, write_json, write_multi_csv,
+};
+use spring::data::{MaskedChirp, MocapGenerator, Motion, Temperature};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spring-it-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn detections_survive_a_csv_roundtrip() {
+    let cfg = MaskedChirp::small();
+    let (ts, _) = cfg.generate();
+    let q = cfg.query();
+    let before = disjoint_matches(&ts.values, &q.values, 10.0).unwrap();
+
+    let ps = tmp("stream.csv");
+    let pq = tmp("query.csv");
+    write_csv(&ts, &ps).unwrap();
+    write_csv(&q, &pq).unwrap();
+    let ts2 = read_csv(&ps).unwrap();
+    let q2 = read_csv(&pq).unwrap();
+    std::fs::remove_file(&ps).ok();
+    std::fs::remove_file(&pq).ok();
+
+    let after = disjoint_matches(&ts2.values, &q2.values, 10.0).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn missing_values_survive_json_roundtrip_as_nulls() {
+    let cfg = Temperature::small();
+    let (ts, _) = cfg.generate();
+    assert!(ts.missing_count() > 0);
+    let p = tmp("temp.json");
+    write_json(&ts, &p).unwrap();
+    let back = read_json(&p).unwrap();
+    std::fs::remove_file(&p).ok();
+    assert_eq!(back.len(), ts.len());
+    assert_eq!(back.missing_count(), ts.missing_count());
+    for (a, b) in ts.values.iter().zip(&back.values) {
+        assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()));
+    }
+}
+
+#[test]
+fn multichannel_roundtrip_preserves_vector_detections() {
+    use spring::core::VectorSpring;
+    let gen = MocapGenerator::small();
+    let (stream, _) = gen.fig9_stream();
+    let query = gen.query(Motion::Walk);
+
+    let p = tmp("mocap.csv");
+    write_multi_csv(&stream, &p).unwrap();
+    let back = read_multi_csv(&p).unwrap();
+    std::fs::remove_file(&p).ok();
+    assert_eq!(back.channels, stream.channels);
+    assert_eq!(back.len(), stream.len());
+
+    let run = |rows: &[Vec<f64>]| {
+        let mut vs = VectorSpring::new(&query.rows, 25.0).unwrap();
+        let mut out = Vec::new();
+        for row in rows {
+            out.extend(vs.step(row).unwrap());
+        }
+        out.extend(vs.finish());
+        out
+    };
+    assert_eq!(run(&stream.rows), run(&back.rows));
+}

@@ -1,0 +1,150 @@
+//! Integration of the monitoring layer with real workloads: the engine
+//! and the threaded runner must produce identical findings, and gap
+//! policies must behave sensibly on sensor data with dropouts.
+
+use std::sync::Arc;
+
+use spring::data::Temperature;
+use spring::monitor::runner::RunnerAttachment;
+use spring::monitor::{Engine, GapPolicy, QueryId, Runner, StreamId, VecSink};
+
+fn workload() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut streams = Vec::new();
+    for k in 0..4u64 {
+        let mut cfg = Temperature::small();
+        cfg.seed ^= k * 0xABCD;
+        streams.push(cfg.generate().0.values);
+    }
+    let query = Temperature::small().query().values;
+    (streams, query)
+}
+
+fn engine_events(streams: &[Vec<f64>], query: &[f64]) -> Vec<(u32, u64, u64)> {
+    let mut engine = Engine::new();
+    let q = engine.add_query("swing", query.to_vec()).unwrap();
+    let ids: Vec<StreamId> = (0..streams.len())
+        .map(|k| {
+            let s = engine.add_stream(format!("s{k}"));
+            engine.attach(s, q, 150.0, GapPolicy::CarryForward).unwrap();
+            s
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (k, vals) in streams.iter().enumerate() {
+        let mut evs = Vec::new();
+        for &x in vals {
+            evs.extend(engine.push(ids[k], x).unwrap());
+        }
+        evs.extend(engine.finish_stream(ids[k]).unwrap());
+        out.extend(evs.into_iter().map(|e| (e.stream.0, e.m.start, e.m.end)));
+    }
+    out.sort_unstable();
+    out
+}
+
+fn runner_events(streams: &[Vec<f64>], query: &[f64], workers: usize) -> Vec<(u32, u64, u64)> {
+    let sink = Arc::new(VecSink::new());
+    let attachments: Vec<RunnerAttachment> = (0..streams.len())
+        .map(|k| RunnerAttachment {
+            stream: StreamId(k as u32),
+            query: query.to_vec(),
+            query_id: QueryId(0),
+            epsilon: 150.0,
+            gap_policy: GapPolicy::CarryForward,
+        })
+        .collect();
+    let runner = Runner::spawn(attachments, workers, sink.clone()).unwrap();
+    for (k, vals) in streams.iter().enumerate() {
+        for &x in vals {
+            runner.push(StreamId(k as u32), x);
+        }
+        runner.finish_stream(StreamId(k as u32));
+    }
+    runner.shutdown();
+    let mut out: Vec<(u32, u64, u64)> = sink
+        .events()
+        .iter()
+        .map(|e| (e.stream.0, e.m.start, e.m.end))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn runner_matches_engine_across_worker_counts() {
+    let (streams, query) = workload();
+    let reference = engine_events(&streams, &query);
+    assert!(!reference.is_empty(), "workload must produce events");
+    for workers in [1, 2, 4] {
+        let got = runner_events(&streams, &query, workers);
+        assert_eq!(got, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn every_planted_episode_is_found_on_every_sensor() {
+    let query = Temperature::small().query().values;
+    for k in 0..4u64 {
+        let mut cfg = Temperature::small();
+        cfg.seed ^= k * 0xABCD;
+        let (ts, truth) = cfg.generate();
+        let mut engine = Engine::new();
+        let q = engine.add_query("swing", query.clone()).unwrap();
+        let s = engine.add_stream("s");
+        engine.attach(s, q, 150.0, GapPolicy::CarryForward).unwrap();
+        let mut events = Vec::new();
+        for &x in &ts.values {
+            events.extend(engine.push(s, x).unwrap());
+        }
+        events.extend(engine.finish_stream(s).unwrap());
+        for &(ts0, te0) in &truth {
+            assert!(
+                events.iter().any(|e| e.m.start <= te0 && ts0 <= e.m.end),
+                "sensor {k}: planted ({ts0},{te0}) missed; events: {events:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_policy_still_finds_episodes_with_shifted_coordinates() {
+    let cfg = Temperature::small();
+    let (ts, truth) = cfg.generate();
+    let query = cfg.query().values;
+    let mut engine = Engine::new();
+    let q = engine.add_query("swing", query).unwrap();
+    let s = engine.add_stream("s");
+    engine.attach(s, q, 150.0, GapPolicy::Skip).unwrap();
+    let mut events = Vec::new();
+    for &x in &ts.values {
+        events.extend(engine.push(s, x).unwrap());
+    }
+    events.extend(engine.finish_stream(s).unwrap());
+    assert_eq!(events.len(), truth.len());
+    // Positions are in observed-sample coordinates: each match start can
+    // precede the raw-tick ground truth only by the number of dropped
+    // ticks before it.
+    let dropped = ts.missing_count() as u64;
+    for (e, &(ts0, _)) in events.iter().zip(&truth) {
+        assert!(e.m.start <= ts0, "observed coordinates can only shift left");
+        assert!(
+            ts0 - e.m.start <= dropped + 50,
+            "shift larger than dropouts allow"
+        );
+    }
+}
+
+#[test]
+fn engine_state_is_constant_while_streaming() {
+    let (streams, query) = workload();
+    let mut engine = Engine::new();
+    let q = engine.add_query("swing", query).unwrap();
+    let s = engine.add_stream("s");
+    engine.attach(s, q, 150.0, GapPolicy::CarryForward).unwrap();
+    engine.push(s, 20.0).unwrap();
+    let before = engine.bytes_used();
+    for &x in &streams[0] {
+        engine.push(s, x).unwrap();
+    }
+    assert_eq!(engine.bytes_used(), before);
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the paper's theorems, across crates.
+//!
+//! * Theorem 1 / Lemma 1 — the star-padded single matrix finds exactly
+//!   the minimum DTW distance over **all** subsequences.
+//! * Lemma 2 — disjoint queries have no false dismissals.
+//! * Kernel independence — every guarantee holds under the absolute
+//!   kernel as well as the default squared kernel.
+//! * Lower bounds never exceed the true DTW distance.
+
+use proptest::prelude::*;
+
+use spring::core::naive::all_subsequence_distances;
+use spring::core::stored::{best_subsequence_match_with, disjoint_matches_with};
+use spring::core::BestMatch;
+use spring::dtw::kernels::{Absolute, DistanceKernel, Squared};
+use spring::dtw::lower_bounds::{lb_keogh, lb_kim, lb_yi, Envelope};
+use spring::dtw::{dtw_distance_with, GlobalConstraint};
+
+fn small_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, 1..=max_len)
+}
+
+fn theorem1_holds<K: DistanceKernel>(stream: &[f64], query: &[f64], kernel: K) {
+    let mut bm = BestMatch::with_kernel(query, kernel).unwrap();
+    for &x in stream {
+        bm.step(x);
+    }
+    let best = bm.best().unwrap();
+    let brute = all_subsequence_distances(stream, query, kernel)
+        .into_iter()
+        .map(|(_, _, d)| d)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (best.distance - brute).abs() < 1e-9,
+        "streaming best {} != brute-force min {}",
+        best.distance,
+        brute
+    );
+    // And the claimed positions actually achieve that distance.
+    let sub = &stream[best.start as usize - 1..best.end as usize];
+    let exact = dtw_distance_with(sub, query, kernel).unwrap();
+    assert!((exact - best.distance).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_star_padding_equals_min_over_subsequences(
+        stream in small_seq(40),
+        query in small_seq(6),
+    ) {
+        theorem1_holds(&stream, &query, Squared);
+    }
+
+    #[test]
+    fn theorem1_holds_under_absolute_kernel(
+        stream in small_seq(40),
+        query in small_seq(6),
+    ) {
+        theorem1_holds(&stream, &query, Absolute);
+    }
+
+    #[test]
+    fn disjoint_queries_have_no_false_dismissals(
+        stream in small_seq(35),
+        query in small_seq(5),
+        eps in 0.5f64..50.0,
+    ) {
+        let reported = disjoint_matches_with(&stream, &query, eps, Squared).unwrap();
+        // Every reported match is exact and within epsilon.
+        for m in &reported {
+            prop_assert!(m.distance <= eps);
+            let sub = &stream[m.start as usize - 1..m.end as usize];
+            let exact = dtw_distance_with(sub, &query, Squared).unwrap();
+            prop_assert!((exact - m.distance).abs() < 1e-9);
+        }
+        // Reports are pairwise disjoint and ordered.
+        for w in reported.windows(2) {
+            prop_assert!(w[0].end < w[1].start);
+        }
+        // No false dismissals — stated for what SPRING actually
+        // guarantees (Lemma 2): the *optimal* subsequence ending at each
+        // tick. A qualifying-but-dominated subsequence whose optimal
+        // warping cell belongs to a better overlapping match is
+        // intentionally suppressed by condition 2 of Problem 2 (that is
+        // what makes the query "disjoint").
+        let mut best_per_end: std::collections::HashMap<u64, (u64, f64)> =
+            std::collections::HashMap::new();
+        for (ts, te, d) in all_subsequence_distances(&stream, &query, Squared) {
+            let entry = best_per_end.entry(te).or_insert((ts, d));
+            if d < entry.1 {
+                *entry = (ts, d);
+            }
+        }
+        for (&te, &(ts, d)) in &best_per_end {
+            if d <= eps {
+                let covered = reported
+                    .iter()
+                    .any(|m| m.group_start <= te && ts <= m.group_end && m.distance <= d + 1e-9);
+                prop_assert!(covered, "optimal X[{}:{}] d={} uncovered", ts, te, d);
+            }
+        }
+    }
+
+    #[test]
+    fn best_match_is_kernel_consistent(
+        stream in small_seq(30),
+        query in small_seq(5),
+    ) {
+        // The best positions may differ between kernels, but each
+        // kernel's answer must be optimal under that kernel.
+        for_each_kernel(&stream, &query);
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_dtw(
+        x in small_seq(24),
+        y in small_seq(24),
+    ) {
+        let d = dtw_distance_with(&x, &y, Squared).unwrap();
+        prop_assert!(lb_kim(&x, &y, Squared).unwrap() <= d + 1e-9);
+        prop_assert!(lb_yi(&x, &y, Squared).unwrap() <= d + 1e-9);
+        let env = Envelope::new(&y, y.len().saturating_sub(1)).unwrap();
+        if x.len() == y.len() {
+            prop_assert!(lb_keogh(&x, &env, Squared).unwrap() <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn banded_dtw_upper_bounds_unconstrained(
+        x in small_seq(20),
+        y in small_seq(20),
+        radius in 0usize..20,
+    ) {
+        use spring::dtw::constraint::dtw_constrained;
+        let free = dtw_distance_with(&x, &y, Squared).unwrap();
+        if let Ok(banded) =
+            dtw_constrained(&x, &y, Squared, GlobalConstraint::SakoeChiba { radius })
+        {
+            prop_assert!(banded >= free - 1e-9);
+        }
+    }
+
+    #[test]
+    fn dtw_triangle_of_identical_inputs_is_zero(x in small_seq(30)) {
+        prop_assert_eq!(dtw_distance_with(&x, &x, Squared).unwrap(), 0.0);
+        prop_assert_eq!(dtw_distance_with(&x, &x, Absolute).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric(x in small_seq(20), y in small_seq(20)) {
+        let a = dtw_distance_with(&x, &y, Squared).unwrap();
+        let b = dtw_distance_with(&y, &x, Squared).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}
+
+fn for_each_kernel(stream: &[f64], query: &[f64]) {
+    let sq = best_subsequence_match_with(stream, query, Squared)
+        .unwrap()
+        .unwrap();
+    let ab = best_subsequence_match_with(stream, query, Absolute)
+        .unwrap()
+        .unwrap();
+    let brute_sq = all_subsequence_distances(stream, query, Squared)
+        .into_iter()
+        .map(|(_, _, d)| d)
+        .fold(f64::INFINITY, f64::min);
+    let brute_ab = all_subsequence_distances(stream, query, Absolute)
+        .into_iter()
+        .map(|(_, _, d)| d)
+        .fold(f64::INFINITY, f64::min);
+    assert!((sq.distance - brute_sq).abs() < 1e-9);
+    assert!((ab.distance - brute_ab).abs() < 1e-9);
+}
