@@ -3,9 +3,9 @@
 //! of the two built-in kernels, of dynamic kernel dispatch, and of
 //! warping-path recovery.
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_bench::harness::Bench;
 use spring_data::util::sine;
 use spring_dtw::constraint::{dtw_constrained, GlobalConstraint};
 use spring_dtw::full::{dtw_distance_with, dtw_with_path};
@@ -15,69 +15,50 @@ fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
     (sine(n, 40.0, 1.0, 0.0), sine(n, 37.0, 1.1, 0.4))
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dtw_kernels");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(40);
+fn bench_kernels() {
+    let b = Bench::new("dtw_kernels");
     let (x, y) = inputs(512);
-    group.bench_function("squared_static", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    b.bench("squared_static", || {
+        black_box(dtw_distance_with(&x, &y, Squared).unwrap());
     });
-    group.bench_function("absolute_static", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Absolute).unwrap())
+    b.bench("absolute_static", || {
+        black_box(dtw_distance_with(&x, &y, Absolute).unwrap());
     });
-    group.bench_function("squared_dynamic_enum", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Kernel::Squared).unwrap())
+    b.bench("squared_dynamic_enum", || {
+        black_box(dtw_distance_with(&x, &y, Kernel::Squared).unwrap());
     });
-    group.finish();
 }
 
-fn bench_path_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dtw_path_recovery");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(20);
+fn bench_path_recovery() {
+    let b = Bench::new("dtw_path_recovery");
     let (x, y) = inputs(512);
-    group.bench_function("distance_only", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    b.bench("distance_only", || {
+        black_box(dtw_distance_with(&x, &y, Squared).unwrap());
     });
-    group.bench_function("with_path", |b| {
-        b.iter(|| dtw_with_path(&x, &y, Squared).unwrap())
+    b.bench("with_path", || {
+        black_box(dtw_with_path(&x, &y, Squared).unwrap());
     });
-    group.finish();
 }
 
-fn bench_constraints(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dtw_constraints");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_constraints() {
+    let b = Bench::new("dtw_constraints");
     let (x, y) = inputs(512);
     for radius in [16usize, 64, 511] {
-        group.bench_with_input(
-            BenchmarkId::new("sakoe_chiba", radius),
-            &radius,
-            |b, &radius| {
-                b.iter(|| {
-                    dtw_constrained(&x, &y, Squared, GlobalConstraint::SakoeChiba { radius })
-                        .unwrap()
-                })
-            },
-        );
+        b.bench(&format!("sakoe_chiba_r{radius}"), || {
+            black_box(
+                dtw_constrained(&x, &y, Squared, GlobalConstraint::SakoeChiba { radius }).unwrap(),
+            );
+        });
     }
-    group.bench_function("itakura_slope2", |b| {
-        b.iter(|| {
-            dtw_constrained(&x, &y, Squared, GlobalConstraint::Itakura { slope: 2.0 }).unwrap()
-        })
+    b.bench("itakura_slope2", || {
+        black_box(
+            dtw_constrained(&x, &y, Squared, GlobalConstraint::Itakura { slope: 2.0 }).unwrap(),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_kernels,
-    bench_path_recovery,
-    bench_constraints
-);
-criterion_main!(benches);
+fn main() {
+    bench_kernels();
+    bench_path_recovery();
+    bench_constraints();
+}

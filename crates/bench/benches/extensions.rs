@@ -2,9 +2,9 @@
 //! streaming normalization, and the coarse FTW-style pruning stage cost
 //! or save?
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spring_bench::harness::Bench;
 use spring_core::{
     BoundedConfig, BoundedSpring, NormalizedSpring, SlopeLimited, Spring, SpringConfig,
 };
@@ -22,56 +22,47 @@ fn workload() -> (Vec<f64>, Vec<f64>) {
 }
 
 /// Per-tick overhead of the monitor variants against plain SPRING.
-fn bench_monitor_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("monitor_variants_per_tick");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_monitor_variants() {
+    let b = Bench::new("monitor_variants_per_tick");
     let (values, query) = workload();
 
-    group.bench_function("plain", |b| {
+    {
         let mut s = Spring::new(&query, SpringConfig::new(100.0)).unwrap();
         let mut i = 0;
-        b.iter(|| {
-            s.step(values[i % values.len()]);
+        b.bench("plain", || {
+            black_box(s.step(values[i % values.len()]));
             i += 1;
-        });
-    });
-    group.bench_function("bounded", |b| {
-        let mut s = BoundedSpring::new(&query, BoundedConfig::new(100.0, 16, 2_048)).unwrap();
-        let mut i = 0;
-        b.iter(|| {
-            s.step(values[i % values.len()]);
-            i += 1;
-        });
-    });
-    group.bench_function("normalized_w256", |b| {
-        let mut s = NormalizedSpring::new(&query, 100.0, 256).unwrap();
-        let mut i = 0;
-        b.iter(|| {
-            s.step(values[i % values.len()]);
-            i += 1;
-        });
-    });
-    for r in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("slope_limited", r), &r, |b, &r| {
-            let mut s = SlopeLimited::new(&query, 100.0, r).unwrap();
-            let mut i = 0;
-            b.iter(|| {
-                s.step(values[i % values.len()]);
-                i += 1;
-            });
         });
     }
-    group.finish();
+    {
+        let mut s = BoundedSpring::new(&query, BoundedConfig::new(100.0, 16, 2_048)).unwrap();
+        let mut i = 0;
+        b.bench("bounded", || {
+            black_box(s.step(values[i % values.len()]));
+            i += 1;
+        });
+    }
+    {
+        let mut s = NormalizedSpring::new(&query, 100.0, 256).unwrap();
+        let mut i = 0;
+        b.bench("normalized_w256", || {
+            black_box(s.step(values[i % values.len()]));
+            i += 1;
+        });
+    }
+    for r in [1usize, 2, 4] {
+        let mut s = SlopeLimited::new(&query, 100.0, r).unwrap();
+        let mut i = 0;
+        b.bench(&format!("slope_limited_r{r}"), || {
+            black_box(s.step(values[i % values.len()]));
+            i += 1;
+        });
+    }
 }
 
 /// Coarse lower bound vs exact DTW at several resolutions.
-fn bench_coarse_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coarse_bound");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_coarse_bound() {
+    let b = Bench::new("coarse_bound");
     let mut g = Gaussian::new(5);
     let x: Vec<f64> = sine(2_048, 100.0, 1.0, 0.0)
         .into_iter()
@@ -84,15 +75,16 @@ fn bench_coarse_bound(c: &mut Criterion) {
     for segments in [16usize, 64, 256] {
         let xc = CoarseSeq::new(&x, segments).unwrap();
         let yc = CoarseSeq::new(&y, segments).unwrap();
-        group.bench_with_input(BenchmarkId::new("coarse", segments), &segments, |b, _| {
-            b.iter(|| coarse_lower_bound(&xc, &yc, Squared))
+        b.bench(&format!("coarse_s{segments}"), || {
+            black_box(coarse_lower_bound(&xc, &yc, Squared));
         });
     }
-    group.bench_function("exact_dtw_n2048", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    b.bench("exact_dtw_n2048", || {
+        black_box(dtw_distance_with(&x, &y, Squared).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_monitor_variants, bench_coarse_bound);
-criterion_main!(benches);
+fn main() {
+    bench_monitor_variants();
+    bench_coarse_bound();
+}

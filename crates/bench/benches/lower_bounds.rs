@@ -2,9 +2,9 @@
 //! lower bounds are next to full DTW, and how much the LB cascade prunes
 //! in nearest-neighbour search.
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spring_bench::harness::Bench;
 use spring_data::noise::Gaussian;
 use spring_data::util::sine;
 use spring_dtw::full::dtw_distance_with;
@@ -22,45 +22,43 @@ fn make_set(count: usize, len: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn bench_bound_costs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lower_bound_cost");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(50);
+fn bench_bound_costs() {
+    let b = Bench::new("lower_bound_cost");
     let x = sine(256, 32.0, 1.0, 0.0);
     let y = sine(256, 30.0, 1.1, 0.3);
     let env = Envelope::new(&y, 16).unwrap();
-    group.bench_function("lb_kim", |b| b.iter(|| lb_kim(&x, &y, Squared).unwrap()));
-    group.bench_function("lb_yi", |b| b.iter(|| lb_yi(&x, &y, Squared).unwrap()));
-    group.bench_function("lb_keogh_r16", |b| {
-        b.iter(|| lb_keogh(&x, &env, Squared).unwrap())
+    b.bench("lb_kim", || {
+        black_box(lb_kim(&x, &y, Squared).unwrap());
     });
-    group.bench_function("full_dtw", |b| {
-        b.iter(|| dtw_distance_with(&x, &y, Squared).unwrap())
+    b.bench("lb_yi", || {
+        black_box(lb_yi(&x, &y, Squared).unwrap());
     });
-    group.finish();
+    b.bench("lb_keogh_r16", || {
+        black_box(lb_keogh(&x, &env, Squared).unwrap());
+    });
+    b.bench("full_dtw", || {
+        black_box(dtw_distance_with(&x, &y, Squared).unwrap());
+    });
 }
 
-fn bench_search_cascade(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stored_set_search");
-    group
-        .measurement_time(Duration::from_secs(3))
-        .sample_size(20);
+fn bench_search_cascade() {
+    let b = Bench::new("stored_set_search");
     let seqs = make_set(200, 256);
     let query = seqs[17].clone();
     let set = SequenceSet::new(seqs.clone(), 16, Squared).unwrap();
-    group.bench_function("cascade_nearest", |b| {
-        b.iter(|| set.nearest(&query).unwrap())
+    b.bench("cascade_nearest", || {
+        black_box(set.nearest(&query).unwrap());
     });
-    group.bench_function("brute_force_nearest", |b| {
-        b.iter(|| {
+    b.bench("brute_force_nearest", || {
+        black_box(
             seqs.iter()
                 .map(|s| dtw_distance_with(&query, s, Squared).unwrap())
-                .fold(f64::INFINITY, f64::min)
-        })
+                .fold(f64::INFINITY, f64::min),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_bound_costs, bench_search_cascade);
-criterion_main!(benches);
+fn main() {
+    bench_bound_costs();
+    bench_search_cascade();
+}

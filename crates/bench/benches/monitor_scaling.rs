@@ -1,75 +1,102 @@
 //! Monitoring-engine ablation (DESIGN.md §6): per-sample cost as the
 //! number of attached queries grows — the "multiple streams, multiple
-//! patterns" deployment the paper motivates.
+//! patterns" deployment the paper motivates — plus the threaded runner's
+//! ingestion cost as the worker count varies.
 
-use std::time::Duration;
+use std::hint::black_box;
+use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spring_bench::harness::Bench;
+use spring_core::{Spring, SpringConfig};
 use spring_data::util::sine;
-use spring_monitor::{Engine, GapPolicy};
+use spring_monitor::{
+    CountingSink, GapPolicy, QueryId, Runner, RunnerAttachment, SpringEngine, StreamId,
+};
 
-fn bench_attachment_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_attachments");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_attachment_scaling() {
+    let b = Bench::new("engine_attachments");
     for attachments in [1usize, 4, 16, 64] {
-        group.throughput(Throughput::Elements(attachments as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(attachments),
-            &attachments,
-            |b, &attachments| {
-                let mut engine = Engine::new();
-                let stream = engine.add_stream("s");
-                for k in 0..attachments {
-                    let pattern = sine(64, 12.0 + k as f64, 1.0, 0.0);
-                    let q = engine.add_query(format!("q{k}"), pattern).unwrap();
-                    engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
-                }
-                let mut t = 0u64;
-                b.iter(|| {
-                    engine.push(stream, (t as f64 * 0.05).sin()).unwrap();
-                    t += 1;
-                });
-            },
-        );
+        let mut engine = SpringEngine::new();
+        let stream = engine.add_stream("s");
+        for k in 0..attachments {
+            let pattern = sine(64, 12.0 + k as f64, 1.0, 0.0);
+            let q = engine.add_query(format!("q{k}"), pattern).unwrap();
+            engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
+        }
+        let mut t = 0u64;
+        b.bench_elems(&format!("a{attachments}"), attachments as u64, || {
+            black_box(engine.push(stream, &((t as f64 * 0.05).sin())).unwrap());
+            t += 1;
+        });
     }
-    group.finish();
 }
 
-fn bench_stream_fanout(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_streams");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_stream_fanout() {
+    let b = Bench::new("engine_streams");
     for streams in [1usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(streams),
-            &streams,
-            |b, &streams| {
-                let mut engine = Engine::new();
-                let pattern = sine(64, 12.0, 1.0, 0.0);
-                let q = engine.add_query("q", pattern).unwrap();
-                let ids: Vec<_> = (0..streams)
-                    .map(|k| {
-                        let s = engine.add_stream(format!("s{k}"));
-                        engine.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
-                        s
-                    })
-                    .collect();
-                let mut t = 0u64;
-                b.iter(|| {
-                    // One sample per stream per iteration.
-                    for &s in &ids {
-                        engine.push(s, (t as f64 * 0.05).sin()).unwrap();
-                    }
-                    t += 1;
-                });
-            },
-        );
+        let mut engine = SpringEngine::new();
+        let pattern = sine(64, 12.0, 1.0, 0.0);
+        let q = engine.add_query("q", pattern).unwrap();
+        let ids: Vec<_> = (0..streams)
+            .map(|k| {
+                let s = engine.add_stream(format!("s{k}"));
+                engine.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+                s
+            })
+            .collect();
+        let mut t = 0u64;
+        b.bench_elems(&format!("s{streams}"), streams as u64, || {
+            // One sample per stream per iteration.
+            for &s in &ids {
+                black_box(engine.push(s, &((t as f64 * 0.05).sin())).unwrap());
+            }
+            t += 1;
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_attachment_scaling, bench_stream_fanout);
-criterion_main!(benches);
+/// Threaded-runner ingestion: the same 16 attachments (4 streams × 4
+/// patterns) sharded over 1, 2, or 4 workers. Uses [`CountingSink`] so
+/// the sink adds two atomic increments per match rather than a mutex +
+/// allocation, keeping the measurement about the runner itself.
+fn bench_runner_workers() {
+    let b = Bench::new("runner_workers");
+    const STREAMS: usize = 4;
+    const PATTERNS: usize = 4;
+    for workers in [1usize, 2, 4] {
+        let mut attachments: Vec<RunnerAttachment<Spring>> = Vec::new();
+        for s in 0..STREAMS {
+            for p in 0..PATTERNS {
+                let pattern = sine(64, 12.0 + p as f64, 1.0, 0.0);
+                let monitor = Spring::new(&pattern, SpringConfig::new(1.0)).expect("valid query");
+                attachments.push(RunnerAttachment::new(
+                    StreamId(s as u32),
+                    QueryId(p as u32),
+                    monitor,
+                    GapPolicy::Skip,
+                ));
+            }
+        }
+        let sink = Arc::new(CountingSink::new(attachments.len()));
+        let runner = Runner::spawn(attachments, workers, sink.clone()).unwrap();
+        let mut t = 0u64;
+        b.bench_elems(&format!("w{workers}"), (STREAMS * PATTERNS) as u64, || {
+            // One sample per stream per iteration; each fans out to
+            // PATTERNS attachments.
+            for s in 0..STREAMS {
+                runner
+                    .push(StreamId(s as u32), &((t as f64 * 0.05).sin()))
+                    .unwrap();
+            }
+            t += 1;
+        });
+        runner.shutdown().unwrap();
+        black_box(sink.total());
+    }
+}
+
+fn main() {
+    bench_attachment_scaling();
+    bench_stream_fanout();
+    bench_runner_workers();
+}

@@ -3,9 +3,9 @@
 //! Also measures the m-scaling of SPRING and the k-scaling of the vector
 //! variant (Sec. 5.3).
 
-use std::time::Duration;
+use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spring_bench::harness::Bench;
 use spring_core::{NaiveMonitor, Spring, SpringConfig, VectorSpring};
 use spring_data::MaskedChirp;
 
@@ -15,90 +15,66 @@ fn stream_values(n: usize) -> Vec<f64> {
     cfg.generate().0.values
 }
 
-fn bench_spring_vs_naive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("per_tick");
-    group
-        .measurement_time(Duration::from_secs(3))
-        .sample_size(30);
+fn bench_spring_vs_naive() {
+    let b = Bench::new("per_tick");
     let m = 256;
     let mut q = MaskedChirp::small();
     q.query_len = m;
     let query = q.query().values;
     let values = stream_values(2_000);
 
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("spring_m256", |b| {
+    {
         let mut spring = Spring::new(&query, SpringConfig::new(100.0)).unwrap();
         let mut i = 0;
-        b.iter(|| {
-            spring.step(values[i % values.len()]);
+        b.bench("spring_m256", || {
+            black_box(spring.step(values[i % values.len()]));
             i += 1;
         });
-    });
-
+    }
     for n in [1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::new("naive_m256", n), &n, |b, &n| {
-            let mut naive = NaiveMonitor::new(&query, 100.0).unwrap();
-            naive.prefill_for_benchmark(n);
-            let mut i = 0;
-            b.iter(|| {
-                naive.step(values[i % values.len()]);
-                i += 1;
-            });
+        let mut naive = NaiveMonitor::new(&query, 100.0).unwrap();
+        naive.prefill_for_benchmark(n);
+        let mut i = 0;
+        b.bench(&format!("naive_m256_n{n}"), || {
+            black_box(naive.step(values[i % values.len()]));
+            i += 1;
         });
     }
-    group.finish();
 }
 
-fn bench_spring_m_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spring_m_scaling");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_spring_m_scaling() {
+    let b = Bench::new("spring_m_scaling");
     let values = stream_values(2_000);
     for m in [64usize, 256, 1_024, 4_096] {
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let mut cfg = MaskedChirp::small();
-            cfg.query_len = m;
-            let query = cfg.query().values;
-            let mut spring = Spring::new(&query, SpringConfig::new(100.0)).unwrap();
-            let mut i = 0;
-            b.iter(|| {
-                spring.step(values[i % values.len()]);
-                i += 1;
-            });
+        let mut cfg = MaskedChirp::small();
+        cfg.query_len = m;
+        let query = cfg.query().values;
+        let mut spring = Spring::new(&query, SpringConfig::new(100.0)).unwrap();
+        let mut i = 0;
+        b.bench_elems(&format!("m{m}"), m as u64, || {
+            black_box(spring.step(values[i % values.len()]));
+            i += 1;
         });
     }
-    group.finish();
 }
 
-fn bench_vector_spring(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vector_spring_k_scaling");
-    group
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(30);
+fn bench_vector_spring() {
+    let b = Bench::new("vector_spring_k_scaling");
     for k in [2usize, 16, 62] {
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let m = 120;
-            let query: Vec<Vec<f64>> = (0..m)
-                .map(|i| (0..k).map(|c| ((i * c) as f64 * 0.1).sin()).collect())
-                .collect();
-            let sample: Vec<f64> = (0..k).map(|c| (c as f64 * 0.2).cos()).collect();
-            let mut vs = VectorSpring::new(&query, 10.0).unwrap();
-            b.iter(|| {
-                vs.step(&sample).unwrap();
-            });
+        let m = 120;
+        let query: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..k).map(|c| ((i * c) as f64 * 0.1).sin()).collect())
+            .collect();
+        let sample: Vec<f64> = (0..k).map(|c| (c as f64 * 0.2).cos()).collect();
+        let mut vs = VectorSpring::new(&query, 10.0).unwrap();
+        b.bench_elems(&format!("k{k}"), k as u64, || {
+            black_box(vs.step(&sample).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_spring_vs_naive,
-    bench_spring_m_scaling,
-    bench_vector_spring
-);
-criterion_main!(benches);
+fn main() {
+    bench_spring_vs_naive();
+    bench_spring_m_scaling();
+    bench_vector_spring();
+}

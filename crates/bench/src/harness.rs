@@ -1,0 +1,151 @@
+//! A small, self-contained micro-benchmark harness (no external
+//! dependencies): calibrated batch timing with best-of-N reporting.
+//!
+//! Methodology: each benchmark first calibrates an iteration count so one
+//! timed batch lasts roughly the target duration (amortizing `Instant`
+//! overhead), then times several batches and reports the **minimum**
+//! per-iteration time — the standard noise-floor estimator for
+//! micro-benchmarks (background load only ever adds time).
+//!
+//! Set `SPRING_BENCH_FAST=1` to shrink batch targets ~10× (CI smoke
+//! runs).
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing batch-target/sample settings.
+pub struct Bench {
+    group: String,
+    target: Duration,
+    samples: usize,
+}
+
+impl Bench {
+    /// A group with the default settings (≈60 ms batches, 7 samples), or
+    /// ~10× faster when `SPRING_BENCH_FAST` is set.
+    pub fn new(group: impl Into<String>) -> Self {
+        let fast = std::env::var_os("SPRING_BENCH_FAST").is_some();
+        Bench {
+            group: group.into(),
+            target: if fast {
+                Duration::from_millis(6)
+            } else {
+                Duration::from_millis(60)
+            },
+            samples: if fast { 3 } else { 7 },
+        }
+    }
+
+    /// Overrides the per-batch time target.
+    pub fn target(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Overrides the number of timed batches.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, prints one result line, and returns seconds/iteration.
+    pub fn bench(&self, id: &str, f: impl FnMut()) -> f64 {
+        self.bench_elems(id, 1, f)
+    }
+
+    /// Like [`Bench::bench`], but each call to `f` processes `elems`
+    /// elements; the report adds an elements/second column.
+    pub fn bench_elems(&self, id: &str, elems: u64, mut f: impl FnMut()) -> f64 {
+        let iters = self.calibrate(&mut f);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        let name = format!("{}/{id}", self.group);
+        if elems > 1 {
+            let rate = elems as f64 / best;
+            println!(
+                "{name:<44} {:>12}/iter  {:>14}/s",
+                fmt_time(best),
+                fmt_count(rate)
+            );
+        } else {
+            println!("{name:<44} {:>12}/iter", fmt_time(best));
+        }
+        best
+    }
+
+    /// Doubles the batch size until one batch reaches ~1/8 of the
+    /// target, then scales up to the target.
+    fn calibrate(&self, f: &mut impl FnMut()) -> u64 {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed * 8 >= self.target || iters >= 1 << 30 {
+                let per = elapsed.as_secs_f64() / iters as f64;
+                let scaled = (self.target.as_secs_f64() / per.max(1e-12)).ceil();
+                return (scaled as u64).clamp(1, 1 << 32);
+            }
+            iters *= 2;
+        }
+    }
+}
+
+/// Formats seconds/iteration with an auto-selected unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Formats a rate (elements/second) with k/M/G suffixes.
+pub fn fmt_count(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.0} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_positive_time() {
+        let b = Bench::new("test")
+            .target(Duration::from_millis(2))
+            .samples(2);
+        let t = b.bench("noop-ish", || {
+            std::hint::black_box((0..50u64).sum::<u64>());
+        });
+        assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn formatting_selects_sane_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+        assert!(fmt_count(2.5e6).ends_with('M'));
+        assert!(fmt_count(2.5e3).ends_with('k'));
+    }
+}

@@ -10,14 +10,18 @@
 //! | Fig. 8 | `fig8_memory` | bytes vs stream length: Naive, SPRING(path), SPRING |
 //! | Fig. 9 / Sec. 5.3 | `fig9_mocap` | motions captured by the 4 queries |
 //!
-//! Criterion microbenches (`cargo bench`): `per_tick` (SPRING vs Naive
-//! cost per tick), `dtw_kernels` (kernel ablation), `lower_bounds`
-//! (stored-set pruning), `monitor_scaling` (engine attachments ablation).
+//! Microbenches (`cargo bench`, self-contained [`harness`]): `per_tick`
+//! (SPRING vs Naive cost per tick), `dtw_kernels` (kernel ablation),
+//! `lower_bounds` (stored-set pruning), `monitor_scaling` (engine
+//! attachments / runner workers ablation), `extensions` (variant
+//! overhead).
 //!
 //! This library holds the shared measurement utilities.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use std::time::Instant;
 

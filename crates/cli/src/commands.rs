@@ -5,7 +5,7 @@ use std::io::{self, BufRead, Write};
 use std::path::Path;
 
 use spring_core::stored::best_subsequence_match_with;
-use spring_core::{Spring, SpringConfig};
+use spring_core::{Monitor, MonitorSpec, ScalarMonitor, Spring, SpringSnapshot};
 use spring_data::io::{read_csv, write_csv};
 use spring_data::{MaskedChirp, Seismic, Sunspots, Temperature, TimeSeries};
 use spring_dtw::constraint::{dtw_constrained, GlobalConstraint};
@@ -63,6 +63,7 @@ USAGE:
   spring topk      --query Q.csv --k N [--stream S.csv] [--kernel squared|absolute]
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
+                   [--min-len N --max-len N | --max-run R | --normalize W]
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring help
 
@@ -176,51 +177,9 @@ fn warn_dropped(out: &mut dyn Write, dropped: usize) -> Result<(), CliError> {
     Ok(())
 }
 
-/// The monitor variant selected by the `monitor` flags, behind one
-/// step/finish/tick interface.
-enum AnyMonitor {
-    Plain(Spring<Kernel>),
-    Bounded(spring_core::BoundedSpring<Kernel>),
-    Slope(spring_core::SlopeLimited<Kernel>),
-    Normalized(spring_core::NormalizedSpring<Kernel>),
-}
-
-impl AnyMonitor {
-    fn step(&mut self, x: f64) -> Option<spring_core::Match> {
-        match self {
-            AnyMonitor::Plain(m) => m.step(x),
-            AnyMonitor::Bounded(m) => m.step(x),
-            AnyMonitor::Slope(m) => m.step(x),
-            AnyMonitor::Normalized(m) => m.step(x),
-        }
-    }
-
-    fn finish(&mut self) -> Option<spring_core::Match> {
-        match self {
-            AnyMonitor::Plain(m) => m.finish(),
-            AnyMonitor::Bounded(m) => m.finish(),
-            AnyMonitor::Slope(m) => m.finish(),
-            AnyMonitor::Normalized(m) => m.finish(),
-        }
-    }
-
-    fn tick(&self) -> u64 {
-        match self {
-            AnyMonitor::Plain(m) => m.tick(),
-            AnyMonitor::Bounded(m) => m.tick(),
-            AnyMonitor::Slope(m) => m.tick(),
-            AnyMonitor::Normalized(m) => m.tick(),
-        }
-    }
-}
-
-fn build_monitor(
-    p: &Parsed,
-    query: &[f64],
-    epsilon: f64,
-    kernel: Kernel,
-) -> Result<AnyMonitor, CliError> {
-    let compute = |e: spring_core::SpringError| CliError::Compute(e.to_string());
+/// Resolves the `monitor`/`serve` variant flags into a [`MonitorSpec`] —
+/// the single construction path shared with the engine and examples.
+pub(crate) fn spec_from_flags(p: &Parsed, epsilon: f64) -> Result<MonitorSpec, CliError> {
     let min_len: Option<u64> = p.get_parsed("min-len", "integer")?;
     let max_len: Option<u64> = p.get_parsed("max-len", "integer")?;
     let max_run: Option<usize> = p.get_parsed("max-run", "integer")?;
@@ -233,30 +192,19 @@ fn build_monitor(
             "--min-len/--max-len, --max-run, and --normalize are mutually exclusive".into(),
         ));
     }
-    if min_len.is_some() || max_len.is_some() {
-        let cfg = spring_core::BoundedConfig::new(
+    Ok(if min_len.is_some() || max_len.is_some() {
+        MonitorSpec::Bounded {
             epsilon,
-            min_len.unwrap_or(1),
-            max_len.unwrap_or(u64::MAX),
-        );
-        return Ok(AnyMonitor::Bounded(
-            spring_core::BoundedSpring::with_kernel(query, cfg, kernel).map_err(compute)?,
-        ));
-    }
-    if let Some(r) = max_run {
-        return Ok(AnyMonitor::Slope(
-            spring_core::SlopeLimited::with_kernel(query, epsilon, r, kernel).map_err(compute)?,
-        ));
-    }
-    if let Some(w) = normalize {
-        return Ok(AnyMonitor::Normalized(
-            spring_core::NormalizedSpring::with_kernel(query, epsilon, w, kernel)
-                .map_err(compute)?,
-        ));
-    }
-    Ok(AnyMonitor::Plain(
-        Spring::with_kernel(query, SpringConfig::new(epsilon), kernel).map_err(compute)?,
-    ))
+            min_len: min_len.unwrap_or(1),
+            max_len: max_len.unwrap_or(u64::MAX),
+        }
+    } else if let Some(max_run) = max_run {
+        MonitorSpec::SlopeLimited { epsilon, max_run }
+    } else if let Some(window) = normalize {
+        MonitorSpec::Normalized { epsilon, window }
+    } else {
+        MonitorSpec::Spring { epsilon }
+    })
 }
 
 /// `spring monitor` — disjoint queries over a stream, optionally with
@@ -296,9 +244,9 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 "--resume/--checkpoint only apply to the plain monitor".into(),
             ));
         }
-        let file = std::fs::File::open(resume_path)
+        let text = std::fs::read_to_string(resume_path)
             .map_err(|e| CliError::Compute(format!("{resume_path}: {e}")))?;
-        let snap: spring_core::SpringSnapshot = serde_json::from_reader(file)
+        let snap = SpringSnapshot::parse_json(&text)
             .map_err(|e| CliError::Compute(format!("{resume_path}: {e}")))?;
         if let Some(qpath) = p.get("query") {
             let q = read_csv_named(qpath)?;
@@ -316,23 +264,20 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 )));
             }
         }
-        AnyMonitor::Plain(
+        ScalarMonitor::Spring(
             Spring::restore(&snap, kernel).map_err(|e| CliError::Compute(e.to_string()))?,
         )
     } else {
         let query = read_csv_named(p.require("query")?)?;
         let epsilon: f64 = p.require_parsed("epsilon", "number")?;
-        if checkpoint_path.is_some()
-            && (p.get("min-len").is_some()
-                || p.get("max-len").is_some()
-                || p.get("max-run").is_some()
-                || p.get("normalize").is_some())
-        {
+        let spec = spec_from_flags(&p, epsilon)?;
+        if checkpoint_path.is_some() && spec != (MonitorSpec::Spring { epsilon }) {
             return Err(CliError::Compute(
                 "--resume/--checkpoint only apply to the plain monitor".into(),
             ));
         }
-        build_monitor(&p, &query.values, epsilon, kernel)?
+        spec.build(&query.values, kernel)
+            .map_err(|e| CliError::Compute(e.to_string()))?
     };
     let mut last = None;
     let mut count = 0u64;
@@ -346,7 +291,8 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 _ => return Ok(()), // skip
             }
         };
-        if let Some(m) = spring.step(x) {
+        let hit = Monitor::step(&mut spring, &x).map_err(|e| CliError::Compute(e.to_string()))?;
+        if let Some(m) = hit {
             count += 1;
             writeln!(
                 out,
@@ -363,19 +309,17 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(path) = checkpoint_path {
         // The stream continues in a later run: persist state instead of
         // flushing the pending group.
-        let AnyMonitor::Plain(plain) = &spring else {
+        let ScalarMonitor::Spring(plain) = &spring else {
             unreachable!("variant flags were rejected above");
         };
-        let file =
-            std::fs::File::create(&path).map_err(|e| CliError::Compute(format!("{path}: {e}")))?;
-        serde_json::to_writer(file, &plain.snapshot())
+        std::fs::write(&path, plain.snapshot().to_json_string())
             .map_err(|e| CliError::Compute(format!("{path}: {e}")))?;
         writeln!(
             out,
             "checkpoint written to {path} at tick {}",
-            spring.tick()
+            Monitor::tick(&spring)
         )?;
-    } else if let Some(m) = spring.finish() {
+    } else if let Some(m) = Monitor::finish(&mut spring) {
         count += 1;
         writeln!(
             out,
@@ -387,7 +331,11 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             m.reported_at
         )?;
     }
-    writeln!(out, "{count} match(es) over {} ticks", spring.tick())?;
+    writeln!(
+        out,
+        "{count} match(es) over {} ticks",
+        Monitor::tick(&spring)
+    )?;
     Ok(())
 }
 

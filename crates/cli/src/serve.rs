@@ -23,7 +23,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
-use spring_core::{Spring, SpringConfig};
+use spring_core::{Monitor, MonitorSpec};
 use spring_dtw::Kernel;
 
 use crate::args::Parsed;
@@ -34,8 +34,9 @@ use crate::commands::CliError;
 pub struct ServeOptions {
     /// Query pattern values.
     pub query: Vec<f64>,
-    /// Match threshold.
-    pub epsilon: f64,
+    /// Which monitor variant each connection gets (built via the same
+    /// [`MonitorSpec`] path as `spring monitor` and the engine).
+    pub spec: MonitorSpec,
     /// Distance kernel.
     pub kernel: Kernel,
     /// Serve a single connection, then return.
@@ -47,14 +48,13 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
     let peer = stream.peer_addr()?;
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut spring =
-        match Spring::with_kernel(&opts.query, SpringConfig::new(opts.epsilon), opts.kernel) {
-            Ok(s) => s,
-            Err(e) => {
-                writeln!(writer, "error: {e}")?;
-                return writer.flush();
-            }
-        };
+    let mut spring = match opts.spec.build(&opts.query, opts.kernel) {
+        Ok(s) => s,
+        Err(e) => {
+            writeln!(writer, "error: {e}")?;
+            return writer.flush();
+        }
+    };
     let mut count = 0u64;
     let mut last = None;
     for line in reader.lines() {
@@ -78,7 +78,15 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
                 None => continue,
             }
         };
-        if let Some(m) = spring.step(x) {
+        let hit = match Monitor::step(&mut spring, &x) {
+            Ok(hit) => hit,
+            Err(e) => {
+                writeln!(writer, "error: {e}")?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        if let Some(m) = hit {
             count += 1;
             writeln!(
                 writer,
@@ -93,7 +101,7 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
             writer.flush()?;
         }
     }
-    if let Some(m) = spring.finish() {
+    if let Some(m) = Monitor::finish(&mut spring) {
         count += 1;
         writeln!(
             writer,
@@ -108,7 +116,7 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
     writeln!(
         writer,
         "done {count} match(es) over {} ticks",
-        spring.tick()
+        Monitor::tick(&spring)
     )?;
     writer.flush()?;
     let _ = peer; // retained for future per-peer logging
@@ -149,10 +157,24 @@ pub fn serve_listener(
 
 /// `spring serve` — parse flags, bind, and serve.
 pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let p = Parsed::parse(argv, &["query", "epsilon", "port", "kernel"], &["once"])?;
+    let p = Parsed::parse(
+        argv,
+        &[
+            "query",
+            "epsilon",
+            "port",
+            "kernel",
+            "min-len",
+            "max-len",
+            "max-run",
+            "normalize",
+        ],
+        &["once"],
+    )?;
     p.positionals(0)?;
     let query = crate::commands::read_query(p.require("query")?)?;
     let epsilon: f64 = p.require_parsed("epsilon", "number")?;
+    let spec = crate::commands::spec_from_flags(&p, epsilon)?;
     let kernel = crate::commands::kernel_from(&p)?;
     let port: u16 = p.get_parsed("port", "integer")?.unwrap_or(7471);
     let listener = TcpListener::bind(("127.0.0.1", port))?;
@@ -160,7 +182,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         listener,
         ServeOptions {
             query,
-            epsilon,
+            spec,
             kernel,
             once: p.has("once"),
         },
@@ -182,7 +204,7 @@ mod tests {
                 listener,
                 ServeOptions {
                     query,
-                    epsilon,
+                    spec: MonitorSpec::Spring { epsilon },
                     kernel: Kernel::Squared,
                     once: true,
                 },
@@ -242,6 +264,41 @@ mod tests {
         server.join().unwrap();
         assert!(response.contains("error: `not-a-number`"), "{response}");
         assert!(response.contains("done 1 match(es)"), "{response}");
+    }
+
+    #[test]
+    fn serve_builds_variant_monitors_from_specs() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_listener(
+                listener,
+                ServeOptions {
+                    query: vec![0.0, 9.0, 0.0],
+                    spec: MonitorSpec::Bounded {
+                        epsilon: 1.0,
+                        min_len: 3,
+                        max_len: 3,
+                    },
+                    kernel: Kernel::Squared,
+                    once: true,
+                },
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // A stretched occurrence (len 5, rejected by the bound) and a
+        // crisp one (len 3, reported).
+        for v in [50.0, 0.0, 9.0, 9.0, 9.0, 0.0, 50.0, 0.0, 9.0, 0.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("done 1 match(es)"), "{response}");
+        assert!(response.contains("ticks 8..=10"), "{response}");
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct BestMatch<K: DistanceKernel = Squared> {
     best_end: u64,
     /// Tick at which the current best was first achieved.
     found_at: u64,
+    /// Whether [`Monitor::finish`](crate::Monitor::finish) already
+    /// reported the best (keeps the trait-level flush idempotent).
+    flushed: bool,
 }
 
 impl BestMatch<Squared> {
@@ -40,6 +43,7 @@ impl<K: DistanceKernel> BestMatch<K> {
             best_start: 0,
             best_end: 0,
             found_at: 0,
+            flushed: false,
         })
     }
 
@@ -98,6 +102,64 @@ impl<K: DistanceKernel> BestMatch<K> {
 impl<K: DistanceKernel> MemoryUse for BestMatch<K> {
     fn bytes_used(&self) -> usize {
         self.stwm.bytes_used()
+    }
+}
+
+impl<K: DistanceKernel> crate::monitor::Monitor for BestMatch<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Best
+    }
+
+    /// Best-match queries have no per-tick reports (Problem 1 answers on
+    /// demand); the trait surfaces the answer at
+    /// [`finish`](crate::Monitor::finish).
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        self.step_checked(*sample)?;
+        Ok(None)
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        if self.flushed {
+            None
+        } else {
+            self.flushed = true;
+            self.best()
+        }
+    }
+
+    fn query_len(&self) -> usize {
+        BestMatch::query_len(self)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        None
+    }
+
+    fn tick(&self) -> u64 {
+        BestMatch::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        self.stwm.reset();
+        self.best_distance = f64::INFINITY;
+        self.best_start = 0;
+        self.best_end = 0;
+        self.found_at = 0;
+        self.flushed = false;
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
     }
 }
 

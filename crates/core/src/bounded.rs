@@ -176,6 +176,56 @@ impl<K: DistanceKernel> MemoryUse for BoundedSpring<K> {
     }
 }
 
+impl<K: DistanceKernel> crate::monitor::Monitor for BoundedSpring<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Bounded
+    }
+
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        if !sample.is_finite() {
+            return Err(SpringError::NonFiniteInput {
+                tick: self.stwm.tick() + 1,
+            });
+        }
+        Ok(BoundedSpring::step(self, *sample))
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        BoundedSpring::finish(self)
+    }
+
+    fn query_len(&self) -> usize {
+        self.stwm.query_len()
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.config.epsilon)
+    }
+
+    fn tick(&self) -> u64 {
+        BoundedSpring::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        self.stwm.reset();
+        self.policy = DisjointPolicy::new(self.config.epsilon);
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

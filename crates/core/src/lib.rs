@@ -48,6 +48,9 @@
 //!   (two rolling columns of distances + start positions).
 //! * [`spring`] — the disjoint-query monitor (paper Fig. 4).
 //! * [`best`] — the best-match monitor (Problem 1, streaming form).
+//! * [`monitor`] — the [`Monitor`] trait unifying every variant behind
+//!   one streaming interface, plus [`MonitorSpec`]/[`ScalarMonitor`] for
+//!   config-driven and mixed-variant deployments.
 //! * [`path`] — SPRING(path): additionally tracks the full warping path
 //!   of each reported match (the `SPRING(path)` series of Fig. 8).
 //! * [`vector`] — SPRING over `k`-dimensional vector streams (Sec. 5.3).
@@ -63,6 +66,7 @@ pub mod best;
 pub mod bounded;
 pub mod error;
 pub mod mem;
+pub mod monitor;
 pub mod naive;
 pub mod path;
 pub(crate) mod policy;
@@ -79,6 +83,7 @@ pub use best::BestMatch;
 pub use bounded::{BoundedConfig, BoundedSpring};
 pub use error::SpringError;
 pub use mem::MemoryUse;
+pub use monitor::{Monitor, MonitorSpec, MonitorVariant, ScalarMonitor};
 pub use naive::NaiveMonitor;
 pub use path::PathSpring;
 pub use slope::SlopeLimited;

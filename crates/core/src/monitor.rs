@@ -1,0 +1,435 @@
+//! The [`Monitor`] abstraction: one streaming interface for every
+//! SPRING variant.
+//!
+//! All of the paper's monitors — the plain disjoint query (Sec. 4), the
+//! best-match query (Sec. 3.3.1), path tracking (Sec. 5.2), vector
+//! streams (Sec. 5.3), streaming z-normalization, and the length/slope
+//! constrained extensions — share one streaming shape:
+//!
+//! ```text
+//! step(sample) → Option<Match>     // per tick, O(state) work
+//! finish()     → Option<Match>     // end-of-stream flush
+//! ```
+//!
+//! [`Monitor`] captures that shape so the multi-stream engine, the
+//! sharded runner, and the CLI can be written **once**, generically,
+//! instead of once per variant. The associated [`Monitor::Sample`] type
+//! distinguishes scalar monitors (`Sample = f64`) from vector monitors
+//! (`Sample = [f64]`); carry-forward buffering works for both through
+//! `ToOwned` (`f64 → f64`, `[f64] → Vec<f64>`).
+//!
+//! For deployments that mix *variants* on one stream (e.g. a raw and a
+//! z-normalized attachment side by side, paper Sec. 5.1), the
+//! [`ScalarMonitor`] enum erases the variant type without boxing, and
+//! [`MonitorSpec`] builds one from a plain description — the single
+//! construction path used by the CLI and examples.
+
+use spring_dtw::kernels::Kernel;
+
+use crate::bounded::{BoundedConfig, BoundedSpring};
+use crate::error::SpringError;
+use crate::types::Match;
+use crate::{BestMatch, NormalizedSpring, PathSpring, SlopeLimited, Spring, SpringConfig};
+
+/// Which SPRING variant a monitor (or an event it produced) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorVariant {
+    /// Plain disjoint-query SPRING (paper Fig. 4).
+    Spring,
+    /// Best-match monitor (Problem 1; reports only at end of stream).
+    Best,
+    /// SPRING(path): disjoint query with warping-path recovery.
+    Path,
+    /// Match-length bounded disjoint query.
+    Bounded,
+    /// Streaming z-normalized disjoint query.
+    Normalized,
+    /// Slope-limited (local continuity constrained) disjoint query.
+    SlopeLimited,
+    /// Disjoint query over `k`-dimensional vector samples (Sec. 5.3).
+    Vector,
+}
+
+impl MonitorVariant {
+    /// Stable lowercase name (CLI flags, event logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            MonitorVariant::Spring => "spring",
+            MonitorVariant::Best => "best",
+            MonitorVariant::Path => "path",
+            MonitorVariant::Bounded => "bounded",
+            MonitorVariant::Normalized => "znorm",
+            MonitorVariant::SlopeLimited => "slope",
+            MonitorVariant::Vector => "vector",
+        }
+    }
+}
+
+impl std::fmt::Display for MonitorVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A streaming subsequence monitor: consumes one sample per tick,
+/// occasionally confirms a [`Match`].
+///
+/// Implemented by every variant in this crate ([`Spring`],
+/// [`BestMatch`], [`PathSpring`], [`BoundedSpring`],
+/// [`NormalizedSpring`], [`SlopeLimited`],
+/// [`crate::VectorSpring`]) and by the type-erasing [`ScalarMonitor`].
+///
+/// # Contract
+///
+/// * [`step`](Monitor::step) is called once per stream tick with a
+///   *present* sample; missing ticks are the caller's concern (gap
+///   policies live in the engine layer, which uses
+///   [`is_missing`](Monitor::is_missing) to detect them).
+/// * [`finish`](Monitor::finish) declares end-of-stream and flushes an
+///   unconfirmed pending optimum; it is idempotent — a second call
+///   returns `None`.
+/// * [`reset`](Monitor::reset) returns the monitor to its tick-0 state,
+///   keeping the query and configuration, so one allocation can monitor
+///   many streams in sequence.
+pub trait Monitor {
+    /// One stream sample: `f64` for scalar monitors, `[f64]` for vector
+    /// monitors. `ToOwned` supplies the owned form used by carry-forward
+    /// buffering (`f64` / `Vec<f64>`).
+    type Sample: ?Sized + ToOwned;
+
+    /// Which variant this monitor is (tags engine events).
+    fn variant(&self) -> MonitorVariant;
+
+    /// Consumes the next sample; returns a confirmed match, if any.
+    ///
+    /// # Errors
+    /// Non-finite samples and (for vector monitors) dimension mismatches
+    /// are rejected without mutating monitor state.
+    fn step(&mut self, sample: &Self::Sample) -> Result<Option<Match>, SpringError>;
+
+    /// Declares end-of-stream; flushes a pending optimum. Idempotent.
+    fn finish(&mut self) -> Option<Match>;
+
+    /// Query length `m`.
+    fn query_len(&self) -> usize;
+
+    /// The threshold `ε`, or `None` for threshold-free monitors
+    /// ([`BestMatch`]).
+    fn epsilon(&self) -> Option<f64>;
+
+    /// Current 1-based tick (samples consumed so far).
+    fn tick(&self) -> u64;
+
+    /// Bytes of live algorithmic state (see [`crate::mem::MemoryUse`]).
+    fn memory_use(&self) -> usize;
+
+    /// Returns the monitor to its initial (tick 0) state, keeping the
+    /// query and configuration.
+    fn reset(&mut self);
+
+    /// True when `sample` denotes a missing observation (any non-finite
+    /// component).
+    fn is_missing(sample: &Self::Sample) -> bool;
+
+    /// Number of channels in `sample` (1 for scalars).
+    fn sample_dim(sample: &Self::Sample) -> usize;
+
+    /// Channels this monitor expects per sample; `None` for scalar
+    /// monitors (which accept exactly one).
+    fn channels(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A description of a scalar monitor, buildable against any query — the
+/// single construction path for CLIs, config files, and examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MonitorSpec {
+    /// Plain disjoint query with threshold `epsilon`.
+    Spring {
+        /// Distance threshold `ε`.
+        epsilon: f64,
+    },
+    /// Best-match query (no threshold; reports at end of stream).
+    Best,
+    /// Disjoint query with warping-path tracking (the path itself is
+    /// available through [`PathSpring`]'s inherent API; the [`Monitor`]
+    /// interface reports positions only).
+    Path {
+        /// Distance threshold `ε`.
+        epsilon: f64,
+    },
+    /// Length-bounded disjoint query.
+    Bounded {
+        /// Distance threshold `ε`.
+        epsilon: f64,
+        /// Smallest reportable match length (ticks, ≥ 1).
+        min_len: u64,
+        /// Largest allowed match length (ticks).
+        max_len: u64,
+    },
+    /// Streaming z-normalized disjoint query.
+    Normalized {
+        /// Distance threshold `ε` (in z-score space).
+        epsilon: f64,
+        /// Sliding normalization window (samples, ≥ 2).
+        window: usize,
+    },
+    /// Slope-limited disjoint query.
+    SlopeLimited {
+        /// Distance threshold `ε`.
+        epsilon: f64,
+        /// Maximum run of consecutive non-diagonal moves (≥ 1).
+        max_run: usize,
+    },
+}
+
+impl MonitorSpec {
+    /// The variant this spec builds.
+    pub fn variant(&self) -> MonitorVariant {
+        match self {
+            MonitorSpec::Spring { .. } => MonitorVariant::Spring,
+            MonitorSpec::Best => MonitorVariant::Best,
+            MonitorSpec::Path { .. } => MonitorVariant::Path,
+            MonitorSpec::Bounded { .. } => MonitorVariant::Bounded,
+            MonitorSpec::Normalized { .. } => MonitorVariant::Normalized,
+            MonitorSpec::SlopeLimited { .. } => MonitorVariant::SlopeLimited,
+        }
+    }
+
+    /// Builds the described monitor over `query` with a runtime-selected
+    /// kernel.
+    ///
+    /// # Errors
+    /// Propagates the variant's constructor validation (empty query,
+    /// invalid epsilon/bounds/window).
+    pub fn build(&self, query: &[f64], kernel: Kernel) -> Result<ScalarMonitor, SpringError> {
+        Ok(match *self {
+            MonitorSpec::Spring { epsilon } => ScalarMonitor::Spring(Spring::with_kernel(
+                query,
+                SpringConfig::new(epsilon),
+                kernel,
+            )?),
+            MonitorSpec::Best => ScalarMonitor::Best(BestMatch::with_kernel(query, kernel)?),
+            MonitorSpec::Path { epsilon } => ScalarMonitor::Path(PathSpring::with_kernel(
+                query,
+                SpringConfig::new(epsilon),
+                kernel,
+            )?),
+            MonitorSpec::Bounded {
+                epsilon,
+                min_len,
+                max_len,
+            } => ScalarMonitor::Bounded(BoundedSpring::with_kernel(
+                query,
+                BoundedConfig::new(epsilon, min_len, max_len),
+                kernel,
+            )?),
+            MonitorSpec::Normalized { epsilon, window } => ScalarMonitor::Normalized(
+                NormalizedSpring::with_kernel(query, epsilon, window, kernel)?,
+            ),
+            MonitorSpec::SlopeLimited { epsilon, max_run } => ScalarMonitor::SlopeLimited(
+                SlopeLimited::with_kernel(query, epsilon, max_run, kernel)?,
+            ),
+        })
+    }
+}
+
+/// A scalar monitor of any variant, without boxing: enables
+/// mixed-variant deployments (raw + z-normalized attachments on one
+/// stream) in a single generic engine or runner.
+#[derive(Debug, Clone)]
+pub enum ScalarMonitor {
+    /// Plain disjoint query.
+    Spring(Spring<Kernel>),
+    /// Best-match query.
+    Best(BestMatch<Kernel>),
+    /// Path-tracking disjoint query (paths dropped at this interface).
+    Path(PathSpring<Kernel>),
+    /// Length-bounded disjoint query.
+    Bounded(BoundedSpring<Kernel>),
+    /// Streaming z-normalized disjoint query.
+    Normalized(NormalizedSpring<Kernel>),
+    /// Slope-limited disjoint query.
+    SlopeLimited(SlopeLimited<Kernel>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            ScalarMonitor::Spring($inner) => $body,
+            ScalarMonitor::Best($inner) => $body,
+            ScalarMonitor::Path($inner) => $body,
+            ScalarMonitor::Bounded($inner) => $body,
+            ScalarMonitor::Normalized($inner) => $body,
+            ScalarMonitor::SlopeLimited($inner) => $body,
+        }
+    };
+}
+
+impl Monitor for ScalarMonitor {
+    type Sample = f64;
+
+    fn variant(&self) -> MonitorVariant {
+        dispatch!(self, m => m.variant())
+    }
+
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        dispatch!(self, m => Monitor::step(m, sample))
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        dispatch!(self, m => Monitor::finish(m))
+    }
+
+    fn query_len(&self) -> usize {
+        dispatch!(self, m => Monitor::query_len(m))
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        dispatch!(self, m => Monitor::epsilon(m))
+    }
+
+    fn tick(&self) -> u64 {
+        dispatch!(self, m => Monitor::tick(m))
+    }
+
+    fn memory_use(&self) -> usize {
+        dispatch!(self, m => Monitor::memory_use(m))
+    }
+
+    fn reset(&mut self) {
+        dispatch!(self, m => Monitor::reset(m))
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY: [f64; 4] = [11.0, 6.0, 9.0, 4.0];
+    const STREAM: [f64; 7] = [5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0];
+
+    fn all_specs() -> Vec<MonitorSpec> {
+        vec![
+            MonitorSpec::Spring { epsilon: 15.0 },
+            MonitorSpec::Best,
+            MonitorSpec::Path { epsilon: 15.0 },
+            MonitorSpec::Bounded {
+                epsilon: 15.0,
+                min_len: 1,
+                max_len: 100,
+            },
+            MonitorSpec::Normalized {
+                epsilon: 15.0,
+                window: 4,
+            },
+            MonitorSpec::SlopeLimited {
+                epsilon: 15.0,
+                max_run: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_spec_builds_and_reports_its_variant() {
+        for spec in all_specs() {
+            let m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            assert_eq!(m.variant(), spec.variant(), "{spec:?}");
+            assert_eq!(m.query_len(), QUERY.len());
+            assert_eq!(m.tick(), 0);
+            assert!(m.memory_use() > 0);
+            assert_eq!(m.channels(), None);
+        }
+    }
+
+    #[test]
+    fn trait_driven_spring_reproduces_the_paper_example() {
+        let mut m = MonitorSpec::Spring { epsilon: 15.0 }
+            .build(&QUERY, Kernel::Squared)
+            .unwrap();
+        let mut hits = Vec::new();
+        for x in STREAM {
+            hits.extend(Monitor::step(&mut m, &x).unwrap());
+        }
+        hits.extend(Monitor::finish(&mut m));
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].start, hits[0].end, hits[0].distance), (2, 5, 6.0));
+    }
+
+    #[test]
+    fn reset_makes_runs_repeatable_for_every_variant() {
+        for spec in all_specs() {
+            let mut m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            let run = |m: &mut ScalarMonitor| {
+                let mut hits = Vec::new();
+                for x in STREAM {
+                    hits.extend(Monitor::step(m, &x).unwrap());
+                }
+                hits.extend(Monitor::finish(m));
+                hits
+            };
+            let first = run(&mut m);
+            Monitor::reset(&mut m);
+            assert_eq!(Monitor::tick(&m), 0, "{spec:?}");
+            let second = run(&mut m);
+            assert_eq!(first, second, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent_through_the_trait() {
+        for spec in all_specs() {
+            let mut m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            for x in STREAM {
+                Monitor::step(&mut m, &x).unwrap();
+            }
+            let _ = Monitor::finish(&mut m);
+            assert_eq!(Monitor::finish(&mut m), None, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn best_match_reports_only_at_finish() {
+        let mut m = MonitorSpec::Best.build(&QUERY, Kernel::Squared).unwrap();
+        for x in STREAM {
+            assert_eq!(Monitor::step(&mut m, &x).unwrap(), None);
+        }
+        assert_eq!(Monitor::epsilon(&m), None);
+        let best = Monitor::finish(&mut m).expect("non-empty stream has a best");
+        assert_eq!((best.start, best.end, best.distance), (2, 5, 6.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_without_state_change() {
+        for spec in all_specs() {
+            let mut m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            Monitor::step(&mut m, &1.0).unwrap();
+            let tick = Monitor::tick(&m);
+            assert!(Monitor::step(&mut m, &f64::NAN).is_err(), "{spec:?}");
+            assert_eq!(Monitor::tick(&m), tick, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(MonitorVariant::Spring.name(), "spring");
+        assert_eq!(MonitorVariant::Normalized.to_string(), "znorm");
+        assert_eq!(MonitorVariant::Vector.name(), "vector");
+    }
+
+    #[test]
+    fn is_missing_matches_non_finiteness() {
+        assert!(ScalarMonitor::is_missing(&f64::NAN));
+        assert!(ScalarMonitor::is_missing(&f64::INFINITY));
+        assert!(!ScalarMonitor::is_missing(&0.0));
+    }
+}

@@ -241,6 +241,63 @@ impl<K: DistanceKernel> MemoryUse for PathSpring<K> {
     }
 }
 
+impl<K: DistanceKernel> crate::monitor::Monitor for PathSpring<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Path
+    }
+
+    /// The trait interface reports positions only; use the inherent
+    /// [`PathSpring::step`] to also recover the warping path.
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        if !sample.is_finite() {
+            return Err(SpringError::NonFiniteInput {
+                tick: self.inner.tick() + 1,
+            });
+        }
+        Ok(PathSpring::step(self, *sample).map(|pm| pm.m))
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        PathSpring::finish(self).map(|pm| pm.m)
+    }
+
+    fn query_len(&self) -> usize {
+        self.inner.query_len()
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.inner.epsilon())
+    }
+
+    fn tick(&self) -> u64 {
+        PathSpring::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        crate::monitor::Monitor::reset(&mut self.inner);
+        self.arena.clear();
+        self.node_cur.fill(NIL);
+        self.node_prev.fill(NIL);
+        self.pending_node = NIL;
+        self.last_gc = 0;
+        self.peak_nodes = 0;
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

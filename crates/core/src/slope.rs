@@ -309,6 +309,56 @@ impl<K: DistanceKernel> MemoryUse for SlopeLimited<K> {
     }
 }
 
+impl<K: DistanceKernel> crate::monitor::Monitor for SlopeLimited<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::SlopeLimited
+    }
+
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        if !sample.is_finite() {
+            return Err(SpringError::NonFiniteInput { tick: self.t + 1 });
+        }
+        Ok(SlopeLimited::step(self, *sample))
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        SlopeLimited::finish(self)
+    }
+
+    fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.policy.epsilon)
+    }
+
+    fn tick(&self) -> u64 {
+        self.t
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        self.cur.reset();
+        self.prev.reset();
+        self.t = 0;
+        self.policy = DisjointPolicy::new(self.policy.epsilon);
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
+    }
+}
+
 /// Whole-sequence slope-limited DTW (fixed start, both sequences fully
 /// consumed) — the brute-force oracle for the monitor's distances.
 /// `O(n·m·r)` time. Returns `∞` when no constraint-satisfying path

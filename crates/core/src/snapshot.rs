@@ -11,10 +11,12 @@
 //! [`Spring::snapshot`] captures that state as a plain-data
 //! [`SpringSnapshot`]; [`Spring::restore`] resumes from it, producing a
 //! monitor whose future reports are **identical** to one that never
-//! stopped (property-tested). With the `serde` feature the snapshot
-//! (de)serializes to any serde format.
+//! stopped (property-tested). [`SpringSnapshot::to_json`] /
+//! [`SpringSnapshot::from_json`] give a stable JSON wire format
+//! (non-finite distances encode as `null`).
 
 use spring_dtw::kernels::{DistanceKernel, Squared};
+use spring_util::json::{nullable_arr, nullable_num, u64_arr, Value};
 
 use crate::error::SpringError;
 use crate::spring::{Spring, SpringConfig};
@@ -22,7 +24,6 @@ use crate::spring::{Spring, SpringConfig};
 /// A resumable checkpoint of a [`Spring`] monitor. Plain data: `O(m)`
 /// numbers, independent of how long the stream has been running.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpringSnapshot {
     /// The monitored query sequence.
     pub query: Vec<f64>,
@@ -31,9 +32,8 @@ pub struct SpringSnapshot {
     /// 1-based tick of the last consumed value.
     pub tick: u64,
     /// Current STWM distance column, `d(t, 0 ..= m)`. Invalidated cells
-    /// are `+∞`, which JSON cannot represent natively — the serde codec
+    /// are `+∞`, which JSON cannot represent natively — the JSON codec
     /// maps them to `null` and back.
-    #[cfg_attr(feature = "serde", serde(with = "inf_as_null_vec"))]
     pub distances: Vec<f64>,
     /// Current STWM start-position column, `s(t, 0 ..= m)`.
     pub starts: Vec<u64>,
@@ -45,11 +45,9 @@ pub struct SpringSnapshot {
 
 /// The pending-candidate portion of a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CandidateState {
     /// Group-minimum distance; `+∞` (serialized as `null`) when no
     /// candidate is captured.
-    #[cfg_attr(feature = "serde", serde(with = "inf_as_null"))]
     pub dmin: f64,
     /// Candidate start tick (1-based).
     pub ts: u64,
@@ -61,36 +59,134 @@ pub struct CandidateState {
     pub group_end: u64,
 }
 
-/// JSON has no `Infinity`; encode non-finite distances as `null`.
-#[cfg(feature = "serde")]
-mod inf_as_null {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+fn bad(what: &str) -> SpringError {
+    SpringError::InvalidQuery(format!("snapshot JSON: {what}"))
+}
 
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
-        v.is_finite().then_some(*v).serialize(s)
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, SpringError> {
+    v.get(key).ok_or_else(|| bad(&format!("missing `{key}`")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, SpringError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| bad(&format!("`{key}` is not a number")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, SpringError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| bad(&format!("`{key}` is not an integer")))
+}
+
+/// Decodes an array of numbers-or-null, nulls mapping to `+∞`.
+fn nullable_f64_field(v: &Value, key: &str) -> Result<Vec<f64>, SpringError> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad(&format!("`{key}` is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_nullable_f64(f64::INFINITY)
+                .ok_or_else(|| bad(&format!("`{key}` entry is not a number/null")))
+        })
+        .collect()
+}
+
+fn f64_arr_field(v: &Value, key: &str) -> Result<Vec<f64>, SpringError> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad(&format!("`{key}` is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| bad(&format!("`{key}` entry is not a number")))
+        })
+        .collect()
+}
+
+fn u64_arr_field(v: &Value, key: &str) -> Result<Vec<u64>, SpringError> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad(&format!("`{key}` is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| bad(&format!("`{key}` entry is not an integer")))
+        })
+        .collect()
+}
+
+impl CandidateState {
+    fn to_json(self) -> Value {
+        Value::Obj(vec![
+            ("dmin".into(), nullable_num(self.dmin)),
+            ("ts".into(), Value::Num(self.ts as f64)),
+            ("te".into(), Value::Num(self.te as f64)),
+            ("group_start".into(), Value::Num(self.group_start as f64)),
+            ("group_end".into(), Value::Num(self.group_end as f64)),
+        ])
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::INFINITY))
+    fn from_json(v: &Value) -> Result<Self, SpringError> {
+        Ok(CandidateState {
+            dmin: field(v, "dmin")?
+                .as_nullable_f64(f64::INFINITY)
+                .ok_or_else(|| bad("`dmin` is not a number/null"))?,
+            ts: u64_field(v, "ts")?,
+            te: u64_field(v, "te")?,
+            group_start: u64_field(v, "group_start")?,
+            group_end: u64_field(v, "group_end")?,
+        })
     }
 }
 
-/// Vector form of [`inf_as_null`].
-#[cfg(feature = "serde")]
-mod inf_as_null_vec {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let opts: Vec<Option<f64>> = v.iter().map(|&x| x.is_finite().then_some(x)).collect();
-        opts.serialize(s)
+impl SpringSnapshot {
+    /// Encodes the snapshot as a JSON value (`+∞` distances as `null`).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "query".into(),
+                Value::Arr(self.query.iter().map(|&x| Value::Num(x)).collect()),
+            ),
+            ("epsilon".into(), Value::Num(self.epsilon)),
+            ("tick".into(), Value::Num(self.tick as f64)),
+            ("distances".into(), nullable_arr(&self.distances)),
+            ("starts".into(), u64_arr(&self.starts)),
+            ("candidate".into(), self.candidate.to_json()),
+            ("reported".into(), Value::Num(self.reported as f64)),
+        ])
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
-        let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
-        Ok(opts
-            .into_iter()
-            .map(|o| o.unwrap_or(f64::INFINITY))
-            .collect())
+    /// The snapshot rendered as a pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Decodes a snapshot from a JSON value.
+    ///
+    /// # Errors
+    /// Returns [`SpringError::InvalidQuery`] for missing or mistyped
+    /// fields. Structural validation happens in [`Spring::restore`].
+    pub fn from_json(v: &Value) -> Result<Self, SpringError> {
+        Ok(SpringSnapshot {
+            query: f64_arr_field(v, "query")?,
+            epsilon: f64_field(v, "epsilon")?,
+            tick: u64_field(v, "tick")?,
+            distances: nullable_f64_field(v, "distances")?,
+            starts: u64_arr_field(v, "starts")?,
+            candidate: CandidateState::from_json(field(v, "candidate")?)?,
+            reported: u64_field(v, "reported")?,
+        })
+    }
+
+    /// Parses a snapshot from JSON text.
+    ///
+    /// # Errors
+    /// Returns [`SpringError::InvalidQuery`] on malformed JSON or schema
+    /// mismatch.
+    pub fn parse_json(text: &str) -> Result<Self, SpringError> {
+        let v = Value::parse(text).map_err(|e| bad(&e.to_string()))?;
+        Self::from_json(&v)
     }
 }
 
@@ -165,7 +261,6 @@ impl Spring<Squared> {
 /// (Sec. 5.3 vector streams). Same shape as [`SpringSnapshot`] with a
 /// multivariate query.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VectorSnapshot {
     /// The monitored query, one row of channel values per tick.
     pub query: Vec<Vec<f64>>,
@@ -174,12 +269,79 @@ pub struct VectorSnapshot {
     /// 1-based tick of the last consumed sample.
     pub tick: u64,
     /// Current STWM distance column (`+∞` serialized as `null`).
-    #[cfg_attr(feature = "serde", serde(with = "inf_as_null_vec"))]
     pub distances: Vec<f64>,
     /// Current STWM start-position column.
     pub starts: Vec<u64>,
     /// Pending-candidate bookkeeping.
     pub candidate: CandidateState,
+}
+
+impl VectorSnapshot {
+    /// Encodes the snapshot as a JSON value (`+∞` distances as `null`).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "query".into(),
+                Value::Arr(
+                    self.query
+                        .iter()
+                        .map(|row| Value::Arr(row.iter().map(|&x| Value::Num(x)).collect()))
+                        .collect(),
+                ),
+            ),
+            ("epsilon".into(), Value::Num(self.epsilon)),
+            ("tick".into(), Value::Num(self.tick as f64)),
+            ("distances".into(), nullable_arr(&self.distances)),
+            ("starts".into(), u64_arr(&self.starts)),
+            ("candidate".into(), self.candidate.to_json()),
+        ])
+    }
+
+    /// The snapshot rendered as a pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Decodes a snapshot from a JSON value.
+    ///
+    /// # Errors
+    /// Returns [`SpringError::InvalidQuery`] for missing or mistyped
+    /// fields.
+    pub fn from_json(v: &Value) -> Result<Self, SpringError> {
+        let rows = field(v, "query")?
+            .as_arr()
+            .ok_or_else(|| bad("`query` is not an array"))?
+            .iter()
+            .map(|row| {
+                row.as_arr()
+                    .ok_or_else(|| bad("`query` row is not an array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| bad("`query` cell is not a number"))
+                    })
+                    .collect::<Result<Vec<f64>, SpringError>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>, SpringError>>()?;
+        Ok(VectorSnapshot {
+            query: rows,
+            epsilon: f64_field(v, "epsilon")?,
+            tick: u64_field(v, "tick")?,
+            distances: nullable_f64_field(v, "distances")?,
+            starts: u64_arr_field(v, "starts")?,
+            candidate: CandidateState::from_json(field(v, "candidate")?)?,
+        })
+    }
+
+    /// Parses a snapshot from JSON text.
+    ///
+    /// # Errors
+    /// Returns [`SpringError::InvalidQuery`] on malformed JSON or schema
+    /// mismatch.
+    pub fn parse_json(text: &str) -> Result<Self, SpringError> {
+        let v = Value::parse(text).map_err(|e| bad(&e.to_string()))?;
+        Self::from_json(&v)
+    }
 }
 
 impl crate::VectorSpring<Squared> {
@@ -349,6 +511,37 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_preserves_snapshot_exactly() {
+        let query = [1.0, 2.0, 3.0];
+        let mut spring = Spring::new(&query, SpringConfig::new(0.5)).unwrap();
+        for x in [9.0, 1.0, 2.0, 3.0] {
+            spring.step(x);
+        }
+        let snap = spring.snapshot();
+        let text = snap.to_json_string();
+        let back = SpringSnapshot::parse_json(&text).unwrap();
+        assert_eq!(back, snap);
+
+        // A fresh monitor's column is all-infinite above row 0; those
+        // cells must encode as `null`, not `inf`, and roundtrip back.
+        let fresh = Spring::new(&query, SpringConfig::new(0.5))
+            .unwrap()
+            .snapshot();
+        let text = fresh.to_json_string();
+        assert!(text.contains("null"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        let back = SpringSnapshot::parse_json(&text).unwrap();
+        assert_eq!(back, fresh);
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_documents() {
+        assert!(SpringSnapshot::parse_json("not json").is_err());
+        assert!(SpringSnapshot::parse_json("{}").is_err());
+        assert!(SpringSnapshot::parse_json(r#"{"query":[1.0]}"#).is_err());
+    }
+
+    #[test]
     fn restore_with_absolute_kernel_respects_the_kernel() {
         use spring_dtw::kernels::Absolute;
         let query = [0.0, 4.0];
@@ -407,6 +600,19 @@ mod vector_tests {
             got.extend(second.finish());
             assert_eq!(got, expected, "cut {cut}");
         }
+    }
+
+    #[test]
+    fn vector_json_roundtrip_preserves_snapshot_exactly() {
+        use super::VectorSnapshot;
+        let query = rows(3, 4);
+        let mut vs = VectorSpring::new(&query, 2.0).unwrap();
+        for r in rows(5, 20) {
+            vs.step(&r).unwrap();
+        }
+        let snap = vs.snapshot();
+        let back = VectorSnapshot::parse_json(&snap.to_json_string()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

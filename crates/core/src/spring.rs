@@ -196,6 +196,52 @@ impl<K: DistanceKernel> MemoryUse for Spring<K> {
     }
 }
 
+impl<K: DistanceKernel> crate::monitor::Monitor for Spring<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Spring
+    }
+
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        self.step_checked(*sample)
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        Spring::finish(self)
+    }
+
+    fn query_len(&self) -> usize {
+        Spring::query_len(self)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(Spring::epsilon(self))
+    }
+
+    fn tick(&self) -> u64 {
+        Spring::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        self.stwm.reset();
+        self.policy = DisjointPolicy::new(self.policy.epsilon);
+        self.reported = 0;
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,6 @@ use std::ops::Range;
 /// (`X[ts : te]` in the paper's notation). Use [`Match::range0`] for a
 /// 0-based half-open range suitable for slicing a buffered stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Match {
     /// First tick of the subsequence (1-based, inclusive) — `ts`.
     pub start: u64,

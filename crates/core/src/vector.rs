@@ -253,6 +253,64 @@ impl<K: DistanceKernel> MemoryUse for VectorSpring<K> {
     }
 }
 
+impl<K: DistanceKernel> crate::monitor::Monitor for VectorSpring<K> {
+    type Sample = [f64];
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Vector
+    }
+
+    fn step(&mut self, sample: &[f64]) -> Result<Option<Match>, SpringError> {
+        if sample.iter().any(|v| !v.is_finite()) {
+            return Err(SpringError::NonFiniteInput {
+                tick: self.stwm.t + 1,
+            });
+        }
+        VectorSpring::step(self, sample)
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        VectorSpring::finish(self)
+    }
+
+    fn query_len(&self) -> usize {
+        VectorSpring::query_len(self)
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(VectorSpring::epsilon(self))
+    }
+
+    fn tick(&self) -> u64 {
+        VectorSpring::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        self.stwm.d_cur.fill(f64::INFINITY);
+        self.stwm.d_prev.fill(f64::INFINITY);
+        self.stwm.s_cur.fill(0);
+        self.stwm.s_prev.fill(0);
+        self.stwm.t = 0;
+        self.policy = DisjointPolicy::new(self.policy.epsilon);
+    }
+
+    fn is_missing(sample: &[f64]) -> bool {
+        sample.iter().any(|v| !v.is_finite())
+    }
+
+    fn sample_dim(sample: &[f64]) -> usize {
+        sample.len()
+    }
+
+    fn channels(&self) -> Option<usize> {
+        Some(self.stwm.dim)
+    }
+}
+
 /// Best-match monitor over a `k`-dimensional stream.
 #[derive(Debug, Clone)]
 pub struct VectorBestMatch<K: DistanceKernel = Squared> {

@@ -110,6 +110,14 @@ impl RollingStats {
             0.0
         }
     }
+
+    /// Empties the window and zeroes the running sums (capacity kept).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        self.since_anchor = 0;
+    }
 }
 
 /// A SPRING monitor over the z-normalized stream.
@@ -211,6 +219,56 @@ impl<K: DistanceKernel> NormalizedSpring<K> {
 impl<K: DistanceKernel> MemoryUse for NormalizedSpring<K> {
     fn bytes_used(&self) -> usize {
         self.inner.bytes_used() + self.stats.window.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl<K: DistanceKernel> crate::monitor::Monitor for NormalizedSpring<K> {
+    type Sample = f64;
+
+    fn variant(&self) -> crate::monitor::MonitorVariant {
+        crate::monitor::MonitorVariant::Normalized
+    }
+
+    fn step(&mut self, sample: &f64) -> Result<Option<Match>, SpringError> {
+        if !sample.is_finite() {
+            return Err(SpringError::NonFiniteInput {
+                tick: self.tick() + 1,
+            });
+        }
+        Ok(NormalizedSpring::step(self, *sample))
+    }
+
+    fn finish(&mut self) -> Option<Match> {
+        NormalizedSpring::finish(self)
+    }
+
+    fn query_len(&self) -> usize {
+        self.inner.query_len()
+    }
+
+    fn epsilon(&self) -> Option<f64> {
+        Some(self.inner.epsilon())
+    }
+
+    fn tick(&self) -> u64 {
+        NormalizedSpring::tick(self)
+    }
+
+    fn memory_use(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn reset(&mut self) {
+        crate::monitor::Monitor::reset(&mut self.inner);
+        self.stats.reset();
+    }
+
+    fn is_missing(sample: &f64) -> bool {
+        !sample.is_finite()
+    }
+
+    fn sample_dim(_sample: &f64) -> usize {
+        1
     }
 }
 

@@ -1,9 +1,11 @@
 //! Dataset persistence: CSV (one value per line, `NaN` for missing) and
-//! JSON via serde.
+//! JSON via the `spring-util` codec.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read as _, Write};
 use std::path::Path;
+
+use spring_util::json::Value;
 
 use crate::series::{MultiSeries, TimeSeries};
 
@@ -106,16 +108,21 @@ pub fn read_multi_csv(path: &Path) -> io::Result<MultiSeries> {
     Ok(MultiSeries::new(name, channels, rows))
 }
 
-/// Serializes a series to pretty JSON.
+/// Serializes a series to pretty JSON (missing ticks as `null`).
 pub fn write_json(series: &TimeSeries, path: &Path) -> io::Result<()> {
-    let w = BufWriter::new(File::create(path)?);
-    serde_json::to_writer_pretty(w, series).map_err(io::Error::from)
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(series.to_json().to_pretty().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
 }
 
-/// Deserializes a series from JSON.
+/// Deserializes a series from JSON (`null` ticks become NaN).
 pub fn read_json(path: &Path) -> io::Result<TimeSeries> {
-    let r = BufReader::new(File::open(path)?);
-    serde_json::from_reader(r).map_err(io::Error::from)
+    let mut text = String::new();
+    BufReader::new(File::open(path)?).read_to_string(&mut text)?;
+    let value = Value::parse(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    TimeSeries::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

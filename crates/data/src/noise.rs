@@ -3,13 +3,13 @@
 //! All generators in this crate draw from these primitives so every
 //! workload is reproducible from a single `u64` seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use spring_util::Rng;
 
-/// A seeded Gaussian noise source (Box–Muller over `StdRng`).
+/// A seeded Gaussian noise source (Box–Muller over a xoshiro256**
+/// generator from `spring-util`).
 #[derive(Debug, Clone)]
 pub struct Gaussian {
-    rng: StdRng,
+    rng: Rng,
     /// Cached second variate from the last Box–Muller draw.
     spare: Option<f64>,
 }
@@ -18,7 +18,7 @@ impl Gaussian {
     /// New source from a seed.
     pub fn new(seed: u64) -> Self {
         Gaussian {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             spare: None,
         }
     }
@@ -29,8 +29,8 @@ impl Gaussian {
             return z;
         }
         // Box–Muller: two uniforms -> two independent normals.
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1 = self.rng.f64_open();
+        let u2 = self.rng.f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -49,12 +49,12 @@ impl Gaussian {
 
     /// One uniform variate in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen()
+        self.rng.f64()
     }
 
     /// One uniform integer in `[lo, hi)`.
     pub fn uniform_range(&mut self, lo: usize, hi: usize) -> usize {
-        self.rng.gen_range(lo..hi)
+        self.rng.usize_range(lo, hi)
     }
 }
 

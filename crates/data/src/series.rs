@@ -1,30 +1,52 @@
 //! Time-series containers.
 
-use serde::{Deserialize, Serialize};
+use spring_util::json::{nullable_arr, Value};
 
 /// A named scalar time series (one value per tick).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     /// Human-readable name (dataset, sensor id, …).
     pub name: String,
     /// Values; index 0 is tick 1 in the paper's 1-based convention.
     /// Missing ticks are NaN, serialized as JSON `null`.
-    #[serde(with = "nan_as_null")]
     pub values: Vec<f64>,
 }
 
-/// JSON cannot represent NaN; encode missing ticks as `null` both ways.
-mod nan_as_null {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+fn bad(what: impl Into<String>) -> String {
+    what.into()
+}
 
-    pub fn serialize<S: Serializer>(values: &[f64], s: S) -> Result<S::Ok, S::Error> {
-        let opts: Vec<Option<f64>> = values.iter().map(|&v| v.is_finite().then_some(v)).collect();
-        opts.serialize(s)
+impl TimeSeries {
+    /// Encodes the series as a JSON value. JSON cannot represent NaN;
+    /// missing (non-finite) ticks encode as `null`.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("values".into(), nullable_arr(&self.values)),
+        ])
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
-        let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
-        Ok(opts.into_iter().map(|o| o.unwrap_or(f64::NAN)).collect())
+    /// Decodes a series from a JSON value (`null` values become NaN).
+    ///
+    /// # Errors
+    /// Returns a description of the first schema violation.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("series JSON: missing string `name`"))?
+            .to_string();
+        let values = v
+            .get("values")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("series JSON: missing array `values`"))?
+            .iter()
+            .map(|x| {
+                x.as_nullable_f64(f64::NAN)
+                    .ok_or_else(|| bad("series JSON: `values` entry is not a number/null"))
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        Ok(TimeSeries { name, values })
     }
 }
 
@@ -134,7 +156,7 @@ impl TimeSeries {
 }
 
 /// A named multi-channel time series (a `k`-vector per tick; Sec. 5.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiSeries {
     /// Human-readable name.
     pub name: String,

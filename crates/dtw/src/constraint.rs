@@ -13,7 +13,6 @@ use crate::kernels::DistanceKernel;
 
 /// A global constraint on admissible warping-matrix cells.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GlobalConstraint {
     /// No constraint: every cell admissible.
     None,

@@ -61,7 +61,6 @@ impl DistanceKernel for Absolute {
 /// (configuration files, CLI flags). Monomorphized call sites should prefer
 /// the unit structs [`Squared`] / [`Absolute`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Kernel {
     /// `(x − y)²`.
     #[default]

@@ -1,10 +1,31 @@
-//! The single-threaded monitoring engine.
+//! The single-threaded monitoring engine, generic over any [`Monitor`].
+//!
+//! One [`Engine`] instance watches any number of streams against any
+//! number of query patterns; each (stream, query) attachment owns an
+//! independent monitor of type `M`. Instantiations:
+//!
+//! * [`SpringEngine`] (`Engine<Spring<Kernel>>`) — the paper's plain
+//!   disjoint query on scalar streams.
+//! * [`MixedEngine`] (`Engine<ScalarMonitor>`) — mixed-variant
+//!   deployments: raw, z-normalized, bounded, … attachments side by side
+//!   on the same streams, built from [`MonitorSpec`]s.
+//! * [`VectorEngine`] (`Engine<VectorSpring<Kernel>>`) — `k`-dimensional
+//!   vector streams (paper Sec. 5.3).
+//!
+//! Missing samples (any sample `M::is_missing` reports true, e.g. NaN)
+//! are handled per attachment via a [`GapPolicy`]. The per-tick gap
+//! handling and tick bookkeeping live in one shared code path
+//! ([`Attachment::ingest`]) used by both this engine and the threaded
+//! [`crate::Runner`].
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 
-use spring_core::mem::MemoryUse;
-use spring_core::{Match, Spring, SpringConfig, SpringError};
+use spring_core::monitor::{Monitor, MonitorVariant};
+use spring_core::{
+    Match, MonitorSpec, ScalarMonitor, Spring, SpringConfig, SpringError, VectorSpring,
+};
 use spring_dtw::Kernel;
 
 /// Identifier of a registered stream.
@@ -19,7 +40,7 @@ pub struct QueryId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttachmentId(pub u32);
 
-/// How an attachment treats a missing (NaN) sample.
+/// How an attachment treats a missing (NaN / non-finite) sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GapPolicy {
     /// Skip the tick: the monitor does not advance (DTW tolerates the
@@ -41,11 +62,14 @@ pub struct Event {
     pub query: QueryId,
     /// Attachment that produced the event.
     pub attachment: AttachmentId,
+    /// Which monitor variant confirmed the match (distinguishes events
+    /// in mixed-variant deployments).
+    pub variant: MonitorVariant,
     /// The match itself (ticks are per-stream, 1-based).
     pub m: Match,
 }
 
-/// Errors from engine configuration and ingestion.
+/// Errors from engine/runner configuration and ingestion.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum MonitorError {
@@ -62,6 +86,9 @@ pub enum MonitorError {
         /// 1-based tick of the offending sample.
         tick: u64,
     },
+    /// A [`crate::Runner`] worker thread died (panicked or stopped after
+    /// an ingestion error), so at least one shard is no longer monitored.
+    WorkerLost,
 }
 
 impl fmt::Display for MonitorError {
@@ -73,6 +100,7 @@ impl fmt::Display for MonitorError {
             MonitorError::MissingSample { stream, tick } => {
                 write!(f, "missing sample on stream {} at tick {tick}", stream.0)
             }
+            MonitorError::WorkerLost => write!(f, "a monitor worker thread was lost"),
         }
     }
 }
@@ -85,58 +113,158 @@ impl From<SpringError> for MonitorError {
     }
 }
 
+/// The owned form of a monitor's sample (`f64` / `Vec<f64>`).
+pub type Owned<M> = <<M as Monitor>::Sample as ToOwned>::Owned;
+
 #[derive(Debug)]
 struct StreamState {
     name: String,
     /// Ticks pushed so far (including skipped/missing ones).
     ticks: u64,
+    /// Channels per sample; `None` until pinned by a vector attachment.
+    channels: Option<usize>,
 }
 
-#[derive(Debug, Clone)]
-struct QueryDef {
+struct QueryDef<M: Monitor> {
     name: String,
-    values: Vec<f64>,
+    samples: Vec<Owned<M>>,
 }
 
-#[derive(Debug)]
-struct Attachment {
-    id: AttachmentId,
-    stream: StreamId,
-    query: QueryId,
-    spring: Spring<Kernel>,
-    gap_policy: GapPolicy,
-    last_observed: Option<f64>,
+/// One (stream, query) attachment: a monitor plus its gap handling.
+///
+/// This is the code path shared by [`Engine::push`] and the
+/// [`crate::Runner`] worker loop, so single- and multi-threaded
+/// deployments behave identically tick for tick.
+pub(crate) struct Attachment<M: Monitor> {
+    pub(crate) id: AttachmentId,
+    pub(crate) stream: StreamId,
+    pub(crate) query: QueryId,
+    pub(crate) monitor: M,
+    pub(crate) gap_policy: GapPolicy,
+    /// Last present sample (kept only under [`GapPolicy::CarryForward`]).
+    last_observed: Option<Owned<M>>,
+    /// Samples seen by this attachment (including missing ones).
+    ticks: u64,
 }
 
-/// Monitors any number of streams against any number of query patterns.
+impl<M: Monitor> Attachment<M> {
+    pub(crate) fn new(
+        id: AttachmentId,
+        stream: StreamId,
+        query: QueryId,
+        monitor: M,
+        gap_policy: GapPolicy,
+    ) -> Self {
+        Attachment {
+            id,
+            stream,
+            query,
+            monitor,
+            gap_policy,
+            last_observed: None,
+            ticks: 0,
+        }
+    }
+
+    fn event(&self, m: Match) -> Event {
+        Event {
+            stream: self.stream,
+            query: self.query,
+            attachment: self.id,
+            variant: self.monitor.variant(),
+            m,
+        }
+    }
+
+    /// Consumes one raw sample: resolves the gap policy, steps the
+    /// monitor, wraps a confirmed match into an [`Event`].
+    pub(crate) fn ingest(&mut self, sample: &M::Sample) -> Result<Option<Event>, MonitorError> {
+        self.ticks += 1;
+        let resolved: Option<&M::Sample> = if M::is_missing(sample) {
+            match self.gap_policy {
+                GapPolicy::Skip => None,
+                GapPolicy::CarryForward => self.last_observed.as_ref().map(Borrow::borrow),
+                GapPolicy::Fail => {
+                    return Err(MonitorError::MissingSample {
+                        stream: self.stream,
+                        tick: self.ticks,
+                    });
+                }
+            }
+        } else {
+            if matches!(self.gap_policy, GapPolicy::CarryForward) {
+                self.last_observed = Some(sample.to_owned());
+            }
+            Some(sample)
+        };
+        let hit = match resolved {
+            Some(x) => self.monitor.step(x)?,
+            None => None,
+        };
+        Ok(hit.map(|m| self.event(m)))
+    }
+
+    /// Declares end-of-stream on this attachment, flushing a pending
+    /// group optimum.
+    pub(crate) fn flush(&mut self) -> Option<Event> {
+        self.monitor.finish().map(|m| self.event(m))
+    }
+}
+
+/// Monitors any number of streams against any number of query patterns,
+/// each attachment an independent monitor of type `M`.
 ///
 /// # Examples
 /// ```
-/// use spring_monitor::{Engine, GapPolicy};
+/// use spring_monitor::{GapPolicy, SpringEngine};
 ///
-/// let mut engine = Engine::new();
+/// let mut engine = SpringEngine::new();
 /// let sensor = engine.add_stream("sensor-1");
 /// let spike = engine.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
 /// engine.attach(sensor, spike, 1.0, GapPolicy::Skip).unwrap();
 ///
 /// let mut events = Vec::new();
 /// for x in [50.0, 50.0, 0.0, 10.0, 0.0, 50.0, 50.0] {
-///     events.extend(engine.push(sensor, x).unwrap());
+///     events.extend(engine.push(sensor, &x).unwrap());
 /// }
 /// events.extend(engine.finish_stream(sensor).unwrap());
 /// assert_eq!(events.len(), 1);
 /// assert_eq!((events[0].m.start, events[0].m.end), (3, 5));
 /// ```
-#[derive(Debug, Default)]
-pub struct Engine {
+pub struct Engine<M: Monitor> {
     streams: Vec<StreamState>,
-    queries: Vec<QueryDef>,
-    attachments: Vec<Attachment>,
+    queries: Vec<QueryDef<M>>,
+    attachments: Vec<Attachment<M>>,
     /// Attachment indices per stream, for O(per-stream) dispatch.
     by_stream: HashMap<StreamId, Vec<usize>>,
 }
 
-impl Engine {
+/// Engine over the paper's plain disjoint-query monitor.
+pub type SpringEngine = Engine<Spring<Kernel>>;
+
+/// Engine over [`ScalarMonitor`] attachments: any mix of variants
+/// (raw, z-normalized, bounded, …) on the same streams.
+pub type MixedEngine = Engine<ScalarMonitor>;
+
+/// Engine over `k`-dimensional vector streams (paper Sec. 5.3).
+pub type VectorEngine = Engine<VectorSpring<Kernel>>;
+
+/// A confirmed match on a vector-stream attachment (kept as an alias:
+/// scalar and vector engines now share one [`Event`] type).
+pub type VectorEvent = Event;
+
+impl<M: Monitor> Default for Engine<M> {
+    fn default() -> Self {
+        Engine {
+            streams: Vec::new(),
+            queries: Vec::new(),
+            attachments: Vec::new(),
+            by_stream: HashMap::new(),
+        }
+    }
+}
+
+impl<M: Monitor> Engine<M> {
     /// An empty engine.
     pub fn new() -> Self {
         Engine::default()
@@ -148,51 +276,69 @@ impl Engine {
         self.streams.push(StreamState {
             name: name.into(),
             ticks: 0,
+            channels: None,
         });
         self.by_stream.entry(id).or_default();
         id
     }
 
-    /// Registers a query pattern and returns its id.
+    /// Registers a stream carrying `channels` values per tick. Vector
+    /// attachments and pushed rows are validated against this count.
+    pub fn add_channel_stream(&mut self, name: impl Into<String>, channels: usize) -> StreamId {
+        let id = self.add_stream(name);
+        self.streams[id.0 as usize].channels = Some(channels);
+        id
+    }
+
+    /// Registers a query pattern (one sample per tick) and returns its
+    /// id.
     ///
     /// # Errors
-    /// Fails when the pattern is empty or non-finite.
+    /// Fails when the pattern is empty, contains a missing sample, or
+    /// (vector queries) has ragged rows.
     pub fn add_query(
         &mut self,
         name: impl Into<String>,
-        values: Vec<f64>,
+        samples: Vec<Owned<M>>,
     ) -> Result<QueryId, MonitorError> {
-        // Validate eagerly so broken queries fail at registration.
-        Spring::with_kernel(&values, SpringConfig::new(0.0), Kernel::Squared)?;
+        if samples.is_empty() {
+            return Err(MonitorError::Spring(SpringError::EmptyQuery));
+        }
+        let dim = M::sample_dim(samples[0].borrow());
+        for (index, s) in samples.iter().enumerate() {
+            let s: &M::Sample = s.borrow();
+            if M::is_missing(s) {
+                return Err(MonitorError::Spring(SpringError::NonFiniteQuery { index }));
+            }
+            if M::sample_dim(s) != dim {
+                return Err(MonitorError::Spring(SpringError::InvalidQuery(format!(
+                    "query row {index} has {} channels, expected {dim}",
+                    M::sample_dim(s)
+                ))));
+            }
+        }
         let id = QueryId(self.queries.len() as u32);
         self.queries.push(QueryDef {
             name: name.into(),
-            values,
+            samples,
         });
         Ok(id)
     }
 
-    /// Attaches `query` to `stream` with threshold `epsilon` (squared
-    /// kernel) and the given gap policy. One query may be attached to
-    /// many streams and vice versa; each attachment is independent.
-    pub fn attach(
+    /// Attaches a monitor built by `build` from the registered query's
+    /// samples. This is the one generic attachment path; the typed
+    /// engines add conveniences ([`SpringEngine::attach`],
+    /// [`MixedEngine::attach_spec`], [`VectorEngine::attach`]) on top.
+    ///
+    /// # Errors
+    /// Fails on unknown ids, on builder (query/epsilon) validation, and
+    /// on a channel-count mismatch with the stream.
+    pub fn attach_monitor(
         &mut self,
         stream: StreamId,
         query: QueryId,
-        epsilon: f64,
         gap_policy: GapPolicy,
-    ) -> Result<AttachmentId, MonitorError> {
-        self.attach_with_kernel(stream, query, epsilon, gap_policy, Kernel::Squared)
-    }
-
-    /// [`Engine::attach`] with an explicit kernel.
-    pub fn attach_with_kernel(
-        &mut self,
-        stream: StreamId,
-        query: QueryId,
-        epsilon: f64,
-        gap_policy: GapPolicy,
-        kernel: Kernel,
+        build: impl FnOnce(&[Owned<M>]) -> Result<M, SpringError>,
     ) -> Result<AttachmentId, MonitorError> {
         if stream.0 as usize >= self.streams.len() {
             return Err(MonitorError::UnknownStream(stream));
@@ -201,17 +347,25 @@ impl Engine {
             .queries
             .get(query.0 as usize)
             .ok_or(MonitorError::UnknownQuery(query))?;
-        let spring = Spring::with_kernel(&def.values, SpringConfig::new(epsilon), kernel)?;
+        let monitor = build(&def.samples)?;
+        if let Some(expected) = monitor.channels() {
+            let state = &mut self.streams[stream.0 as usize];
+            match state.channels {
+                Some(c) if c != expected => {
+                    return Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                        expected: c,
+                        found: expected,
+                    }));
+                }
+                // First vector attachment pins the stream's width.
+                None => state.channels = Some(expected),
+                _ => {}
+            }
+        }
         let id = AttachmentId(self.attachments.len() as u32);
         let idx = self.attachments.len();
-        self.attachments.push(Attachment {
-            id,
-            stream,
-            query,
-            spring,
-            gap_policy,
-            last_observed: None,
-        });
+        self.attachments
+            .push(Attachment::new(id, stream, query, monitor, gap_policy));
         self.by_stream.entry(stream).or_default().push(idx);
         Ok(id)
     }
@@ -226,6 +380,19 @@ impl Engine {
         self.queries.get(id.0 as usize).map(|q| q.name.as_str())
     }
 
+    /// Samples of a registered query.
+    pub fn query_samples(&self, id: QueryId) -> Option<&[Owned<M>]> {
+        self.queries
+            .get(id.0 as usize)
+            .map(|q| q.samples.as_slice())
+    }
+
+    /// Channel count of a registered stream (`None` until declared or
+    /// pinned by a vector attachment).
+    pub fn stream_channels(&self, id: StreamId) -> Option<usize> {
+        self.streams.get(id.0 as usize).and_then(|s| s.channels)
+    }
+
     /// Number of attachments.
     pub fn attachment_count(&self) -> usize {
         self.attachments.len()
@@ -238,47 +405,44 @@ impl Engine {
             .map(|a| (a.stream, a.query))
     }
 
+    /// The monitor variant of an attachment.
+    pub fn attachment_variant(&self, id: AttachmentId) -> Option<MonitorVariant> {
+        self.attachments
+            .get(id.0 as usize)
+            .map(|a| a.monitor.variant())
+    }
+
     /// Ticks pushed so far on a stream.
     pub fn stream_ticks(&self, id: StreamId) -> Option<u64> {
         self.streams.get(id.0 as usize).map(|s| s.ticks)
     }
 
-    /// Pushes one sample (NaN = missing) to a stream; returns the events
-    /// confirmed at this tick across all of the stream's attachments.
-    pub fn push(&mut self, stream: StreamId, value: f64) -> Result<Vec<Event>, MonitorError> {
+    /// Pushes one sample (missing = NaN component) to a stream; returns
+    /// the events confirmed at this tick across the stream's
+    /// attachments.
+    pub fn push(
+        &mut self,
+        stream: StreamId,
+        sample: &M::Sample,
+    ) -> Result<Vec<Event>, MonitorError> {
         let state = self
             .streams
             .get_mut(stream.0 as usize)
             .ok_or(MonitorError::UnknownStream(stream))?;
+        if let Some(expected) = state.channels {
+            let found = M::sample_dim(sample);
+            if found != expected {
+                return Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                    expected,
+                    found,
+                }));
+            }
+        }
         state.ticks += 1;
-        let tick = state.ticks;
         let mut events = Vec::new();
         let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
         for idx in indices {
-            let att = &mut self.attachments[idx];
-            let x = if value.is_finite() {
-                att.last_observed = Some(value);
-                value
-            } else {
-                match att.gap_policy {
-                    GapPolicy::Skip => continue,
-                    GapPolicy::CarryForward => match att.last_observed {
-                        Some(v) => v,
-                        None => continue,
-                    },
-                    GapPolicy::Fail => {
-                        return Err(MonitorError::MissingSample { stream, tick });
-                    }
-                }
-            };
-            if let Some(m) = att.spring.step(x) {
-                events.push(Event {
-                    stream,
-                    query: att.query,
-                    attachment: att.id,
-                    m,
-                });
-            }
+            events.extend(self.attachments[idx].ingest(sample)?);
         }
         Ok(events)
     }
@@ -292,15 +456,7 @@ impl Engine {
         let mut events = Vec::new();
         let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
         for idx in indices {
-            let att = &mut self.attachments[idx];
-            if let Some(m) = att.spring.finish() {
-                events.push(Event {
-                    stream,
-                    query: att.query,
-                    attachment: att.id,
-                    m,
-                });
-            }
+            events.extend(self.attachments[idx].flush());
         }
         Ok(events)
     }
@@ -308,7 +464,82 @@ impl Engine {
     /// Total bytes of live monitoring state across all attachments
     /// (constant per attachment — Lemma 4 per pair).
     pub fn bytes_used(&self) -> usize {
-        self.attachments.iter().map(|a| a.spring.bytes_used()).sum()
+        self.attachments
+            .iter()
+            .map(|a| a.monitor.memory_use())
+            .sum()
+    }
+}
+
+impl SpringEngine {
+    /// Attaches `query` to `stream` with threshold `epsilon` (squared
+    /// kernel) and the given gap policy. One query may be attached to
+    /// many streams and vice versa; each attachment is independent.
+    pub fn attach(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        epsilon: f64,
+        gap_policy: GapPolicy,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_with_kernel(stream, query, epsilon, gap_policy, Kernel::Squared)
+    }
+
+    /// [`SpringEngine::attach`] with an explicit kernel.
+    pub fn attach_with_kernel(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        epsilon: f64,
+        gap_policy: GapPolicy,
+        kernel: Kernel,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_monitor(stream, query, gap_policy, |q| {
+            Spring::with_kernel(q, SpringConfig::new(epsilon), kernel)
+        })
+    }
+}
+
+impl MixedEngine {
+    /// Attaches a monitor described by `spec` (squared kernel). Specs of
+    /// different variants may share streams and queries freely; events
+    /// carry the variant tag.
+    pub fn attach_spec(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        spec: MonitorSpec,
+        gap_policy: GapPolicy,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_spec_with_kernel(stream, query, spec, gap_policy, Kernel::Squared)
+    }
+
+    /// [`MixedEngine::attach_spec`] with an explicit kernel.
+    pub fn attach_spec_with_kernel(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        spec: MonitorSpec,
+        gap_policy: GapPolicy,
+        kernel: Kernel,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_monitor(stream, query, gap_policy, |q| spec.build(q, kernel))
+    }
+}
+
+impl VectorEngine {
+    /// Attaches vector `query` to `stream` with threshold `epsilon`
+    /// (squared kernel). The channel counts must agree.
+    pub fn attach(
+        &mut self,
+        stream: StreamId,
+        query: QueryId,
+        epsilon: f64,
+        gap_policy: GapPolicy,
+    ) -> Result<AttachmentId, MonitorError> {
+        self.attach_monitor(stream, query, gap_policy, |rows| {
+            VectorSpring::with_kernel(rows, epsilon, Kernel::Squared)
+        })
     }
 }
 
@@ -328,23 +559,24 @@ mod tests {
 
     #[test]
     fn single_stream_single_query_end_to_end() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
         e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
         let mut events = Vec::new();
         for x in spike_stream(&[5, 20], 30) {
-            events.extend(e.push(s, x).unwrap());
+            events.extend(e.push(s, &x).unwrap());
         }
         events.extend(e.finish_stream(s).unwrap());
         assert_eq!(events.len(), 2);
         assert_eq!((events[0].m.start, events[0].m.end), (6, 8));
         assert_eq!((events[1].m.start, events[1].m.end), (21, 23));
+        assert!(events.iter().all(|ev| ev.variant == MonitorVariant::Spring));
     }
 
     #[test]
     fn many_queries_on_one_stream_fire_independently() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let spike = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
         let dip = e.add_query("dip", vec![50.0, 45.0, 50.0]).unwrap();
@@ -354,7 +586,7 @@ mod tests {
         stream[15] = 45.0; // a dip
         let mut events = Vec::new();
         for x in stream {
-            events.extend(e.push(s, x).unwrap());
+            events.extend(e.push(s, &x).unwrap());
         }
         events.extend(e.finish_stream(s).unwrap());
         let spikes: Vec<_> = events.iter().filter(|ev| ev.query == spike).collect();
@@ -366,7 +598,7 @@ mod tests {
 
     #[test]
     fn one_query_on_many_streams_has_independent_tick_counters() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s1 = e.add_stream("s1");
         let s2 = e.add_stream("s2");
         let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
@@ -377,8 +609,8 @@ mod tests {
         let v2 = spike_stream(&[7], 12);
         let mut events = Vec::new();
         for i in 0..12 {
-            events.extend(e.push(s1, v1[i]).unwrap());
-            events.extend(e.push(s2, v2[i]).unwrap());
+            events.extend(e.push(s1, &v1[i]).unwrap());
+            events.extend(e.push(s2, &v2[i]).unwrap());
         }
         events.extend(e.finish_stream(s1).unwrap());
         events.extend(e.finish_stream(s2).unwrap());
@@ -392,7 +624,7 @@ mod tests {
 
     #[test]
     fn gap_policy_skip_tolerates_dropouts_inside_a_match() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("spike", vec![0.0, 10.0, 10.0, 0.0]).unwrap();
         e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
@@ -401,7 +633,7 @@ mod tests {
         let stream = [50.0, 50.0, 0.0, 10.0, f64::NAN, 10.0, 0.0, 50.0, 50.0];
         let mut events = Vec::new();
         for x in stream {
-            events.extend(e.push(s, x).unwrap());
+            events.extend(e.push(s, &x).unwrap());
         }
         events.extend(e.finish_stream(s).unwrap());
         assert_eq!(events.len(), 1);
@@ -410,12 +642,12 @@ mod tests {
 
     #[test]
     fn gap_policy_fail_surfaces_the_tick() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("q", vec![1.0]).unwrap();
         e.attach(s, q, 1.0, GapPolicy::Fail).unwrap();
-        e.push(s, 1.0).unwrap();
-        let err = e.push(s, f64::NAN).unwrap_err();
+        e.push(s, &1.0).unwrap();
+        let err = e.push(s, &f64::NAN).unwrap_err();
         assert_eq!(err, MonitorError::MissingSample { stream: s, tick: 2 });
     }
 
@@ -424,13 +656,13 @@ mod tests {
         // Under CarryForward the monitor advances on the missing tick
         // (repeating the last observation), so reported positions stay in
         // raw-stream coordinates: the match spans the gap tick.
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("ramp", vec![1.0, 2.0, 3.0]).unwrap();
         e.attach(s, q, 0.1, GapPolicy::CarryForward).unwrap();
         let mut events = Vec::new();
         for x in [9.0, 1.0, 2.0, f64::NAN, 3.0, 9.0, 9.0] {
-            events.extend(e.push(s, x).unwrap());
+            events.extend(e.push(s, &x).unwrap());
         }
         events.extend(e.finish_stream(s).unwrap());
         assert_eq!(events.len(), 1);
@@ -442,13 +674,13 @@ mod tests {
     fn gap_policy_skip_compresses_tick_space() {
         // Under Skip the monitor does not advance on missing ticks, so
         // positions are in observed-sample coordinates.
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("ramp", vec![1.0, 2.0, 3.0]).unwrap();
         e.attach(s, q, 0.1, GapPolicy::Skip).unwrap();
         let mut events = Vec::new();
         for x in [9.0, 1.0, 2.0, f64::NAN, 3.0, 9.0, 9.0] {
-            events.extend(e.push(s, x).unwrap());
+            events.extend(e.push(s, &x).unwrap());
         }
         events.extend(e.finish_stream(s).unwrap());
         assert_eq!(events.len(), 1);
@@ -459,7 +691,7 @@ mod tests {
 
     #[test]
     fn unknown_ids_are_rejected() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("q", vec![1.0]).unwrap();
         assert!(matches!(
@@ -471,7 +703,7 @@ mod tests {
             Err(MonitorError::UnknownQuery(_))
         ));
         assert!(matches!(
-            e.push(StreamId(9), 1.0),
+            e.push(StreamId(9), &1.0),
             Err(MonitorError::UnknownStream(_))
         ));
         assert!(matches!(
@@ -482,7 +714,7 @@ mod tests {
 
     #[test]
     fn invalid_queries_and_epsilons_are_rejected_at_registration() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         assert!(e.add_query("empty", vec![]).is_err());
         assert!(e.add_query("nan", vec![f64::NAN]).is_err());
         let s = e.add_stream("s");
@@ -492,29 +724,199 @@ mod tests {
 
     #[test]
     fn names_and_counters_are_queryable() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("sensor-7");
         let q = e.add_query("pattern-x", vec![1.0, 2.0]).unwrap();
-        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let a = e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
         assert_eq!(e.stream_name(s), Some("sensor-7"));
         assert_eq!(e.query_name(q), Some("pattern-x"));
+        assert_eq!(e.query_samples(q), Some(&[1.0, 2.0][..]));
         assert_eq!(e.attachment_count(), 1);
-        e.push(s, 1.0).unwrap();
+        assert_eq!(e.attachment_variant(a), Some(MonitorVariant::Spring));
+        e.push(s, &1.0).unwrap();
         assert_eq!(e.stream_ticks(s), Some(1));
         assert!(e.bytes_used() > 0);
     }
 
     #[test]
     fn memory_is_constant_per_attachment_over_time() {
-        let mut e = Engine::new();
+        let mut e = SpringEngine::new();
         let s = e.add_stream("s");
         let q = e.add_query("q", vec![0.5; 64]).unwrap();
         e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
-        e.push(s, 0.0).unwrap();
+        e.push(s, &0.0).unwrap();
         let before = e.bytes_used();
         for t in 0..10_000 {
-            e.push(s, (t as f64 * 0.1).sin()).unwrap();
+            e.push(s, &((t as f64 * 0.1).sin())).unwrap();
         }
         assert_eq!(e.bytes_used(), before);
+    }
+
+    // ---- mixed-variant deployments -------------------------------------
+
+    #[test]
+    fn mixed_variants_share_one_stream_and_tag_their_events() {
+        let mut e = MixedEngine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach_spec(s, q, MonitorSpec::Spring { epsilon: 1.0 }, GapPolicy::Skip)
+            .unwrap();
+        e.attach_spec(
+            s,
+            q,
+            MonitorSpec::Bounded {
+                epsilon: 1.0,
+                min_len: 3,
+                max_len: 3,
+            },
+            GapPolicy::Skip,
+        )
+        .unwrap();
+        e.attach_spec(s, q, MonitorSpec::Best, GapPolicy::Skip)
+            .unwrap();
+        let mut events = Vec::new();
+        for x in spike_stream(&[5], 20) {
+            events.extend(e.push(s, &x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        let variants: Vec<MonitorVariant> = events.iter().map(|ev| ev.variant).collect();
+        assert!(variants.contains(&MonitorVariant::Spring));
+        assert!(variants.contains(&MonitorVariant::Bounded));
+        assert!(variants.contains(&MonitorVariant::Best));
+        // All three agree on the planted occurrence.
+        for ev in &events {
+            assert_eq!((ev.m.start, ev.m.end), (6, 8), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_engine_events_match_plain_spring_for_spring_specs() {
+        let stream = spike_stream(&[4, 15], 28);
+        let mut mixed = MixedEngine::new();
+        let s = mixed.add_stream("s");
+        let q = mixed.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        mixed
+            .attach_spec(s, q, MonitorSpec::Spring { epsilon: 1.0 }, GapPolicy::Skip)
+            .unwrap();
+        let mut plain = SpringEngine::new();
+        let s2 = plain.add_stream("s");
+        let q2 = plain.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        plain.attach(s2, q2, 1.0, GapPolicy::Skip).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for x in &stream {
+            a.extend(mixed.push(s, x).unwrap());
+            b.extend(plain.push(s2, x).unwrap());
+        }
+        a.extend(mixed.finish_stream(s).unwrap());
+        b.extend(plain.finish_stream(s2).unwrap());
+        let ms_a: Vec<Match> = a.iter().map(|ev| ev.m).collect();
+        let ms_b: Vec<Match> = b.iter().map(|ev| ev.m).collect();
+        assert_eq!(ms_a, ms_b);
+    }
+
+    // ---- vector streams ------------------------------------------------
+
+    fn vquery_rows() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 0.0], vec![5.0, -5.0], vec![0.0, 0.0]]
+    }
+
+    fn quiet_row() -> Vec<f64> {
+        vec![40.0, 40.0]
+    }
+
+    #[test]
+    fn finds_a_planted_vector_pattern() {
+        let mut e = VectorEngine::new();
+        let s = e.add_channel_stream("feed", 2);
+        let q = e.add_query("blip", vquery_rows()).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            events.extend(e.push(s, &quiet_row()).unwrap());
+        }
+        for row in vquery_rows() {
+            events.extend(e.push(s, &row).unwrap());
+        }
+        for _ in 0..4 {
+            events.extend(e.push(s, &quiet_row()).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            (events[0].m.start, events[0].m.end, events[0].m.distance),
+            (5, 7, 0.0)
+        );
+        assert_eq!(events[0].variant, MonitorVariant::Vector);
+    }
+
+    #[test]
+    fn vector_channel_mismatches_are_rejected_at_attach_and_push() {
+        let mut e = VectorEngine::new();
+        let s = e.add_channel_stream("feed", 3);
+        let q = e.add_query("2d", vquery_rows()).unwrap(); // 2 channels
+        assert!(matches!(
+            e.attach(s, q, 1.0, GapPolicy::Skip),
+            Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            }))
+        ));
+        assert!(e.push(s, &[1.0, 2.0][..]).is_err());
+        assert!(e.push(s, &[1.0, 2.0, 3.0][..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn first_vector_attachment_pins_undeclared_stream_width() {
+        let mut e = VectorEngine::new();
+        let s = e.add_stream("feed"); // width not declared
+        assert_eq!(e.stream_channels(s), None);
+        let q = e.add_query("blip", vquery_rows()).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        assert_eq!(e.stream_channels(s), Some(2));
+        assert!(e.push(s, &[1.0][..]).is_err());
+    }
+
+    #[test]
+    fn vector_gap_policies_handle_missing_rows() {
+        // A NaN component marks the whole row missing.
+        let mut e = VectorEngine::new();
+        let s = e.add_channel_stream("feed", 2);
+        let q = e.add_query("blip", vquery_rows()).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let mut events = Vec::new();
+        events.extend(e.push(s, &quiet_row()).unwrap());
+        events.extend(e.push(s, &[f64::NAN, 1.0][..]).unwrap());
+        for row in vquery_rows() {
+            events.extend(e.push(s, &row).unwrap());
+        }
+        events.extend(e.push(s, &quiet_row()).unwrap());
+        events.extend(e.finish_stream(s).unwrap());
+        // Skip compresses: match sits at observed ticks 2..=4.
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].m.start, events[0].m.end), (2, 4));
+
+        let mut f = VectorEngine::new();
+        let sf = f.add_channel_stream("feed", 2);
+        let qf = f.add_query("blip", vquery_rows()).unwrap();
+        f.attach(sf, qf, 1.0, GapPolicy::Fail).unwrap();
+        f.push(sf, &quiet_row()).unwrap();
+        assert_eq!(
+            f.push(sf, &[f64::NAN, 1.0][..]).unwrap_err(),
+            MonitorError::MissingSample {
+                stream: sf,
+                tick: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ragged_vector_queries_are_rejected() {
+        let mut e = VectorEngine::new();
+        assert!(e
+            .add_query("ragged", vec![vec![1.0, 2.0], vec![1.0]])
+            .is_err());
+        assert!(e.add_query("empty", vec![]).is_err());
+        assert!(e.add_query("nan", vec![vec![f64::NAN, 1.0]]).is_err());
     }
 }

@@ -2,17 +2,25 @@
 //!
 //! The paper's motivating setting (Sec. 1, Sec. 5.3) is *monitoring
 //! multiple numerical streams*: many sensors, each watched for many
-//! patterns. This crate operationalizes that:
+//! patterns. This crate operationalizes that, generically over any
+//! [`spring_core::Monitor`] variant:
 //!
-//! * [`engine`] — a single-threaded [`Engine`]: register streams and
+//! * [`engine`] — a single-threaded [`Engine`]`<M>`: register streams and
 //!   queries, attach any query to any stream with its own threshold, push
-//!   values, receive [`Event`]s. Handles missing values (sensor dropouts)
-//!   per attachment via a [`GapPolicy`].
+//!   values, receive [`Event`]s tagged with the reporting variant.
+//!   Handles missing values (sensor dropouts) per attachment via a
+//!   [`GapPolicy`]. Ready-made instantiations: [`SpringEngine`] (plain
+//!   scalar SPRING), [`MixedEngine`] (mixed variants via
+//!   [`spring_core::MonitorSpec`]), [`VectorEngine`] (Sec. 5.3 vector
+//!   streams).
 //! * [`sink`] — pluggable match consumers: collect into a vector, call a
-//!   closure, or forward over a crossbeam channel.
-//! * [`runner`] — a threaded runner that shards attachments across worker
-//!   threads and fans incoming samples out to them, for deployments where
-//!   one core cannot sustain `streams × queries × O(m)` per tick.
+//!   closure, forward over a channel, or count atomically
+//!   ([`CountingSink`]).
+//! * [`runner`] — a threaded [`Runner`]`<M>` that shards attachments
+//!   across worker threads and fans incoming samples out to them over
+//!   bounded channels, for deployments where one core cannot sustain
+//!   `streams × queries × O(m)` per tick. Worker failures surface as
+//!   [`MonitorError::WorkerLost`] instead of silent sample loss.
 //!
 //! Per-tick cost per attachment is `O(m)` and memory is `O(m)` — SPRING's
 //! guarantees are preserved independently for every (stream, query) pair.
@@ -25,7 +33,9 @@ pub mod runner;
 pub mod sink;
 pub mod vector_engine;
 
-pub use engine::{AttachmentId, Engine, Event, GapPolicy, MonitorError, QueryId, StreamId};
-pub use runner::Runner;
-pub use sink::{ChannelSink, FnSink, MatchSink, VecSink};
-pub use vector_engine::{VectorEngine, VectorEvent};
+pub use engine::{
+    AttachmentId, Engine, Event, GapPolicy, MixedEngine, MonitorError, Owned, QueryId,
+    SpringEngine, StreamId, VectorEngine, VectorEvent,
+};
+pub use runner::{Runner, RunnerAttachment};
+pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};

@@ -1,76 +1,114 @@
-//! Threaded monitoring runner.
+//! Threaded monitoring runner, generic over any [`Monitor`].
 //!
-//! Shards attachments across worker threads: each worker owns the SPRING
-//! states of its shard (no locking on the hot path) and receives the
-//! samples of the streams it watches over a bounded crossbeam channel.
-//! Matches go to a shared [`MatchSink`].
+//! Shards attachments across worker threads: each worker owns the
+//! monitor states of its shard (no locking on the hot path) and receives
+//! the samples of the streams it watches over a bounded channel. Matches
+//! go to a shared [`MatchSink`]. Each worker drives the same
+//! [`Attachment`] gap-policy/tick code path as the single-threaded
+//! [`crate::Engine`], so the two deployments report identical events.
 //!
 //! Scaling model: with `A` attachments of query length `m` spread over
 //! `w` workers, each incoming sample costs `O(A·m / w)` on the critical
 //! path — the `monitor_scaling` bench measures exactly this.
+//!
+//! # Failure handling
+//!
+//! A worker stops when an attachment rejects a sample (e.g.
+//! [`GapPolicy::Fail`] on a missing value) or when the sink panics. The
+//! first ingestion error is recorded and returned by
+//! [`Runner::shutdown`]; once a worker is gone, [`Runner::push`] to its
+//! streams reports [`MonitorError::WorkerLost`] instead of silently
+//! dropping samples (or deadlocking on a full queue).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
-use crossbeam::channel::{bounded, Sender};
+use spring_core::monitor::Monitor;
 
-use spring_core::{Spring, SpringConfig};
-use spring_dtw::Kernel;
-
-use crate::engine::{AttachmentId, Event, GapPolicy, MonitorError, QueryId, StreamId};
+use crate::engine::{Attachment, AttachmentId, GapPolicy, MonitorError, Owned, QueryId, StreamId};
 use crate::sink::MatchSink;
 
-/// One attachment specification for a [`Runner`].
+/// Queue depth per worker; bounds memory under bursty producers.
+const QUEUE_DEPTH: usize = 1024;
+
+/// One attachment specification for a [`Runner`]: a pre-built monitor
+/// plus its routing and gap handling.
 #[derive(Debug, Clone)]
-pub struct RunnerAttachment {
+pub struct RunnerAttachment<M: Monitor> {
     /// Stream to watch.
     pub stream: StreamId,
-    /// Query pattern values.
-    pub query: Vec<f64>,
     /// Query id reported in events.
     pub query_id: QueryId,
-    /// Match threshold.
-    pub epsilon: f64,
+    /// The monitor to drive (any [`Monitor`] variant).
+    pub monitor: M,
     /// Missing-sample policy.
     pub gap_policy: GapPolicy,
 }
 
-enum Msg {
-    Sample { stream: StreamId, value: f64 },
-    FinishStream(StreamId),
-    Shutdown,
+impl<M: Monitor> RunnerAttachment<M> {
+    /// An attachment watching `stream` with `monitor`.
+    pub fn new(stream: StreamId, query_id: QueryId, monitor: M, gap_policy: GapPolicy) -> Self {
+        RunnerAttachment {
+            stream,
+            query_id,
+            monitor,
+            gap_policy,
+        }
+    }
 }
 
-struct WorkerAttachment {
-    id: AttachmentId,
-    stream: StreamId,
-    query_id: QueryId,
-    spring: Spring<Kernel>,
-    gap_policy: GapPolicy,
-    last_observed: Option<f64>,
+impl RunnerAttachment<spring_core::Spring<spring_dtw::Kernel>> {
+    /// Convenience: a plain SPRING attachment (squared kernel) built
+    /// from query values and a threshold.
+    pub fn spring(
+        stream: StreamId,
+        query_id: QueryId,
+        query: &[f64],
+        epsilon: f64,
+        gap_policy: GapPolicy,
+    ) -> Result<Self, MonitorError> {
+        let monitor = spring_core::Spring::with_kernel(
+            query,
+            spring_core::SpringConfig::new(epsilon),
+            spring_dtw::Kernel::Squared,
+        )?;
+        Ok(RunnerAttachment::new(stream, query_id, monitor, gap_policy))
+    }
+}
+
+enum Msg<M: Monitor> {
+    Sample { stream: StreamId, value: Owned<M> },
+    FinishStream(StreamId),
+    Shutdown,
 }
 
 /// A running pool of monitor workers.
 ///
 /// Samples are pushed from any thread via [`Runner::push`]; matches
 /// arrive at the sink from worker threads. Call [`Runner::shutdown`] to
-/// flush and join.
-pub struct Runner {
-    senders: Vec<Sender<Msg>>,
+/// flush, join, and learn about any worker failure.
+pub struct Runner<M: Monitor> {
+    senders: Vec<SyncSender<Msg<M>>>,
     /// Worker indices interested in each stream.
     routes: HashMap<StreamId, Vec<usize>>,
     handles: Vec<JoinHandle<()>>,
+    /// First ingestion error recorded by any worker.
+    error: Arc<Mutex<Option<MonitorError>>>,
 }
 
-impl Runner {
+impl<M> Runner<M>
+where
+    M: Monitor + Send + 'static,
+    Owned<M>: Send,
+{
     /// Spawns `workers` threads sharing out `attachments` round-robin.
     ///
     /// # Errors
-    /// Fails when `workers == 0` or any attachment has an invalid query
-    /// or threshold.
+    /// Fails when `workers == 0`.
     pub fn spawn(
-        attachments: Vec<RunnerAttachment>,
+        attachments: Vec<RunnerAttachment<M>>,
         workers: usize,
         sink: Arc<dyn MatchSink>,
     ) -> Result<Self, MonitorError> {
@@ -79,70 +117,51 @@ impl Runner {
                 spring_core::SpringError::InvalidQuery("runner needs at least one worker".into()),
             ));
         }
-        let mut shards: Vec<Vec<WorkerAttachment>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut shards: Vec<Vec<Attachment<M>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut routes: HashMap<StreamId, Vec<usize>> = HashMap::new();
         for (i, spec) in attachments.into_iter().enumerate() {
-            let spring = Spring::with_kernel(
-                &spec.query,
-                SpringConfig::new(spec.epsilon),
-                Kernel::Squared,
-            )?;
             let worker = i % workers;
-            shards[worker].push(WorkerAttachment {
-                id: AttachmentId(i as u32),
-                stream: spec.stream,
-                query_id: spec.query_id,
-                spring,
-                gap_policy: spec.gap_policy,
-                last_observed: None,
-            });
+            shards[worker].push(Attachment::new(
+                AttachmentId(i as u32),
+                spec.stream,
+                spec.query_id,
+                spec.monitor,
+                spec.gap_policy,
+            ));
             let entry = routes.entry(spec.stream).or_default();
             if !entry.contains(&worker) {
                 entry.push(worker);
             }
         }
+        let error = Arc::new(Mutex::new(None));
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in shards {
-            let (tx, rx) = bounded::<Msg>(1024);
+            let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
             let sink = Arc::clone(&sink);
+            let error = Arc::clone(&error);
             let handle = thread::spawn(move || {
                 let mut shard = shard;
-                for msg in rx {
+                'recv: for msg in rx {
                     match msg {
                         Msg::Sample { stream, value } => {
                             for att in shard.iter_mut().filter(|a| a.stream == stream) {
-                                let x = if value.is_finite() {
-                                    att.last_observed = Some(value);
-                                    value
-                                } else {
-                                    match att.gap_policy {
-                                        GapPolicy::Skip | GapPolicy::Fail => continue,
-                                        GapPolicy::CarryForward => match att.last_observed {
-                                            Some(v) => v,
-                                            None => continue,
-                                        },
+                                match att.ingest(std::borrow::Borrow::borrow(&value)) {
+                                    Ok(Some(event)) => sink.on_match(&event),
+                                    Ok(None) => {}
+                                    Err(e) => {
+                                        record_error(&error, e);
+                                        // Dropping the receiver makes later
+                                        // pushes fail fast with WorkerLost.
+                                        break 'recv;
                                     }
-                                };
-                                if let Some(m) = att.spring.step(x) {
-                                    sink.on_match(&Event {
-                                        stream,
-                                        query: att.query_id,
-                                        attachment: att.id,
-                                        m,
-                                    });
                                 }
                             }
                         }
                         Msg::FinishStream(stream) => {
                             for att in shard.iter_mut().filter(|a| a.stream == stream) {
-                                if let Some(m) = att.spring.finish() {
-                                    sink.on_match(&Event {
-                                        stream,
-                                        query: att.query_id,
-                                        attachment: att.id,
-                                        m,
-                                    });
+                                if let Some(event) = att.flush() {
+                                    sink.on_match(&event);
                                 }
                             }
                         }
@@ -157,44 +176,91 @@ impl Runner {
             senders,
             routes,
             handles,
+            error,
         })
     }
 
     /// Pushes one sample to every worker watching `stream`.
-    pub fn push(&self, stream: StreamId, value: f64) {
-        if let Some(workers) = self.routes.get(&stream) {
-            for &w in workers {
-                // Workers only stop after Shutdown, so sends cannot fail
-                // while the Runner is alive.
-                let _ = self.senders[w].send(Msg::Sample { stream, value });
-            }
-        }
+    ///
+    /// Blocks briefly when a worker's queue is full (backpressure).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] when a watching worker has died
+    /// (panicked sink or recorded ingestion error).
+    pub fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
+        self.route(stream, |s| Msg::Sample {
+            stream: s,
+            value: sample.to_owned(),
+        })
     }
 
     /// Flushes pending group optima on a stream's attachments.
-    pub fn finish_stream(&self, stream: StreamId) {
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] when a watching worker has died.
+    pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.route(stream, Msg::FinishStream)
+    }
+
+    fn route(
+        &self,
+        stream: StreamId,
+        mut msg: impl FnMut(StreamId) -> Msg<M>,
+    ) -> Result<(), MonitorError> {
+        let mut lost = false;
         if let Some(workers) = self.routes.get(&stream) {
             for &w in workers {
-                let _ = self.senders[w].send(Msg::FinishStream(stream));
+                // A worker only stops receiving after Shutdown, a recorded
+                // error, or a panic — so a failed send means it is gone.
+                lost |= self.senders[w].send(msg(stream)).is_err();
             }
+        }
+        if lost {
+            Err(MonitorError::WorkerLost)
+        } else {
+            Ok(())
         }
     }
 
     /// Drains all queues, stops the workers, and joins them.
-    pub fn shutdown(self) {
+    ///
+    /// # Errors
+    /// The first ingestion error recorded by any worker, or
+    /// [`MonitorError::WorkerLost`] when a worker thread panicked.
+    pub fn shutdown(self) -> Result<(), MonitorError> {
         for tx in &self.senders {
             let _ = tx.send(Msg::Shutdown);
         }
+        let mut panicked = false;
         for handle in self.handles {
-            let _ = handle.join();
+            panicked |= handle.join().is_err();
+        }
+        let recorded = self
+            .error
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .take();
+        match recorded {
+            Some(e) => Err(e),
+            None if panicked => Err(MonitorError::WorkerLost),
+            None => Ok(()),
         }
     }
+}
+
+fn record_error(slot: &Mutex<Option<MonitorError>>, e: MonitorError) {
+    let mut guard = slot.lock().unwrap_or_else(|poison| poison.into_inner());
+    guard.get_or_insert(e);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sink::VecSink;
+    use crate::sink::{FnSink, VecSink};
+    use spring_core::{Spring, VectorSpring};
+    use spring_dtw::Kernel;
+
+    type SpringRunner = Runner<Spring<Kernel>>;
 
     fn spike_stream(spike_at: &[usize], len: usize) -> Vec<f64> {
         let mut v = vec![50.0; len];
@@ -206,26 +272,27 @@ mod tests {
         v
     }
 
-    fn spike_attachment(stream: StreamId, qid: u32) -> RunnerAttachment {
-        RunnerAttachment {
+    fn spike_attachment(stream: StreamId, qid: u32) -> RunnerAttachment<Spring<Kernel>> {
+        RunnerAttachment::spring(
             stream,
-            query: vec![0.0, 10.0, 0.0],
-            query_id: QueryId(qid),
-            epsilon: 1.0,
-            gap_policy: GapPolicy::Skip,
-        }
+            QueryId(qid),
+            &[0.0, 10.0, 0.0],
+            1.0,
+            GapPolicy::Skip,
+        )
+        .unwrap()
     }
 
     #[test]
     fn single_worker_end_to_end() {
         let sink = Arc::new(VecSink::new());
         let runner =
-            Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+            SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
         for x in spike_stream(&[4, 15], 25) {
-            runner.push(StreamId(0), x);
+            runner.push(StreamId(0), &x).unwrap();
         }
-        runner.finish_stream(StreamId(0));
-        runner.shutdown();
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
         let events = sink.events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].m.start, 5);
@@ -236,17 +303,17 @@ mod tests {
     fn many_workers_many_streams() {
         let sink = Arc::new(VecSink::new());
         let n_streams = 6;
-        let attachments: Vec<RunnerAttachment> = (0..n_streams)
+        let attachments: Vec<_> = (0..n_streams)
             .map(|s| spike_attachment(StreamId(s), s))
             .collect();
-        let runner = Runner::spawn(attachments, 3, sink.clone()).unwrap();
+        let runner = SpringRunner::spawn(attachments, 3, sink.clone()).unwrap();
         for s in 0..n_streams {
             for x in spike_stream(&[3 + s as usize], 20) {
-                runner.push(StreamId(s), x);
+                runner.push(StreamId(s), &x).unwrap();
             }
-            runner.finish_stream(StreamId(s));
+            runner.finish_stream(StreamId(s)).unwrap();
         }
-        runner.shutdown();
+        runner.shutdown().unwrap();
         let events = sink.events();
         assert_eq!(events.len(), n_streams as usize);
         for s in 0..n_streams {
@@ -259,12 +326,12 @@ mod tests {
     fn per_stream_event_order_is_preserved() {
         let sink = Arc::new(VecSink::new());
         let runner =
-            Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+            SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
         for x in spike_stream(&[3, 10, 17, 24], 32) {
-            runner.push(StreamId(0), x);
+            runner.push(StreamId(0), &x).unwrap();
         }
-        runner.finish_stream(StreamId(0));
-        runner.shutdown();
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
         let starts: Vec<u64> = sink.events().iter().map(|e| e.m.start).collect();
         assert_eq!(starts, vec![4, 11, 18, 25]);
     }
@@ -272,13 +339,101 @@ mod tests {
     #[test]
     fn zero_workers_rejected() {
         let sink = Arc::new(VecSink::new());
-        assert!(Runner::spawn(vec![], 0, sink).is_err());
+        assert!(SpringRunner::spawn(vec![], 0, sink).is_err());
     }
 
     #[test]
     fn shutdown_with_no_traffic_joins_cleanly() {
         let sink = Arc::new(VecSink::new());
-        let runner = Runner::spawn(vec![spike_attachment(StreamId(0), 0)], 4, sink).unwrap();
-        runner.shutdown();
+        let runner = SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 4, sink).unwrap();
+        runner.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fail_policy_error_is_recorded_and_surfaced_at_shutdown() {
+        let sink = Arc::new(VecSink::new());
+        let att = RunnerAttachment::spring(
+            StreamId(0),
+            QueryId(0),
+            &[0.0, 10.0, 0.0],
+            1.0,
+            GapPolicy::Fail,
+        )
+        .unwrap();
+        let runner = SpringRunner::spawn(vec![att], 1, sink).unwrap();
+        runner.push(StreamId(0), &1.0).unwrap();
+        // The worker records the error and stops; the push itself may
+        // still succeed (the queue accepts it before processing).
+        let _ = runner.push(StreamId(0), &f64::NAN);
+        assert_eq!(
+            runner.shutdown(),
+            Err(MonitorError::MissingSample {
+                stream: StreamId(0),
+                tick: 2
+            })
+        );
+    }
+
+    #[test]
+    fn pushes_after_a_worker_dies_report_worker_lost() {
+        let sink = Arc::new(VecSink::new());
+        let att = RunnerAttachment::spring(
+            StreamId(0),
+            QueryId(0),
+            &[0.0, 10.0, 0.0],
+            1.0,
+            GapPolicy::Fail,
+        )
+        .unwrap();
+        let runner = SpringRunner::spawn(vec![att], 1, sink).unwrap();
+        let _ = runner.push(StreamId(0), &f64::NAN);
+        // The worker drops its receiver once the error is recorded, so a
+        // later push fails fast instead of deadlocking on a full queue.
+        let mut lost = false;
+        for _ in 0..100_000 {
+            if runner.push(StreamId(0), &1.0).is_err() {
+                lost = true;
+                break;
+            }
+            thread::yield_now();
+        }
+        assert!(lost, "push kept succeeding after the worker died");
+        assert!(runner.shutdown().is_err());
+    }
+
+    #[test]
+    fn panicking_sink_surfaces_worker_lost_on_shutdown() {
+        let sink = Arc::new(FnSink(|_: &crate::engine::Event| {
+            panic!("sink exploded");
+        }));
+        let runner = SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink).unwrap();
+        for x in spike_stream(&[2], 8) {
+            let _ = runner.push(StreamId(0), &x);
+        }
+        assert_eq!(runner.shutdown(), Err(MonitorError::WorkerLost));
+    }
+
+    #[test]
+    fn vector_attachments_run_through_the_same_worker_loop() {
+        let sink = Arc::new(VecSink::new());
+        let rows = [vec![0.0, 0.0], vec![5.0, -5.0], vec![0.0, 0.0]];
+        let monitor = VectorSpring::with_kernel(&rows, 1.0, Kernel::Squared).unwrap();
+        let att = RunnerAttachment::new(StreamId(0), QueryId(0), monitor, GapPolicy::Skip);
+        let runner = Runner::spawn(vec![att], 2, sink.clone()).unwrap();
+        for _ in 0..3 {
+            runner.push(StreamId(0), &[40.0, 40.0][..]).unwrap();
+        }
+        for row in &rows {
+            runner.push(StreamId(0), row.as_slice()).unwrap();
+        }
+        for _ in 0..3 {
+            runner.push(StreamId(0), &[40.0, 40.0][..]).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].m.start, events[0].m.end), (4, 6));
+        assert_eq!(events[0].variant, spring_core::MonitorVariant::Vector);
     }
 }

@@ -1,11 +1,10 @@
 //! Pluggable consumers for match events.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::Sender;
-use parking_lot::Mutex;
-
-use crate::engine::Event;
+use crate::engine::{AttachmentId, Event};
 
 /// A consumer of confirmed match events. Implementations must be cheap:
 /// they run on the ingestion path.
@@ -28,23 +27,23 @@ impl VecSink {
 
     /// Snapshot of the events received so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.events.lock().expect("sink poisoned").clone()
     }
 
     /// Number of events received so far.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("sink poisoned").len()
     }
 
     /// True when no event was received yet.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events.lock().expect("sink poisoned").is_empty()
     }
 }
 
 impl MatchSink for VecSink {
     fn on_match(&self, event: &Event) {
-        self.events.lock().push(*event);
+        self.events.lock().expect("sink poisoned").push(*event);
     }
 }
 
@@ -57,7 +56,7 @@ impl<F: Fn(&Event) + Send + Sync> MatchSink for FnSink<F> {
     }
 }
 
-/// Forwards events over a crossbeam channel (e.g. to an alerting thread).
+/// Forwards events over an mpsc channel (e.g. to an alerting thread).
 /// Events are dropped silently once the receiver disconnects.
 #[derive(Debug, Clone)]
 pub struct ChannelSink {
@@ -77,17 +76,69 @@ impl MatchSink for ChannelSink {
     }
 }
 
+/// Lock-free per-attachment match counters.
+///
+/// The cheapest possible sink: two relaxed atomic increments per event,
+/// no allocation, no locking. This is what throughput benchmarks (e.g.
+/// `monitor_scaling`) should use so the sink itself never becomes the
+/// bottleneck being measured.
+#[derive(Debug)]
+pub struct CountingSink {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl CountingSink {
+    /// A sink with one counter per attachment id in `0..n_attachments`.
+    ///
+    /// Events whose attachment id falls outside that range still bump the
+    /// grand total but no per-attachment slot.
+    pub fn new(n_attachments: usize) -> Self {
+        CountingSink {
+            counts: (0..n_attachments).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Matches seen so far for one attachment (0 for out-of-range ids).
+    pub fn count(&self, attachment: AttachmentId) -> u64 {
+        self.counts
+            .get(attachment.0 as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Total matches seen across all attachments.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+impl MatchSink for CountingSink {
+    fn on_match(&self, event: &Event) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.counts.get(event.attachment.0 as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{AttachmentId, QueryId, StreamId};
-    use spring_core::Match;
+    use crate::engine::{QueryId, StreamId};
+    use spring_core::{Match, MonitorVariant};
 
     fn event(start: u64) -> Event {
+        event_for(AttachmentId(0), start)
+    }
+
+    fn event_for(attachment: AttachmentId, start: u64) -> Event {
         Event {
             stream: StreamId(0),
             query: QueryId(0),
-            attachment: AttachmentId(0),
+            attachment,
+            variant: MonitorVariant::Spring,
             m: Match {
                 start,
                 end: start + 1,
@@ -124,11 +175,31 @@ mod tests {
 
     #[test]
     fn channel_sink_forwards_and_tolerates_disconnect() {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = std::sync::mpsc::channel();
         let sink = ChannelSink::new(tx);
         sink.on_match(&event(3));
         assert_eq!(rx.recv().unwrap().m.start, 3);
         drop(rx);
         sink.on_match(&event(4)); // must not panic
+    }
+
+    #[test]
+    fn counting_sink_counts_per_attachment_and_total() {
+        let sink = CountingSink::new(2);
+        sink.on_match(&event_for(AttachmentId(0), 1));
+        sink.on_match(&event_for(AttachmentId(1), 2));
+        sink.on_match(&event_for(AttachmentId(1), 9));
+        assert_eq!(sink.count(AttachmentId(0)), 1);
+        assert_eq!(sink.count(AttachmentId(1)), 2);
+        assert_eq!(sink.total(), 3);
+    }
+
+    #[test]
+    fn counting_sink_out_of_range_only_bumps_total() {
+        let sink = CountingSink::new(1);
+        sink.on_match(&event_for(AttachmentId(7), 1));
+        assert_eq!(sink.count(AttachmentId(7)), 0);
+        assert_eq!(sink.count(AttachmentId(0)), 0);
+        assert_eq!(sink.total(), 1);
     }
 }

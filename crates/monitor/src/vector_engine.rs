@@ -1,343 +1,10 @@
-//! Multi-query monitoring over `k`-dimensional vector streams.
+//! Legacy location of the vector-stream engine.
 //!
-//! The Sec. 5.3 setting as a service: one mocap-style feed (or several),
-//! many motion queries, each attachment an independent
-//! [`VectorSpring`] with its own threshold. Mirrors [`crate::Engine`]
-//! for scalar streams.
+//! The standalone `VectorEngine` was folded into the generic
+//! [`crate::Engine`] (`Engine<VectorSpring<Kernel>>`): scalar, mixed,
+//! and vector deployments now share one attachment/gap-policy code
+//! path and one [`crate::Event`] type. This module stays as an alias
+//! shim so existing `spring_monitor::vector_engine::*` imports keep
+//! compiling.
 
-use std::collections::HashMap;
-
-use spring_core::{MemoryUse, SpringError, VectorSpring};
-
-use crate::engine::{AttachmentId, MonitorError, QueryId, StreamId};
-
-/// A confirmed match on a vector-stream attachment.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct VectorEvent {
-    /// Stream the match occurred on.
-    pub stream: StreamId,
-    /// Query that matched.
-    pub query: QueryId,
-    /// Attachment that produced the event.
-    pub attachment: AttachmentId,
-    /// The match (ticks are per-stream, 1-based).
-    pub m: spring_core::Match,
-}
-
-#[derive(Debug)]
-struct VectorStreamState {
-    name: String,
-    channels: usize,
-    ticks: u64,
-}
-
-#[derive(Debug, Clone)]
-struct VectorQueryDef {
-    name: String,
-    rows: Vec<Vec<f64>>,
-    channels: usize,
-}
-
-#[derive(Debug)]
-struct VectorAttachment {
-    id: AttachmentId,
-    stream: StreamId,
-    query: QueryId,
-    spring: VectorSpring,
-}
-
-/// Monitors vector streams against vector query patterns.
-///
-/// # Examples
-/// ```
-/// use spring_monitor::vector_engine::VectorEngine;
-///
-/// let mut engine = VectorEngine::new();
-/// let feed = engine.add_stream("mocap", 2);
-/// let gesture = engine
-///     .add_query("updown", vec![vec![0.0, 0.0], vec![1.0, -1.0], vec![0.0, 0.0]])
-///     .unwrap();
-/// engine.attach(feed, gesture, 0.5).unwrap();
-///
-/// let mut events = Vec::new();
-/// for row in [
-///     [9.0, 9.0], [0.0, 0.0], [1.0, -1.0], [0.0, 0.0], [9.0, 9.0], [9.0, 9.0],
-/// ] {
-///     events.extend(engine.push(feed, &row).unwrap());
-/// }
-/// events.extend(engine.finish_stream(feed).unwrap());
-/// assert_eq!(events.len(), 1);
-/// assert_eq!((events[0].m.start, events[0].m.end), (2, 4));
-/// ```
-#[derive(Debug, Default)]
-pub struct VectorEngine {
-    streams: Vec<VectorStreamState>,
-    queries: Vec<VectorQueryDef>,
-    attachments: Vec<VectorAttachment>,
-    by_stream: HashMap<StreamId, Vec<usize>>,
-}
-
-impl VectorEngine {
-    /// An empty engine.
-    pub fn new() -> Self {
-        VectorEngine::default()
-    }
-
-    /// Registers a `channels`-dimensional stream.
-    pub fn add_stream(&mut self, name: impl Into<String>, channels: usize) -> StreamId {
-        let id = StreamId(self.streams.len() as u32);
-        self.streams.push(VectorStreamState {
-            name: name.into(),
-            channels,
-            ticks: 0,
-        });
-        self.by_stream.entry(id).or_default();
-        id
-    }
-
-    /// Registers a vector query pattern (one row of channel values per
-    /// tick). Validated eagerly.
-    pub fn add_query(
-        &mut self,
-        name: impl Into<String>,
-        rows: Vec<Vec<f64>>,
-    ) -> Result<QueryId, MonitorError> {
-        // Validate via a throwaway monitor so broken queries fail here.
-        VectorSpring::new(&rows, 0.0).map_err(MonitorError::Spring)?;
-        let channels = rows[0].len();
-        let id = QueryId(self.queries.len() as u32);
-        self.queries.push(VectorQueryDef {
-            name: name.into(),
-            rows,
-            channels,
-        });
-        Ok(id)
-    }
-
-    /// Attaches `query` to `stream` with threshold `epsilon`. The
-    /// channel counts must agree.
-    pub fn attach(
-        &mut self,
-        stream: StreamId,
-        query: QueryId,
-        epsilon: f64,
-    ) -> Result<AttachmentId, MonitorError> {
-        let state = self
-            .streams
-            .get(stream.0 as usize)
-            .ok_or(MonitorError::UnknownStream(stream))?;
-        let def = self
-            .queries
-            .get(query.0 as usize)
-            .ok_or(MonitorError::UnknownQuery(query))?;
-        if def.channels != state.channels {
-            return Err(MonitorError::Spring(SpringError::DimensionMismatch {
-                expected: state.channels,
-                found: def.channels,
-            }));
-        }
-        let spring = VectorSpring::new(&def.rows, epsilon).map_err(MonitorError::Spring)?;
-        let id = AttachmentId(self.attachments.len() as u32);
-        let idx = self.attachments.len();
-        self.attachments.push(VectorAttachment {
-            id,
-            stream,
-            query,
-            spring,
-        });
-        self.by_stream.entry(stream).or_default().push(idx);
-        Ok(id)
-    }
-
-    /// Name of a registered stream.
-    pub fn stream_name(&self, id: StreamId) -> Option<&str> {
-        self.streams.get(id.0 as usize).map(|s| s.name.as_str())
-    }
-
-    /// Name of a registered query.
-    pub fn query_name(&self, id: QueryId) -> Option<&str> {
-        self.queries.get(id.0 as usize).map(|q| q.name.as_str())
-    }
-
-    /// Channel count of a registered stream.
-    pub fn stream_channels(&self, id: StreamId) -> Option<usize> {
-        self.streams.get(id.0 as usize).map(|s| s.channels)
-    }
-
-    /// The (stream, query) pair of an attachment.
-    pub fn attachment_info(&self, id: AttachmentId) -> Option<(StreamId, QueryId)> {
-        self.attachments
-            .get(id.0 as usize)
-            .map(|a| (a.stream, a.query))
-    }
-
-    /// Pushes one sample row; returns events confirmed at this tick.
-    pub fn push(
-        &mut self,
-        stream: StreamId,
-        row: &[f64],
-    ) -> Result<Vec<VectorEvent>, MonitorError> {
-        let state = self
-            .streams
-            .get_mut(stream.0 as usize)
-            .ok_or(MonitorError::UnknownStream(stream))?;
-        if row.len() != state.channels {
-            return Err(MonitorError::Spring(SpringError::DimensionMismatch {
-                expected: state.channels,
-                found: row.len(),
-            }));
-        }
-        state.ticks += 1;
-        let mut events = Vec::new();
-        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
-        for idx in indices {
-            let att = &mut self.attachments[idx];
-            if let Some(m) = att.spring.step(row).map_err(MonitorError::Spring)? {
-                events.push(VectorEvent {
-                    stream,
-                    query: att.query,
-                    attachment: att.id,
-                    m,
-                });
-            }
-        }
-        Ok(events)
-    }
-
-    /// Declares a stream finished, flushing pending group optima.
-    pub fn finish_stream(&mut self, stream: StreamId) -> Result<Vec<VectorEvent>, MonitorError> {
-        if stream.0 as usize >= self.streams.len() {
-            return Err(MonitorError::UnknownStream(stream));
-        }
-        let mut events = Vec::new();
-        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
-        for idx in indices {
-            let att = &mut self.attachments[idx];
-            if let Some(m) = att.spring.finish() {
-                events.push(VectorEvent {
-                    stream,
-                    query: att.query,
-                    attachment: att.id,
-                    m,
-                });
-            }
-        }
-        Ok(events)
-    }
-
-    /// Total bytes of live monitoring state across attachments.
-    pub fn bytes_used(&self) -> usize {
-        self.attachments.iter().map(|a| a.spring.bytes_used()).sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn query_rows() -> Vec<Vec<f64>> {
-        vec![vec![0.0, 0.0], vec![5.0, -5.0], vec![0.0, 0.0]]
-    }
-
-    fn quiet_row() -> Vec<f64> {
-        vec![40.0, 40.0]
-    }
-
-    #[test]
-    fn finds_a_planted_vector_pattern() {
-        let mut e = VectorEngine::new();
-        let s = e.add_stream("feed", 2);
-        let q = e.add_query("blip", query_rows()).unwrap();
-        e.attach(s, q, 1.0).unwrap();
-        let mut events = Vec::new();
-        for _ in 0..4 {
-            events.extend(e.push(s, &quiet_row()).unwrap());
-        }
-        for row in query_rows() {
-            events.extend(e.push(s, &row).unwrap());
-        }
-        for _ in 0..4 {
-            events.extend(e.push(s, &quiet_row()).unwrap());
-        }
-        events.extend(e.finish_stream(s).unwrap());
-        assert_eq!(events.len(), 1);
-        assert_eq!(
-            (events[0].m.start, events[0].m.end, events[0].m.distance),
-            (5, 7, 0.0)
-        );
-    }
-
-    #[test]
-    fn multiple_queries_fire_independently_on_one_feed() {
-        let mut e = VectorEngine::new();
-        let s = e.add_stream("feed", 2);
-        let up = e
-            .add_query("up", vec![vec![0.0, 0.0], vec![5.0, -5.0]])
-            .unwrap();
-        let down = e
-            .add_query("down", vec![vec![0.0, 0.0], vec![-5.0, 5.0]])
-            .unwrap();
-        e.attach(s, up, 1.0).unwrap();
-        e.attach(s, down, 1.0).unwrap();
-        let rows = [
-            quiet_row(),
-            vec![0.0, 0.0],
-            vec![5.0, -5.0],
-            quiet_row(),
-            vec![0.0, 0.0],
-            vec![-5.0, 5.0],
-            quiet_row(),
-            quiet_row(),
-        ];
-        let mut events = Vec::new();
-        for row in &rows {
-            events.extend(e.push(s, row).unwrap());
-        }
-        events.extend(e.finish_stream(s).unwrap());
-        assert_eq!(events.iter().filter(|ev| ev.query == up).count(), 1);
-        assert_eq!(events.iter().filter(|ev| ev.query == down).count(), 1);
-    }
-
-    #[test]
-    fn channel_mismatches_are_rejected_at_attach_and_push() {
-        let mut e = VectorEngine::new();
-        let s = e.add_stream("feed", 3);
-        let q = e.add_query("2d", query_rows()).unwrap(); // 2 channels
-        assert!(matches!(
-            e.attach(s, q, 1.0),
-            Err(MonitorError::Spring(SpringError::DimensionMismatch {
-                expected: 3,
-                found: 2
-            }))
-        ));
-        assert!(e.push(s, &[1.0, 2.0]).is_err());
-        assert!(e.push(s, &[1.0, 2.0, 3.0]).unwrap().is_empty());
-    }
-
-    #[test]
-    fn unknown_ids_rejected() {
-        let mut e = VectorEngine::new();
-        assert!(matches!(
-            e.push(StreamId(3), &[1.0]),
-            Err(MonitorError::UnknownStream(_))
-        ));
-        let s = e.add_stream("s", 1);
-        assert!(matches!(
-            e.attach(s, QueryId(7), 1.0),
-            Err(MonitorError::UnknownQuery(_))
-        ));
-    }
-
-    #[test]
-    fn metadata_accessors() {
-        let mut e = VectorEngine::new();
-        let s = e.add_stream("imu", 6);
-        let q = e.add_query("gesture", vec![vec![0.0; 6]]).unwrap();
-        e.attach(s, q, 1.0).unwrap();
-        assert_eq!(e.stream_name(s), Some("imu"));
-        assert_eq!(e.stream_channels(s), Some(6));
-        assert_eq!(e.query_name(q), Some("gesture"));
-        e.push(s, &[0.0; 6]).unwrap();
-        assert!(e.bytes_used() > 0);
-    }
-}
+pub use crate::engine::{VectorEngine, VectorEvent};

@@ -1,0 +1,24 @@
+//! # spring-util — zero-dependency support utilities
+//!
+//! The SPRING workspace is built to compile **offline, with no external
+//! crates**. This crate supplies the two pieces of infrastructure the
+//! rest of the workspace would otherwise pull from crates.io:
+//!
+//! * [`rng`] — a small, fast, seeded PRNG (splitmix64-seeded
+//!   xoshiro256**), with uniform and Gaussian helpers. Deterministic per
+//!   seed across platforms, good enough statistical quality for workload
+//!   generation and randomized testing.
+//! * [`json`] — a minimal JSON value model, parser, and writer for
+//!   checkpoints and dataset persistence. Handles the full JSON grammar
+//!   (nested arrays/objects, escapes, exponents); non-representable
+//!   floats (`NaN`, `±∞`) are the *caller's* concern — encode them as
+//!   `null` where the schema calls for it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod rng;
+
+pub use json::Value;
+pub use rng::Rng;

@@ -1,0 +1,190 @@
+//! Seeded pseudo-random numbers without external crates.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna), seeded through
+//! splitmix64 so that *any* `u64` seed — including 0 — yields a
+//! well-mixed state. Not cryptographic; intended for reproducible
+//! workloads and randomized tests.
+
+/// A seeded xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// A generator seeded from a single `u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `(0, 1]` (never zero — safe for `ln`).
+    pub fn f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite());
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's widening-multiply
+    /// method (unbiased for all practical `n`; one extra draw at most).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "u64_below(0)");
+        // Rejection threshold for exact uniformity.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64_below((hi - lo) as u64) as usize
+    }
+
+    /// A standard-normal variate (Box–Muller; one of the pair, the other
+    /// is discarded — callers needing throughput should cache their own).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.f64_open();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A vector of `n` uniform `f64`s in `[lo, hi)`.
+    pub fn f64_vec(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.f64_range(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(8);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = Rng::seed_from_u64(0);
+        let xs: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn u64_below_covers_the_range() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let k = r.u64_below(7) as usize;
+            assert!(k < 7);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = Rng::seed_from_u64(9);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn f64_open_never_returns_zero() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(r.f64_open() > 0.0);
+        }
+    }
+
+    #[test]
+    fn usize_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let k = r.usize_range(5, 9);
+            assert!((5..9).contains(&k));
+        }
+    }
+}

@@ -2,9 +2,13 @@
 //! watch a 62-channel mocap feed for four motion classes simultaneously
 //! and label each segment as it is confirmed.
 //!
+//! Uses the generic monitoring engine instantiated for vector streams
+//! (`VectorEngine = Engine<VectorSpring>`): one channel stream, four
+//! query attachments, each event tagged with the query that fired.
+//!
 //! Run with: `cargo run --release --example mocap_gestures`
 
-use spring::core::VectorSpring;
+use spring::monitor::{GapPolicy, VectorEngine};
 use spring_data::{MocapGenerator, Motion};
 
 fn main() {
@@ -19,46 +23,45 @@ fn main() {
         println!("   {s:>4} ..= {e:<4} {}", m.name());
     }
 
-    // One vector monitor per motion class, all consuming the same feed.
-    let mut monitors: Vec<(Motion, VectorSpring)> = Motion::ALL
-        .iter()
-        .map(|&m| {
-            let q = gen.query(m);
-            // Thresholds: ~2x the self-distance between two instances of
-            // the same class (see the fig9_mocap harness for the
-            // calibration procedure).
-            (m, VectorSpring::new(&q.rows, 90.0).expect("valid query"))
-        })
-        .collect();
+    // One engine, one feed, one attachment per motion class.
+    let mut engine = VectorEngine::new();
+    let feed = engine.add_channel_stream("mocap", stream.channels);
+    for &m in Motion::ALL.iter() {
+        let q = engine
+            .add_query(m.name(), gen.query(m).rows.clone())
+            .expect("valid query");
+        // Thresholds: ~2x the self-distance between two instances of
+        // the same class (see the fig9_mocap harness for the
+        // calibration procedure).
+        engine
+            .attach(feed, q, 90.0, GapPolicy::Skip)
+            .expect("valid attachment");
+    }
 
     println!("\nlive labelling:");
     let mut labelled = 0;
     for (t, row) in stream.rows.iter().enumerate() {
-        for (motion, vs) in monitors.iter_mut() {
-            if let Some(m) = vs.step(row).expect("valid sample") {
-                labelled += 1;
-                println!(
-                    "tick {:>4}: detected '{:<8}' over [{} : {}] (distance {:.1})",
-                    t + 1,
-                    motion.name(),
-                    m.start,
-                    m.end,
-                    m.distance
-                );
-            }
-        }
-    }
-    for (motion, vs) in monitors.iter_mut() {
-        if let Some(m) = vs.finish() {
+        for ev in engine.push(feed, row).expect("valid sample") {
             labelled += 1;
             println!(
-                "stream end: detected '{:<8}' over [{} : {}] (distance {:.1})",
-                motion.name(),
-                m.start,
-                m.end,
-                m.distance
+                "tick {:>4}: detected '{:<8}' over [{} : {}] (distance {:.1})",
+                t + 1,
+                engine.query_name(ev.query).unwrap_or("?"),
+                ev.m.start,
+                ev.m.end,
+                ev.m.distance
             );
         }
+    }
+    for ev in engine.finish_stream(feed).expect("registered stream") {
+        labelled += 1;
+        println!(
+            "stream end: detected '{:<8}' over [{} : {}] (distance {:.1})",
+            engine.query_name(ev.query).unwrap_or("?"),
+            ev.m.start,
+            ev.m.end,
+            ev.m.distance
+        );
     }
     println!(
         "\n{labelled} detections over {} ground-truth segments",

@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use spring::monitor::runner::RunnerAttachment;
-use spring::monitor::{Engine, GapPolicy, QueryId, Runner, VecSink};
+use spring::monitor::{GapPolicy, QueryId, Runner, RunnerAttachment, SpringEngine, VecSink};
+use spring::{Spring, SpringConfig};
 use spring_data::Temperature;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     // Single-threaded engine: full control, deterministic order.
     // ------------------------------------------------------------
     println!("== Engine (single-threaded) ==");
-    let mut engine = Engine::new();
+    let mut engine = SpringEngine::new();
     let q = engine
         .add_query("cool-to-hot swing", query.values.clone())
         .unwrap();
@@ -43,7 +43,7 @@ fn main() {
     for (k, cfg) in sensors.iter().enumerate() {
         let (ts, truth) = cfg.generate();
         let mut events = Vec::new();
-        for &x in &ts.values {
+        for x in &ts.values {
             events.extend(engine.push(ids[k], x).unwrap());
         }
         events.extend(engine.finish_stream(ids[k]).unwrap());
@@ -72,24 +72,29 @@ fn main() {
     // ------------------------------------------------------------
     println!("== Runner (2 worker threads) ==");
     let sink = Arc::new(VecSink::new());
-    let attachments: Vec<RunnerAttachment> = (0..sensors.len())
-        .map(|k| RunnerAttachment {
-            stream: spring::monitor::StreamId(k as u32),
-            query: query.values.clone(),
-            query_id: QueryId(0),
-            epsilon: 1_000.0,
-            gap_policy: GapPolicy::CarryForward,
+    let attachments: Vec<RunnerAttachment<Spring>> = (0..sensors.len())
+        .map(|k| {
+            let monitor =
+                Spring::new(&query.values, SpringConfig::new(1_000.0)).expect("valid query");
+            RunnerAttachment::new(
+                spring::monitor::StreamId(k as u32),
+                QueryId(0),
+                monitor,
+                GapPolicy::CarryForward,
+            )
         })
         .collect();
     let runner = Runner::spawn(attachments, 2, sink.clone()).unwrap();
     for (k, cfg) in sensors.iter().enumerate() {
         let (ts, _) = cfg.generate();
-        for &x in &ts.values {
-            runner.push(spring::monitor::StreamId(k as u32), x);
+        for x in &ts.values {
+            runner.push(spring::monitor::StreamId(k as u32), x).unwrap();
         }
-        runner.finish_stream(spring::monitor::StreamId(k as u32));
+        runner
+            .finish_stream(spring::monitor::StreamId(k as u32))
+            .unwrap();
     }
-    runner.shutdown();
+    runner.shutdown().unwrap();
     let mut events = sink.events();
     events.sort_by_key(|e| (e.stream, e.m.start));
     for ev in &events {

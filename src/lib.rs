@@ -9,6 +9,7 @@
 //! * [`data`] — deterministic workload generators reproducing the paper's
 //!   datasets, plus dataset I/O.
 //! * [`monitor`] — a multi-stream, multi-query monitoring engine.
+//! * [`util`] — dependency-free support code (seeded RNG, minimal JSON).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -16,6 +17,7 @@ pub use spring_core as core;
 pub use spring_data as data;
 pub use spring_dtw as dtw;
 pub use spring_monitor as monitor;
+pub use spring_util as util;
 
 pub use spring_core::{Match, Spring, SpringConfig};
 pub use spring_dtw::{dtw_distance, Kernel};

@@ -1,6 +1,6 @@
-//! Checkpoint/restore across a serde boundary: a monitor snapshotted to
-//! JSON mid-stream and restored in a "new process" must behave exactly
-//! like one that never stopped.
+//! Checkpoint/restore across a serialization boundary: a monitor
+//! snapshotted to JSON mid-stream and restored in a "new process" must
+//! behave exactly like one that never stopped.
 
 use spring::core::snapshot::SpringSnapshot;
 use spring::core::Match;
@@ -27,10 +27,10 @@ fn json_checkpoint_resumes_identically_on_a_real_workload() {
         .iter()
         .filter_map(|&x| first.step(x))
         .collect();
-    let json = serde_json::to_string(&first.snapshot()).unwrap();
+    let json = first.snapshot().to_json_string();
     drop(first);
 
-    let snap: SpringSnapshot = serde_json::from_str(&json).unwrap();
+    let snap = SpringSnapshot::parse_json(&json).unwrap();
     let mut second = Spring::restore_squared(&snap).unwrap();
     got.extend(ts.values[cut..].iter().filter_map(|&x| second.step(x)));
     got.extend(second.finish());
@@ -47,7 +47,7 @@ fn checkpoint_is_small() {
     for &x in &ts.values {
         spring.step(x);
     }
-    let json = serde_json::to_string(&spring.snapshot()).unwrap();
+    let json = spring.snapshot().to_json_string();
     // O(m) state: a 128-tick query checkpoints in a few KiB regardless
     // of the 2000 ticks streamed.
     assert!(json.len() < 16 * 1024, "checkpoint is {} bytes", json.len());

@@ -1,8 +1,7 @@
-//! Property tests for the post-paper extensions (bounded matching,
-//! streaming normalization, coarse bounds, vector streams) plus failure
-//! injection with extreme inputs.
-
-use proptest::prelude::*;
+//! Randomized property tests for the post-paper extensions (bounded
+//! matching, streaming normalization, coarse bounds, vector streams) plus
+//! failure injection with extreme inputs. Driven by the seeded
+//! [`spring::util::Rng`], so every run is deterministic.
 
 use spring::core::{
     BoundedConfig, BoundedSpring, Match, NormalizedSpring, Spring, SpringConfig, VectorSpring,
@@ -10,9 +9,11 @@ use spring::core::{
 use spring::dtw::coarse::{coarse_lower_bound, CoarseSeq};
 use spring::dtw::kernels::Squared;
 use spring::dtw::{dtw_distance_with, multivariate::dtw_multivariate};
+use spring::util::Rng;
 
-fn small_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, 1..=max_len)
+fn seq(rng: &mut Rng, max_len: usize) -> Vec<f64> {
+    let n = rng.usize_range(1, max_len + 1);
+    rng.f64_vec(n, -10.0, 10.0)
 }
 
 fn run_bounded(query: &[f64], stream: &[f64], cfg: BoundedConfig) -> Vec<Match> {
@@ -22,50 +23,51 @@ fn run_bounded(query: &[f64], stream: &[f64], cfg: BoundedConfig) -> Vec<Match> 
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn bounded_reports_are_exact_within_bounds_and_disjoint(
-        stream in small_seq(40),
-        query in small_seq(5),
-        eps in 0.5f64..40.0,
-        min_len in 1u64..4,
-        extra in 0u64..8,
-    ) {
+#[test]
+fn bounded_reports_are_exact_within_bounds_and_disjoint() {
+    let mut rng = Rng::seed_from_u64(0xB0B);
+    for _ in 0..48 {
+        let stream = seq(&mut rng, 40);
+        let query = seq(&mut rng, 5);
+        let eps = rng.f64_range(0.5, 40.0);
+        let min_len = 1 + rng.u64_below(3);
+        let extra = rng.u64_below(8);
         let cfg = BoundedConfig::new(eps, min_len, min_len + extra);
         for m in run_bounded(&query, &stream, cfg) {
-            prop_assert!(m.distance <= eps);
-            prop_assert!(m.len() >= cfg.min_len && m.len() <= cfg.max_len);
+            assert!(m.distance <= eps);
+            assert!(m.len() >= cfg.min_len && m.len() <= cfg.max_len);
             let exact = dtw_distance_with(&stream[m.range0()], &query, Squared).unwrap();
-            prop_assert!((exact - m.distance).abs() < 1e-9);
+            assert!((exact - m.distance).abs() < 1e-9);
         }
         let out = run_bounded(&query, &stream, cfg);
         for w in out.windows(2) {
-            prop_assert!(w[0].end < w[1].start);
+            assert!(w[0].end < w[1].start);
         }
     }
+}
 
-    #[test]
-    fn unbounded_config_matches_plain_spring(
-        stream in small_seq(40),
-        query in small_seq(5),
-        eps in 0.5f64..40.0,
-    ) {
+#[test]
+fn unbounded_config_matches_plain_spring() {
+    let mut rng = Rng::seed_from_u64(0x0B1);
+    for _ in 0..48 {
+        let stream = seq(&mut rng, 40);
+        let query = seq(&mut rng, 5);
+        let eps = rng.f64_range(0.5, 40.0);
         let cfg = BoundedConfig::new(eps, 1, u64::MAX);
         let bounded = run_bounded(&query, &stream, cfg);
         let mut plain = Spring::new(&query, SpringConfig::new(eps)).unwrap();
-        let mut expected: Vec<Match> =
-            stream.iter().filter_map(|&x| plain.step(x)).collect();
+        let mut expected: Vec<Match> = stream.iter().filter_map(|&x| plain.step(x)).collect();
         expected.extend(plain.finish());
-        prop_assert_eq!(bounded, expected);
+        assert_eq!(bounded, expected);
     }
+}
 
-    #[test]
-    fn coarse_bound_is_sound_at_every_resolution(
-        x in small_seq(48),
-        y in small_seq(48),
-    ) {
+#[test]
+fn coarse_bound_is_sound_at_every_resolution() {
+    let mut rng = Rng::seed_from_u64(0xC0A);
+    for _ in 0..48 {
+        let x = seq(&mut rng, 48);
+        let y = seq(&mut rng, 48);
         let true_d = dtw_distance_with(&x, &y, Squared).unwrap();
         for w in [1usize, 2, 4, 8] {
             let wx = w.min(x.len());
@@ -73,39 +75,42 @@ proptest! {
             let xc = CoarseSeq::new(&x, wx).unwrap();
             let yc = CoarseSeq::new(&y, wy).unwrap();
             let lb = coarse_lower_bound(&xc, &yc, Squared);
-            prop_assert!(lb <= true_d + 1e-9, "w = {}: {} > {}", w, lb, true_d);
+            assert!(lb <= true_d + 1e-9, "w = {w}: {lb} > {true_d}");
         }
     }
+}
 
-    #[test]
-    fn normalized_monitor_never_reports_into_warmup(
-        stream in small_seq(60),
-        query in small_seq(5),
-        window in 2usize..12,
-    ) {
-        prop_assume!(query.len() >= 2);
+#[test]
+fn normalized_monitor_never_reports_into_warmup() {
+    let mut rng = Rng::seed_from_u64(0x207);
+    for _ in 0..48 {
+        let stream = seq(&mut rng, 60);
+        let qlen = rng.usize_range(2, 6);
+        let query = rng.f64_vec(qlen, -10.0, 10.0);
+        let window = rng.usize_range(2, 12);
         let mut ns = NormalizedSpring::new(&query, 5.0, window).unwrap();
         let mut hits: Vec<Match> = stream.iter().filter_map(|&x| ns.step(x)).collect();
         hits.extend(ns.finish());
         for m in hits {
-            prop_assert!(m.start >= window as u64);
-            prop_assert!(m.end as usize <= stream.len());
-            prop_assert!(m.reported_at as usize <= stream.len());
+            assert!(m.start >= window as u64);
+            assert!(m.end as usize <= stream.len());
+            assert!(m.reported_at as usize <= stream.len());
         }
     }
+}
 
-    #[test]
-    fn vector_spring_distances_are_exact(
-        stream_flat in prop::collection::vec(-5.0f64..5.0, 8..60),
-        query_flat in prop::collection::vec(-5.0f64..5.0, 2..8),
-        eps in 0.5f64..30.0,
-    ) {
-        // Interpret flat vectors as 2-channel rows.
-        let stream: Vec<Vec<f64>> =
-            stream_flat.chunks_exact(2).map(|c| c.to_vec()).collect();
-        let query: Vec<Vec<f64>> =
-            query_flat.chunks_exact(2).map(|c| c.to_vec()).collect();
-        prop_assume!(!stream.is_empty() && !query.is_empty());
+#[test]
+fn vector_spring_distances_are_exact() {
+    let mut rng = Rng::seed_from_u64(0x7EC);
+    for _ in 0..48 {
+        // 2-channel rows.
+        let stream: Vec<Vec<f64>> = (0..rng.usize_range(4, 30))
+            .map(|_| rng.f64_vec(2, -5.0, 5.0))
+            .collect();
+        let query: Vec<Vec<f64>> = (0..rng.usize_range(1, 4))
+            .map(|_| rng.f64_vec(2, -5.0, 5.0))
+            .collect();
+        let eps = rng.f64_range(0.5, 30.0);
         let mut vs = VectorSpring::new(&query, eps).unwrap();
         let mut hits = Vec::new();
         for row in &stream {
@@ -113,10 +118,10 @@ proptest! {
         }
         hits.extend(vs.finish());
         for m in hits {
-            prop_assert!(m.distance <= eps);
+            assert!(m.distance <= eps);
             let sub = &stream[m.start as usize - 1..m.end as usize];
             let exact = dtw_multivariate(sub, &query, Squared).unwrap();
-            prop_assert!((exact - m.distance).abs() < 1e-9);
+            assert!((exact - m.distance).abs() < 1e-9);
         }
     }
 }
@@ -200,34 +205,34 @@ fn normalized_monitor_handles_constant_then_wild_input() {
 }
 
 // ---------------------------------------------------------------------
-// Checkpoint/restore: property-based resume equivalence.
+// Checkpoint/restore: randomized resume equivalence.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn snapshot_resume_reports_identically(
-        stream in prop::collection::vec(-10.0f64..10.0, 2..60),
-        query in prop::collection::vec(-10.0f64..10.0, 1..6),
-        eps in 0.5f64..40.0,
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let cut = ((stream.len() as f64 * cut_frac) as usize).clamp(1, stream.len() - 1);
+#[test]
+fn snapshot_resume_reports_identically() {
+    let mut rng = Rng::seed_from_u64(0x5A9);
+    for _ in 0..48 {
+        let slen = rng.usize_range(2, 60);
+        let stream = rng.f64_vec(slen, -10.0, 10.0);
+        let qlen = rng.usize_range(1, 6);
+        let query = rng.f64_vec(qlen, -10.0, 10.0);
+        let eps = rng.f64_range(0.5, 40.0);
+        let cut = rng.usize_range(1, stream.len());
 
         let mut whole = Spring::new(&query, SpringConfig::new(eps)).unwrap();
-        let mut expected: Vec<Match> =
-            stream.iter().filter_map(|&x| whole.step(x)).collect();
+        let mut expected: Vec<Match> = stream.iter().filter_map(|&x| whole.step(x)).collect();
         expected.extend(whole.finish());
 
         let mut first = Spring::new(&query, SpringConfig::new(eps)).unwrap();
-        let mut got: Vec<Match> =
-            stream[..cut].iter().filter_map(|&x| first.step(x)).collect();
+        let mut got: Vec<Match> = stream[..cut]
+            .iter()
+            .filter_map(|&x| first.step(x))
+            .collect();
         let snap = first.snapshot();
         let mut second = spring::core::Spring::restore_squared(&snap).unwrap();
         got.extend(stream[cut..].iter().filter_map(|&x| second.step(x)));
         got.extend(second.finish());
 
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

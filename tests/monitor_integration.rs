@@ -5,8 +5,9 @@
 use std::sync::Arc;
 
 use spring::data::Temperature;
-use spring::monitor::runner::RunnerAttachment;
-use spring::monitor::{Engine, GapPolicy, QueryId, Runner, StreamId, VecSink};
+use spring::monitor::{
+    GapPolicy, QueryId, Runner, RunnerAttachment, SpringEngine, StreamId, VecSink,
+};
 
 fn workload() -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut streams = Vec::new();
@@ -20,7 +21,7 @@ fn workload() -> (Vec<Vec<f64>>, Vec<f64>) {
 }
 
 fn engine_events(streams: &[Vec<f64>], query: &[f64]) -> Vec<(u32, u64, u64)> {
-    let mut engine = Engine::new();
+    let mut engine = SpringEngine::new();
     let q = engine.add_query("swing", query.to_vec()).unwrap();
     let ids: Vec<StreamId> = (0..streams.len())
         .map(|k| {
@@ -32,7 +33,7 @@ fn engine_events(streams: &[Vec<f64>], query: &[f64]) -> Vec<(u32, u64, u64)> {
     let mut out = Vec::new();
     for (k, vals) in streams.iter().enumerate() {
         let mut evs = Vec::new();
-        for &x in vals {
+        for x in vals {
             evs.extend(engine.push(ids[k], x).unwrap());
         }
         evs.extend(engine.finish_stream(ids[k]).unwrap());
@@ -44,23 +45,26 @@ fn engine_events(streams: &[Vec<f64>], query: &[f64]) -> Vec<(u32, u64, u64)> {
 
 fn runner_events(streams: &[Vec<f64>], query: &[f64], workers: usize) -> Vec<(u32, u64, u64)> {
     let sink = Arc::new(VecSink::new());
-    let attachments: Vec<RunnerAttachment> = (0..streams.len())
-        .map(|k| RunnerAttachment {
-            stream: StreamId(k as u32),
-            query: query.to_vec(),
-            query_id: QueryId(0),
-            epsilon: 150.0,
-            gap_policy: GapPolicy::CarryForward,
+    let attachments: Vec<_> = (0..streams.len())
+        .map(|k| {
+            RunnerAttachment::spring(
+                StreamId(k as u32),
+                QueryId(0),
+                query,
+                150.0,
+                GapPolicy::CarryForward,
+            )
+            .unwrap()
         })
         .collect();
     let runner = Runner::spawn(attachments, workers, sink.clone()).unwrap();
     for (k, vals) in streams.iter().enumerate() {
-        for &x in vals {
-            runner.push(StreamId(k as u32), x);
+        for x in vals {
+            runner.push(StreamId(k as u32), x).unwrap();
         }
-        runner.finish_stream(StreamId(k as u32));
+        runner.finish_stream(StreamId(k as u32)).unwrap();
     }
-    runner.shutdown();
+    runner.shutdown().unwrap();
     let mut out: Vec<(u32, u64, u64)> = sink
         .events()
         .iter()
@@ -88,12 +92,12 @@ fn every_planted_episode_is_found_on_every_sensor() {
         let mut cfg = Temperature::small();
         cfg.seed ^= k * 0xABCD;
         let (ts, truth) = cfg.generate();
-        let mut engine = Engine::new();
+        let mut engine = SpringEngine::new();
         let q = engine.add_query("swing", query.clone()).unwrap();
         let s = engine.add_stream("s");
         engine.attach(s, q, 150.0, GapPolicy::CarryForward).unwrap();
         let mut events = Vec::new();
-        for &x in &ts.values {
+        for x in &ts.values {
             events.extend(engine.push(s, x).unwrap());
         }
         events.extend(engine.finish_stream(s).unwrap());
@@ -111,12 +115,12 @@ fn skip_policy_still_finds_episodes_with_shifted_coordinates() {
     let cfg = Temperature::small();
     let (ts, truth) = cfg.generate();
     let query = cfg.query().values;
-    let mut engine = Engine::new();
+    let mut engine = SpringEngine::new();
     let q = engine.add_query("swing", query).unwrap();
     let s = engine.add_stream("s");
     engine.attach(s, q, 150.0, GapPolicy::Skip).unwrap();
     let mut events = Vec::new();
-    for &x in &ts.values {
+    for x in &ts.values {
         events.extend(engine.push(s, x).unwrap());
     }
     events.extend(engine.finish_stream(s).unwrap());
@@ -137,13 +141,13 @@ fn skip_policy_still_finds_episodes_with_shifted_coordinates() {
 #[test]
 fn engine_state_is_constant_while_streaming() {
     let (streams, query) = workload();
-    let mut engine = Engine::new();
+    let mut engine = SpringEngine::new();
     let q = engine.add_query("swing", query).unwrap();
     let s = engine.add_stream("s");
     engine.attach(s, q, 150.0, GapPolicy::CarryForward).unwrap();
-    engine.push(s, 20.0).unwrap();
+    engine.push(s, &20.0).unwrap();
     let before = engine.bytes_used();
-    for &x in &streams[0] {
+    for x in &streams[0] {
         engine.push(s, x).unwrap();
     }
     assert_eq!(engine.bytes_used(), before);

@@ -1,4 +1,6 @@
-//! Property-based tests of the paper's theorems, across crates.
+//! Randomized property tests of the paper's theorems, across crates —
+//! driven by the workspace's seeded [`spring::util::Rng`] so every run is
+//! deterministic and reproducible without external crates.
 //!
 //! * Theorem 1 / Lemma 1 — the star-padded single matrix finds exactly
 //!   the minimum DTW distance over **all** subsequences.
@@ -7,17 +9,18 @@
 //!   kernel as well as the default squared kernel.
 //! * Lower bounds never exceed the true DTW distance.
 
-use proptest::prelude::*;
-
 use spring::core::naive::all_subsequence_distances;
 use spring::core::stored::{best_subsequence_match_with, disjoint_matches_with};
 use spring::core::BestMatch;
 use spring::dtw::kernels::{Absolute, DistanceKernel, Squared};
 use spring::dtw::lower_bounds::{lb_keogh, lb_kim, lb_yi, Envelope};
 use spring::dtw::{dtw_distance_with, GlobalConstraint};
+use spring::util::Rng;
 
-fn small_seq(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, 1..=max_len)
+/// A random sequence of length `1..=max_len` with values in `[-10, 10)`.
+fn seq(rng: &mut Rng, max_len: usize) -> Vec<f64> {
+    let n = rng.usize_range(1, max_len + 1);
+    rng.f64_vec(n, -10.0, 10.0)
 }
 
 fn theorem1_holds<K: DistanceKernel>(stream: &[f64], query: &[f64], kernel: K) {
@@ -42,42 +45,44 @@ fn theorem1_holds<K: DistanceKernel>(stream: &[f64], query: &[f64], kernel: K) {
     assert!((exact - best.distance).abs() < 1e-9);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn theorem1_star_padding_equals_min_over_subsequences(
-        stream in small_seq(40),
-        query in small_seq(6),
-    ) {
+#[test]
+fn theorem1_star_padding_equals_min_over_subsequences() {
+    let mut rng = Rng::seed_from_u64(0x5921);
+    for _ in 0..64 {
+        let stream = seq(&mut rng, 40);
+        let query = seq(&mut rng, 6);
         theorem1_holds(&stream, &query, Squared);
     }
+}
 
-    #[test]
-    fn theorem1_holds_under_absolute_kernel(
-        stream in small_seq(40),
-        query in small_seq(6),
-    ) {
+#[test]
+fn theorem1_holds_under_absolute_kernel() {
+    let mut rng = Rng::seed_from_u64(0xAB5);
+    for _ in 0..64 {
+        let stream = seq(&mut rng, 40);
+        let query = seq(&mut rng, 6);
         theorem1_holds(&stream, &query, Absolute);
     }
+}
 
-    #[test]
-    fn disjoint_queries_have_no_false_dismissals(
-        stream in small_seq(35),
-        query in small_seq(5),
-        eps in 0.5f64..50.0,
-    ) {
+#[test]
+fn disjoint_queries_have_no_false_dismissals() {
+    let mut rng = Rng::seed_from_u64(0xD15);
+    for _ in 0..64 {
+        let stream = seq(&mut rng, 35);
+        let query = seq(&mut rng, 5);
+        let eps = rng.f64_range(0.5, 50.0);
         let reported = disjoint_matches_with(&stream, &query, eps, Squared).unwrap();
         // Every reported match is exact and within epsilon.
         for m in &reported {
-            prop_assert!(m.distance <= eps);
+            assert!(m.distance <= eps);
             let sub = &stream[m.start as usize - 1..m.end as usize];
             let exact = dtw_distance_with(sub, &query, Squared).unwrap();
-            prop_assert!((exact - m.distance).abs() < 1e-9);
+            assert!((exact - m.distance).abs() < 1e-9);
         }
         // Reports are pairwise disjoint and ordered.
         for w in reported.windows(2) {
-            prop_assert!(w[0].end < w[1].start);
+            assert!(w[0].end < w[1].start);
         }
         // No false dismissals — stated for what SPRING actually
         // guarantees (Lemma 2): the *optimal* subsequence ending at each
@@ -98,61 +103,76 @@ proptest! {
                 let covered = reported
                     .iter()
                     .any(|m| m.group_start <= te && ts <= m.group_end && m.distance <= d + 1e-9);
-                prop_assert!(covered, "optimal X[{}:{}] d={} uncovered", ts, te, d);
+                assert!(covered, "optimal X[{ts}:{te}] d={d} uncovered");
             }
         }
     }
+}
 
-    #[test]
-    fn best_match_is_kernel_consistent(
-        stream in small_seq(30),
-        query in small_seq(5),
-    ) {
+#[test]
+fn best_match_is_kernel_consistent() {
+    let mut rng = Rng::seed_from_u64(0xBE5);
+    for _ in 0..64 {
+        let stream = seq(&mut rng, 30);
+        let query = seq(&mut rng, 5);
         // The best positions may differ between kernels, but each
         // kernel's answer must be optimal under that kernel.
         for_each_kernel(&stream, &query);
     }
+}
 
-    #[test]
-    fn lower_bounds_never_exceed_dtw(
-        x in small_seq(24),
-        y in small_seq(24),
-    ) {
+#[test]
+fn lower_bounds_never_exceed_dtw() {
+    let mut rng = Rng::seed_from_u64(0x1B5);
+    for _ in 0..64 {
+        let x = seq(&mut rng, 24);
+        let y = seq(&mut rng, 24);
         let d = dtw_distance_with(&x, &y, Squared).unwrap();
-        prop_assert!(lb_kim(&x, &y, Squared).unwrap() <= d + 1e-9);
-        prop_assert!(lb_yi(&x, &y, Squared).unwrap() <= d + 1e-9);
+        assert!(lb_kim(&x, &y, Squared).unwrap() <= d + 1e-9);
+        assert!(lb_yi(&x, &y, Squared).unwrap() <= d + 1e-9);
         let env = Envelope::new(&y, y.len().saturating_sub(1)).unwrap();
         if x.len() == y.len() {
-            prop_assert!(lb_keogh(&x, &env, Squared).unwrap() <= d + 1e-9);
+            assert!(lb_keogh(&x, &env, Squared).unwrap() <= d + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn banded_dtw_upper_bounds_unconstrained(
-        x in small_seq(20),
-        y in small_seq(20),
-        radius in 0usize..20,
-    ) {
-        use spring::dtw::constraint::dtw_constrained;
+#[test]
+fn banded_dtw_upper_bounds_unconstrained() {
+    use spring::dtw::constraint::dtw_constrained;
+    let mut rng = Rng::seed_from_u64(0xBA2);
+    for _ in 0..64 {
+        let x = seq(&mut rng, 20);
+        let y = seq(&mut rng, 20);
+        let radius = rng.usize_range(0, 20);
         let free = dtw_distance_with(&x, &y, Squared).unwrap();
         if let Ok(banded) =
             dtw_constrained(&x, &y, Squared, GlobalConstraint::SakoeChiba { radius })
         {
-            prop_assert!(banded >= free - 1e-9);
+            assert!(banded >= free - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn dtw_triangle_of_identical_inputs_is_zero(x in small_seq(30)) {
-        prop_assert_eq!(dtw_distance_with(&x, &x, Squared).unwrap(), 0.0);
-        prop_assert_eq!(dtw_distance_with(&x, &x, Absolute).unwrap(), 0.0);
+#[test]
+fn dtw_distance_of_identical_inputs_is_zero() {
+    let mut rng = Rng::seed_from_u64(0x0D7);
+    for _ in 0..64 {
+        let x = seq(&mut rng, 30);
+        assert_eq!(dtw_distance_with(&x, &x, Squared).unwrap(), 0.0);
+        assert_eq!(dtw_distance_with(&x, &x, Absolute).unwrap(), 0.0);
     }
+}
 
-    #[test]
-    fn dtw_is_symmetric(x in small_seq(20), y in small_seq(20)) {
+#[test]
+fn dtw_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(0x575);
+    for _ in 0..64 {
+        let x = seq(&mut rng, 20);
+        let y = seq(&mut rng, 20);
         let a = dtw_distance_with(&x, &y, Squared).unwrap();
         let b = dtw_distance_with(&y, &x, Squared).unwrap();
-        prop_assert!((a - b).abs() < 1e-9);
+        assert!((a - b).abs() < 1e-9);
     }
 }
 
