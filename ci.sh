@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
-# The full local CI gate: formatting, lints, release build, tests.
-# Usage: ./ci.sh
+# The full local CI gate: formatting, lints, release build, tests, docs,
+# and (with --quick) a bench smoke run that writes BENCH_SMOKE.json.
+# Usage: ./ci.sh [--quick]
+#   --quick   additionally run every benchmark for one calibrated ~2 ms
+#             batch (SPRING_BENCH_SMOKE=1) and assemble the results into
+#             BENCH_SMOKE.json — "do the benches still run?", not a
+#             performance measurement.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "unknown flag: $arg (usage: ./ci.sh [--quick])" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -15,5 +28,27 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+if [ "$quick" -eq 1 ]; then
+  echo "==> bench smoke (one calibrated iteration per benchmark)"
+  jsonl="$(mktemp)"
+  trap 'rm -f "$jsonl"' EXIT
+  for b in per_tick dtw_kernels lower_bounds monitor_scaling extensions metrics_overhead; do
+    echo "--> cargo bench --bench $b (smoke)"
+    SPRING_BENCH_SMOKE=1 SPRING_BENCH_JSON="$jsonl" \
+      cargo bench -p spring-bench --bench "$b" --quiet
+  done
+  # Assemble the JSON-lines file into a single JSON document.
+  {
+    printf '{\n  "mode": "smoke",\n  "results": [\n'
+    awk 'NR>1 { printf ",\n" } { printf "    %s", $0 }' "$jsonl"
+    printf '\n  ]\n}\n'
+  } > BENCH_SMOKE.json
+  count="$(wc -l < "$jsonl")"
+  echo "wrote BENCH_SMOKE.json ($count results)"
+fi
 
 echo "CI gate passed."

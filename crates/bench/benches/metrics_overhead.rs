@@ -1,0 +1,90 @@
+//! Overhead of the observability layer on the monitoring hot path.
+//!
+//! The metrics registry claims to cost < 5% on `Engine::push` (ISSUE /
+//! DESIGN "Observability"): latency sampling is 1-in-64 ticks, match and
+//! tick counters are relaxed atomics. This benchmark measures exactly
+//! that claim — the same engine, same stream, with and without a
+//! registry attached — plus the raw cost of the metric primitives
+//! themselves.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spring_bench::harness::{fmt_time, Bench};
+use spring_data::MaskedChirp;
+use spring_monitor::{GapPolicy, Metrics, SpringEngine};
+
+fn stream_values(n: usize) -> Vec<f64> {
+    let mut cfg = MaskedChirp::small();
+    cfg.stream_len = n.max(1_300);
+    cfg.generate().0.values
+}
+
+/// One engine, one stream, one m-length query attached.
+fn engine(m: usize, with_metrics: bool) -> (SpringEngine, spring_monitor::StreamId) {
+    let mut cfg = MaskedChirp::small();
+    cfg.query_len = m;
+    let query = cfg.query().values;
+    let mut engine = SpringEngine::new();
+    if with_metrics {
+        engine.set_metrics(Arc::new(Metrics::new()));
+    }
+    let stream = engine.add_stream("s");
+    let q = engine.add_query("q", query).unwrap();
+    engine.attach(stream, q, 100.0, GapPolicy::Skip).unwrap();
+    (engine, stream)
+}
+
+fn bench_engine_push(b: &Bench, m: usize) {
+    let values = stream_values(4_000);
+    let run = |with_metrics: bool| {
+        let (mut eng, stream) = engine(m, with_metrics);
+        let mut i = 0;
+        let id = format!(
+            "engine_push_m{m}_{}",
+            if with_metrics {
+                "metrics_on"
+            } else {
+                "metrics_off"
+            }
+        );
+        b.bench(&id, || {
+            black_box(eng.push(stream, &values[i % values.len()]).unwrap());
+            i += 1;
+        })
+    };
+    let off = run(false);
+    let on = run(true);
+    let overhead = (on - off) / off * 100.0;
+    println!(
+        "metrics_overhead/engine_push_m{m}            off {}  on {}  overhead {overhead:+.2}%",
+        fmt_time(off),
+        fmt_time(on),
+    );
+}
+
+fn bench_primitives(b: &Bench) {
+    let metrics = Metrics::new();
+    b.bench("counter_inc", || {
+        metrics.ticks.inc();
+    });
+    b.bench("histogram_observe", || {
+        metrics.tick_latency.observe(black_box(3.2e-7));
+    });
+    b.bench("snapshot_to_prometheus", || {
+        black_box(metrics.snapshot().to_prometheus());
+    });
+}
+
+fn main() {
+    // Longer batches than the default: the off/on comparison divides two
+    // nearly-equal numbers, so each side needs a stable noise floor.
+    let b = Bench::new("metrics_overhead")
+        .target(Duration::from_millis(120))
+        .samples(9);
+    for m in [64usize, 256] {
+        bench_engine_push(&b, m);
+    }
+    bench_primitives(&b);
+}

@@ -7,8 +7,12 @@
 //! per-iteration time — the standard noise-floor estimator for
 //! micro-benchmarks (background load only ever adds time).
 //!
-//! Set `SPRING_BENCH_FAST=1` to shrink batch targets ~10× (CI smoke
-//! runs).
+//! Set `SPRING_BENCH_FAST=1` to shrink batch targets ~10×, or
+//! `SPRING_BENCH_SMOKE=1` for a single ~2 ms batch per benchmark (the
+//! CI smoke stage: "does every benchmark still run?", not "how fast?").
+//! Set `SPRING_BENCH_JSON=<path>` to additionally append one JSON line
+//! per result (`{"name":…,"secs_per_iter":…,"elems_per_iter":…}`) to
+//! that file — `ci.sh --quick` assembles these into `BENCH_SMOKE.json`.
 
 use std::time::{Duration, Instant};
 
@@ -17,33 +21,45 @@ pub struct Bench {
     group: String,
     target: Duration,
     samples: usize,
+    smoke: bool,
 }
 
 impl Bench {
-    /// A group with the default settings (≈60 ms batches, 7 samples), or
-    /// ~10× faster when `SPRING_BENCH_FAST` is set.
+    /// A group with the default settings (≈60 ms batches, 7 samples),
+    /// ~10× faster when `SPRING_BENCH_FAST` is set, or one ≈2 ms batch
+    /// when `SPRING_BENCH_SMOKE` is set.
     pub fn new(group: impl Into<String>) -> Self {
+        let smoke = std::env::var_os("SPRING_BENCH_SMOKE").is_some();
         let fast = std::env::var_os("SPRING_BENCH_FAST").is_some();
+        let (target, samples) = if smoke {
+            (Duration::from_millis(2), 1)
+        } else if fast {
+            (Duration::from_millis(6), 3)
+        } else {
+            (Duration::from_millis(60), 7)
+        };
         Bench {
             group: group.into(),
-            target: if fast {
-                Duration::from_millis(6)
-            } else {
-                Duration::from_millis(60)
-            },
-            samples: if fast { 3 } else { 7 },
+            target,
+            samples,
+            smoke,
         }
     }
 
-    /// Overrides the per-batch time target.
+    /// Overrides the per-batch time target (ignored in smoke mode, which
+    /// pins a tiny target so every benchmark finishes in milliseconds).
     pub fn target(mut self, target: Duration) -> Self {
-        self.target = target;
+        if !self.smoke {
+            self.target = target;
+        }
         self
     }
 
-    /// Overrides the number of timed batches.
+    /// Overrides the number of timed batches (ignored in smoke mode).
     pub fn samples(mut self, samples: usize) -> Self {
-        self.samples = samples.max(1);
+        if !self.smoke {
+            self.samples = samples.max(1);
+        }
         self
     }
 
@@ -75,6 +91,7 @@ impl Bench {
         } else {
             println!("{name:<44} {:>12}/iter", fmt_time(best));
         }
+        append_json_line(&name, best, elems);
         best
     }
 
@@ -95,6 +112,26 @@ impl Bench {
             }
             iters *= 2;
         }
+    }
+}
+
+/// Appends one JSON line per result to `$SPRING_BENCH_JSON`, when set.
+/// Failures are reported to stderr but never fail the benchmark itself.
+fn append_json_line(name: &str, secs_per_iter: f64, elems: u64) {
+    let Some(path) = std::env::var_os("SPRING_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"name\":\"{name}\",\"secs_per_iter\":{secs_per_iter:e},\"elems_per_iter\":{elems}}}"
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = appended {
+        eprintln!("SPRING_BENCH_JSON {}: {e}", path.to_string_lossy());
     }
 }
 
@@ -137,6 +174,29 @@ mod tests {
             std::hint::black_box((0..50u64).sum::<u64>());
         });
         assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn json_lines_append_to_the_env_path() {
+        let path = std::env::temp_dir().join(format!("spring_bench_json_{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::env::set_var("SPRING_BENCH_JSON", &path);
+        let b = Bench::new("jsontest")
+            .target(Duration::from_millis(1))
+            .samples(1);
+        b.bench("noop", || {
+            std::hint::black_box((0..10u64).sum::<u64>());
+        });
+        std::env::remove_var("SPRING_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"jsontest/noop\""))
+            .expect("result line present");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"secs_per_iter\":"), "{line}");
+        assert!(line.contains("\"elems_per_iter\":1"), "{line}");
     }
 
     #[test]

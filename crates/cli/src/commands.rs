@@ -10,6 +10,7 @@ use spring_data::io::{read_csv, write_csv};
 use spring_data::{MaskedChirp, Seismic, Sunspots, Temperature, TimeSeries};
 use spring_dtw::constraint::{dtw_constrained, GlobalConstraint};
 use spring_dtw::{dtw_distance_with, dtw_with_path, Kernel};
+use spring_monitor::{Metrics, TickRecorder};
 
 use crate::args::{ArgError, Parsed};
 
@@ -58,12 +59,13 @@ spring — stream monitoring under the time warping distance (SPRING, ICDE 2007)
 USAGE:
   spring monitor   --query Q.csv --epsilon N [--stream S.csv] [--kernel squared|absolute]
                    [--gap skip|carry] [--min-len N --max-len N | --max-run R | --normalize W]
-                   [--resume SNAP.json] [--checkpoint SNAP.json]
+                   [--resume SNAP.json] [--checkpoint SNAP.json] [--stats]
   spring bestmatch --query Q.csv [--stream S.csv] [--kernel squared|absolute]
   spring topk      --query Q.csv --k N [--stream S.csv] [--kernel squared|absolute]
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
                    [--min-len N --max-len N | --max-run R | --normalize W]
+                   (HTTP `GET /metrics` on the same port serves Prometheus text)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring help
 
@@ -225,11 +227,16 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "resume",
             "checkpoint",
         ],
-        &[],
+        &["stats"],
     )?;
     p.positionals(0)?;
     let kernel = parse_kernel(&p)?;
     let gap = parse_gap(&p)?;
+    // `--stats`: instrument every tick through the same metrics layer the
+    // engine uses, and print the summary table after the run.
+    let mut recorder = p
+        .has("stats")
+        .then(|| TickRecorder::new(std::sync::Arc::new(Metrics::new())));
     let checkpoint_path = p.get("checkpoint").map(str::to_string);
     let mut spring = if let Some(resume_path) = p.get("resume") {
         // Resuming: query and epsilon come from the snapshot; if the
@@ -282,16 +289,32 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut last = None;
     let mut count = 0u64;
     for_each_value(open_stream(&p)?, |v| {
+        let missing = !v.is_finite();
         let x = if v.is_finite() {
             last = Some(v);
             v
         } else {
             match (gap, last) {
                 (Gap::Carry, Some(prev)) => prev,
-                _ => return Ok(()), // skip
+                _ => {
+                    // Skipped readings still count as (missing) ticks.
+                    if let Some(rec) = recorder.as_mut() {
+                        let started = rec.begin_tick();
+                        rec.end_tick(started, None, true, || {
+                            (Monitor::memory_use(&spring), Monitor::memory_cells(&spring))
+                        });
+                    }
+                    return Ok(()); // skip
+                }
             }
         };
+        let started = recorder.as_mut().and_then(TickRecorder::begin_tick);
         let hit = Monitor::step(&mut spring, &x).map_err(|e| CliError::Compute(e.to_string()))?;
+        if let Some(rec) = recorder.as_mut() {
+            rec.end_tick(started, hit.as_ref(), missing, || {
+                (Monitor::memory_use(&spring), Monitor::memory_cells(&spring))
+            });
+        }
         if let Some(m) = hit {
             count += 1;
             writeln!(
@@ -320,6 +343,9 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Monitor::tick(&spring)
         )?;
     } else if let Some(m) = Monitor::finish(&mut spring) {
+        if let Some(rec) = &recorder {
+            rec.metrics().record_match(&m);
+        }
         count += 1;
         writeln!(
             out,
@@ -336,6 +362,9 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "{count} match(es) over {} ticks",
         Monitor::tick(&spring)
     )?;
+    if let Some(rec) = &recorder {
+        write!(out, "{}", rec.metrics().snapshot().render_table())?;
+    }
     Ok(())
 }
 
@@ -575,6 +604,39 @@ mod tests {
         assert!(text.contains("ticks 2..=5"), "{text}");
         assert!(text.contains("distance 6.0"), "{text}");
         assert!(text.contains("1 match(es) over 7 ticks"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_stats_flag_prints_the_summary_table() {
+        let dir = tmpdir("stats");
+        let q = write_series(&dir, "q.csv", &[11.0, 6.0, 9.0, 4.0]);
+        let s = dir.join("s.csv");
+        // The paper example plus a NaN that the default skip policy drops.
+        std::fs::write(&s, "5\n12\n6\n10\nNaN\n6\n5\n13\n").unwrap();
+        let mut out = Vec::new();
+        monitor(
+            &argv(&format!(
+                "--query {} --epsilon 15 --stream {} --stats",
+                q.display(),
+                s.display()
+            )),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("1 match(es) over 7 ticks"), "{text}");
+        assert!(text.contains("--- stats ---"), "{text}");
+        let row = |key: &str, value: &str| {
+            text.lines()
+                .any(|l| l.starts_with(key) && l.trim_end().ends_with(value))
+        };
+        assert!(row("ticks ingested", "8"), "{text}");
+        assert!(row("matches", "1"), "{text}");
+        assert!(row("missing samples", "1"), "{text}");
+        assert!(text.contains("tick latency"), "{text}");
+        assert!(text.contains("detection delay"), "{text}");
+        assert!(text.contains("live memory"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,6 +15,12 @@
 //! `finish()` flush. `--once` serves a single connection then exits
 //! (used by the tests; production deployments run without it).
 //!
+//! Connections whose first line is an HTTP request line (`GET <path>
+//! HTTP/1.x`) are answered as HTTP instead: `GET /metrics` returns the
+//! server-wide [`Metrics`] registry in the Prometheus text exposition
+//! format, anything else a 404. This lets one port serve both sensor
+//! clients and a scrape target.
+//!
 //! The listener binds **loopback only** (`127.0.0.1`): the protocol is
 //! unauthenticated, so exposure beyond the host should go through a
 //! reverse proxy or tunnel that adds transport security.
@@ -25,6 +31,7 @@ use std::sync::Arc;
 
 use spring_core::{Monitor, MonitorSpec};
 use spring_dtw::Kernel;
+use spring_monitor::{Metrics, TickRecorder};
 
 use crate::args::Parsed;
 use crate::commands::CliError;
@@ -43,10 +50,59 @@ pub struct ServeOptions {
     pub once: bool,
 }
 
-/// Handles one client connection: one stream, one monitor.
-fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> {
+/// True when `line` looks like an HTTP request line (`GET / HTTP/1.1`).
+fn is_http_request(line: &str) -> bool {
+    let mut parts = line.split_whitespace();
+    matches!(
+        (parts.next(), parts.next(), parts.next()),
+        (Some("GET" | "HEAD" | "POST"), Some(_), Some(v)) if v.starts_with("HTTP/")
+    )
+}
+
+/// Answers one HTTP request: `GET /metrics` serves the Prometheus text
+/// exposition, anything else a 404. The connection is closed after the
+/// response (`Connection: close`), so request headers need not be read.
+fn respond_http(stream: TcpStream, request_line: &str, metrics: &Metrics) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(stream);
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = if path == "/metrics" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics.snapshot().to_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try GET /metrics\n".to_string(),
+        )
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+/// Handles one client connection: one stream, one monitor — or, when
+/// the first line is an HTTP request line, one HTTP exchange.
+fn handle_client(
+    stream: TcpStream,
+    opts: &ServeOptions,
+    metrics: &Arc<Metrics>,
+) -> std::io::Result<()> {
     let peer = stream.peer_addr()?;
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Sniff the first line: HTTP scrape or line-protocol stream?
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(()); // connected and immediately hung up
+    }
+    if is_http_request(first.trim_end()) {
+        return respond_http(stream, first.trim_end(), metrics);
+    }
     let mut writer = BufWriter::new(stream);
     let mut spring = match opts.spec.build(&opts.query, opts.kernel) {
         Ok(s) => s,
@@ -55,9 +111,10 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
             return writer.flush();
         }
     };
+    let mut recorder = TickRecorder::new(Arc::clone(metrics));
     let mut count = 0u64;
     let mut last = None;
-    for line in reader.lines() {
+    for line in std::iter::once(Ok(first)).chain(reader.lines()) {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -69,6 +126,7 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
             continue;
         };
         // Missing readings carry the last observation (sensors hold).
+        let missing = !v.is_finite();
         let x = if v.is_finite() {
             last = Some(v);
             v
@@ -78,6 +136,7 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
                 None => continue,
             }
         };
+        let started = recorder.begin_tick();
         let hit = match Monitor::step(&mut spring, &x) {
             Ok(hit) => hit,
             Err(e) => {
@@ -86,6 +145,9 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
                 continue;
             }
         };
+        recorder.end_tick(started, hit.as_ref(), missing, || {
+            (Monitor::memory_use(&spring), Monitor::memory_cells(&spring))
+        });
         if let Some(m) = hit {
             count += 1;
             writeln!(
@@ -102,6 +164,7 @@ fn handle_client(stream: TcpStream, opts: &ServeOptions) -> std::io::Result<()> 
         }
     }
     if let Some(m) = Monitor::finish(&mut spring) {
+        recorder.metrics().record_match(&m);
         count += 1;
         writeln!(
             writer,
@@ -133,13 +196,17 @@ pub fn serve_listener(
     writeln!(out, "listening on {}", listener.local_addr()?)?;
     out.flush()?;
     let opts = Arc::new(opts);
+    // One registry for the whole server: every connection's monitor
+    // feeds it, and any `GET /metrics` connection scrapes it.
+    let metrics = Arc::new(Metrics::new());
     for conn in listener.incoming() {
         let conn = conn?;
         let once = opts.once;
         let worker_opts = Arc::clone(&opts);
+        let worker_metrics = Arc::clone(&metrics);
         let handle = std::thread::spawn(move || {
             // A dropped client mid-stream is normal; log-and-continue.
-            if let Err(e) = handle_client(conn, &worker_opts) {
+            if let Err(e) = handle_client(conn, &worker_opts, &worker_metrics) {
                 eprintln!("client error: {e}");
             }
         });
@@ -299,6 +366,63 @@ mod tests {
         server.join().unwrap();
         assert!(response.contains("done 1 match(es)"), "{response}");
         assert!(response.contains("ticks 8..=10"), "{response}");
+    }
+
+    #[test]
+    fn http_get_metrics_scrapes_prometheus_text() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Long-running server (once: false); the accept loop thread is
+        // intentionally leaked — it blocks in accept() until the test
+        // process exits.
+        std::thread::spawn(move || {
+            serve_listener(
+                listener,
+                ServeOptions {
+                    query: vec![0.0, 9.0, 0.0],
+                    spec: MonitorSpec::Spring { epsilon: 1.0 },
+                    kernel: Kernel::Squared,
+                    once: false,
+                },
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        // A data connection first, so the registry has something to show.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.contains("done 1 match(es)"), "{response}");
+        // Scrape: the same port answers HTTP.
+        let mut scrape = TcpStream::connect(addr).unwrap();
+        write!(scrape, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut http = String::new();
+        scrape.read_to_string(&mut http).unwrap();
+        assert!(http.starts_with("HTTP/1.1 200 OK"), "{http}");
+        assert!(
+            http.contains("Content-Type: text/plain; version=0.0.4"),
+            "{http}"
+        );
+        assert!(http.contains("spring_ticks_total 7"), "{http}");
+        assert!(http.contains("spring_matches_total 1"), "{http}");
+        assert!(
+            http.contains("spring_tick_latency_seconds_bucket"),
+            "{http}"
+        );
+        assert!(
+            http.contains("spring_detection_delay_ticks_count"),
+            "{http}"
+        );
+        // Unknown paths get a 404, not a protocol error.
+        let mut other = TcpStream::connect(addr).unwrap();
+        write!(other, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut nf = String::new();
+        other.read_to_string(&mut nf).unwrap();
+        assert!(nf.starts_with("HTTP/1.1 404 Not Found"), "{nf}");
     }
 
     #[test]

@@ -123,6 +123,15 @@ pub trait Monitor {
     /// Bytes of live algorithmic state (see [`crate::mem::MemoryUse`]).
     fn memory_use(&self) -> usize;
 
+    /// Number of live DTW state cells — the quantity the paper's
+    /// Theorem 2 bounds by `O(m)` per (stream, query) pair. The default
+    /// derives it from [`memory_use`](Monitor::memory_use) at one
+    /// `f64`-sized cell each; observability layers export it as a live
+    /// gauge to verify the constant-space claim in deployments.
+    fn memory_cells(&self) -> usize {
+        self.memory_use() / std::mem::size_of::<f64>()
+    }
+
     /// Returns the monitor to its initial (tick 0) state, keeping the
     /// query and configuration.
     fn reset(&mut self);
@@ -298,6 +307,10 @@ impl Monitor for ScalarMonitor {
         dispatch!(self, m => Monitor::memory_use(m))
     }
 
+    fn memory_cells(&self) -> usize {
+        dispatch!(self, m => Monitor::memory_cells(m))
+    }
+
     fn reset(&mut self) {
         dispatch!(self, m => Monitor::reset(m))
     }
@@ -347,6 +360,10 @@ mod tests {
             assert_eq!(m.query_len(), QUERY.len());
             assert_eq!(m.tick(), 0);
             assert!(m.memory_use() > 0);
+            assert!(
+                m.memory_cells() > 0 && m.memory_cells() <= m.memory_use(),
+                "{spec:?}"
+            );
             assert_eq!(m.channels(), None);
         }
     }

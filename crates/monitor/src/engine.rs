@@ -15,18 +15,21 @@
 //! Missing samples (any sample `M::is_missing` reports true, e.g. NaN)
 //! are handled per attachment via a [`GapPolicy`]. The per-tick gap
 //! handling and tick bookkeeping live in one shared code path
-//! ([`Attachment::ingest`]) used by both this engine and the threaded
+//! (`Attachment::ingest`) used by both this engine and the threaded
 //! [`crate::Runner`].
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use spring_core::monitor::{Monitor, MonitorVariant};
 use spring_core::{
     Match, MonitorSpec, ScalarMonitor, Spring, SpringConfig, SpringError, VectorSpring,
 };
 use spring_dtw::Kernel;
+
+use crate::metrics::{Metrics, TickRecorder};
 
 /// Identifier of a registered stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -145,6 +148,8 @@ pub(crate) struct Attachment<M: Monitor> {
     last_observed: Option<Owned<M>>,
     /// Samples seen by this attachment (including missing ones).
     ticks: u64,
+    /// Observability hook (`None` keeps the hot path metric-free).
+    recorder: Option<TickRecorder>,
 }
 
 impl<M: Monitor> Attachment<M> {
@@ -163,7 +168,15 @@ impl<M: Monitor> Attachment<M> {
             gap_policy,
             last_observed: None,
             ticks: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches this monitor to a metrics registry. The first sampled
+    /// tick initializes its share of the live memory gauges; dropping
+    /// the attachment releases it.
+    pub(crate) fn set_metrics(&mut self, metrics: &Arc<Metrics>) {
+        self.recorder = Some(TickRecorder::new(Arc::clone(metrics)));
     }
 
     fn event(&self, m: Match) -> Event {
@@ -180,11 +193,19 @@ impl<M: Monitor> Attachment<M> {
     /// monitor, wraps a confirmed match into an [`Event`].
     pub(crate) fn ingest(&mut self, sample: &M::Sample) -> Result<Option<Event>, MonitorError> {
         self.ticks += 1;
-        let resolved: Option<&M::Sample> = if M::is_missing(sample) {
+        let started = self.recorder.as_mut().and_then(TickRecorder::begin_tick);
+        let missing = M::is_missing(sample);
+        let resolved: Option<&M::Sample> = if missing {
             match self.gap_policy {
                 GapPolicy::Skip => None,
                 GapPolicy::CarryForward => self.last_observed.as_ref().map(Borrow::borrow),
                 GapPolicy::Fail => {
+                    let monitor = &self.monitor;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.end_tick(started, None, true, || {
+                            (monitor.memory_use(), monitor.memory_cells())
+                        });
+                    }
                     return Err(MonitorError::MissingSample {
                         stream: self.stream,
                         tick: self.ticks,
@@ -201,13 +222,24 @@ impl<M: Monitor> Attachment<M> {
             Some(x) => self.monitor.step(x)?,
             None => None,
         };
-        Ok(hit.map(|m| self.event(m)))
+        let event = hit.map(|m| self.event(m));
+        let monitor = &self.monitor;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.end_tick(started, event.as_ref().map(|e| &e.m), missing, || {
+                (monitor.memory_use(), monitor.memory_cells())
+            });
+        }
+        Ok(event)
     }
 
     /// Declares end-of-stream on this attachment, flushing a pending
     /// group optimum.
     pub(crate) fn flush(&mut self) -> Option<Event> {
-        self.monitor.finish().map(|m| self.event(m))
+        let event = self.monitor.finish().map(|m| self.event(m));
+        if let (Some(rec), Some(ev)) = (&self.recorder, &event) {
+            rec.metrics().record_match(&ev.m);
+        }
+        event
     }
 }
 
@@ -237,6 +269,9 @@ pub struct Engine<M: Monitor> {
     attachments: Vec<Attachment<M>>,
     /// Attachment indices per stream, for O(per-stream) dispatch.
     by_stream: HashMap<StreamId, Vec<usize>>,
+    /// Observability registry shared by all attachments (see
+    /// [`Engine::set_metrics`]); `None` keeps ingestion metric-free.
+    metrics: Option<Arc<Metrics>>,
 }
 
 /// Engine over the paper's plain disjoint-query monitor.
@@ -260,6 +295,7 @@ impl<M: Monitor> Default for Engine<M> {
             queries: Vec::new(),
             attachments: Vec::new(),
             by_stream: HashMap::new(),
+            metrics: None,
         }
     }
 }
@@ -268,6 +304,23 @@ impl<M: Monitor> Engine<M> {
     /// An empty engine.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// Connects the engine to an observability registry: existing and
+    /// future attachments record ticks, matches, detection delay,
+    /// sampled tick latency, and their live-memory share into it. Read
+    /// it back any time via [`Engine::metrics`] /
+    /// [`Metrics::snapshot`].
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        for att in &mut self.attachments {
+            att.set_metrics(&metrics);
+        }
+        self.metrics = Some(metrics);
+    }
+
+    /// The registry installed by [`Engine::set_metrics`], if any.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// Registers a stream and returns its id.
@@ -364,8 +417,11 @@ impl<M: Monitor> Engine<M> {
         }
         let id = AttachmentId(self.attachments.len() as u32);
         let idx = self.attachments.len();
-        self.attachments
-            .push(Attachment::new(id, stream, query, monitor, gap_policy));
+        let mut attachment = Attachment::new(id, stream, query, monitor, gap_policy);
+        if let Some(metrics) = &self.metrics {
+            attachment.set_metrics(metrics);
+        }
+        self.attachments.push(attachment);
         self.by_stream.entry(stream).or_default().push(idx);
         Ok(id)
     }

@@ -21,14 +21,21 @@
 //!   bounded channels, for deployments where one core cannot sustain
 //!   `streams × queries × O(m)` per tick. Worker failures surface as
 //!   [`MonitorError::WorkerLost`] instead of silent sample loss.
+//! * [`metrics`] — dependency-free observability: atomic counters,
+//!   gauges, and fixed-bucket histograms behind a shared [`Metrics`]
+//!   registry (tick latency, match counts, detection delay, queue
+//!   depth, live memory), snapshottable as a [`MetricsSnapshot`] or as
+//!   Prometheus text exposition.
 //!
 //! Per-tick cost per attachment is `O(m)` and memory is `O(m)` — SPRING's
-//! guarantees are preserved independently for every (stream, query) pair.
+//! guarantees are preserved independently for every (stream, query) pair,
+//! and the metrics layer makes both claims observable in deployments.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod metrics;
 pub mod runner;
 pub mod sink;
 pub mod vector_engine;
@@ -36,6 +43,10 @@ pub mod vector_engine;
 pub use engine::{
     AttachmentId, Engine, Event, GapPolicy, MixedEngine, MonitorError, Owned, QueryId,
     SpringEngine, StreamId, VectorEngine, VectorEvent,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TickRecorder,
+    WorkerMetrics, WorkerSnapshot,
 };
 pub use runner::{Runner, RunnerAttachment};
 pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};

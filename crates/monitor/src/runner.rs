@@ -4,7 +4,7 @@
 //! monitor states of its shard (no locking on the hot path) and receives
 //! the samples of the streams it watches over a bounded channel. Matches
 //! go to a shared [`MatchSink`]. Each worker drives the same
-//! [`Attachment`] gap-policy/tick code path as the single-threaded
+//! `Attachment` gap-policy/tick code path as the single-threaded
 //! [`crate::Engine`], so the two deployments report identical events.
 //!
 //! Scaling model: with `A` attachments of query length `m` spread over
@@ -28,6 +28,7 @@ use std::thread::{self, JoinHandle};
 use spring_core::monitor::Monitor;
 
 use crate::engine::{Attachment, AttachmentId, GapPolicy, MonitorError, Owned, QueryId, StreamId};
+use crate::metrics::{Metrics, WorkerMetrics};
 use crate::sink::MatchSink;
 
 /// Queue depth per worker; bounds memory under bursty producers.
@@ -96,6 +97,27 @@ pub struct Runner<M: Monitor> {
     handles: Vec<JoinHandle<()>>,
     /// First ingestion error recorded by any worker.
     error: Arc<Mutex<Option<MonitorError>>>,
+    /// Per-worker observability handles (aligned with `senders`; empty
+    /// entries when spawned without metrics).
+    worker_metrics: Vec<Option<Arc<WorkerMetrics>>>,
+}
+
+/// Increments `spring_worker_lost_total` when the worker thread exits
+/// abnormally: either after recording an ingestion error (`lost` set) or
+/// while unwinding from a panic (e.g. a panicking sink).
+struct WorkerLostGuard {
+    metrics: Option<Arc<Metrics>>,
+    lost: bool,
+}
+
+impl Drop for WorkerLostGuard {
+    fn drop(&mut self) {
+        if self.lost || thread::panicking() {
+            if let Some(m) = &self.metrics {
+                m.worker_lost.inc();
+            }
+        }
+    }
 }
 
 impl<M> Runner<M>
@@ -112,6 +134,23 @@ where
         workers: usize,
         sink: Arc<dyn MatchSink>,
     ) -> Result<Self, MonitorError> {
+        Runner::spawn_with_metrics(attachments, workers, sink, None)
+    }
+
+    /// [`Runner::spawn`] with an observability registry: every worker
+    /// registers a [`WorkerMetrics`] (per-worker tick counter + queue
+    /// depth gauge), each attachment records ticks/matches/latency/
+    /// memory, and abnormal worker exits bump
+    /// `spring_worker_lost_total`.
+    ///
+    /// # Errors
+    /// Fails when `workers == 0`.
+    pub fn spawn_with_metrics(
+        attachments: Vec<RunnerAttachment<M>>,
+        workers: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Result<Self, MonitorError> {
         if workers == 0 {
             return Err(MonitorError::Spring(
                 spring_core::SpringError::InvalidQuery("runner needs at least one worker".into()),
@@ -121,13 +160,17 @@ where
         let mut routes: HashMap<StreamId, Vec<usize>> = HashMap::new();
         for (i, spec) in attachments.into_iter().enumerate() {
             let worker = i % workers;
-            shards[worker].push(Attachment::new(
+            let mut attachment = Attachment::new(
                 AttachmentId(i as u32),
                 spec.stream,
                 spec.query_id,
                 spec.monitor,
                 spec.gap_policy,
-            ));
+            );
+            if let Some(metrics) = &metrics {
+                attachment.set_metrics(metrics);
+            }
+            shards[worker].push(attachment);
             let entry = routes.entry(spec.stream).or_default();
             if !entry.contains(&worker) {
                 entry.push(worker);
@@ -136,21 +179,44 @@ where
         let error = Arc::new(Mutex::new(None));
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let mut worker_metrics = Vec::with_capacity(workers);
         for shard in shards {
             let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
             let sink = Arc::clone(&sink);
             let error = Arc::clone(&error);
+            let wm = metrics.as_ref().map(|m| m.register_worker());
+            worker_metrics.push(wm.clone());
+            let guard_metrics = metrics.clone();
             let handle = thread::spawn(move || {
+                // Constructed inside the thread so its `Drop` runs here:
+                // a panicking sink (or a recorded ingestion error) bumps
+                // `spring_worker_lost_total` exactly once per lost worker.
+                let mut guard = WorkerLostGuard {
+                    metrics: guard_metrics,
+                    lost: false,
+                };
                 let mut shard = shard;
                 'recv: for msg in rx {
+                    // Shutdown messages are not routed (and not counted
+                    // into the depth gauge), so only samples/finishes
+                    // decrement it.
+                    if let Some(wm) = &wm {
+                        if !matches!(msg, Msg::Shutdown) {
+                            wm.queue_depth.add(-1);
+                        }
+                    }
                     match msg {
                         Msg::Sample { stream, value } => {
+                            if let Some(wm) = &wm {
+                                wm.ticks.inc();
+                            }
                             for att in shard.iter_mut().filter(|a| a.stream == stream) {
                                 match att.ingest(std::borrow::Borrow::borrow(&value)) {
                                     Ok(Some(event)) => sink.on_match(&event),
                                     Ok(None) => {}
                                     Err(e) => {
                                         record_error(&error, e);
+                                        guard.lost = true;
                                         // Dropping the receiver makes later
                                         // pushes fail fast with WorkerLost.
                                         break 'recv;
@@ -177,6 +243,7 @@ where
             routes,
             handles,
             error,
+            worker_metrics,
         })
     }
 
@@ -210,9 +277,20 @@ where
         let mut lost = false;
         if let Some(workers) = self.routes.get(&stream) {
             for &w in workers {
+                // Depth is incremented *before* the send so the worker's
+                // decrement (which can only happen after the send) never
+                // transiently underflows the gauge.
+                if let Some(wm) = &self.worker_metrics[w] {
+                    wm.queue_depth.add(1);
+                }
                 // A worker only stops receiving after Shutdown, a recorded
                 // error, or a panic — so a failed send means it is gone.
-                lost |= self.senders[w].send(msg(stream)).is_err();
+                if self.senders[w].send(msg(stream)).is_err() {
+                    lost = true;
+                    if let Some(wm) = &self.worker_metrics[w] {
+                        wm.queue_depth.add(-1);
+                    }
+                }
             }
         }
         if lost {

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::engine::{AttachmentId, Event};
 
@@ -25,25 +25,33 @@ impl VecSink {
         VecSink::default()
     }
 
+    /// Locks the event buffer, recovering the data from a poisoned
+    /// mutex: a consumer that panicked while holding the lock must not
+    /// take the whole ingestion path down with it (the buffer itself is
+    /// a plain `Vec` of `Copy` events, so no invariant can be torn).
+    fn lock(&self) -> MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Snapshot of the events received so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("sink poisoned").clone()
+        self.lock().clone()
     }
 
     /// Number of events received so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("sink poisoned").len()
+        self.lock().len()
     }
 
     /// True when no event was received yet.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().expect("sink poisoned").is_empty()
+        self.lock().is_empty()
     }
 }
 
 impl MatchSink for VecSink {
     fn on_match(&self, event: &Event) {
-        self.events.lock().expect("sink poisoned").push(*event);
+        self.lock().push(*event);
     }
 }
 
@@ -192,6 +200,27 @@ mod tests {
         assert_eq!(sink.count(AttachmentId(0)), 1);
         assert_eq!(sink.count(AttachmentId(1)), 2);
         assert_eq!(sink.total(), 3);
+    }
+
+    #[test]
+    fn vec_sink_survives_a_poisoned_mutex() {
+        let sink = VecSink::new();
+        sink.on_match(&event(1));
+        // Poison the inner mutex: a thread panics while holding it.
+        let poisoner = sink.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.events.lock().unwrap();
+            panic!("poison the sink");
+        })
+        .join()
+        .unwrap_err();
+        assert!(sink.events.lock().is_err(), "mutex should be poisoned");
+        // All accessors recover the inner data instead of panicking.
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
+        sink.on_match(&event(2));
+        let starts: Vec<u64> = sink.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![1, 2]);
     }
 
     #[test]

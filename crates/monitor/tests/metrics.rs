@@ -1,0 +1,292 @@
+//! Cross-layer tests for the observability subsystem: concurrent runner
+//! consistency, detection-delay semantics, live-memory gauges, and the
+//! Prometheus text exposition.
+
+use std::sync::Arc;
+
+use spring_monitor::{
+    CountingSink, GapPolicy, Metrics, QueryId, Runner, RunnerAttachment, SpringEngine, StreamId,
+};
+
+/// A value stream that contains the `[0, 9, 0]` pattern every 8 ticks.
+fn value_at(t: usize) -> f64 {
+    match t % 8 {
+        2 => 0.0,
+        3 => 9.0,
+        4 => 0.0,
+        _ => 50.0,
+    }
+}
+
+#[test]
+fn runner_snapshots_are_internally_consistent_for_1_2_4_workers() {
+    for workers in [1usize, 2, 4] {
+        let metrics = Arc::new(Metrics::new());
+        let n_streams = 6usize;
+        // One attachment per stream: every push routes to exactly one
+        // worker, so attachment-ticks and worker-ticks must agree.
+        let attachments = (0..n_streams)
+            .map(|i| {
+                RunnerAttachment::spring(
+                    StreamId(i as u32),
+                    QueryId(0),
+                    &[0.0, 9.0, 0.0],
+                    1.0,
+                    GapPolicy::Skip,
+                )
+                .unwrap()
+            })
+            .collect();
+        let sink = Arc::new(CountingSink::new(n_streams));
+        let runner = Runner::spawn_with_metrics(
+            attachments,
+            workers,
+            Arc::<CountingSink>::clone(&sink),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        // 257 pushes per stream crosses several latency-sampling
+        // boundaries (1 in 64), so the histogram sees multiple samples.
+        let pushes_per_stream = 257usize;
+        for t in 0..pushes_per_stream {
+            for s in 0..n_streams {
+                runner.push(StreamId(s as u32), &value_at(t)).unwrap();
+            }
+        }
+        for s in 0..n_streams {
+            runner.finish_stream(StreamId(s as u32)).unwrap();
+        }
+        runner.shutdown().unwrap();
+
+        let snap = metrics.snapshot();
+        let expected = (n_streams * pushes_per_stream) as u64;
+        assert_eq!(snap.ticks_total, expected, "workers={workers}");
+        assert_eq!(snap.workers.len(), workers, "workers={workers}");
+        let worker_sum: u64 = snap.workers.iter().map(|w| w.ticks).sum();
+        assert_eq!(worker_sum, expected, "workers={workers}");
+        // Everything enqueued was drained before shutdown completed.
+        assert_eq!(snap.runner_queue_depth(), 0, "workers={workers}");
+        assert_eq!(snap.worker_lost_total, 0, "workers={workers}");
+        // Matches flowed through both the sink and the registry.
+        assert!(snap.matches_total > 0, "workers={workers}");
+        assert_eq!(sink.total(), snap.matches_total, "workers={workers}");
+        // The latency histogram sampled ~1/64 of the ticks.
+        assert!(
+            snap.tick_latency.count >= expected / 64,
+            "workers={workers}: {} latency samples",
+            snap.tick_latency.count
+        );
+        assert!(snap.tick_latency.count < expected);
+    }
+}
+
+#[test]
+fn detection_delay_is_zero_for_an_exact_in_band_match_at_stream_end() {
+    let metrics = Arc::new(Metrics::new());
+    let mut engine = SpringEngine::new();
+    engine.set_metrics(Arc::clone(&metrics));
+    let stream = engine.add_stream("s");
+    let q = engine.add_query("q", vec![0.0, 9.0, 0.0]).unwrap();
+    engine.attach(stream, q, 0.0, GapPolicy::Skip).unwrap();
+    // The exact pattern completes on the final tick: the flush confirms
+    // it at that same tick, so reported_at == end.
+    for v in [50.0, 50.0, 0.0, 9.0, 0.0] {
+        let events = engine.push(stream, &v).unwrap();
+        assert!(events.is_empty(), "confirmation must wait for the flush");
+    }
+    let events = engine.finish_stream(stream).unwrap();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].m.report_delay(), 0);
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.matches_total, 1);
+    assert_eq!(snap.detection_delay.count, 1);
+    assert_eq!(snap.detection_delay.sum, 0.0);
+    assert_eq!(snap.detection_delay.quantile(0.99), 0.0);
+}
+
+#[test]
+fn detection_delay_counts_the_confirmation_lag_mid_stream() {
+    let metrics = Arc::new(Metrics::new());
+    let mut engine = SpringEngine::new();
+    engine.set_metrics(Arc::clone(&metrics));
+    let stream = engine.add_stream("s");
+    let q = engine.add_query("q", vec![0.0, 9.0, 0.0]).unwrap();
+    engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
+    // Mid-stream, disjointness requires one more tick to rule out a
+    // better overlapping candidate: reported_at == end + 1.
+    let mut delays = Vec::new();
+    for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
+        for ev in engine.push(stream, &v).unwrap() {
+            delays.push(ev.m.report_delay());
+        }
+    }
+    assert_eq!(delays, vec![1]);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.detection_delay.count, 1);
+    assert_eq!(snap.detection_delay.sum, 1.0);
+}
+
+#[test]
+fn live_memory_gauges_track_the_o_m_bound_and_release_on_drop() {
+    let metrics = Arc::new(Metrics::new());
+    let m = 64usize;
+    {
+        let mut engine = SpringEngine::new();
+        engine.set_metrics(Arc::clone(&metrics));
+        let stream = engine.add_stream("s");
+        let query: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        let q = engine.add_query("q", query).unwrap();
+        engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
+        engine.push(stream, &0.5).unwrap();
+        let snap = metrics.snapshot();
+        // SPRING keeps O(m) cells: two length-(m+1) columns plus
+        // bookkeeping, and certainly not O(ticks).
+        assert!(snap.memory_cells > 0);
+        assert!(
+            snap.memory_cells <= (8 * (m as u64 + 1)),
+            "cells {} not O(m) for m={m}",
+            snap.memory_cells
+        );
+        assert!(snap.memory_bytes > 0);
+    }
+    // Dropping the engine releases its share of the live gauges.
+    let snap = metrics.snapshot();
+    assert_eq!(snap.memory_cells, 0);
+    assert_eq!(snap.memory_bytes, 0);
+}
+
+/// Minimal validator for the Prometheus text exposition format
+/// (version 0.0.4): every sample belongs to a declared family, every
+/// histogram is cumulative with `_count` equal to its `+Inf` bucket.
+fn validate_prometheus(text: &str) {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<(String, Option<String>, f64)> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP has a name");
+            assert!(!name.is_empty());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE has a name");
+            let ty = it.next().expect("TYPE has a type");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown type {ty}"
+            );
+            types.insert(name.to_string(), ty.to_string());
+            continue;
+        }
+        // A sample: `name[{labels}] value`.
+        let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().expect("sample value is a number");
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (
+                n.to_string(),
+                Some(l.strip_suffix('}').expect("labels closed").to_string()),
+            ),
+            None => (name_labels.to_string(), None),
+        };
+        samples.push((name, labels, value));
+    }
+    assert!(!samples.is_empty(), "no samples in exposition");
+    for (name, _, value) in &samples {
+        let family = types
+            .keys()
+            .filter(|f| name == *f || name.starts_with(&format!("{f}_")))
+            .max_by_key(|f| f.len())
+            .unwrap_or_else(|| panic!("sample {name} has no TYPE declaration"));
+        assert!(value.is_finite(), "{name} value not finite");
+        assert!(*value >= 0.0, "{name} value negative");
+        let _ = family;
+    }
+    // Histogram invariants.
+    for (family, ty) in &types {
+        if ty != "histogram" {
+            continue;
+        }
+        let buckets: Vec<(f64, u64)> = samples
+            .iter()
+            .filter(|(n, _, _)| n == &format!("{family}_bucket"))
+            .map(|(_, labels, v)| {
+                let le = labels
+                    .as_deref()
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .expect("bucket has an le label");
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().expect("le is a number")
+                };
+                (bound, *v as u64)
+            })
+            .collect();
+        assert!(buckets.len() >= 2, "{family} has too few buckets");
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{family} bounds not increasing");
+            assert!(pair[0].1 <= pair[1].1, "{family} buckets not cumulative");
+        }
+        let (last_bound, last_count) = *buckets.last().unwrap();
+        assert!(last_bound.is_infinite(), "{family} missing +Inf bucket");
+        let count = samples
+            .iter()
+            .find(|(n, _, _)| n == &format!("{family}_count"))
+            .map(|(_, _, v)| *v as u64)
+            .expect("histogram has _count");
+        assert_eq!(count, last_count, "{family}_count != +Inf bucket");
+        assert!(
+            samples
+                .iter()
+                .any(|(n, _, _)| n == &format!("{family}_sum")),
+            "{family} missing _sum"
+        );
+    }
+}
+
+#[test]
+fn prometheus_exposition_is_valid_and_complete() {
+    let metrics = Arc::new(Metrics::new());
+    let attachments = vec![RunnerAttachment::spring(
+        StreamId(0),
+        QueryId(0),
+        &[0.0, 9.0, 0.0],
+        1.0,
+        GapPolicy::Skip,
+    )
+    .unwrap()];
+    let sink = Arc::new(CountingSink::new(1));
+    let runner =
+        Runner::spawn_with_metrics(attachments, 1, sink, Some(Arc::clone(&metrics))).unwrap();
+    for t in 0..100 {
+        runner.push(StreamId(0), &value_at(t)).unwrap();
+    }
+    runner.finish_stream(StreamId(0)).unwrap();
+    runner.shutdown().unwrap();
+
+    let text = metrics.to_prometheus();
+    validate_prometheus(&text);
+    for family in [
+        "spring_ticks_total",
+        "spring_matches_total",
+        "spring_missing_samples_total",
+        "spring_worker_lost_total",
+        "spring_memory_bytes",
+        "spring_memory_cells",
+        "spring_runner_queue_depth",
+        "spring_tick_latency_seconds",
+        "spring_detection_delay_ticks",
+        "spring_worker_ticks_total",
+        "spring_worker_queue_depth",
+    ] {
+        assert!(text.contains(family), "missing family {family}:\n{text}");
+    }
+    assert!(
+        text.contains("spring_worker_ticks_total{worker=\"0\"} 100"),
+        "{text}"
+    );
+}
