@@ -29,6 +29,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test (failpoints feature: fault-injection conformance)"
+cargo test -q -p spring-testkit -p spring-monitor \
+  --features spring-testkit/failpoints
+
+echo "==> differential fuzz (every variant x bare/engine/runner)"
+# CI sets SPRING_FUZZ_SEED to a varying value (e.g. the run id) so the
+# hosted gate explores new scenarios on every run; locally the fixed
+# fallback keeps the gate deterministic. Failures print a replay line.
+fuzz_seed="${SPRING_FUZZ_SEED:-1592642302}"   # 0x5EED_CAFE, the default seed
+cargo run --release -q -p spring-cli -- fuzz --seed "$fuzz_seed" --iters 500
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

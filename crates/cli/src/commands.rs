@@ -67,6 +67,10 @@ USAGE:
                    [--min-len N --max-len N | --max-run R | --normalize W]
                    (HTTP `GET /metrics` on the same port serves Prometheus text)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
+  spring fuzz      [--seed N] [--iters N]
+                   (differential conformance: every monitor variant through the bare
+                    monitor, engine, and 1/2/4-worker runner vs the naive oracles;
+                    mismatches are shrunk and printed with a replayable seed)
   spring help
 
 monitor/bestmatch read one value per line from --stream or stdin
@@ -541,6 +545,35 @@ pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `spring fuzz` — seeded differential conformance fuzzing.
+///
+/// Runs `--iters` generated scenarios (default 200) through every
+/// monitor variant on the bare-monitor, engine, and 1/2/4-worker runner
+/// code paths, checking the reports against the naive oracles (see
+/// `spring-testkit`). The default seed is fixed so local runs are
+/// reproducible; CI passes a varying seed to widen coverage over time.
+/// A mismatch exits nonzero after printing the shrunk scenario and a
+/// replay command.
+pub fn fuzz(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let p = Parsed::parse(argv, &["seed", "iters"], &[])?;
+    p.positionals(0)?;
+    let seed: u64 = p
+        .get_parsed("seed", "integer")?
+        .unwrap_or(spring_testkit::differential::DEFAULT_FUZZ_SEED);
+    let iters: u64 = p.get_parsed("iters", "integer")?.unwrap_or(200);
+    writeln!(
+        out,
+        "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4)"
+    )?;
+    match spring_testkit::differential::fuzz(seed, iters) {
+        Ok(n) => {
+            writeln!(out, "ok: {n} scenarios, 0 mismatches")?;
+            Ok(())
+        }
+        Err(f) => Err(CliError::Compute(f.to_string())),
+    }
+}
+
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
@@ -550,6 +583,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("serve") => crate::serve::run_serve(&argv[1..], out),
         Some("dtw") => dtw(&argv[1..], out),
         Some("generate") => generate(&argv[1..], out),
+        Some("fuzz") => fuzz(&argv[1..], out),
         Some("help") | None => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -583,6 +617,43 @@ mod tests {
         )
         .unwrap();
         path
+    }
+
+    #[test]
+    fn fuzz_smoke_runs_and_reports_clean() {
+        let mut out = Vec::new();
+        fuzz(&argv("--seed 7 --iters 5"), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("seed 7"), "{text}");
+        assert!(text.contains("5 scenarios, 0 mismatches"), "{text}");
+    }
+
+    #[test]
+    fn fuzz_rejects_unknown_flags_and_positionals() {
+        let mut out = Vec::new();
+        assert!(matches!(
+            fuzz(&argv("--bogus 1"), &mut out),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            fuzz(&argv("extra"), &mut out),
+            Err(CliError::Args(_))
+        ));
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for cmd in [
+            "monitor",
+            "bestmatch",
+            "topk",
+            "dtw",
+            "serve",
+            "generate",
+            "fuzz",
+        ] {
+            assert!(USAGE.contains(cmd), "usage is missing `{cmd}`");
+        }
     }
 
     #[test]

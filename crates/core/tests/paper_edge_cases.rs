@@ -1,0 +1,189 @@
+//! Paper edge cases the main test suites skirt around: single-element
+//! queries, exact `d == ε` boundaries, distance ties at a shared group
+//! optimum, and the star-padding row against constant streams.
+
+use spring_core::naive::all_subsequence_distances;
+use spring_core::{BestMatch, Match, NaiveMonitor, Spring, SpringConfig, Stwm};
+use spring_dtw::Squared;
+
+fn run(query: &[f64], eps: f64, stream: &[f64]) -> Vec<Match> {
+    let mut s = Spring::new(query, SpringConfig::new(eps)).unwrap();
+    let mut out: Vec<Match> = stream.iter().filter_map(|&x| s.step(x)).collect();
+    out.extend(s.finish());
+    out
+}
+
+// ---------------------------------------------------------------- m = 1
+
+#[test]
+fn single_element_query_reports_every_disjoint_hit() {
+    // With m = 1 every stream tick is its own candidate subsequence;
+    // adjacent qualifying ticks warp together into one group.
+    let out = run(&[5.0], 0.5, &[0.0, 5.0, 0.0, 0.0, 5.2, 0.0]);
+    assert_eq!(out.len(), 2);
+    assert_eq!((out[0].start, out[0].end, out[0].distance), (2, 2, 0.0));
+    assert_eq!(out[1].start, 5);
+    assert!((out[1].distance - 0.04).abs() < 1e-12); // (5.2 − 5)²
+}
+
+#[test]
+fn single_element_query_confirms_each_plateau_tick_as_its_own_group() {
+    // With m = 1 the confirmation check (∀i: d_i ≥ dmin ∨ s_i > t_e) is
+    // satisfied by the capturing cell itself — d_1 = dmin and "≥" is
+    // inclusive — so every qualifying tick confirms on the next sample
+    // as a disjoint unit-length group. Nothing merges, nothing is lost.
+    let out = run(&[5.0], 1.0, &[0.0, 4.8, 5.0, 4.9, 0.0]);
+    assert_eq!(out.len(), 3, "{out:?}");
+    for (i, m) in out.iter().enumerate() {
+        let tick = (i + 2) as u64; // plateau spans ticks 2..=4
+        assert_eq!((m.start, m.end), (tick, tick));
+        assert_eq!((m.group_start, m.group_end), (tick, tick));
+        assert!(m.distance <= 1.0);
+    }
+    assert_eq!(out[1].distance, 0.0); // the exact hit at tick 3
+}
+
+#[test]
+fn single_element_query_against_the_naive_monitor() {
+    let stream: Vec<f64> = (0..40).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+    let (query, eps) = ([1.0], 0.25);
+    let spring = run(&query, eps, &stream);
+    let mut naive = NaiveMonitor::new(&query, eps).unwrap();
+    let mut naive_out: Vec<Match> = stream.iter().filter_map(|&x| naive.step(x)).collect();
+    naive_out.extend(naive.finish());
+    // For m = 1 the merged matrix loses nothing: the two agree exactly.
+    assert_eq!(spring, naive_out);
+}
+
+// ------------------------------------------------------- d == ε boundary
+
+#[test]
+fn exact_epsilon_boundary_is_inclusive() {
+    // Paper Problem 1/2: report subsequences with d ≤ ε — equality
+    // qualifies. Stream value 6.0 against query 5.0 gives d = 1.0.
+    let out = run(&[5.0], 1.0, &[0.0, 6.0, 0.0]);
+    assert_eq!(out.len(), 1, "d == ε must be reported: {out:?}");
+    assert_eq!(out[0].distance, 1.0);
+
+    // Nudge ε below the distance: the same subsequence must vanish.
+    let out = run(&[5.0], 1.0 - 1e-9, &[0.0, 6.0, 0.0]);
+    assert!(out.is_empty(), "d > ε must not be reported: {out:?}");
+}
+
+#[test]
+fn epsilon_zero_admits_only_exact_occurrences() {
+    let query = [1.0, 2.0, 1.0];
+    let mut stream = vec![9.0; 20];
+    stream[6..9].copy_from_slice(&query);
+    stream[13..16].copy_from_slice(&[1.0, 2.0, 1.000001]); // off by 1e-6
+    let out = run(&query, 0.0, &stream);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!((out[0].start, out[0].end, out[0].distance), (7, 9, 0.0));
+}
+
+// ------------------------------------------------- ties at a shared dmin
+
+#[test]
+fn back_to_back_tied_occurrences_split_into_two_disjoint_reports() {
+    // [1,2,1,2]: X[2:3] and X[4:5] both have d = 0. Because the first
+    // optimum confirms immediately (its own cell satisfies d_i ≥ dmin
+    // and no strictly-better cell is alive), the matrix resets before
+    // the second occurrence starts: the tie resolves as two *disjoint*
+    // groups, each reported exactly once — never a merged or duplicated
+    // report of the overlapping warped candidate X[2:5].
+    let query = [1.0, 2.0];
+    let stream = [9.0, 1.0, 2.0, 1.0, 2.0, 9.0];
+    let out = run(&query, 0.5, &stream);
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert_eq!((out[0].start, out[0].end, out[0].distance), (2, 3, 0.0));
+    assert_eq!((out[1].start, out[1].end, out[1].distance), (4, 5, 0.0));
+    // Eq. 9 disjointness: the reports may not overlap.
+    assert!(out[0].end < out[1].start);
+    // Ground truth: both tied subsequences really are optimal.
+    let zero_hits = all_subsequence_distances(&stream, &query, Squared)
+        .into_iter()
+        .filter(|&(_, _, d)| d == 0.0)
+        .count();
+    assert!(zero_hits >= 2, "scenario must actually contain a tie");
+}
+
+#[test]
+fn tie_between_disjoint_groups_reports_both() {
+    // The same distance in two *non-overlapping* groups is not a tie to
+    // break — both are optima of their own groups.
+    let query = [1.0, 2.0];
+    let stream = [9.0, 1.0, 2.0, 9.0, 9.0, 9.0, 1.0, 2.0, 9.0];
+    let out = run(&query, 0.5, &stream);
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert_eq!((out[0].start, out[0].end), (2, 3));
+    assert_eq!((out[1].start, out[1].end), (7, 8));
+    assert_eq!(out[0].distance, out[1].distance);
+}
+
+#[test]
+fn best_match_tie_is_reported_once_with_the_tied_distance() {
+    let query = [3.0, 4.0];
+    let stream = [0.0, 3.0, 4.0, 0.0, 3.0, 4.0, 0.0];
+    let mut bm = BestMatch::new(&query).unwrap();
+    for &x in &stream {
+        bm.step(x);
+    }
+    let best = bm.best().unwrap();
+    assert_eq!(best.distance, 0.0);
+    assert!(
+        (best.start, best.end) == (2, 3) || (best.start, best.end) == (5, 6),
+        "{best:?}"
+    );
+}
+
+// ------------------------------------- star padding on constant streams
+
+#[test]
+fn star_row_keeps_distance_zero_on_a_constant_stream() {
+    // Equation (5): d(t, 0) = 0 for all t — the star row is the "match
+    // can start anywhere" anchor. On a constant stream every column must
+    // keep the star row at zero and starts at the current tick.
+    let query = [1.0, 2.0, 3.0];
+    let mut stwm: Stwm = Stwm::new(&query).unwrap();
+    for t in 1..=10u64 {
+        stwm.step(7.0);
+        let col = stwm.distances();
+        assert_eq!(col[0], 0.0, "star row must stay 0 at tick {t}");
+        // A fresh path can always begin at the next tick: the first real
+        // row's start is the current tick (inherited from (t−1, 0)).
+        assert_eq!(stwm.starts()[1], t);
+    }
+}
+
+#[test]
+fn constant_stream_equal_to_a_constant_query_reports_every_tick_disjointly() {
+    // Query [c, c] against stream [c, c, …]: already X[t:t] warps to the
+    // whole query with d = 0, and a zero optimum confirms on the very
+    // next sample (no cell can beat it). The stream therefore resolves
+    // into one unit-length zero-distance report per tick — maximal
+    // disjoint coverage, with the last report flushed by finish().
+    let out = run(&[2.0, 2.0], 0.0, &[2.0; 12]);
+    assert_eq!(out.len(), 12, "{out:?}");
+    for (i, m) in out.iter().enumerate() {
+        let tick = (i + 1) as u64;
+        assert_eq!((m.start, m.end, m.distance), (tick, tick, 0.0));
+    }
+    // Disjointness (Eq. 9): consecutive reports never overlap.
+    assert!(out.windows(2).all(|w| w[0].end < w[1].start));
+}
+
+#[test]
+fn constant_stream_far_from_the_query_reports_nothing() {
+    let out = run(&[2.0, 2.0], 0.5, &[40.0; 50]);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn star_padding_lets_a_match_start_on_the_last_tick() {
+    // y0's zero-distance row means a subsequence may begin at any tick,
+    // including the very last one (m = 1 query, match of length 1 at
+    // the final tick, flushed by finish()).
+    let out = run(&[5.0], 0.25, &[0.0, 0.0, 0.0, 5.0]);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!((out[0].start, out[0].end, out[0].distance), (4, 4, 0.0));
+}

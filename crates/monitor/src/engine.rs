@@ -90,8 +90,12 @@ pub enum MonitorError {
         tick: u64,
     },
     /// A [`crate::Runner`] worker thread died (panicked or stopped after
-    /// an ingestion error), so at least one shard is no longer monitored.
+    /// an ingestion error) and could not be restarted, so at least one
+    /// shard is no longer monitored.
     WorkerLost,
+    /// A fault injected through the `failpoints` testing feature.
+    #[cfg(feature = "failpoints")]
+    Injected(&'static str),
 }
 
 impl fmt::Display for MonitorError {
@@ -104,6 +108,8 @@ impl fmt::Display for MonitorError {
                 write!(f, "missing sample on stream {} at tick {tick}", stream.0)
             }
             MonitorError::WorkerLost => write!(f, "a monitor worker thread was lost"),
+            #[cfg(feature = "failpoints")]
+            MonitorError::Injected(site) => write!(f, "injected fault at failpoint `{site}`"),
         }
     }
 }
@@ -192,6 +198,10 @@ impl<M: Monitor> Attachment<M> {
     /// Consumes one raw sample: resolves the gap policy, steps the
     /// monitor, wraps a confirmed match into an [`Event`].
     pub(crate) fn ingest(&mut self, sample: &M::Sample) -> Result<Option<Event>, MonitorError> {
+        crate::fail_point!(
+            "attachment::ingest",
+            MonitorError::Injected("attachment::ingest")
+        );
         self.ticks += 1;
         let started = self.recorder.as_mut().and_then(TickRecorder::begin_tick);
         let missing = M::is_missing(sample);
@@ -230,6 +240,33 @@ impl<M: Monitor> Attachment<M> {
             });
         }
         Ok(event)
+    }
+
+    /// An independent copy of this attachment's monitoring state: same
+    /// monitor, gap state, and tick counter, but a *fresh* metrics
+    /// recorder (so live-memory gauge shares are not double-released).
+    ///
+    /// This is the [`crate::Runner`] supervisor's in-memory checkpoint:
+    /// a worker periodically forks its shard so a restarted worker can
+    /// resume from the last consistent state and replay the tail.
+    pub(crate) fn fork(&self) -> Attachment<M>
+    where
+        M: Clone,
+        Owned<M>: Clone,
+    {
+        Attachment {
+            id: self.id,
+            stream: self.stream,
+            query: self.query,
+            monitor: self.monitor.clone(),
+            gap_policy: self.gap_policy,
+            last_observed: self.last_observed.clone(),
+            ticks: self.ticks,
+            recorder: self
+                .recorder
+                .as_ref()
+                .map(|r| TickRecorder::new(Arc::clone(r.metrics()))),
+        }
     }
 
     /// Declares end-of-stream on this attachment, flushing a pending

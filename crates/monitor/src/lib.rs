@@ -35,10 +35,42 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
 pub mod metrics;
 pub mod runner;
 pub mod sink;
 pub mod vector_engine;
+
+/// Evaluates a named fault-injection site (see [`failpoints`]).
+///
+/// * `fail_point!("site")` — fires `Panic`/`Delay` actions in place.
+/// * `fail_point!("site", err)` — additionally `return Err(err)` when an
+///   `Error` action fires.
+///
+/// Without the `failpoints` feature both forms expand to **nothing**:
+/// no branch, no call, no overhead on the hot paths.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        let _ = $crate::failpoints::eval($site);
+    };
+    ($site:expr, $err:expr) => {
+        if $crate::failpoints::eval($site).is_some() {
+            return Err($err);
+        }
+    };
+}
+
+/// Evaluates a named fault-injection site (no-op: the `failpoints`
+/// feature is disabled, so sites compile to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {};
+    ($site:expr, $err:expr) => {};
+}
 
 pub use engine::{
     AttachmentId, Engine, Event, GapPolicy, MixedEngine, MonitorError, Owned, QueryId,
@@ -48,5 +80,5 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TickRecorder,
     WorkerMetrics, WorkerSnapshot,
 };
-pub use runner::{Runner, RunnerAttachment};
+pub use runner::{RestartPolicy, Runner, RunnerAttachment, CHECKPOINT_EVERY};
 pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};

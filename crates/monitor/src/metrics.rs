@@ -30,6 +30,7 @@
 //! | `spring_memory_bytes` | gauge | bytes | live algorithmic state across monitors |
 //! | `spring_memory_cells` | gauge | cells | live DTW cells — the `O(m)` quantity of Theorem 2 |
 //! | `spring_worker_lost_total` | counter | workers | runner workers lost (panic or ingest error) |
+//! | `spring_worker_restarts_total` | counter | workers | lost workers restarted by the runner supervisor |
 //! | `spring_runner_queue_depth` | gauge | messages | queued samples across all runner workers |
 //! | `spring_worker_ticks_total{worker=…}` | counter | messages | samples processed per worker |
 //! | `spring_worker_queue_depth{worker=…}` | gauge | messages | queued samples per worker |
@@ -272,6 +273,9 @@ pub struct Metrics {
     /// Runner workers lost to panics or ingest errors
     /// (`spring_worker_lost_total`).
     pub worker_lost: Counter,
+    /// Lost runner workers restarted by the supervisor
+    /// (`spring_worker_restarts_total`).
+    pub worker_restarts: Counter,
     /// Live algorithmic state in bytes (`spring_memory_bytes`).
     pub memory_bytes: Gauge,
     /// Live DTW state cells (`spring_memory_cells`) — the quantity
@@ -294,6 +298,7 @@ impl Default for Metrics {
             matches: Counter::new(),
             missing: Counter::new(),
             worker_lost: Counter::new(),
+            worker_restarts: Counter::new(),
             memory_bytes: Gauge::new(),
             memory_cells: Gauge::new(),
             tick_latency: Histogram::latency_buckets(),
@@ -343,6 +348,7 @@ impl Metrics {
             matches_total: self.matches.get(),
             missing_total: self.missing.get(),
             worker_lost_total: self.worker_lost.get(),
+            worker_restarts_total: self.worker_restarts.get(),
             memory_bytes: self.memory_bytes.get(),
             memory_cells: self.memory_cells.get(),
             tick_latency: self.tick_latency.snapshot(),
@@ -377,6 +383,8 @@ pub struct MetricsSnapshot {
     pub missing_total: u64,
     /// Runner workers lost.
     pub worker_lost_total: u64,
+    /// Lost runner workers restarted by the supervisor.
+    pub worker_restarts_total: u64,
     /// Live algorithmic state, bytes.
     pub memory_bytes: u64,
     /// Live DTW state cells.
@@ -440,6 +448,12 @@ impl MetricsSnapshot {
             "counter",
             "Runner workers lost to panics or ingest errors.",
             self.worker_lost_total,
+        );
+        scalar(
+            "spring_worker_restarts_total",
+            "counter",
+            "Lost runner workers restarted by the supervisor.",
+            self.worker_restarts_total,
         );
         scalar(
             "spring_memory_bytes",
@@ -545,6 +559,9 @@ impl MetricsSnapshot {
         );
         if self.worker_lost_total > 0 {
             row("workers lost", self.worker_lost_total.to_string());
+        }
+        if self.worker_restarts_total > 0 {
+            row("worker restarts", self.worker_restarts_total.to_string());
         }
         for (i, w) in self.workers.iter().enumerate() {
             row(
@@ -743,6 +760,7 @@ mod tests {
             "spring_matches_total",
             "spring_missing_samples_total",
             "spring_worker_lost_total",
+            "spring_worker_restarts_total",
             "spring_memory_bytes",
             "spring_memory_cells",
             "spring_runner_queue_depth",

@@ -11,19 +11,40 @@
 //! `w` workers, each incoming sample costs `O(A·m / w)` on the critical
 //! path — the `monitor_scaling` bench measures exactly this.
 //!
-//! # Failure handling
+//! # Failure handling and supervision
 //!
-//! A worker stops when an attachment rejects a sample (e.g.
-//! [`GapPolicy::Fail`] on a missing value) or when the sink panics. The
-//! first ingestion error is recorded and returned by
-//! [`Runner::shutdown`]; once a worker is gone, [`Runner::push`] to its
-//! streams reports [`MonitorError::WorkerLost`] instead of silently
-//! dropping samples (or deadlocking on a full queue).
+//! A worker can stop for two reasons, and the runner treats them very
+//! differently:
+//!
+//! * **Ingestion errors** (e.g. [`GapPolicy::Fail`] on a missing value)
+//!   are deliberate: the first one is recorded and returned by
+//!   [`Runner::shutdown`]; the worker is *not* restarted, and pushes to
+//!   its streams report [`MonitorError::WorkerLost`].
+//! * **Panics** (a crashing sink, an injected fault) are infrastructure
+//!   failures: a built-in supervisor restarts the worker with capped
+//!   exponential backoff ([`RestartPolicy`]), restores its shard from
+//!   the last in-memory checkpoint (each worker forks its attachment
+//!   states every [`CHECKPOINT_EVERY`] messages), and replays the
+//!   logged message tail so **no sample — and therefore no match — is
+//!   dropped** (paper Theorem 2's "no false dismissal" guarantee
+//!   survives worker crashes). Delivery to the sink is *at least once*:
+//!   a match confirmed between the checkpoint and the crash is emitted
+//!   again on replay. Restarts are observable as
+//!   `spring_worker_restarts_total`; once a worker exhausts
+//!   [`RestartPolicy::max_restarts`] it is permanently lost and
+//!   [`Runner::shutdown`] reports [`MonitorError::WorkerLost`].
+//!
+//! [`Runner::shutdown`] drains every queue before joining: dead workers
+//! are healed (restart + replay) first, so samples queued at crash time
+//! are still processed, and a documented error is returned only when a
+//! worker is permanently lost.
 
-use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use spring_core::monitor::Monitor;
 
@@ -33,6 +54,54 @@ use crate::sink::MatchSink;
 
 /// Queue depth per worker; bounds memory under bursty producers.
 const QUEUE_DEPTH: usize = 1024;
+
+/// A worker forks its shard into the supervisor checkpoint every this
+/// many processed messages, bounding both the replay tail and the
+/// supervisor log to `O(CHECKPOINT_EVERY + QUEUE_DEPTH)` entries.
+pub const CHECKPOINT_EVERY: u64 = 64;
+
+/// How a [`Runner`] treats a worker thread lost to a panic.
+///
+/// Ingestion errors (a sample rejected under [`GapPolicy::Fail`]) are
+/// never restarted — they are the stream's fault, not the worker's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restart attempts per worker before it is declared permanently
+    /// lost. `0` disables supervision entirely.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per subsequent attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Supervision disabled: any lost worker is permanently lost.
+    pub fn none() -> Self {
+        RestartPolicy {
+            max_restarts: 0,
+            ..RestartPolicy::default()
+        }
+    }
+
+    /// Capped exponential backoff for the `attempt`-th restart (1-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
 
 /// One attachment specification for a [`Runner`]: a pre-built monitor
 /// plus its routing and gap handling.
@@ -85,21 +154,69 @@ enum Msg<M: Monitor> {
     Shutdown,
 }
 
+impl<M: Monitor> Clone for Msg<M>
+where
+    Owned<M>: Clone,
+{
+    fn clone(&self) -> Self {
+        match self {
+            Msg::Sample { stream, value } => Msg::Sample {
+                stream: *stream,
+                value: value.clone(),
+            },
+            Msg::FinishStream(stream) => Msg::FinishStream(*stream),
+            Msg::Shutdown => Msg::Shutdown,
+        }
+    }
+}
+
+/// State a worker thread shares with its supervisor.
+struct WorkerShared<M: Monitor> {
+    /// Set when the worker stopped on an ingestion error (deliberate:
+    /// the supervisor must not restart it).
+    failed: AtomicBool,
+    /// Messages whose effects are contained in `checkpoint`.
+    applied: AtomicU64,
+    /// The worker's forked shard as of `applied` messages.
+    checkpoint: Mutex<Vec<Attachment<M>>>,
+}
+
+/// Supervisor-side state of one worker (behind a mutex so `push` can
+/// heal from `&self`).
+struct WorkerSlot<M: Monitor> {
+    sender: SyncSender<Msg<M>>,
+    handle: Option<JoinHandle<()>>,
+    /// Messages sent since the last checkpoint, with absolute sequence
+    /// numbers — the replay tail for a restart.
+    log: VecDeque<(u64, Msg<M>)>,
+    /// Total routed (non-`Shutdown`) messages; the next sequence number.
+    sent: u64,
+    /// Restarts consumed so far.
+    restarts: u32,
+    /// Permanently lost (ingestion error or restart budget exhausted).
+    dead: bool,
+    shared: Arc<WorkerShared<M>>,
+}
+
 /// A running pool of monitor workers.
 ///
 /// Samples are pushed from any thread via [`Runner::push`]; matches
 /// arrive at the sink from worker threads. Call [`Runner::shutdown`] to
-/// flush, join, and learn about any worker failure.
+/// flush, join, and learn about any worker failure. Workers lost to
+/// panics are restarted from their last checkpoint per the configured
+/// [`RestartPolicy`].
 pub struct Runner<M: Monitor> {
-    senders: Vec<SyncSender<Msg<M>>>,
+    slots: Vec<Mutex<WorkerSlot<M>>>,
     /// Worker indices interested in each stream.
     routes: HashMap<StreamId, Vec<usize>>,
-    handles: Vec<JoinHandle<()>>,
     /// First ingestion error recorded by any worker.
     error: Arc<Mutex<Option<MonitorError>>>,
-    /// Per-worker observability handles (aligned with `senders`; empty
-    /// entries when spawned without metrics).
+    /// Per-worker observability handles (aligned with `slots`; reused
+    /// across restarts so worker indices stay stable).
     worker_metrics: Vec<Option<Arc<WorkerMetrics>>>,
+    metrics: Option<Arc<Metrics>>,
+    sink: Arc<dyn MatchSink>,
+    restart: RestartPolicy,
 }
 
 /// Increments `spring_worker_lost_total` when the worker thread exits
@@ -120,12 +237,95 @@ impl Drop for WorkerLostGuard {
     }
 }
 
+/// The worker thread body: drains its channel, drives the shard, and
+/// forks a checkpoint every [`CHECKPOINT_EVERY`] messages.
+fn spawn_worker<M>(
+    mut shard: Vec<Attachment<M>>,
+    rx: Receiver<Msg<M>>,
+    sink: Arc<dyn MatchSink>,
+    error: Arc<Mutex<Option<MonitorError>>>,
+    wm: Option<Arc<WorkerMetrics>>,
+    guard_metrics: Option<Arc<Metrics>>,
+    shared: Arc<WorkerShared<M>>,
+) -> JoinHandle<()>
+where
+    M: Monitor + Clone + Send + 'static,
+    Owned<M>: Clone + Send,
+{
+    thread::spawn(move || {
+        // Constructed inside the thread so its `Drop` runs here: a
+        // panicking sink (or a recorded ingestion error) bumps
+        // `spring_worker_lost_total` exactly once per lost worker.
+        let mut guard = WorkerLostGuard {
+            metrics: guard_metrics,
+            lost: false,
+        };
+        // Messages applied by this incarnation, continuing the absolute
+        // count from the checkpoint the shard was forked at.
+        let mut applied = shared.applied.load(Ordering::Acquire);
+        'recv: for msg in rx {
+            crate::fail_point!("runner::worker::recv");
+            // Shutdown messages are not routed (and not counted into the
+            // depth gauge), so only samples/finishes decrement it.
+            if let Some(wm) = &wm {
+                if !matches!(msg, Msg::Shutdown) {
+                    wm.queue_depth.add(-1);
+                }
+            }
+            match msg {
+                Msg::Sample { stream, value } => {
+                    if let Some(wm) = &wm {
+                        wm.ticks.inc();
+                    }
+                    for att in shard.iter_mut().filter(|a| a.stream == stream) {
+                        match att.ingest(std::borrow::Borrow::borrow(&value)) {
+                            Ok(Some(event)) => {
+                                crate::fail_point!("runner::sink");
+                                sink.on_match(&event);
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                record_error(&error, e);
+                                // Deliberate stop: tell the supervisor
+                                // not to restart, then drop the receiver
+                                // so later pushes fail fast.
+                                shared.failed.store(true, Ordering::Release);
+                                guard.lost = true;
+                                break 'recv;
+                            }
+                        }
+                    }
+                }
+                Msg::FinishStream(stream) => {
+                    for att in shard.iter_mut().filter(|a| a.stream == stream) {
+                        if let Some(event) = att.flush() {
+                            crate::fail_point!("runner::sink");
+                            sink.on_match(&event);
+                        }
+                    }
+                }
+                Msg::Shutdown => break,
+            }
+            applied += 1;
+            if applied - shared.applied.load(Ordering::Relaxed) >= CHECKPOINT_EVERY {
+                let fork: Vec<Attachment<M>> = shard.iter().map(Attachment::fork).collect();
+                *shared
+                    .checkpoint
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = fork;
+                shared.applied.store(applied, Ordering::Release);
+            }
+        }
+    })
+}
+
 impl<M> Runner<M>
 where
-    M: Monitor + Send + 'static,
-    Owned<M>: Send,
+    M: Monitor + Clone + Send + 'static,
+    Owned<M>: Clone + Send,
 {
-    /// Spawns `workers` threads sharing out `attachments` round-robin.
+    /// Spawns `workers` threads sharing out `attachments` round-robin,
+    /// with the default [`RestartPolicy`].
     ///
     /// # Errors
     /// Fails when `workers == 0`.
@@ -134,14 +334,14 @@ where
         workers: usize,
         sink: Arc<dyn MatchSink>,
     ) -> Result<Self, MonitorError> {
-        Runner::spawn_with_metrics(attachments, workers, sink, None)
+        Runner::spawn_with_policy(attachments, workers, sink, None, RestartPolicy::default())
     }
 
     /// [`Runner::spawn`] with an observability registry: every worker
     /// registers a [`WorkerMetrics`] (per-worker tick counter + queue
     /// depth gauge), each attachment records ticks/matches/latency/
-    /// memory, and abnormal worker exits bump
-    /// `spring_worker_lost_total`.
+    /// memory, abnormal worker exits bump `spring_worker_lost_total`,
+    /// and supervisor restarts bump `spring_worker_restarts_total`.
     ///
     /// # Errors
     /// Fails when `workers == 0`.
@@ -150,6 +350,28 @@ where
         workers: usize,
         sink: Arc<dyn MatchSink>,
         metrics: Option<Arc<Metrics>>,
+    ) -> Result<Self, MonitorError> {
+        Runner::spawn_with_policy(
+            attachments,
+            workers,
+            sink,
+            metrics,
+            RestartPolicy::default(),
+        )
+    }
+
+    /// Fully explicit constructor: metrics registry and worker
+    /// [`RestartPolicy`] ([`RestartPolicy::none`] restores the
+    /// unsupervised fail-fast behavior).
+    ///
+    /// # Errors
+    /// Fails when `workers == 0`.
+    pub fn spawn_with_policy(
+        attachments: Vec<RunnerAttachment<M>>,
+        workers: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+        restart: RestartPolicy,
     ) -> Result<Self, MonitorError> {
         if workers == 0 {
             return Err(MonitorError::Spring(
@@ -177,73 +399,46 @@ where
             }
         }
         let error = Arc::new(Mutex::new(None));
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
+        let mut slots = Vec::with_capacity(workers);
         let mut worker_metrics = Vec::with_capacity(workers);
         for shard in shards {
-            let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
-            let sink = Arc::clone(&sink);
-            let error = Arc::clone(&error);
             let wm = metrics.as_ref().map(|m| m.register_worker());
             worker_metrics.push(wm.clone());
-            let guard_metrics = metrics.clone();
-            let handle = thread::spawn(move || {
-                // Constructed inside the thread so its `Drop` runs here:
-                // a panicking sink (or a recorded ingestion error) bumps
-                // `spring_worker_lost_total` exactly once per lost worker.
-                let mut guard = WorkerLostGuard {
-                    metrics: guard_metrics,
-                    lost: false,
-                };
-                let mut shard = shard;
-                'recv: for msg in rx {
-                    // Shutdown messages are not routed (and not counted
-                    // into the depth gauge), so only samples/finishes
-                    // decrement it.
-                    if let Some(wm) = &wm {
-                        if !matches!(msg, Msg::Shutdown) {
-                            wm.queue_depth.add(-1);
-                        }
-                    }
-                    match msg {
-                        Msg::Sample { stream, value } => {
-                            if let Some(wm) = &wm {
-                                wm.ticks.inc();
-                            }
-                            for att in shard.iter_mut().filter(|a| a.stream == stream) {
-                                match att.ingest(std::borrow::Borrow::borrow(&value)) {
-                                    Ok(Some(event)) => sink.on_match(&event),
-                                    Ok(None) => {}
-                                    Err(e) => {
-                                        record_error(&error, e);
-                                        guard.lost = true;
-                                        // Dropping the receiver makes later
-                                        // pushes fail fast with WorkerLost.
-                                        break 'recv;
-                                    }
-                                }
-                            }
-                        }
-                        Msg::FinishStream(stream) => {
-                            for att in shard.iter_mut().filter(|a| a.stream == stream) {
-                                if let Some(event) = att.flush() {
-                                    sink.on_match(&event);
-                                }
-                            }
-                        }
-                        Msg::Shutdown => break,
-                    }
-                }
+            // Checkpoint 0: the shard's initial state, so a crash before
+            // the first periodic checkpoint can still replay from tick 0.
+            let shared = Arc::new(WorkerShared {
+                failed: AtomicBool::new(false),
+                applied: AtomicU64::new(0),
+                checkpoint: Mutex::new(shard.iter().map(Attachment::fork).collect()),
             });
-            senders.push(tx);
-            handles.push(handle);
+            let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
+            let handle = spawn_worker(
+                shard,
+                rx,
+                Arc::clone(&sink),
+                Arc::clone(&error),
+                wm,
+                metrics.clone(),
+                Arc::clone(&shared),
+            );
+            slots.push(Mutex::new(WorkerSlot {
+                sender: tx,
+                handle: Some(handle),
+                log: VecDeque::new(),
+                sent: 0,
+                restarts: 0,
+                dead: false,
+                shared,
+            }));
         }
         Ok(Runner {
-            senders,
+            slots,
             routes,
-            handles,
             error,
             worker_metrics,
+            metrics,
+            sink,
+            restart,
         })
     }
 
@@ -252,8 +447,9 @@ where
     /// Blocks briefly when a worker's queue is full (backpressure).
     ///
     /// # Errors
-    /// [`MonitorError::WorkerLost`] when a watching worker has died
-    /// (panicked sink or recorded ingestion error).
+    /// [`MonitorError::WorkerLost`] when a watching worker is
+    /// permanently lost (recorded ingestion error, or a panic loop that
+    /// exhausted the restart budget).
     pub fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
         self.route(stream, |s| Msg::Sample {
             stream: s,
@@ -264,9 +460,14 @@ where
     /// Flushes pending group optima on a stream's attachments.
     ///
     /// # Errors
-    /// [`MonitorError::WorkerLost`] when a watching worker has died.
+    /// [`MonitorError::WorkerLost`] when a watching worker is
+    /// permanently lost.
     pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
         self.route(stream, Msg::FinishStream)
+    }
+
+    fn lock_slot(&self, w: usize) -> MutexGuard<'_, WorkerSlot<M>> {
+        self.slots[w].lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn route(
@@ -277,19 +478,29 @@ where
         let mut lost = false;
         if let Some(workers) = self.routes.get(&stream) {
             for &w in workers {
+                let mut slot = self.lock_slot(w);
+                if slot.dead {
+                    lost = true;
+                    continue;
+                }
+                // Drop log entries already covered by a checkpoint.
+                prune_log(&mut slot);
+                let m = msg(stream);
+                slot.sent += 1;
+                let seq = slot.sent;
+                slot.log.push_back((seq, m.clone()));
                 // Depth is incremented *before* the send so the worker's
                 // decrement (which can only happen after the send) never
                 // transiently underflows the gauge.
                 if let Some(wm) = &self.worker_metrics[w] {
                     wm.queue_depth.add(1);
                 }
-                // A worker only stops receiving after Shutdown, a recorded
-                // error, or a panic — so a failed send means it is gone.
-                if self.senders[w].send(msg(stream)).is_err() {
+                // A worker only stops receiving after Shutdown, a
+                // recorded error, or a panic — a failed send means it is
+                // gone: try to heal it (the message is already in the
+                // log, so a successful heal replays it).
+                if slot.sender.send(m).is_err() && self.heal(w, &mut slot).is_err() {
                     lost = true;
-                    if let Some(wm) = &self.worker_metrics[w] {
-                        wm.queue_depth.add(-1);
-                    }
                 }
             }
         }
@@ -300,40 +511,149 @@ where
         }
     }
 
+    /// Restarts a dead worker from its last checkpoint and replays the
+    /// log tail. Called with the slot lock held; on `Err` the worker is
+    /// permanently lost (`slot.dead`).
+    fn heal(&self, w: usize, slot: &mut WorkerSlot<M>) -> Result<(), MonitorError> {
+        'attempt: loop {
+            // Collect the dead thread (its panic payload is dropped; the
+            // in-thread guard already counted the loss).
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
+            if slot.shared.failed.load(Ordering::Acquire) {
+                // Ingestion error: deliberate stop, never restarted; the
+                // recorded error surfaces at shutdown.
+                slot.dead = true;
+                return Err(MonitorError::WorkerLost);
+            }
+            if slot.restarts >= self.restart.max_restarts {
+                slot.dead = true;
+                return Err(MonitorError::WorkerLost);
+            }
+            slot.restarts += 1;
+            if let Some(m) = &self.metrics {
+                m.worker_restarts.inc();
+            }
+            thread::sleep(self.restart.backoff(slot.restarts));
+            // The worker is dead and we hold its slot lock, so nothing
+            // races the gauge: reset it (messages queued at crash time
+            // were incremented but never dequeued); the replay below
+            // re-increments per message it resends.
+            if let Some(wm) = &self.worker_metrics[w] {
+                wm.queue_depth.set(0);
+            }
+            prune_log(slot);
+            // Respawn from the checkpointed shard …
+            let shard: Vec<Attachment<M>> = {
+                let cp = slot
+                    .shared
+                    .checkpoint
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                cp.iter().map(Attachment::fork).collect()
+            };
+            let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
+            let handle = spawn_worker(
+                shard,
+                rx,
+                Arc::clone(&self.sink),
+                Arc::clone(&self.error),
+                self.worker_metrics[w].clone(),
+                self.metrics.clone(),
+                Arc::clone(&slot.shared),
+            );
+            slot.sender = tx;
+            slot.handle = Some(handle);
+            // … and replay the uncheckpointed tail. Delivery is at least
+            // once: a match confirmed between the checkpoint and the
+            // crash is emitted to the sink again here.
+            for (_, m) in &slot.log {
+                if let Some(wm) = &self.worker_metrics[w] {
+                    wm.queue_depth.add(1);
+                }
+                if slot.sender.send(m.clone()).is_err() {
+                    // Died again mid-replay; spend another restart.
+                    continue 'attempt;
+                }
+            }
+            return Ok(());
+        }
+    }
+
     /// Drains all queues, stops the workers, and joins them.
+    ///
+    /// Dead workers are healed (restarted from checkpoint + replayed)
+    /// before the drain, so every queued sample is processed unless a
+    /// worker is permanently lost — in which case the error below is
+    /// returned and some samples may not have been monitored.
     ///
     /// # Errors
     /// The first ingestion error recorded by any worker, or
-    /// [`MonitorError::WorkerLost`] when a worker thread panicked.
+    /// [`MonitorError::WorkerLost`] when a worker was permanently lost
+    /// (panic with supervision off, or restart budget exhausted).
     pub fn shutdown(self) -> Result<(), MonitorError> {
-        for tx in &self.senders {
-            let _ = tx.send(Msg::Shutdown);
-        }
-        let mut panicked = false;
-        for handle in self.handles {
-            panicked |= handle.join().is_err();
+        let mut permanent = false;
+        for (w, slot) in self.slots.iter().enumerate() {
+            let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if slot.dead {
+                    permanent = true;
+                    break;
+                }
+                let finished = slot.handle.as_ref().is_none_or(|h| h.is_finished());
+                // A thread gone before Shutdown died abnormally: heal it
+                // so its queued/unreplayed samples are still processed.
+                if finished || slot.sender.send(Msg::Shutdown).is_err() {
+                    if self.heal(w, &mut slot).is_err() {
+                        permanent = true;
+                        break;
+                    }
+                    continue; // healed: re-attempt the Shutdown send
+                }
+                let handle = slot.handle.take().expect("live worker has a join handle");
+                match handle.join() {
+                    Ok(()) => break, // drained cleanly
+                    Err(_) => {
+                        // Panicked while draining; heal and re-drain.
+                        if self.heal(w, &mut slot).is_err() {
+                            permanent = true;
+                            break;
+                        }
+                    }
+                }
+            }
         }
         let recorded = self
             .error
             .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
+            .unwrap_or_else(PoisonError::into_inner)
             .take();
         match recorded {
             Some(e) => Err(e),
-            None if panicked => Err(MonitorError::WorkerLost),
+            None if permanent => Err(MonitorError::WorkerLost),
             None => Ok(()),
         }
     }
 }
 
+/// Drops log entries whose effects are contained in the checkpoint.
+fn prune_log<M: Monitor>(slot: &mut WorkerSlot<M>) {
+    let applied = slot.shared.applied.load(Ordering::Acquire);
+    while slot.log.front().is_some_and(|&(seq, _)| seq <= applied) {
+        slot.log.pop_front();
+    }
+}
+
 fn record_error(slot: &Mutex<Option<MonitorError>>, e: MonitorError) {
-    let mut guard = slot.lock().unwrap_or_else(|poison| poison.into_inner());
+    let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
     guard.get_or_insert(e);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Event;
     use crate::sink::{FnSink, VecSink};
     use spring_core::{Spring, VectorSpring};
     use spring_dtw::Kernel;
@@ -466,7 +786,8 @@ mod tests {
         let runner = SpringRunner::spawn(vec![att], 1, sink).unwrap();
         let _ = runner.push(StreamId(0), &f64::NAN);
         // The worker drops its receiver once the error is recorded, so a
-        // later push fails fast instead of deadlocking on a full queue.
+        // later push fails fast instead of deadlocking on a full queue —
+        // and the supervisor refuses to restart after ingestion errors.
         let mut lost = false;
         for _ in 0..100_000 {
             if runner.push(StreamId(0), &1.0).is_err() {
@@ -488,6 +809,8 @@ mod tests {
         for x in spike_stream(&[2], 8) {
             let _ = runner.push(StreamId(0), &x);
         }
+        // The supervisor retries (replay re-panics each time) until the
+        // restart budget is exhausted, then reports the permanent loss.
         assert_eq!(runner.shutdown(), Err(MonitorError::WorkerLost));
     }
 
@@ -513,5 +836,175 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!((events[0].m.start, events[0].m.end), (4, 6));
         assert_eq!(events[0].variant, spring_core::MonitorVariant::Vector);
+    }
+
+    // ---- supervision ---------------------------------------------------
+
+    /// A sink that panics on the first `panics` deliveries, then records
+    /// into an inner [`VecSink`].
+    struct FlakySink {
+        remaining: AtomicU64,
+        inner: VecSink,
+    }
+
+    impl FlakySink {
+        fn new(panics: u64) -> Self {
+            FlakySink {
+                remaining: AtomicU64::new(panics),
+                inner: VecSink::new(),
+            }
+        }
+    }
+
+    impl MatchSink for FlakySink {
+        fn on_match(&self, event: &Event) {
+            let left = self.remaining.load(Ordering::Relaxed);
+            if left > 0 {
+                self.remaining.store(left - 1, Ordering::Relaxed);
+                panic!("flaky sink: injected panic ({left} left)");
+            }
+            self.inner.on_match(event);
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_a_worker_killed_by_a_flaky_sink() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(FlakySink::new(1));
+        let runner = SpringRunner::spawn_with_policy(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+            RestartPolicy::default(),
+        )
+        .unwrap();
+        // Two spikes: the first match panics the sink and kills the
+        // worker; the supervisor must restart + replay so both matches
+        // are delivered anyway.
+        for x in spike_stream(&[4, 15], 25) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![5, 16], "no match may be dropped");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.worker_lost_total, 1);
+        assert_eq!(snap.worker_restarts_total, 1);
+        assert_eq!(snap.runner_queue_depth(), 0, "gauge must recover to 0");
+    }
+
+    #[test]
+    fn supervision_off_keeps_the_fail_fast_behavior() {
+        let sink = Arc::new(FlakySink::new(1));
+        let runner = SpringRunner::spawn_with_policy(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            None,
+            RestartPolicy::none(),
+        )
+        .unwrap();
+        for x in spike_stream(&[4], 12) {
+            let _ = runner.push(StreamId(0), &x);
+        }
+        assert_eq!(runner.shutdown(), Err(MonitorError::WorkerLost));
+        assert!(sink.inner.events().is_empty());
+    }
+
+    #[test]
+    fn restart_replays_from_a_late_checkpoint() {
+        // Long quiet stream first so several checkpoints are taken, then
+        // a crash right at the match: the replay tail must still contain
+        // the spike (no false dismissal after recovery).
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(FlakySink::new(1));
+        let runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let len = (CHECKPOINT_EVERY * 5 + 17) as usize;
+        let spike_at = len - 6;
+        for x in spike_stream(&[spike_at], len) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![spike_at as u64 + 1]);
+        assert_eq!(metrics.snapshot().worker_restarts_total, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_samples_before_joining() {
+        // Regression: push a burst and shut down immediately — every
+        // queued tick must still be processed (drain-before-join).
+        let n = 600u64;
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        for i in 0..n {
+            let x = if i == n - 3 {
+                0.0
+            } else if i == n - 2 {
+                10.0
+            } else if i == n - 1 {
+                0.0
+            } else {
+                50.0
+            };
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        // The finish marker is queued like any other message — nothing
+        // below waits for the worker to reach it.
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let snap = metrics.snapshot();
+        let worker_ticks: u64 = snap.workers.iter().map(|w| w.ticks).sum();
+        assert_eq!(worker_ticks, n, "all queued samples must be drained");
+        assert_eq!(snap.runner_queue_depth(), 0);
+        // The spike at the stream tail was only queued, never explicitly
+        // awaited — the drain must still confirm it.
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].m.start, n - 2);
+    }
+
+    #[test]
+    fn shutdown_drains_even_across_a_mid_drain_panic() {
+        let n = 40u64;
+        let metrics = Arc::new(Metrics::new());
+        // Panic on the first delivery: it happens *during* the drain
+        // (shutdown already sent), so the heal-and-redrain path runs.
+        let sink = Arc::new(FlakySink::new(1));
+        let runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let mut stream = vec![50.0; n as usize];
+        stream[5] = 0.0;
+        stream[6] = 10.0;
+        stream[7] = 0.0;
+        for x in &stream {
+            runner.push(StreamId(0), x).unwrap();
+        }
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![6]);
+        let snap = metrics.snapshot();
+        assert!(snap.worker_restarts_total >= 1);
+        assert_eq!(snap.runner_queue_depth(), 0);
     }
 }

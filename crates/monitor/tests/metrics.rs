@@ -290,3 +290,82 @@ fn prometheus_exposition_is_valid_and_complete() {
         "{text}"
     );
 }
+
+/// Fault accounting: a worker panicked via a failpoint must show up in
+/// `spring_worker_lost_total` and `spring_worker_restarts_total`, while
+/// the queue gauges still drain to zero and no match is lost.
+///
+/// Requires `--features failpoints`.
+#[cfg(feature = "failpoints")]
+mod under_fault {
+    use super::*;
+    use spring_monitor::failpoints::{self, FailAction, FailRule};
+
+    #[test]
+    fn worker_panic_increments_loss_and_restart_counters_and_queues_drain() {
+        let _guard = failpoints::exclusive();
+
+        let run = |fault: bool| {
+            failpoints::clear();
+            if fault {
+                // Panic one worker mid-stream, once.
+                failpoints::configure(
+                    "runner::worker::recv",
+                    FailRule::new(FailAction::Panic).after(40).times(1),
+                );
+            }
+            let metrics = Arc::new(Metrics::new());
+            let attachments = vec![RunnerAttachment::spring(
+                StreamId(0),
+                QueryId(0),
+                &[0.0, 9.0, 0.0],
+                1.0,
+                GapPolicy::Skip,
+            )
+            .unwrap()];
+            let sink = Arc::new(CountingSink::new(1));
+            let runner = Runner::spawn_with_metrics(
+                attachments,
+                2,
+                Arc::<CountingSink>::clone(&sink),
+                Some(Arc::clone(&metrics)),
+            )
+            .unwrap();
+            for t in 0..200 {
+                runner.push(StreamId(0), &value_at(t)).unwrap();
+            }
+            runner.finish_stream(StreamId(0)).unwrap();
+            runner.shutdown().unwrap();
+            failpoints::clear();
+            (metrics.snapshot(), sink.total())
+        };
+
+        let (clean, clean_matches) = run(false);
+        assert_eq!(clean.worker_lost_total, 0);
+        assert_eq!(clean.worker_restarts_total, 0);
+        assert!(clean_matches > 0, "workload sanity: spikes must match");
+
+        let (faulted, faulted_matches) = run(true);
+        assert_eq!(faulted.worker_lost_total, 1, "panic must be accounted");
+        assert_eq!(
+            faulted.worker_restarts_total, 1,
+            "supervisor must restart the lost worker"
+        );
+        // The restarted worker drained everything: queues return to zero
+        // and the tick counters still add up to every sample pushed.
+        assert_eq!(faulted.runner_queue_depth(), 0);
+        assert!(faulted.workers.iter().all(|w| w.queue_depth == 0));
+        // Delivery is at-least-once across a restart: every fault-free
+        // match arrives, possibly with replay duplicates.
+        assert!(
+            faulted_matches >= clean_matches,
+            "faulted run lost matches: {faulted_matches} < {clean_matches}"
+        );
+        // The exposition carries the fault counters.
+        let text = {
+            let metrics = Metrics::new();
+            metrics.to_prometheus()
+        };
+        assert!(text.contains("spring_worker_restarts_total"), "{text}");
+    }
+}

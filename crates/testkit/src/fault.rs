@@ -1,0 +1,98 @@
+//! Fault-injection conformance: the differential harness under
+//! deterministic faults (requires the `failpoints` feature, which
+//! forwards `spring-monitor/failpoints`).
+//!
+//! The guarantee under test is the supervisor's: a worker lost to a
+//! panic is restarted from its last checkpoint and the replay redelivers
+//! every match, so the *set* of matches equals the fault-free run.
+//! Delivery across a restart is at-least-once (a match delivered just
+//! before the panic is redelivered by the replay), so comparisons are on
+//! deduplicated, order-normalized sets.
+
+use spring_core::monitor::MonitorSpec;
+use spring_core::Match;
+use spring_monitor::failpoints::{self, FailAction, FailRule};
+
+use crate::differential::run_runner;
+use crate::scenario::Scenario;
+
+/// One deterministic fault to inject into a runner run.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultPlan {
+    /// Panic a worker inside its receive loop after `after` received
+    /// messages (site `runner::worker::recv`).
+    WorkerPanic {
+        /// Messages received across workers before the panic fires.
+        after: u64,
+    },
+    /// Panic inside the sink after `after` deliveries (site
+    /// `runner::sink`) — the match in flight is *not* delivered and must
+    /// be recovered by the replay.
+    SinkPanic {
+        /// Deliveries across workers before the panic fires.
+        after: u64,
+    },
+    /// Stall the sink for `ms` milliseconds on every delivery (site
+    /// `runner::sink`), backing the bounded queues up.
+    SlowSink {
+        /// Delay per delivery, in milliseconds.
+        ms: u64,
+    },
+}
+
+impl FaultPlan {
+    fn arm(self) {
+        match self {
+            FaultPlan::WorkerPanic { after } => failpoints::configure(
+                "runner::worker::recv",
+                FailRule::new(FailAction::Panic).after(after).times(1),
+            ),
+            FaultPlan::SinkPanic { after } => failpoints::configure(
+                "runner::sink",
+                FailRule::new(FailAction::Panic).after(after).times(1),
+            ),
+            FaultPlan::SlowSink { ms } => {
+                failpoints::configure("runner::sink", FailRule::new(FailAction::Delay(ms)))
+            }
+        }
+    }
+}
+
+fn normalize(mut per: Vec<Vec<Match>>) -> Vec<Vec<(u64, u64, u64)>> {
+    per.iter_mut()
+        .map(|ms| {
+            let mut keys: Vec<(u64, u64, u64)> = ms
+                .iter()
+                .map(|m| (m.start, m.end, m.distance.to_bits()))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        })
+        .collect()
+}
+
+/// Runs the scenario's plain-SPRING spec through a 2-worker runner with
+/// `fault` armed, and checks the deduplicated match set of every
+/// attachment equals the fault-free run's.
+///
+/// Uses the global failpoint registry: hold
+/// [`failpoints::exclusive`] around calls in multi-test binaries.
+pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String> {
+    let spec = MonitorSpec::Spring {
+        epsilon: sc.epsilon,
+    };
+    failpoints::clear();
+    let clean = run_runner(sc, spec, 2).map_err(|e| format!("fault-free run failed: {e}"))?;
+    fault.arm();
+    let faulted = run_runner(sc, spec, 2);
+    failpoints::clear();
+    let faulted = faulted.map_err(|e| format!("faulted run failed: {e} ({fault:?})"))?;
+    let (clean, faulted) = (normalize(clean), normalize(faulted));
+    if clean != faulted {
+        return Err(format!(
+            "match sets diverge under {fault:?}\n  fault-free: {clean:?}\n  faulted:    {faulted:?}"
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # spring-testkit — conformance harness for the SPRING workspace
+//!
+//! Differential oracle fuzzing and deterministic fault injection,
+//! packaged as a library so the CLI (`spring fuzz`), CI, and the
+//! workspace test suites all drive the same harness:
+//!
+//! * [`scenario`] — seeded, printable test cases biased toward SPRING's
+//!   hard spots: distance ties, plateaus, NaN gap bursts, `ε = 0`.
+//! * [`differential`] — runs every [`spring_core::MonitorSpec`] variant
+//!   through the bare monitor, the engine, and the threaded runner
+//!   (1/2/4 workers), demands bit-identical reports, checks them against
+//!   the naive and Super-Naive oracles, and shrinks any mismatch to a
+//!   minimal replayable [`Failure`].
+//! * [`broken`] — a monitor with a planted false-dismissal bug, proving
+//!   the oracle catches what it claims to catch.
+//! * `fault` *(feature `failpoints`)* — the same differential
+//!   equality under injected worker panics, sink panics, and slow
+//!   sinks, exercising the runner's supervisor/replay path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod broken;
+pub mod differential;
+#[cfg(feature = "failpoints")]
+pub mod fault;
+pub mod scenario;
+
+pub use broken::BrokenSpring;
+pub use differential::{check_spring_reports, fuzz, shrink, verify, Failure};
+pub use scenario::Scenario;

@@ -1,0 +1,72 @@
+//! Differential conformance under injected faults (requires
+//! `--features failpoints`).
+//!
+//! Each test holds the failpoint registry's exclusive guard: faults are
+//! process-global, so concurrent tests must serialize around them.
+
+#![cfg(feature = "failpoints")]
+
+use spring_monitor::failpoints;
+use spring_monitor::GapPolicy;
+use spring_testkit::fault::{verify_under_fault, FaultPlan};
+use spring_testkit::Scenario;
+use spring_util::Rng;
+
+fn spike_scenario(len: usize, spikes: &[usize]) -> Scenario {
+    let mut stream = vec![50.0; len];
+    for &s in spikes {
+        stream[s] = 0.0;
+        stream[s + 1] = 10.0;
+        stream[s + 2] = 0.0;
+    }
+    Scenario {
+        stream,
+        query: vec![0.0, 10.0, 0.0],
+        epsilon: 1.0,
+        gap_policy: GapPolicy::Skip,
+    }
+}
+
+#[test]
+fn worker_panic_mid_stream_loses_no_matches() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(200, &[10, 80, 150]);
+    // Panic a worker while samples are still arriving; the supervisor
+    // must restore from the checkpoint and replay without losing the
+    // spikes on either side of the crash.
+    for after in [5u64, 90, 170] {
+        verify_under_fault(&sc, FaultPlan::WorkerPanic { after }).unwrap();
+    }
+}
+
+#[test]
+fn sink_panic_redelivers_the_match_in_flight() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(120, &[20, 60, 100]);
+    // The first delivery dies inside the sink: that match must come back
+    // through the replay.
+    for after in [0u64, 1, 2] {
+        verify_under_fault(&sc, FaultPlan::SinkPanic { after }).unwrap();
+    }
+}
+
+#[test]
+fn slow_sink_backpressure_changes_nothing() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(80, &[15, 55]);
+    verify_under_fault(&sc, FaultPlan::SlowSink { ms: 1 }).unwrap();
+}
+
+#[test]
+fn seeded_scenarios_survive_faults_too() {
+    let _guard = failpoints::exclusive();
+    let mut rng = Rng::seed_from_u64(0xFA_017);
+    for _ in 0..8 {
+        let mut sc = Scenario::generate(&mut rng);
+        if sc.gap_policy == GapPolicy::Fail && sc.gap_count() > 0 {
+            sc.gap_policy = GapPolicy::Skip;
+        }
+        verify_under_fault(&sc, FaultPlan::WorkerPanic { after: 7 }).unwrap();
+        verify_under_fault(&sc, FaultPlan::SinkPanic { after: 0 }).unwrap();
+    }
+}

@@ -134,7 +134,7 @@ fn run_scalar_runner<M>(
     streams: &[Vec<f64>],
 ) -> Vec<(u32, Match)>
 where
-    M: spring::core::Monitor<Sample = f64> + Send + 'static,
+    M: spring::core::Monitor<Sample = f64> + Clone + Send + 'static,
 {
     let sink = Arc::new(VecSink::new());
     let runner = Runner::spawn(attachments, workers, sink.clone()).unwrap();
