@@ -1,0 +1,98 @@
+//! Batched-ingestion ablation (DESIGN.md §6e): per-sample cost of
+//! `Engine::push_batch` and `Runner::push_batch` as the batch size
+//! sweeps {1, 4, 64, 1024}.
+//!
+//! Batch 1 is the historical per-sample path (one bounds check, one
+//! attachment-index resolution, and — for the runner — one channel
+//! message per tick); larger batches amortize those fixed costs across
+//! the frame, which is where the speedup comes from. The DP recurrence
+//! itself is identical at every batch size, so per-sample times converge
+//! once the fixed costs are amortized away.
+//!
+//! `ci.sh --quick` captures these results in BENCH_SMOKE.json and warns
+//! when they regress >25% against the committed baseline.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use spring_bench::harness::Bench;
+use spring_core::{Spring, SpringConfig};
+use spring_data::util::sine;
+use spring_monitor::{
+    CountingSink, Event, GapPolicy, QueryId, Runner, RunnerAttachment, SpringEngine, StreamId,
+};
+
+const BATCHES: [usize; 4] = [1, 4, 64, 1024];
+const PATTERNS: usize = 4;
+
+/// Fills `samples` with the next `samples.len()` ticks of a slow sine
+/// (no matches at ε = 1.0, keeping the measurement about ingestion, not
+/// match reporting) and advances the clock.
+fn refill(samples: &mut [f64], t: &mut u64) {
+    for (i, s) in samples.iter_mut().enumerate() {
+        *s = ((*t + i as u64) as f64 * 0.05).sin();
+    }
+    *t += samples.len() as u64;
+}
+
+/// Single-threaded engine: one stream, [`PATTERNS`] attachments, whole
+/// slices through `push_batch` into a reused event buffer.
+fn bench_engine_batches() {
+    let b = Bench::new("batch_ingest_engine");
+    for batch in BATCHES {
+        let mut engine = SpringEngine::new();
+        let stream = engine.add_stream("s");
+        for k in 0..PATTERNS {
+            let pattern = sine(64, 12.0 + k as f64, 1.0, 0.0);
+            let q = engine.add_query(format!("q{k}"), pattern).unwrap();
+            engine.attach(stream, q, 1.0, GapPolicy::Skip).unwrap();
+        }
+        let mut t = 0u64;
+        let mut samples = vec![0.0f64; batch];
+        let mut out: Vec<Event> = Vec::new();
+        b.bench_elems(&format!("b{batch}"), batch as u64, || {
+            refill(&mut samples, &mut t);
+            out.clear();
+            engine.push_batch(stream, &samples, &mut out).unwrap();
+            black_box(out.len());
+        });
+    }
+}
+
+/// Threaded runner: one stream fanned out to [`PATTERNS`] attachments
+/// over 1 or 4 workers, with the frame size pinned to the push size so
+/// every `push_batch` call enqueues exactly one frame per worker.
+fn bench_runner_batches() {
+    for workers in [1usize, 4] {
+        let b = Bench::new(format!("batch_ingest_runner_w{workers}"));
+        for batch in BATCHES {
+            let mut attachments: Vec<RunnerAttachment<Spring>> = Vec::new();
+            for p in 0..PATTERNS {
+                let pattern = sine(64, 12.0 + p as f64, 1.0, 0.0);
+                let monitor = Spring::new(&pattern, SpringConfig::new(1.0)).expect("valid query");
+                attachments.push(RunnerAttachment::new(
+                    StreamId(0),
+                    QueryId(p as u32),
+                    monitor,
+                    GapPolicy::Skip,
+                ));
+            }
+            let sink = Arc::new(CountingSink::new(attachments.len()));
+            let mut runner = Runner::spawn(attachments, workers, sink.clone()).unwrap();
+            runner.set_max_batch(batch);
+            let mut t = 0u64;
+            let mut samples = vec![0.0f64; batch];
+            b.bench_elems(&format!("b{batch}"), batch as u64, || {
+                refill(&mut samples, &mut t);
+                runner.push_batch(StreamId(0), &samples).unwrap();
+            });
+            runner.shutdown().unwrap();
+            black_box(sink.total());
+        }
+    }
+}
+
+fn main() {
+    bench_engine_batches();
+    bench_runner_batches();
+}

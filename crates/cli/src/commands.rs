@@ -59,12 +59,15 @@ spring — stream monitoring under the time warping distance (SPRING, ICDE 2007)
 USAGE:
   spring monitor   --query Q.csv --epsilon N [--stream S.csv] [--kernel squared|absolute]
                    [--gap skip|carry] [--min-len N --max-len N | --max-run R | --normalize W]
-                   [--resume SNAP.json] [--checkpoint SNAP.json] [--stats]
+                   [--resume SNAP.json] [--checkpoint SNAP.json] [--stats] [--batch N]
+                   (--batch: samples stepped per ingestion batch, default 64;
+                    output is identical for every N — --batch 1 is the
+                    per-sample loop)
   spring bestmatch --query Q.csv [--stream S.csv] [--kernel squared|absolute]
   spring topk      --query Q.csv --k N [--stream S.csv] [--kernel squared|absolute]
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
-                   [--min-len N --max-len N | --max-run R | --normalize W]
+                   [--min-len N --max-len N | --max-run R | --normalize W] [--batch N]
                    (HTTP `GET /metrics` on the same port serves Prometheus text)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring fuzz      [--seed N] [--iters N]
@@ -213,6 +216,56 @@ pub(crate) fn spec_from_flags(p: &Parsed, epsilon: f64) -> Result<MonitorSpec, C
     })
 }
 
+/// Steps the pending sample batch through the monitor, prints its
+/// matches, and (under `--stats`) drives the metrics registry so the
+/// counter totals are exactly those of a per-sample loop.
+///
+/// Mirrors per-sample error semantics: on a step error, the consumed
+/// prefix's matches are still printed before the error is returned.
+#[allow(clippy::too_many_arguments)]
+fn flush_monitor_batch(
+    spring: &mut ScalarMonitor,
+    buf: &mut Vec<f64>,
+    hits: &mut Vec<spring_core::Match>,
+    missing_in_buf: &mut u64,
+    recorder: &mut Option<TickRecorder>,
+    count: &mut u64,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    let started = recorder.as_mut().and_then(|r| r.begin_frame(buf.len()));
+    let before = Monitor::tick(spring);
+    hits.clear();
+    let stepped = Monitor::step_batch(spring, buf, hits);
+    let consumed = Monitor::tick(spring) - before;
+    if let Some(rec) = recorder.as_mut() {
+        rec.record_frame(
+            started,
+            consumed,
+            (*missing_in_buf).min(consumed),
+            hits,
+            || (Monitor::memory_use(spring), Monitor::memory_cells(spring)),
+        );
+    }
+    for m in hits.iter() {
+        *count += 1;
+        writeln!(
+            out,
+            "match {count}: ticks {}..={} len {} distance {:.6} reported_at {}",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance,
+            m.reported_at
+        )?;
+    }
+    buf.clear();
+    *missing_in_buf = 0;
+    stepped.map_err(|e| CliError::Compute(e.to_string()))
+}
+
 /// `spring monitor` — disjoint queries over a stream, optionally with
 /// length bounds, a slope limit, or sliding-window normalization.
 pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -230,6 +283,7 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "normalize",
             "resume",
             "checkpoint",
+            "batch",
         ],
         &["stats"],
     )?;
@@ -290,16 +344,29 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         spec.build(&query.values, kernel)
             .map_err(|e| CliError::Compute(e.to_string()))?
     };
+    // Batched ingestion: parse into a reusable buffer and step whole
+    // slices through `Monitor::step_batch` — `--batch 1` reproduces the
+    // historical per-sample loop exactly (and is the default contract:
+    // output and stats are batch-invariant either way).
+    let batch_size: usize = p
+        .get_parsed("batch", "integer")?
+        .unwrap_or(spring_monitor::DEFAULT_MAX_BATCH)
+        .max(1);
+    let mut buf: Vec<f64> = Vec::with_capacity(batch_size);
+    let mut hits: Vec<spring_core::Match> = Vec::new();
+    let mut missing_in_buf = 0u64;
     let mut last = None;
     let mut count = 0u64;
     for_each_value(open_stream(&p)?, |v| {
-        let missing = !v.is_finite();
-        let x = if v.is_finite() {
+        if v.is_finite() {
             last = Some(v);
-            v
+            buf.push(v);
         } else {
             match (gap, last) {
-                (Gap::Carry, Some(prev)) => prev,
+                (Gap::Carry, Some(prev)) => {
+                    missing_in_buf += 1;
+                    buf.push(prev);
+                }
                 _ => {
                     // Skipped readings still count as (missing) ticks.
                     if let Some(rec) = recorder.as_mut() {
@@ -311,28 +378,31 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     return Ok(()); // skip
                 }
             }
-        };
-        let started = recorder.as_mut().and_then(TickRecorder::begin_tick);
-        let hit = Monitor::step(&mut spring, &x).map_err(|e| CliError::Compute(e.to_string()))?;
-        if let Some(rec) = recorder.as_mut() {
-            rec.end_tick(started, hit.as_ref(), missing, || {
-                (Monitor::memory_use(&spring), Monitor::memory_cells(&spring))
-            });
         }
-        if let Some(m) = hit {
-            count += 1;
-            writeln!(
-                out,
-                "match {count}: ticks {}..={} len {} distance {:.6} reported_at {}",
-                m.start,
-                m.end,
-                m.len(),
-                m.distance,
-                m.reported_at
+        if buf.len() >= batch_size {
+            flush_monitor_batch(
+                &mut spring,
+                &mut buf,
+                &mut hits,
+                &mut missing_in_buf,
+                &mut recorder,
+                &mut count,
+                &mut *out,
             )?;
         }
         Ok(())
     })?;
+    // Linger-free: the trailing partial batch is flushed before any
+    // checkpoint/finish handling below.
+    flush_monitor_batch(
+        &mut spring,
+        &mut buf,
+        &mut hits,
+        &mut missing_in_buf,
+        &mut recorder,
+        &mut count,
+        out,
+    )?;
     if let Some(path) = checkpoint_path {
         // The stream continues in a later run: persist state instead of
         // flushing the pending group.
@@ -563,7 +633,8 @@ pub fn fuzz(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let iters: u64 = p.get_parsed("iters", "integer")?.unwrap_or(200);
     writeln!(
         out,
-        "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4)"
+        "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4) \
+         x (per-sample | batch 1,3,64)"
     )?;
     match spring_testkit::differential::fuzz(seed, iters) {
         Ok(n) => {
@@ -708,6 +779,55 @@ mod tests {
         assert!(text.contains("tick latency"), "{text}");
         assert!(text.contains("detection delay"), "{text}");
         assert!(text.contains("live memory"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_output_is_batch_invariant() {
+        // `--batch N` must never change what is printed: same matches,
+        // same counts, same stats totals for every batch size (1 is the
+        // historical per-sample loop).
+        let dir = tmpdir("batchinv");
+        let q = write_series(&dir, "q.csv", &[0.0, 9.0, 0.0]);
+        let s = dir.join("s.csv");
+        // Two occurrences plus a NaN (skipped by default) straddling
+        // batch boundaries for the sizes below.
+        std::fs::write(
+            &s,
+            "50\n50\n0\n9\n0\n50\nNaN\n50\n0\n9\n9\n0\n50\n50\n50\n50\n50\n",
+        )
+        .unwrap();
+        let run = |extra: &str| {
+            let mut out = Vec::new();
+            monitor(
+                &argv(&format!(
+                    "--query {} --epsilon 1 --stream {} --stats{extra}",
+                    q.display(),
+                    s.display()
+                )),
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let reference = run(" --batch 1");
+        assert!(reference.contains("2 match(es)"), "{reference}");
+        for n in [2, 3, 5, 64] {
+            let text = run(&format!(" --batch {n}"));
+            // Identical up to the stats table's latency/batch rows
+            // (timing and frame sizes legitimately differ).
+            let scrub = |t: &str| {
+                t.lines()
+                    .filter(|l| {
+                        !l.starts_with("tick latency")
+                            && !l.starts_with("ingest batches")
+                            && !l.starts_with("live memory")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(scrub(&text), scrub(&reference), "--batch {n} diverged");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,6 +48,11 @@ pub struct ServeOptions {
     pub kernel: Kernel,
     /// Serve a single connection, then return.
     pub once: bool,
+    /// Samples stepped per ingestion batch (`--batch`, clamped to ≥ 1).
+    /// Output is identical for every value — `1` is the per-sample loop;
+    /// matches are still delivered at every batch flush, and a client
+    /// EOF flushes the trailing partial batch immediately (linger-free).
+    pub batch: usize,
 }
 
 /// True when `line` looks like an HTTP request line (`GET / HTTP/1.1`).
@@ -86,6 +91,65 @@ fn respond_http(stream: TcpStream, request_line: &str, metrics: &Metrics) -> std
     writer.flush()
 }
 
+/// Steps the connection's pending batch through its monitor, delivering
+/// matches (flushed immediately — they are alerts) and driving the
+/// server-wide metrics registry with per-sample-identical totals.
+///
+/// A sample the monitor rejects gets an `error:` line and is skipped,
+/// exactly like the historical per-sample loop — one bad reading must
+/// not kill the session, so stepping resumes right after it.
+#[allow(clippy::too_many_arguments)]
+fn flush_serve_batch(
+    spring: &mut spring_core::ScalarMonitor,
+    buf: &mut Vec<f64>,
+    hits: &mut Vec<spring_core::Match>,
+    missing_in_buf: &mut u64,
+    recorder: &mut TickRecorder,
+    count: &mut u64,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    let mut rest: &[f64] = buf;
+    let mut missing_left = *missing_in_buf;
+    while !rest.is_empty() {
+        let started = recorder.begin_frame(rest.len());
+        let before = Monitor::tick(spring);
+        hits.clear();
+        let stepped = Monitor::step_batch(spring, rest, hits);
+        let consumed = Monitor::tick(spring) - before;
+        recorder.record_frame(started, consumed, missing_left.min(consumed), hits, || {
+            (Monitor::memory_use(spring), Monitor::memory_cells(spring))
+        });
+        missing_left = missing_left.saturating_sub(consumed);
+        for m in hits.iter() {
+            *count += 1;
+            writeln!(
+                writer,
+                "match ticks {}..={} len {} distance {:.6} reported_at {}",
+                m.start,
+                m.end,
+                m.len(),
+                m.distance,
+                m.reported_at
+            )?;
+            // Matches are alerts: deliver immediately, not on buffer fill.
+            writer.flush()?;
+        }
+        match stepped {
+            Ok(()) => break,
+            Err(e) => {
+                writeln!(writer, "error: {e}")?;
+                writer.flush()?;
+                // Skip the rejected sample, keep the rest of the batch.
+                rest = &rest[consumed as usize + 1..];
+                missing_left = missing_left.saturating_sub(1);
+            }
+        }
+    }
+    buf.clear();
+    *missing_in_buf = 0;
+    Ok(())
+}
+
 /// Handles one client connection: one stream, one monitor — or, when
 /// the first line is an HTTP request line, one HTTP exchange.
 fn handle_client(
@@ -114,6 +178,14 @@ fn handle_client(
     let mut recorder = TickRecorder::new(Arc::clone(metrics));
     let mut count = 0u64;
     let mut last = None;
+    // Batched ingestion: lines parse into a reusable buffer that is
+    // stepped through `Monitor::step_batch` once full (or at EOF /
+    // before an error line), so channel-of-lines overhead is paid per
+    // batch. `batch == 1` reproduces the per-sample loop exactly.
+    let batch = opts.batch.max(1);
+    let mut buf: Vec<f64> = Vec::with_capacity(batch);
+    let mut hits: Vec<spring_core::Match> = Vec::new();
+    let mut missing_in_buf = 0u64;
     for line in std::iter::once(Ok(first)).chain(reader.lines()) {
         let line = line?;
         let line = line.trim();
@@ -121,48 +193,56 @@ fn handle_client(
             continue;
         }
         let Ok(v) = line.parse::<f64>() else {
+            // Flush first so the error lands after this line's
+            // predecessors' matches, exactly like the per-sample loop.
+            flush_serve_batch(
+                &mut spring,
+                &mut buf,
+                &mut hits,
+                &mut missing_in_buf,
+                &mut recorder,
+                &mut count,
+                &mut writer,
+            )?;
             writeln!(writer, "error: `{line}` is not a number")?;
             writer.flush()?;
             continue;
         };
         // Missing readings carry the last observation (sensors hold).
-        let missing = !v.is_finite();
-        let x = if v.is_finite() {
+        if v.is_finite() {
             last = Some(v);
-            v
+            buf.push(v);
         } else {
             match last {
-                Some(prev) => prev,
+                Some(prev) => {
+                    missing_in_buf += 1;
+                    buf.push(prev);
+                }
                 None => continue,
             }
-        };
-        let started = recorder.begin_tick();
-        let hit = match Monitor::step(&mut spring, &x) {
-            Ok(hit) => hit,
-            Err(e) => {
-                writeln!(writer, "error: {e}")?;
-                writer.flush()?;
-                continue;
-            }
-        };
-        recorder.end_tick(started, hit.as_ref(), missing, || {
-            (Monitor::memory_use(&spring), Monitor::memory_cells(&spring))
-        });
-        if let Some(m) = hit {
-            count += 1;
-            writeln!(
-                writer,
-                "match ticks {}..={} len {} distance {:.6} reported_at {}",
-                m.start,
-                m.end,
-                m.len(),
-                m.distance,
-                m.reported_at
+        }
+        if buf.len() >= batch {
+            flush_serve_batch(
+                &mut spring,
+                &mut buf,
+                &mut hits,
+                &mut missing_in_buf,
+                &mut recorder,
+                &mut count,
+                &mut writer,
             )?;
-            // Matches are alerts: deliver immediately, not on buffer fill.
-            writer.flush()?;
         }
     }
+    // EOF: flush the trailing partial batch before the finish() flush.
+    flush_serve_batch(
+        &mut spring,
+        &mut buf,
+        &mut hits,
+        &mut missing_in_buf,
+        &mut recorder,
+        &mut count,
+        &mut writer,
+    )?;
     if let Some(m) = Monitor::finish(&mut spring) {
         recorder.metrics().record_match(&m);
         count += 1;
@@ -235,6 +315,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "max-len",
             "max-run",
             "normalize",
+            "batch",
         ],
         &["once"],
     )?;
@@ -244,6 +325,10 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let spec = crate::commands::spec_from_flags(&p, epsilon)?;
     let kernel = crate::commands::kernel_from(&p)?;
     let port: u16 = p.get_parsed("port", "integer")?.unwrap_or(7471);
+    let batch: usize = p
+        .get_parsed("batch", "integer")?
+        .unwrap_or(spring_monitor::DEFAULT_MAX_BATCH)
+        .max(1);
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(
         listener,
@@ -252,6 +337,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             spec,
             kernel,
             once: p.has("once"),
+            batch,
         },
         out,
     )
@@ -274,6 +360,9 @@ mod tests {
                     spec: MonitorSpec::Spring { epsilon },
                     kernel: Kernel::Squared,
                     once: true,
+                    // Small odd batch: exercises mid-stream flushes and
+                    // trailing partial batches in every test below.
+                    batch: 3,
                 },
                 &mut Vec::new(),
             )
@@ -349,6 +438,7 @@ mod tests {
                     },
                     kernel: Kernel::Squared,
                     once: true,
+                    batch: spring_monitor::DEFAULT_MAX_BATCH,
                 },
                 &mut Vec::new(),
             )
@@ -383,6 +473,8 @@ mod tests {
                     spec: MonitorSpec::Spring { epsilon: 1.0 },
                     kernel: Kernel::Squared,
                     once: false,
+                    // Per-sample messaging: `--batch 1` compatibility.
+                    batch: 1,
                 },
                 &mut Vec::new(),
             )

@@ -107,6 +107,36 @@ pub trait Monitor {
     /// are rejected without mutating monitor state.
     fn step(&mut self, sample: &Self::Sample) -> Result<Option<Match>, SpringError>;
 
+    /// Consumes a batch of samples, appending every confirmed match to
+    /// `out` in tick order. Semantically identical to calling
+    /// [`step`](Monitor::step) once per sample — a batch of one is the
+    /// per-sample path — but implementations may override it to hoist
+    /// per-step invariant loads (ε, `m`, band bounds) out of the loop
+    /// and amortize dispatch, writing into the caller-owned buffer so
+    /// the steady state performs **no per-tick allocation**.
+    ///
+    /// Samples are the *owned* form (`f64` / `Vec<f64>`) so carry-forward
+    /// buffers and framed channels can hand their storage over directly.
+    ///
+    /// # Errors
+    /// On the first invalid sample the error is returned immediately:
+    /// samples before it are fully consumed (their confirmed matches are
+    /// already in `out`), the failing sample does not mutate state, and
+    /// samples after it are not consumed — exactly the state a
+    /// per-sample loop would leave behind.
+    fn step_batch(
+        &mut self,
+        samples: &[<Self::Sample as ToOwned>::Owned],
+        out: &mut Vec<Match>,
+    ) -> Result<(), SpringError> {
+        for s in samples {
+            if let Some(m) = self.step(std::borrow::Borrow::borrow(s))? {
+                out.push(m);
+            }
+        }
+        Ok(())
+    }
+
     /// Declares end-of-stream; flushes a pending optimum. Idempotent.
     fn finish(&mut self) -> Option<Match>;
 
@@ -287,6 +317,12 @@ impl Monitor for ScalarMonitor {
         dispatch!(self, m => Monitor::step(m, sample))
     }
 
+    fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
+        // One dispatch per *batch*: reaches the variant's optimized
+        // override (Spring, NormalizedSpring) or its default loop.
+        dispatch!(self, m => Monitor::step_batch(m, samples, out))
+    }
+
     fn finish(&mut self) -> Option<Match> {
         dispatch!(self, m => Monitor::finish(m))
     }
@@ -441,6 +477,73 @@ mod tests {
         assert_eq!(MonitorVariant::Spring.name(), "spring");
         assert_eq!(MonitorVariant::Normalized.to_string(), "znorm");
         assert_eq!(MonitorVariant::Vector.name(), "vector");
+    }
+
+    #[test]
+    fn step_batch_agrees_with_per_sample_for_every_variant_and_batch_size() {
+        // A longer stream with a planted pattern so every variant does
+        // real work (Normalized needs to clear its warmup window).
+        let mut stream: Vec<f64> = (0..40)
+            .map(|i| ((i as f64) * 0.9).sin() * 6.0 + 7.0)
+            .collect();
+        stream.extend([11.0, 6.0, 9.0, 4.0]);
+        stream.extend((0..40).map(|i| ((i as f64) * 0.9).cos() * 6.0 + 7.0));
+        for spec in all_specs() {
+            let mut per_sample = spec.build(&QUERY, Kernel::Squared).unwrap();
+            let mut expect = Vec::new();
+            for &x in &stream {
+                expect.extend(Monitor::step(&mut per_sample, &x).unwrap());
+            }
+            expect.extend(Monitor::finish(&mut per_sample));
+            for batch in [1usize, 3, 7, 64, stream.len()] {
+                let mut batched = spec.build(&QUERY, Kernel::Squared).unwrap();
+                let mut got = Vec::new();
+                for chunk in stream.chunks(batch) {
+                    Monitor::step_batch(&mut batched, chunk, &mut got).unwrap();
+                }
+                got.extend(Monitor::finish(&mut batched));
+                assert_eq!(got, expect, "{spec:?} batch={batch}");
+                assert_eq!(
+                    Monitor::tick(&batched),
+                    Monitor::tick(&per_sample),
+                    "{spec:?} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_batch_errors_at_the_same_sample_as_per_sample() {
+        // NaN mid-batch: matches confirmed before it stay in `out`, the
+        // failing sample consumes no tick, and the error tick is the one
+        // the per-sample path would report.
+        for spec in all_specs() {
+            let mut m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            let batch = [5.0, 12.0, f64::NAN, 10.0];
+            let mut out = Vec::new();
+            let err = Monitor::step_batch(&mut m, &batch, &mut out).unwrap_err();
+            assert_eq!(Monitor::tick(&m), 2, "{spec:?}: two samples consumed");
+            match err {
+                crate::error::SpringError::NonFiniteInput { tick } => {
+                    assert_eq!(tick, 3, "{spec:?}")
+                }
+                other => panic!("{spec:?}: unexpected error {other:?}"),
+            }
+            // The remaining valid samples were NOT consumed.
+            Monitor::step_batch(&mut m, &[10.0], &mut out).unwrap();
+            assert_eq!(Monitor::tick(&m), 3, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn step_batch_with_empty_slice_is_a_no_op() {
+        for spec in all_specs() {
+            let mut m = spec.build(&QUERY, Kernel::Squared).unwrap();
+            let mut out = Vec::new();
+            Monitor::step_batch(&mut m, &[], &mut out).unwrap();
+            assert_eq!(Monitor::tick(&m), 0, "{spec:?}");
+            assert!(out.is_empty());
+        }
     }
 
     #[test]

@@ -207,6 +207,31 @@ impl<K: DistanceKernel> crate::monitor::Monitor for Spring<K> {
         self.step_checked(*sample)
     }
 
+    /// Optimized batch path: one monomorphic loop over the frame with
+    /// the finiteness guard inlined, stepping the STWM column directly
+    /// (the column recurrence itself is untouched —
+    /// [`Stwm::step`](crate::stwm::Stwm) is the same code the per-sample
+    /// path runs). Matches append to the caller-owned `out`; the steady
+    /// state allocates nothing.
+    fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
+        // Per-step invariants (ε lives in the policy, m in the column
+        // buffers) are reachable without indirection here; the only
+        // per-sample work left is the guard, the column fill, and the
+        // capture/confirm policy step.
+        for &x in samples {
+            if !x.is_finite() {
+                return Err(SpringError::NonFiniteInput {
+                    tick: self.stwm.tick() + 1,
+                });
+            }
+            self.stwm.step(x);
+            if let Some(m) = self.after_column() {
+                out.push(m);
+            }
+        }
+        Ok(())
+    }
+
     fn finish(&mut self) -> Option<Match> {
         Spring::finish(self)
     }

@@ -269,6 +269,38 @@ impl<K: DistanceKernel> crate::monitor::Monitor for VectorSpring<K> {
         VectorSpring::step(self, sample)
     }
 
+    /// Optimized batch path: hoists the expected channel count out of
+    /// the loop and preserves the per-sample validation order exactly —
+    /// non-finite components are rejected before the dimension check,
+    /// and the failing sample leaves the state untouched. The column
+    /// recurrence (`VectorStwm::step`) is the same code either way.
+    fn step_batch(
+        &mut self,
+        samples: &[Vec<f64>],
+        out: &mut Vec<Match>,
+    ) -> Result<(), SpringError> {
+        let dim = self.stwm.dim;
+        for x in samples {
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(SpringError::NonFiniteInput {
+                    tick: self.stwm.t + 1,
+                });
+            }
+            if x.len() != dim {
+                return Err(SpringError::DimensionMismatch {
+                    expected: dim,
+                    found: x.len(),
+                });
+            }
+            self.stwm.step(x)?;
+            let t = self.stwm.t;
+            if let Some(m) = self.policy.step(t, &mut VectorOps(&mut self.stwm)) {
+                out.push(m);
+            }
+        }
+        Ok(())
+    }
+
     fn finish(&mut self) -> Option<Match> {
         VectorSpring::finish(self)
     }
@@ -456,6 +488,54 @@ mod tests {
             }
         }
         assert!((best.distance - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_batch_agrees_with_per_sample_and_preserves_error_order() {
+        use crate::monitor::Monitor;
+        let query: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![i as f64, 10.0 - i as f64, (i * i) as f64])
+            .collect();
+        let mut stream: Vec<Vec<f64>> = (0..10).map(|_| vec![99.0, 99.0, 99.0]).collect();
+        stream.extend(query.clone());
+        stream.extend((0..10).map(|_| vec![99.0, 99.0, 99.0]));
+
+        let mut per_sample = VectorSpring::new(&query, 1.0).unwrap();
+        let mut expect = Vec::new();
+        for x in &stream {
+            expect.extend(Monitor::step(&mut per_sample, x).unwrap());
+        }
+        expect.extend(Monitor::finish(&mut per_sample));
+
+        for batch in [1usize, 3, 64] {
+            let mut vs = VectorSpring::new(&query, 1.0).unwrap();
+            let mut got = Vec::new();
+            for chunk in stream.chunks(batch) {
+                Monitor::step_batch(&mut vs, chunk, &mut got).unwrap();
+            }
+            got.extend(Monitor::finish(&mut vs));
+            assert_eq!(got, expect, "batch={batch}");
+        }
+
+        // NaN outranks a dimension mismatch, exactly like the per-sample
+        // path; the failing sample mutates nothing.
+        let mut vs = VectorSpring::new(&query, 1.0).unwrap();
+        let mut out = Vec::new();
+        let bad = vec![vec![1.0, 2.0, 3.0], vec![f64::NAN, 2.0]];
+        assert!(matches!(
+            Monitor::step_batch(&mut vs, &bad, &mut out),
+            Err(SpringError::NonFiniteInput { tick: 2 })
+        ));
+        assert_eq!(vs.tick(), 1);
+        let short = vec![vec![1.0]];
+        assert!(matches!(
+            Monitor::step_batch(&mut vs, &short, &mut out),
+            Err(SpringError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            })
+        ));
+        assert_eq!(vs.tick(), 1);
     }
 
     #[test]

@@ -238,6 +238,35 @@ impl<K: DistanceKernel> crate::monitor::Monitor for NormalizedSpring<K> {
         Ok(NormalizedSpring::step(self, *sample))
     }
 
+    /// Optimized batch path: hoists the warmup capacity and the raw-tick
+    /// offset out of the loop and steps the inner STWM directly; the
+    /// normalization arithmetic and column recurrence are unchanged.
+    fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
+        let capacity = self.stats.capacity;
+        let offset = self.offset;
+        for &x in samples {
+            if !x.is_finite() {
+                return Err(SpringError::NonFiniteInput {
+                    tick: self.tick() + 1,
+                });
+            }
+            self.stats.push(x);
+            if self.stats.len() < capacity {
+                continue; // warmup: z-scores not meaningful yet
+            }
+            let z = self.stats.zscore(x);
+            if let Some(mut m) = self.inner.step(z) {
+                m.start += offset;
+                m.end += offset;
+                m.reported_at += offset;
+                m.group_start += offset;
+                m.group_end += offset;
+                out.push(m);
+            }
+        }
+        Ok(())
+    }
+
     fn finish(&mut self) -> Option<Match> {
         NormalizedSpring::finish(self)
     }

@@ -513,13 +513,27 @@ impl<M: Monitor> Engine<M> {
     /// Pushes one sample (missing = NaN component) to a stream; returns
     /// the events confirmed at this tick across the stream's
     /// attachments.
+    ///
+    /// In the steady (no-match) state this performs **no heap
+    /// allocation**: the stream's attachment indices are borrowed, not
+    /// cloned, and the returned `Vec` only allocates when an event is
+    /// actually confirmed. High-throughput callers should prefer
+    /// [`Engine::push_batch`], which amortizes the per-call overhead
+    /// over a whole frame.
     pub fn push(
         &mut self,
         stream: StreamId,
         sample: &M::Sample,
     ) -> Result<Vec<Event>, MonitorError> {
-        let state = self
-            .streams
+        // Split borrow: indices stay borrowed from `by_stream` while the
+        // attachments are stepped (no per-tick clone of the index vec).
+        let Engine {
+            streams,
+            attachments,
+            by_stream,
+            ..
+        } = self;
+        let state = streams
             .get_mut(stream.0 as usize)
             .ok_or(MonitorError::UnknownStream(stream))?;
         if let Some(expected) = state.channels {
@@ -532,12 +546,77 @@ impl<M: Monitor> Engine<M> {
             }
         }
         state.ticks += 1;
-        let mut events = Vec::new();
-        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
-        for idx in indices {
-            events.extend(self.attachments[idx].ingest(sample)?);
+        let mut events = Vec::new(); // allocation-free until a match lands
+        if let Some(indices) = by_stream.get(&stream) {
+            for &idx in indices {
+                events.extend(attachments[idx].ingest(sample)?);
+            }
         }
         Ok(events)
+    }
+
+    /// Pushes a whole frame of samples to a stream, appending every
+    /// confirmed event to the caller-owned `out` in tick order.
+    ///
+    /// Semantically identical to calling [`Engine::push`] once per
+    /// sample, but the dispatch cost is paid per *batch*: the stream
+    /// state and attachment indices are resolved once, the channel width
+    /// is hoisted, and matches are written into `out` — the steady state
+    /// performs zero per-tick heap allocations.
+    ///
+    /// # Errors
+    /// On the first failing sample the error is returned immediately.
+    /// Earlier samples of the frame are fully consumed (their events are
+    /// in `out`); events from the failing tick itself are discarded —
+    /// exactly the state a per-sample `push` loop would leave behind.
+    pub fn push_batch(
+        &mut self,
+        stream: StreamId,
+        samples: &[Owned<M>],
+        out: &mut Vec<Event>,
+    ) -> Result<(), MonitorError> {
+        let Engine {
+            streams,
+            attachments,
+            by_stream,
+            metrics,
+            ..
+        } = self;
+        let state = streams
+            .get_mut(stream.0 as usize)
+            .ok_or(MonitorError::UnknownStream(stream))?;
+        if let Some(metrics) = metrics {
+            metrics.record_batch(samples.len());
+        }
+        let indices: &[usize] = by_stream.get(&stream).map_or(&[], Vec::as_slice);
+        let expected = state.channels;
+        for sample in samples {
+            let sample: &M::Sample = sample.borrow();
+            if let Some(expected) = expected {
+                let found = M::sample_dim(sample);
+                if found != expected {
+                    return Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                        expected,
+                        found,
+                    }));
+                }
+            }
+            state.ticks += 1;
+            let tick_mark = out.len();
+            for &idx in indices {
+                match attachments[idx].ingest(sample) {
+                    Ok(Some(ev)) => out.push(ev),
+                    Ok(None) => {}
+                    Err(e) => {
+                        // Per-sample `push` drops same-tick events from
+                        // earlier attachments on error; mirror that.
+                        out.truncate(tick_mark);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Declares a stream finished, flushing pending group optima on all
@@ -546,10 +625,16 @@ impl<M: Monitor> Engine<M> {
         if stream.0 as usize >= self.streams.len() {
             return Err(MonitorError::UnknownStream(stream));
         }
+        let Engine {
+            attachments,
+            by_stream,
+            ..
+        } = self;
         let mut events = Vec::new();
-        let indices = self.by_stream.get(&stream).cloned().unwrap_or_default();
-        for idx in indices {
-            events.extend(self.attachments[idx].flush());
+        if let Some(indices) = by_stream.get(&stream) {
+            for &idx in indices {
+                events.extend(attachments[idx].flush());
+            }
         }
         Ok(events)
     }
@@ -843,6 +928,127 @@ mod tests {
             e.push(s, &((t as f64 * 0.1).sin())).unwrap();
         }
         assert_eq!(e.bytes_used(), before);
+    }
+
+    // ---- batched ingestion ---------------------------------------------
+
+    fn gappy_stream() -> Vec<f64> {
+        let mut v = spike_stream(&[5, 20], 40);
+        v[11] = f64::NAN;
+        v[24] = f64::NAN;
+        v
+    }
+
+    fn build_engine(policy: GapPolicy) -> (SpringEngine, StreamId) {
+        let mut e = SpringEngine::new();
+        let s = e.add_stream("s");
+        let spike = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        let dip = e.add_query("dip", vec![50.0, 45.0, 50.0]).unwrap();
+        e.attach(s, spike, 1.0, policy).unwrap();
+        e.attach(s, dip, 1.0, policy).unwrap();
+        (e, s)
+    }
+
+    #[test]
+    fn push_batch_agrees_with_push_for_every_gap_policy_and_batch_size() {
+        let stream = gappy_stream();
+        for policy in [GapPolicy::Skip, GapPolicy::CarryForward] {
+            let (mut per_sample, s) = build_engine(policy);
+            let mut expect = Vec::new();
+            for x in &stream {
+                expect.extend(per_sample.push(s, x).unwrap());
+            }
+            expect.extend(per_sample.finish_stream(s).unwrap());
+            for batch in [1usize, 3, 64, stream.len()] {
+                let (mut batched, sb) = build_engine(policy);
+                let mut got = Vec::new();
+                for chunk in stream.chunks(batch) {
+                    batched.push_batch(sb, chunk, &mut got).unwrap();
+                }
+                got.extend(batched.finish_stream(sb).unwrap());
+                assert_eq!(got, expect, "policy={policy:?} batch={batch}");
+                assert_eq!(batched.stream_ticks(sb), per_sample.stream_ticks(s));
+            }
+        }
+    }
+
+    #[test]
+    fn push_batch_error_keeps_prior_tick_events_and_drops_the_failing_tick() {
+        // Fail policy: the NaN errors out mid-batch. Events confirmed on
+        // earlier ticks of the same batch must survive in `out`.
+        let mut e = SpringEngine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Fail).unwrap();
+        let batch = [50.0, 0.0, 10.0, 0.0, 50.0, f64::NAN, 0.0];
+        let mut out = Vec::new();
+        let err = e.push_batch(s, &batch, &mut out).unwrap_err();
+        assert_eq!(err, MonitorError::MissingSample { stream: s, tick: 6 });
+        // The spike confirmed at tick 5 (one quiet tick after the
+        // pattern) is already in `out`.
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].m.start, out[0].m.end), (2, 4));
+        // The failing tick was counted (same as per-sample push) but the
+        // trailing samples were not consumed.
+        assert_eq!(e.stream_ticks(s), Some(6));
+    }
+
+    #[test]
+    fn push_batch_records_frame_sizes_without_disturbing_tick_counters() {
+        let mut e = SpringEngine::new();
+        let metrics = Arc::new(Metrics::new());
+        e.set_metrics(Arc::clone(&metrics));
+        let s = e.add_stream("s");
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let stream = spike_stream(&[5], 20);
+        let mut out = Vec::new();
+        for chunk in stream.chunks(8) {
+            e.push_batch(s, chunk, &mut out).unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.ticks_total, 20, "per-tick counters stay exact");
+        assert_eq!(snap.matches_total, 1);
+        assert_eq!(snap.batch_len.count, 3, "one observation per frame");
+        assert_eq!(snap.batch_len.sum, 20.0);
+    }
+
+    #[test]
+    fn push_batch_on_vector_streams_validates_per_sample() {
+        let mut e = VectorEngine::new();
+        let s = e.add_channel_stream("feed", 2);
+        let q = e.add_query("blip", vquery_rows()).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        let mut frames: Vec<Vec<f64>> = vec![quiet_row(); 3];
+        frames.extend(vquery_rows());
+        frames.push(quiet_row());
+        let mut out = Vec::new();
+        e.push_batch(s, &frames, &mut out).unwrap();
+        out.extend(e.finish_stream(s).unwrap());
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].m.start, out[0].m.end), (4, 6));
+        // Wrong-width row mid-batch: consumed prefix keeps its ticks, the
+        // bad row consumes nothing.
+        let bad = vec![quiet_row(), vec![1.0]];
+        let mut out2 = Vec::new();
+        assert!(matches!(
+            e.push_batch(s, &bad, &mut out2),
+            Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }))
+        ));
+        assert_eq!(e.stream_ticks(s), Some(8));
+    }
+
+    #[test]
+    fn push_batch_unknown_stream_is_rejected() {
+        let mut e = SpringEngine::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            e.push_batch(StreamId(3), &[1.0], &mut out),
+            Err(MonitorError::UnknownStream(_))
+        ));
     }
 
     // ---- mixed-variant deployments -------------------------------------

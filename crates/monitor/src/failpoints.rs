@@ -13,6 +13,7 @@
 //! | site | location | supported actions |
 //! |---|---|---|
 //! | `runner::worker::recv` | worker loop, before each message is processed | `Panic` (kill the worker), `Delay` (slow worker ⇒ queue saturation / backpressure) |
+//! | `runner::worker::frame` | worker loop, before a frame's samples are ingested | `Panic` (kill the worker at a frame boundary), `Delay` (slow frame processing) |
 //! | `runner::sink` | worker loop, before each `MatchSink::on_match` | `Panic` (crashing sink), `Delay` (slow sink) |
 //! | `attachment::ingest` | `Attachment::ingest`, before gap resolution | `Error` (injected ingestion error), `Panic`, `Delay` |
 //!

@@ -80,5 +80,5 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TickRecorder,
     WorkerMetrics, WorkerSnapshot,
 };
-pub use runner::{RestartPolicy, Runner, RunnerAttachment, CHECKPOINT_EVERY};
+pub use runner::{RestartPolicy, Runner, RunnerAttachment, CHECKPOINT_EVERY, DEFAULT_MAX_BATCH};
 pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};

@@ -29,6 +29,7 @@
 //! | `spring_detection_delay_ticks` | histogram | ticks | `t_confirm − t_e` per match (paper "output time") |
 //! | `spring_memory_bytes` | gauge | bytes | live algorithmic state across monitors |
 //! | `spring_memory_cells` | gauge | cells | live DTW cells — the `O(m)` quantity of Theorem 2 |
+//! | `spring_batch_len` | histogram | samples | frame sizes seen by the batched ingestion path |
 //! | `spring_worker_lost_total` | counter | workers | runner workers lost (panic or ingest error) |
 //! | `spring_worker_restarts_total` | counter | workers | lost workers restarted by the runner supervisor |
 //! | `spring_runner_queue_depth` | gauge | messages | queued samples across all runner workers |
@@ -161,6 +162,13 @@ impl Histogram {
         ])
     }
 
+    /// Buckets suited to ingestion frame sizes (1 … 1024 samples).
+    pub fn batch_buckets() -> Self {
+        Histogram::new(&[
+            1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+        ])
+    }
+
     /// Records one observation.
     #[inline]
     pub fn observe(&self, v: f64) {
@@ -286,6 +294,9 @@ pub struct Metrics {
     pub tick_latency: Histogram,
     /// Per-match `reported_at − end` (`spring_detection_delay_ticks`).
     pub detection_delay: Histogram,
+    /// Frame sizes seen by the batched ingestion path
+    /// (`spring_batch_len`); per-tick counters stay exact regardless.
+    pub batch_len: Histogram,
     /// Registered runner workers (read-locked only for snapshots; the
     /// hot path goes through each worker's own `Arc`).
     workers: RwLock<Vec<Arc<WorkerMetrics>>>,
@@ -303,6 +314,7 @@ impl Default for Metrics {
             memory_cells: Gauge::new(),
             tick_latency: Histogram::latency_buckets(),
             detection_delay: Histogram::delay_buckets(),
+            batch_len: Histogram::batch_buckets(),
             workers: RwLock::new(Vec::new()),
         }
     }
@@ -331,6 +343,12 @@ impl Metrics {
         self.detection_delay.observe(m.report_delay() as f64);
     }
 
+    /// Records one ingestion frame of `len` samples into
+    /// `spring_batch_len` (one observation per batch call/frame).
+    pub fn record_batch(&self, len: usize) {
+        self.batch_len.observe(len as f64);
+    }
+
     /// A consistent point-in-time view of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let workers = self
@@ -353,6 +371,7 @@ impl Metrics {
             memory_cells: self.memory_cells.get(),
             tick_latency: self.tick_latency.snapshot(),
             detection_delay: self.detection_delay.snapshot(),
+            batch_len: self.batch_len.snapshot(),
             workers,
         }
     }
@@ -393,6 +412,8 @@ pub struct MetricsSnapshot {
     pub tick_latency: HistogramSnapshot,
     /// Detection delay per match, ticks.
     pub detection_delay: HistogramSnapshot,
+    /// Ingestion frame sizes, samples per batch.
+    pub batch_len: HistogramSnapshot,
     /// Per-worker views (empty outside runner deployments).
     pub workers: Vec<WorkerSnapshot>,
 }
@@ -492,6 +513,11 @@ impl MetricsSnapshot {
             "Ticks between a match ending and its confirmation (reported_at - end).",
             &self.detection_delay,
         );
+        histogram(
+            "spring_batch_len",
+            "Frame sizes (samples per batch) seen by the batched ingestion path.",
+            &self.batch_len,
+        );
         if !self.workers.is_empty() {
             let _ = writeln!(
                 s,
@@ -549,6 +575,16 @@ impl MetricsSnapshot {
                 delay.quantile(0.99)
             ),
         );
+        if self.batch_len.count > 0 {
+            row(
+                "ingest batches",
+                format!(
+                    "{} frames, mean {:.1} samples/frame",
+                    self.batch_len.count,
+                    self.batch_len.mean()
+                ),
+            );
+        }
         row(
             "live memory",
             format!(
@@ -633,6 +669,57 @@ impl TickRecorder {
         }
         if let Some(t0) = started {
             m.tick_latency.observe(t0.elapsed().as_secs_f64());
+            let (bytes, cells) = memory();
+            m.memory_bytes.add(bytes as i64 - self.last_bytes);
+            m.memory_cells.add(cells as i64 - self.last_cells);
+            self.last_bytes = bytes as i64;
+            self.last_cells = cells as i64;
+        }
+    }
+
+    /// Marks the start of an ingestion frame of `upcoming` ticks;
+    /// returns a start time when the frame covers a sampled tick (so
+    /// latency sampling keeps roughly the per-tick cadence regardless of
+    /// the batch size).
+    #[inline]
+    pub fn begin_frame(&mut self, upcoming: usize) -> Option<Instant> {
+        let first = self.ticks == 0;
+        let crosses = (self.ticks % LATENCY_SAMPLE_EVERY) + upcoming as u64 >= LATENCY_SAMPLE_EVERY;
+        (first || crosses).then(Instant::now)
+    }
+
+    /// Batch counterpart of [`TickRecorder::end_tick`]: counts `ticks`
+    /// ingested ticks (of which `missing` were gap-filled), records the
+    /// frame's size and every confirmed match in `hits`, and — on
+    /// sampled frames — observes the mean per-tick latency and refreshes
+    /// the live memory gauges from `memory` (`(bytes, cells)`).
+    ///
+    /// Counter totals are exactly those of an [`TickRecorder::end_tick`]
+    /// loop over the same ticks, so `--stats` output is batch-invariant.
+    #[inline]
+    pub fn record_frame(
+        &mut self,
+        started: Option<Instant>,
+        ticks: u64,
+        missing: u64,
+        hits: &[Match],
+        memory: impl FnOnce() -> (usize, usize),
+    ) {
+        let m = &self.metrics;
+        m.ticks.add(ticks);
+        m.missing.add(missing);
+        if ticks > 0 {
+            m.record_batch(ticks as usize);
+        }
+        for hit in hits {
+            m.record_match(hit);
+        }
+        self.ticks += ticks;
+        if let Some(t0) = started {
+            if ticks > 0 {
+                m.tick_latency
+                    .observe(t0.elapsed().as_secs_f64() / ticks as f64);
+            }
             let (bytes, cells) = memory();
             m.memory_bytes.add(bytes as i64 - self.last_bytes);
             m.memory_cells.add(cells as i64 - self.last_cells);
@@ -766,6 +853,7 @@ mod tests {
             "spring_runner_queue_depth",
             "spring_tick_latency_seconds",
             "spring_detection_delay_ticks",
+            "spring_batch_len",
             "spring_worker_ticks_total",
             "spring_worker_queue_depth",
         ] {

@@ -11,6 +11,21 @@
 //! `w` workers, each incoming sample costs `O(A·m / w)` on the critical
 //! path — the `monitor_scaling` bench measures exactly this.
 //!
+//! # Framed channels
+//!
+//! Worker channels carry *frames* — `Frame { stream, samples }`
+//! messages of up to [`Runner::max_batch`] samples (default
+//! [`DEFAULT_MAX_BATCH`]) — so the channel/locking cost is paid per
+//! batch instead of per tick. [`Runner::push`] appends to a per-stream
+//! pending buffer and sends a frame when it fills;
+//! [`Runner::push_batch`] hands over whole slices. Flushing is
+//! **linger-free**: no timer holds samples back — a partial frame is
+//! flushed by [`Runner::finish_stream`] and [`Runner::shutdown`] (and
+//! can be forced any time with [`Runner::flush`]), so `max_batch = 1`
+//! reproduces the old per-sample messaging exactly. Checkpoints, the
+//! replay log, and at-least-once redelivery all operate at frame
+//! granularity.
+//!
 //! # Failure handling and supervision
 //!
 //! A worker can stop for two reasons, and the runner treats them very
@@ -52,13 +67,18 @@ use crate::engine::{Attachment, AttachmentId, GapPolicy, MonitorError, Owned, Qu
 use crate::metrics::{Metrics, WorkerMetrics};
 use crate::sink::MatchSink;
 
-/// Queue depth per worker; bounds memory under bursty producers.
+/// Queue depth per worker (messages, i.e. frames); bounds memory under
+/// bursty producers.
 const QUEUE_DEPTH: usize = 1024;
 
 /// A worker forks its shard into the supervisor checkpoint every this
-/// many processed messages, bounding both the replay tail and the
-/// supervisor log to `O(CHECKPOINT_EVERY + QUEUE_DEPTH)` entries.
+/// many processed messages (frames), bounding both the replay tail and
+/// the supervisor log to `O(CHECKPOINT_EVERY + QUEUE_DEPTH)` entries.
 pub const CHECKPOINT_EVERY: u64 = 64;
+
+/// Default frame size for [`Runner::push`] batching: samples buffered
+/// per stream before a frame is enqueued. See [`Runner::set_max_batch`].
+pub const DEFAULT_MAX_BATCH: usize = 64;
 
 /// How a [`Runner`] treats a worker thread lost to a panic.
 ///
@@ -149,7 +169,12 @@ impl RunnerAttachment<spring_core::Spring<spring_dtw::Kernel>> {
 }
 
 enum Msg<M: Monitor> {
-    Sample { stream: StreamId, value: Owned<M> },
+    /// A batch of consecutive samples of one stream (the unit of
+    /// channel traffic, checkpointing, and replay).
+    Frame {
+        stream: StreamId,
+        samples: Vec<Owned<M>>,
+    },
     FinishStream(StreamId),
     Shutdown,
 }
@@ -160,9 +185,9 @@ where
 {
     fn clone(&self) -> Self {
         match self {
-            Msg::Sample { stream, value } => Msg::Sample {
+            Msg::Frame { stream, samples } => Msg::Frame {
                 stream: *stream,
-                value: value.clone(),
+                samples: samples.clone(),
             },
             Msg::FinishStream(stream) => Msg::FinishStream(*stream),
             Msg::Shutdown => Msg::Shutdown,
@@ -209,6 +234,11 @@ pub struct Runner<M: Monitor> {
     slots: Vec<Mutex<WorkerSlot<M>>>,
     /// Worker indices interested in each stream.
     routes: HashMap<StreamId, Vec<usize>>,
+    /// Per-stream sample buffers awaiting a full frame (flushed at
+    /// `max_batch`, on `finish_stream`, `flush`, and `shutdown`).
+    pending: Mutex<HashMap<StreamId, Vec<Owned<M>>>>,
+    /// Samples per frame before a buffer is flushed (≥ 1).
+    max_batch: usize,
     /// First ingestion error recorded by any worker.
     error: Arc<Mutex<Option<MonitorError>>>,
     /// Per-worker observability handles (aligned with `slots`; reused
@@ -273,27 +303,41 @@ where
                 }
             }
             match msg {
-                Msg::Sample { stream, value } => {
-                    if let Some(wm) = &wm {
-                        wm.ticks.inc();
-                    }
-                    for att in shard.iter_mut().filter(|a| a.stream == stream) {
-                        match att.ingest(std::borrow::Borrow::borrow(&value)) {
-                            Ok(Some(event)) => {
-                                crate::fail_point!("runner::sink");
-                                sink.on_match(&event);
-                            }
-                            Ok(None) => {}
-                            Err(e) => {
-                                record_error(&error, e);
-                                // Deliberate stop: tell the supervisor
-                                // not to restart, then drop the receiver
-                                // so later pushes fail fast.
-                                shared.failed.store(true, Ordering::Release);
-                                guard.lost = true;
-                                break 'recv;
+                Msg::Frame { stream, samples } => {
+                    crate::fail_point!("runner::worker::frame");
+                    let mut processed = 0u64;
+                    let mut failed = false;
+                    // Sample-major, like the Engine: each tick runs
+                    // through every attachment before the next tick.
+                    'frame: for value in &samples {
+                        processed += 1;
+                        for att in shard.iter_mut().filter(|a| a.stream == stream) {
+                            match att.ingest(std::borrow::Borrow::borrow(value)) {
+                                Ok(Some(event)) => {
+                                    crate::fail_point!("runner::sink");
+                                    sink.on_match(&event);
+                                }
+                                Ok(None) => {}
+                                Err(e) => {
+                                    record_error(&error, e);
+                                    // Deliberate stop: tell the
+                                    // supervisor not to restart; the
+                                    // frame tail is dropped with the
+                                    // rest of the stream.
+                                    shared.failed.store(true, Ordering::Release);
+                                    failed = true;
+                                    break 'frame;
+                                }
                             }
                         }
+                    }
+                    if let Some(wm) = &wm {
+                        wm.ticks.add(processed);
+                    }
+                    if failed {
+                        // Drop the receiver so later pushes fail fast.
+                        guard.lost = true;
+                        break 'recv;
                     }
                 }
                 Msg::FinishStream(stream) => {
@@ -434,6 +478,8 @@ where
         Ok(Runner {
             slots,
             routes,
+            pending: Mutex::new(HashMap::new()),
+            max_batch: DEFAULT_MAX_BATCH,
             error,
             worker_metrics,
             metrics,
@@ -442,32 +488,121 @@ where
         })
     }
 
-    /// Pushes one sample to every worker watching `stream`.
+    /// Sets the frame size: [`Runner::push`] buffers this many samples
+    /// per stream before enqueuing a frame (clamped to ≥ 1;
+    /// `1` reproduces per-sample messaging exactly). Call before
+    /// pushing; changing it mid-stream only affects future frames.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.max_batch = max_batch.max(1);
+    }
+
+    /// The configured frame size (default [`DEFAULT_MAX_BATCH`]).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Pushes one sample to `stream`: the sample joins the stream's
+    /// pending buffer, and a frame is enqueued to every watching worker
+    /// once [`Runner::max_batch`] samples have accumulated.
     ///
     /// Blocks briefly when a worker's queue is full (backpressure).
+    /// With `max_batch > 1` a reported error may concern a sample from
+    /// an *earlier* push of the same stream (the frame that just
+    /// flushed); [`Runner::shutdown`] still surfaces the first recorded
+    /// ingestion error either way.
     ///
     /// # Errors
     /// [`MonitorError::WorkerLost`] when a watching worker is
     /// permanently lost (recorded ingestion error, or a panic loop that
     /// exhausted the restart budget).
     pub fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
-        self.route(stream, |s| Msg::Sample {
+        let mut pending = self.lock_pending();
+        let buf = pending.entry(stream).or_default();
+        buf.push(sample.to_owned());
+        if buf.len() >= self.max_batch {
+            let frame = std::mem::take(buf);
+            return self.send_frame(stream, frame);
+        }
+        Ok(())
+    }
+
+    /// Pushes a whole slice of samples to `stream` (batch form of
+    /// [`Runner::push`]): samples join the pending buffer and full
+    /// frames are enqueued as it fills.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn push_batch(&self, stream: StreamId, samples: &[Owned<M>]) -> Result<(), MonitorError> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let mut pending = self.lock_pending();
+        let buf = pending.entry(stream).or_default();
+        buf.extend(samples.iter().cloned());
+        while buf.len() >= self.max_batch {
+            let frame: Vec<Owned<M>> = buf.drain(..self.max_batch).collect();
+            self.send_frame(stream, frame)?;
+        }
+        Ok(())
+    }
+
+    /// Enqueues the stream's pending partial frame immediately (a no-op
+    /// when nothing is buffered). [`Runner::finish_stream`] and
+    /// [`Runner::shutdown`] call this implicitly — there is no linger
+    /// timer to wait out.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn flush(&self, stream: StreamId) -> Result<(), MonitorError> {
+        let mut pending = self.lock_pending();
+        self.flush_locked(&mut pending, stream)
+    }
+
+    /// Flushes `stream`'s pending frame with the buffer lock held (so
+    /// frame order per stream is total even across pusher threads).
+    fn flush_locked(
+        &self,
+        pending: &mut HashMap<StreamId, Vec<Owned<M>>>,
+        stream: StreamId,
+    ) -> Result<(), MonitorError> {
+        match pending.get_mut(&stream) {
+            Some(buf) if !buf.is_empty() => {
+                let frame = std::mem::take(buf);
+                self.send_frame(stream, frame)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Enqueues one frame to every worker watching `stream`.
+    fn send_frame(&self, stream: StreamId, samples: Vec<Owned<M>>) -> Result<(), MonitorError> {
+        if let Some(m) = &self.metrics {
+            m.record_batch(samples.len());
+        }
+        self.route(stream, |s| Msg::Frame {
             stream: s,
-            value: sample.to_owned(),
+            samples: samples.clone(),
         })
     }
 
-    /// Flushes pending group optima on a stream's attachments.
+    /// Flushes the stream's pending frame, then its attachments' pending
+    /// group optima.
     ///
     /// # Errors
     /// [`MonitorError::WorkerLost`] when a watching worker is
     /// permanently lost.
     pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
+        let mut pending = self.lock_pending();
+        self.flush_locked(&mut pending, stream)?;
         self.route(stream, Msg::FinishStream)
     }
 
     fn lock_slot(&self, w: usize) -> MutexGuard<'_, WorkerSlot<M>> {
         self.slots[w].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_pending(&self) -> MutexGuard<'_, HashMap<StreamId, Vec<Owned<M>>>> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn route(
@@ -593,6 +728,18 @@ where
     /// [`MonitorError::WorkerLost`] when a worker was permanently lost
     /// (panic with supervision off, or restart budget exhausted).
     pub fn shutdown(self) -> Result<(), MonitorError> {
+        // Flush every stream's pending partial frame first — shutdown is
+        // linger-free: nothing buffered at the pusher may be dropped.
+        let mut flush_err = None;
+        {
+            let mut pending = self.lock_pending();
+            let streams: Vec<StreamId> = pending.keys().copied().collect();
+            for s in streams {
+                if let Err(e) = self.flush_locked(&mut pending, s) {
+                    flush_err.get_or_insert(e);
+                }
+            }
+        }
         let mut permanent = false;
         for (w, slot) in self.slots.iter().enumerate() {
             let mut slot = slot.lock().unwrap_or_else(PoisonError::into_inner);
@@ -632,7 +779,10 @@ where
         match recorded {
             Some(e) => Err(e),
             None if permanent => Err(MonitorError::WorkerLost),
-            None => Ok(()),
+            None => match flush_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            },
         }
     }
 }
@@ -937,6 +1087,129 @@ mod tests {
         let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
         assert_eq!(starts, vec![spike_at as u64 + 1]);
         assert_eq!(metrics.snapshot().worker_restarts_total, 1);
+    }
+
+    #[test]
+    fn worker_restart_mid_frame_drops_and_duplicates_nothing() {
+        // Regression (frame-granular recovery): two matches land inside
+        // ONE frame, and the sink panics on the first delivery — i.e.
+        // the worker dies *mid-frame*. The supervisor must restart from
+        // the pre-frame checkpoint and replay the whole frame, so the
+        // final match set is exactly {first, second}: the first match is
+        // not dropped (its delivery panicked before being recorded) and
+        // neither match is duplicated (replay re-runs the frame once
+        // against the pre-frame state).
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(FlakySink::new(1));
+        let mut runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        runner.set_max_batch(32);
+        // 25 samples with spikes at 4 and 15: both matches sit inside a
+        // single 25-sample frame (flushed by finish_stream).
+        for x in spike_stream(&[4, 15], 25) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(
+            starts,
+            vec![5, 16],
+            "mid-frame restart must neither drop nor duplicate matches"
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.worker_restarts_total, 1);
+        assert_eq!(snap.runner_queue_depth(), 0);
+        // Replay re-processed the frame, so worker tick totals may
+        // exceed the stream length — but never undercount it.
+        let worker_ticks: u64 = snap.workers.iter().map(|w| w.ticks).sum();
+        assert!(worker_ticks >= 25);
+    }
+
+    #[test]
+    fn max_batch_one_reproduces_per_sample_messaging() {
+        // `--batch 1` compatibility: every push flushes immediately, so
+        // nothing sits in the pending buffer and the event sequence is
+        // identical to the historical per-sample channel protocol.
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let mut runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        runner.set_max_batch(1);
+        for x in spike_stream(&[3, 10], 20) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![4, 11]);
+        let snap = metrics.snapshot();
+        // 20 one-sample frames were recorded.
+        assert_eq!(snap.batch_len.count, 20);
+        assert_eq!(snap.batch_len.sum, 20.0);
+    }
+
+    #[test]
+    fn explicit_flush_enqueues_a_partial_frame() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        // 7 samples < DEFAULT_MAX_BATCH: buffered until the explicit
+        // flush, which sends one 7-sample frame.
+        for x in spike_stream(&[2], 7) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.flush(StreamId(0)).unwrap();
+        // Flushing an empty buffer is a no-op.
+        runner.flush(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        assert_eq!(sink.events().len(), 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.batch_len.count, 1);
+        assert_eq!(snap.batch_len.sum, 7.0);
+    }
+
+    #[test]
+    fn push_batch_fills_and_flushes_full_frames() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let mut runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        runner.set_max_batch(8);
+        let stream = spike_stream(&[3, 12], 20);
+        runner.push_batch(StreamId(0), &stream).unwrap();
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![4, 13]);
+        let snap = metrics.snapshot();
+        // 20 samples at max_batch 8 ⇒ frames of 8, 8, then 4 (flushed
+        // by finish_stream).
+        assert_eq!(snap.batch_len.count, 3);
+        assert_eq!(snap.batch_len.sum, 20.0);
+        let worker_ticks: u64 = snap.workers.iter().map(|w| w.ticks).sum();
+        assert_eq!(worker_ticks, 20);
     }
 
     #[test]

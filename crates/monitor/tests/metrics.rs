@@ -324,13 +324,18 @@ mod under_fault {
             )
             .unwrap()];
             let sink = Arc::new(CountingSink::new(1));
-            let runner = Runner::spawn_with_metrics(
+            let mut runner = Runner::spawn_with_metrics(
                 attachments,
                 2,
                 Arc::<CountingSink>::clone(&sink),
                 Some(Arc::clone(&metrics)),
             )
             .unwrap();
+            // One frame per sample, so the `.after(40)` message budget
+            // lands mid-stream (the default frame size would collapse
+            // 200 pushes into ~4 messages and the panic would never
+            // fire).
+            runner.set_max_batch(1);
             for t in 0..200 {
                 runner.push(StreamId(0), &value_at(t)).unwrap();
             }

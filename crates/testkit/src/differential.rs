@@ -5,8 +5,11 @@
 //! variant through three code paths —
 //!
 //! 1. a **bare monitor** stepped by hand (gap policy applied inline),
-//! 2. the single-threaded [`MixedEngine`],
-//! 3. the threaded [`Runner`] with 1, 2, and 4 workers,
+//! 2. the single-threaded [`MixedEngine`], per-sample **and** batched
+//!    (`push_batch` with batch sizes 1, 3, and 64),
+//! 3. the threaded [`Runner`] with 1, 2, and 4 workers, per-sample
+//!    **and** batched (`push_batch` over the same batch sizes, with the
+//!    frame size pinned to the batch),
 //!
 //! — and demands bit-identical match streams from all of them. On top of
 //! the cross-layer equality, variant-specific **oracle checks** compare
@@ -43,6 +46,12 @@ use crate::scenario::Scenario;
 
 /// Worker counts exercised for every scenario.
 pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Batch sizes exercised for every scenario on the batched ingestion
+/// paths (`Engine::push_batch` / `Runner::push_batch`): the degenerate
+/// per-sample frame, a small odd size that never divides the stream
+/// evenly (forcing ragged tails), and the production default.
+pub const BATCH_SIZES: [usize; 3] = [1, 3, 64];
 
 /// Fixed fallback seed used by `spring fuzz` and local CI runs when no
 /// seed is supplied, so local failures are immediately reproducible.
@@ -139,13 +148,46 @@ pub fn run_engine(sc: &Scenario, spec: MonitorSpec) -> Result<Vec<Match>, Monito
     Ok(out)
 }
 
-/// Runs `spec` over the scenario through the threaded runner with
-/// `N_ATTACH` identical attachments, returning the match stream of
-/// each attachment separately (all must agree with the bare run).
-pub fn run_runner(
+/// Runs `spec` over the scenario through the engine's batched ingestion
+/// path, chunking the raw stream (gaps included — the gap policy is
+/// applied per attachment inside the engine) into `batch`-sized slices
+/// through [`MixedEngine::push_batch`] with a caller-owned event buffer.
+pub fn run_engine_batched(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    batch: usize,
+) -> Result<Vec<Match>, MonitorError> {
+    let mut engine = MixedEngine::new();
+    let s = engine.add_stream("s");
+    let q = engine.add_query("q", sc.query.clone())?;
+    engine.attach_spec(s, q, spec, sc.gap_policy)?;
+    let mut out = Vec::new();
+    let mut events = Vec::new();
+    for chunk in sc.stream.chunks(batch.max(1)) {
+        events.clear();
+        engine.push_batch(s, chunk, &mut events)?;
+        out.extend(events.drain(..).map(|e| e.m));
+    }
+    out.extend(engine.finish_stream(s)?.into_iter().map(|e| e.m));
+    Ok(out)
+}
+
+/// How the stream is fed to the [`Runner`] in [`run_runner_with`].
+#[derive(Clone, Copy)]
+enum Feed {
+    /// One `Runner::push` per raw sample (the historical path).
+    PerSample,
+    /// `Runner::push_batch` over `batch`-sized chunks, with the frame
+    /// size (`max_batch`) pinned to the same value so every full chunk
+    /// becomes exactly one frame per worker.
+    Batched(usize),
+}
+
+fn run_runner_with(
     sc: &Scenario,
     spec: MonitorSpec,
     workers: usize,
+    feed: Feed,
 ) -> Result<Vec<Vec<Match>>, MonitorError> {
     let mut attachments = Vec::with_capacity(N_ATTACH);
     for k in 0..N_ATTACH {
@@ -158,12 +200,25 @@ pub fn run_runner(
         ));
     }
     let sink = Arc::new(VecSink::new());
-    let runner = Runner::spawn(attachments, workers, sink.clone())?;
+    let mut runner = Runner::spawn(attachments, workers, sink.clone())?;
     let mut push_err = None;
-    for &x in &sc.stream {
-        if let Err(e) = runner.push(StreamId(0), &x) {
-            push_err = Some(e);
-            break;
+    match feed {
+        Feed::PerSample => {
+            for &x in &sc.stream {
+                if let Err(e) = runner.push(StreamId(0), &x) {
+                    push_err = Some(e);
+                    break;
+                }
+            }
+        }
+        Feed::Batched(batch) => {
+            runner.set_max_batch(batch);
+            for chunk in sc.stream.chunks(batch.max(1)) {
+                if let Err(e) = runner.push_batch(StreamId(0), chunk) {
+                    push_err = Some(e);
+                    break;
+                }
+            }
         }
     }
     if push_err.is_none() {
@@ -184,6 +239,29 @@ pub fn run_runner(
     Ok(per)
 }
 
+/// Runs `spec` over the scenario through the threaded runner with
+/// `N_ATTACH` identical attachments, returning the match stream of
+/// each attachment separately (all must agree with the bare run).
+pub fn run_runner(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    workers: usize,
+) -> Result<Vec<Vec<Match>>, MonitorError> {
+    run_runner_with(sc, spec, workers, Feed::PerSample)
+}
+
+/// Like [`run_runner`], but feeds the stream through
+/// [`Runner::push_batch`] in `batch`-sized chunks with the frame size
+/// pinned to `batch`.
+pub fn run_runner_batched(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    workers: usize,
+    batch: usize,
+) -> Result<Vec<Vec<Match>>, MonitorError> {
+    run_runner_with(sc, spec, workers, Feed::Batched(batch))
+}
+
 fn fmt_matches(out: &Result<Vec<Match>, MonitorError>) -> String {
     match out {
         Ok(ms) => format!(
@@ -196,46 +274,85 @@ fn fmt_matches(out: &Result<Vec<Match>, MonitorError>) -> String {
     }
 }
 
-/// Checks the cross-layer equality and variant oracle for one spec.
-fn verify_spec(sc: &Scenario, spec: MonitorSpec) -> Result<(), String> {
-    let bare = run_bare(sc, spec);
-    let engine = run_engine(sc, spec);
-    let agree = match (&bare, &engine) {
+/// Compares a single-match-stream run (engine paths) against the bare
+/// reference, demanding exact match equality or exact error equality.
+fn check_against_bare(
+    bare: &Result<Vec<Match>, MonitorError>,
+    other: &Result<Vec<Match>, MonitorError>,
+    label: &str,
+) -> Result<(), String> {
+    let agree = match (bare, other) {
         (Ok(a), Ok(b)) => a == b,
         (Err(a), Err(b)) => a == b,
         _ => false,
     };
-    if !agree {
-        return Err(format!(
-            "{spec:?}: engine diverges from bare monitor\n  bare:   {}\n  engine: {}",
-            fmt_matches(&bare),
-            fmt_matches(&engine)
-        ));
+    if agree {
+        Ok(())
+    } else {
+        Err(format!(
+            "{label} diverges from bare monitor\n  bare:   {}\n  other:  {}",
+            fmt_matches(bare),
+            fmt_matches(other)
+        ))
     }
-    for workers in WORKER_COUNTS {
-        match (run_runner(sc, spec, workers), &bare) {
-            (Ok(per), Ok(b)) => {
-                for (k, ms) in per.iter().enumerate() {
-                    if ms != b {
-                        return Err(format!(
-                            "{spec:?}: runner({workers} workers) attachment {k} diverges\n  \
-                             bare:   {}\n  runner: {}",
-                            fmt_matches(&bare),
-                            fmt_matches(&Ok(ms.clone()))
-                        ));
-                    }
+}
+
+/// Compares a per-attachment runner run against the bare reference:
+/// every attachment's match stream must equal the bare run exactly, or
+/// both sides must fail with the same error.
+fn check_runner_against_bare(
+    bare: &Result<Vec<Match>, MonitorError>,
+    runner: Result<Vec<Vec<Match>>, MonitorError>,
+    label: &str,
+) -> Result<(), String> {
+    match (runner, bare) {
+        (Ok(per), Ok(b)) => {
+            for (k, ms) in per.iter().enumerate() {
+                if ms != b {
+                    return Err(format!(
+                        "{label} attachment {k} diverges\n  bare:   {}\n  runner: {}",
+                        fmt_matches(bare),
+                        fmt_matches(&Ok(ms.clone()))
+                    ));
                 }
             }
-            (Err(a), Err(b)) if &a == b => {}
-            (r, _) => {
-                let r = r.map(|per| per.into_iter().flatten().collect::<Vec<_>>());
-                return Err(format!(
-                    "{spec:?}: runner({workers} workers) error disagrees\n  bare:   {}\n  \
-                     runner: {}",
-                    fmt_matches(&bare),
-                    fmt_matches(&r)
-                ));
-            }
+            Ok(())
+        }
+        (Err(a), Err(b)) if &a == b => Ok(()),
+        (r, _) => {
+            let r = r.map(|per| per.into_iter().flatten().collect::<Vec<_>>());
+            Err(format!(
+                "{label} error disagrees\n  bare:   {}\n  runner: {}",
+                fmt_matches(bare),
+                fmt_matches(&r)
+            ))
+        }
+    }
+}
+
+/// Checks the cross-layer equality and variant oracle for one spec.
+fn verify_spec(sc: &Scenario, spec: MonitorSpec) -> Result<(), String> {
+    let bare = run_bare(sc, spec);
+    check_against_bare(&bare, &run_engine(sc, spec), &format!("{spec:?}: engine"))?;
+    for batch in BATCH_SIZES {
+        check_against_bare(
+            &bare,
+            &run_engine_batched(sc, spec, batch),
+            &format!("{spec:?}: engine(batch {batch})"),
+        )?;
+    }
+    for workers in WORKER_COUNTS {
+        check_runner_against_bare(
+            &bare,
+            run_runner(sc, spec, workers),
+            &format!("{spec:?}: runner({workers} workers)"),
+        )?;
+        for batch in BATCH_SIZES {
+            check_runner_against_bare(
+                &bare,
+                run_runner_batched(sc, spec, workers, batch),
+                &format!("{spec:?}: runner({workers} workers, batch {batch})"),
+            )?;
         }
     }
     if let Ok(reports) = &bare {
@@ -593,11 +710,77 @@ mod tests {
             }
         );
         assert_eq!(run_engine(&sc, spec).unwrap_err(), bare);
+        for batch in BATCH_SIZES {
+            assert_eq!(run_engine_batched(&sc, spec, batch).unwrap_err(), bare);
+        }
         for workers in WORKER_COUNTS {
             assert_eq!(run_runner(&sc, spec, workers).unwrap_err(), bare);
+            for batch in BATCH_SIZES {
+                assert_eq!(
+                    run_runner_batched(&sc, spec, workers, batch).unwrap_err(),
+                    bare
+                );
+            }
         }
         // And verify() as a whole accepts the error-equivalence.
         verify(&sc).unwrap();
+    }
+
+    #[test]
+    fn batched_engine_agrees_with_bare_at_every_batch_size() {
+        let sc = spike_scenario();
+        for spec in specs_for(&sc) {
+            let bare = run_bare(&sc, spec).unwrap();
+            for batch in BATCH_SIZES {
+                assert_eq!(
+                    run_engine_batched(&sc, spec, batch).unwrap(),
+                    bare,
+                    "{spec:?} batch {batch}"
+                );
+            }
+            // A ragged batch size that never divides the stream evenly
+            // and one larger than the whole stream.
+            for batch in [7usize, sc.stream.len() + 5] {
+                assert_eq!(
+                    run_engine_batched(&sc, spec, batch).unwrap(),
+                    bare,
+                    "{spec:?} batch {batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_runner_agrees_with_bare_across_workers_and_batches() {
+        let sc = spike_scenario();
+        let spec = MonitorSpec::Spring {
+            epsilon: sc.epsilon,
+        };
+        let bare = run_bare(&sc, spec).unwrap();
+        for workers in WORKER_COUNTS {
+            for batch in BATCH_SIZES {
+                let per = run_runner_batched(&sc, spec, workers, batch).unwrap();
+                for (k, ms) in per.iter().enumerate() {
+                    assert_eq!(ms, &bare, "workers {workers} batch {batch} attachment {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_paths_survive_gap_policies() {
+        // Gaps interleaved with matches: Skip and CarryForward must
+        // produce identical match streams at every batch size (gap
+        // handling happens per attachment inside the ingestion layers,
+        // after the batch is framed).
+        for policy in [GapPolicy::Skip, GapPolicy::CarryForward] {
+            let mut sc = spike_scenario();
+            sc.stream[0] = f64::NAN;
+            sc.stream[10] = f64::NAN;
+            sc.stream[11] = f64::NAN;
+            sc.gap_policy = policy;
+            verify(&sc).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use spring_core::monitor::MonitorSpec;
 use spring_core::Match;
 use spring_monitor::failpoints::{self, FailAction, FailRule};
 
-use crate::differential::run_runner;
+use crate::differential::{run_runner, run_runner_batched};
 use crate::scenario::Scenario;
 
 /// One deterministic fault to inject into a runner run.
@@ -23,6 +23,14 @@ pub enum FaultPlan {
     /// messages (site `runner::worker::recv`).
     WorkerPanic {
         /// Messages received across workers before the panic fires.
+        after: u64,
+    },
+    /// Panic a worker at a frame boundary — after `after` frames have
+    /// been received but before the next frame's samples are ingested
+    /// (site `runner::worker::frame`). Exercises the batched ingestion
+    /// path: the whole in-flight frame must come back via the replay.
+    FramePanic {
+        /// Frames received across workers before the panic fires.
         after: u64,
     },
     /// Panic inside the sink after `after` deliveries (site
@@ -45,6 +53,10 @@ impl FaultPlan {
         match self {
             FaultPlan::WorkerPanic { after } => failpoints::configure(
                 "runner::worker::recv",
+                FailRule::new(FailAction::Panic).after(after).times(1),
+            ),
+            FaultPlan::FramePanic { after } => failpoints::configure(
+                "runner::worker::frame",
                 FailRule::new(FailAction::Panic).after(after).times(1),
             ),
             FaultPlan::SinkPanic { after } => failpoints::configure(
@@ -76,16 +88,28 @@ fn normalize(mut per: Vec<Vec<Match>>) -> Vec<Vec<(u64, u64, u64)>> {
 /// `fault` armed, and checks the deduplicated match set of every
 /// attachment equals the fault-free run's.
 ///
+/// `batch` selects the ingestion path: `None` pushes per sample
+/// ([`run_runner`], default framing), `Some(n)` pushes `n`-sized slices
+/// with the frame size pinned to `n` ([`run_runner_batched`]).
+///
 /// Uses the global failpoint registry: hold
 /// [`failpoints::exclusive`] around calls in multi-test binaries.
-pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String> {
+pub fn verify_under_fault_with(
+    sc: &Scenario,
+    fault: FaultPlan,
+    batch: Option<usize>,
+) -> Result<(), String> {
     let spec = MonitorSpec::Spring {
         epsilon: sc.epsilon,
     };
+    let run = |sc: &Scenario| match batch {
+        None => run_runner(sc, spec, 2),
+        Some(n) => run_runner_batched(sc, spec, 2, n),
+    };
     failpoints::clear();
-    let clean = run_runner(sc, spec, 2).map_err(|e| format!("fault-free run failed: {e}"))?;
+    let clean = run(sc).map_err(|e| format!("fault-free run failed: {e}"))?;
     fault.arm();
-    let faulted = run_runner(sc, spec, 2);
+    let faulted = run(sc);
     failpoints::clear();
     let faulted = faulted.map_err(|e| format!("faulted run failed: {e} ({fault:?})"))?;
     let (clean, faulted) = (normalize(clean), normalize(faulted));
@@ -95,4 +119,9 @@ pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String>
         ));
     }
     Ok(())
+}
+
+/// [`verify_under_fault_with`] on the per-sample ingestion path.
+pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String> {
+    verify_under_fault_with(sc, fault, None)
 }

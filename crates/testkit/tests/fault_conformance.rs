@@ -8,7 +8,7 @@
 
 use spring_monitor::failpoints;
 use spring_monitor::GapPolicy;
-use spring_testkit::fault::{verify_under_fault, FaultPlan};
+use spring_testkit::fault::{verify_under_fault, verify_under_fault_with, FaultPlan};
 use spring_testkit::Scenario;
 use spring_util::Rng;
 
@@ -36,6 +36,27 @@ fn worker_panic_mid_stream_loses_no_matches() {
     // spikes on either side of the crash.
     for after in [5u64, 90, 170] {
         verify_under_fault(&sc, FaultPlan::WorkerPanic { after }).unwrap();
+    }
+}
+
+#[test]
+fn frame_boundary_panic_preserves_the_deduped_match_set() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(200, &[10, 80, 150]);
+    // Panic a worker right as it dequeues a frame — before any of the
+    // frame's samples are ingested — at several points in the stream and
+    // for several frame sizes. The supervisor's checkpoint/replay works
+    // at frame granularity, so the whole in-flight frame (possibly
+    // containing a spike) must be recovered without loss or duplication.
+    for batch in [3usize, 32, 64] {
+        for after in [0u64, 1, 3] {
+            verify_under_fault_with(&sc, FaultPlan::FramePanic { after }, Some(batch)).unwrap();
+        }
+    }
+    // And on the per-sample path, where the default frame size does the
+    // batching internally.
+    for after in [0u64, 1, 2] {
+        verify_under_fault(&sc, FaultPlan::FramePanic { after }).unwrap();
     }
 }
 
