@@ -47,26 +47,26 @@ if [ "$quick" -eq 1 ]; then
   echo "==> bench smoke (one calibrated iteration per benchmark)"
   jsonl="$(mktemp)"
   trap 'rm -f "$jsonl"' EXIT
-  for b in per_tick dtw_kernels lower_bounds monitor_scaling extensions metrics_overhead batch_ingest; do
+  for b in per_tick dtw_kernels lower_bounds monitor_scaling extensions metrics_overhead batch_ingest shard_scaling; do
     echo "--> cargo bench --bench $b (smoke)"
     SPRING_BENCH_SMOKE=1 SPRING_BENCH_JSON="$jsonl" \
       cargo bench -p spring-bench --bench "$b" --quiet
   done
-  # Regression tripwire: compare the batch_ingest results against the
-  # committed BENCH_SMOKE.json baseline *before* overwriting it. Smoke
-  # timings are a single calibrated batch on whatever machine this is,
-  # so a >25% slowdown only WARNS — it flags "look at this", it does
-  # not fail the gate.
+  # Regression tripwire: compare the batch_ingest and shard_scaling
+  # results against the committed BENCH_SMOKE.json baseline *before*
+  # overwriting it. Smoke timings are a single calibrated batch on
+  # whatever machine this is, so a >25% slowdown only WARNS — it flags
+  # "look at this", it does not fail the gate.
   if [ -f BENCH_SMOKE.json ]; then
-    extract_batch_ingest() {
-      awk '/"name":"batch_ingest/ {
+    extract_tracked() {
+      awk '/"name":"(batch_ingest|shard_scaling)/ {
         name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
         secs = $0; sub(/.*"secs_per_iter":/, "", secs); sub(/[,}].*/, "", secs)
         print name, secs
       }' "$1"
     }
-    extract_batch_ingest BENCH_SMOKE.json > "$jsonl.base"
-    extract_batch_ingest "$jsonl" > "$jsonl.new"
+    extract_tracked BENCH_SMOKE.json > "$jsonl.base"
+    extract_tracked "$jsonl" > "$jsonl.new"
     awk 'NR == FNR { base[$1] = $2; next }
          ($1 in base) && base[$1] + 0 > 0 {
            ratio = $2 / base[$1]

@@ -10,7 +10,9 @@ use spring_data::io::{read_csv, write_csv};
 use spring_data::{MaskedChirp, Seismic, Sunspots, Temperature, TimeSeries};
 use spring_dtw::constraint::{dtw_constrained, GlobalConstraint};
 use spring_dtw::{dtw_distance_with, dtw_with_path, Kernel};
-use spring_monitor::{Metrics, TickRecorder};
+use spring_monitor::{
+    GapPolicy, Metrics, QueryId, RunnerAttachment, ShardedRunner, StreamId, TickRecorder, VecSink,
+};
 
 use crate::args::{ArgError, Parsed};
 
@@ -60,20 +62,28 @@ USAGE:
   spring monitor   --query Q.csv --epsilon N [--stream S.csv] [--kernel squared|absolute]
                    [--gap skip|carry] [--min-len N --max-len N | --max-run R | --normalize W]
                    [--resume SNAP.json] [--checkpoint SNAP.json] [--stats] [--batch N]
+                   [--shards N [--linger-ms MS]]
                    (--batch: samples stepped per ingestion batch, default 64;
                     output is identical for every N — --batch 1 is the
-                    per-sample loop)
+                    per-sample loop. --shards: run through the sharded
+                    runner instead of the inline monitor — the transcript
+                    is identical; --linger-ms bounds how long a partial
+                    frame may wait before being flushed)
   spring bestmatch --query Q.csv [--stream S.csv] [--kernel squared|absolute]
   spring topk      --query Q.csv --k N [--stream S.csv] [--kernel squared|absolute]
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
                    [--min-len N --max-len N | --max-run R | --normalize W] [--batch N]
-                   (HTTP `GET /metrics` on the same port serves Prometheus text)
+                   [--shards N] [--linger-ms MS]
+                   (HTTP `GET /metrics` on the same port serves Prometheus text;
+                    connections are routed to --shards runner shards by
+                    stream-id hash, default min(8, cores))
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring fuzz      [--seed N] [--iters N]
                    (differential conformance: every monitor variant through the bare
-                    monitor, engine, and 1/2/4-worker runner vs the naive oracles;
-                    mismatches are shrunk and printed with a replayable seed)
+                    monitor, engine, 1/2/4-worker runner, and 1/2/4-shard sharded
+                    runner vs the naive oracles; mismatches are shrunk and printed
+                    with a replayable seed)
   spring help
 
 monitor/bestmatch read one value per line from --stream or stdin
@@ -284,12 +294,22 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "resume",
             "checkpoint",
             "batch",
+            "shards",
+            "linger-ms",
         ],
         &["stats"],
     )?;
     p.positionals(0)?;
     let kernel = parse_kernel(&p)?;
     let gap = parse_gap(&p)?;
+    if let Some(shards) = p.get_parsed::<usize>("shards", "integer")? {
+        return monitor_sharded(&p, shards, kernel, gap, out);
+    }
+    if p.get("linger-ms").is_some() {
+        return Err(CliError::Compute(
+            "--linger-ms requires --shards (the inline monitor has no frame buffer)".into(),
+        ));
+    }
     // `--stats`: instrument every tick through the same metrics layer the
     // engine uses, and print the summary table after the run.
     let mut recorder = p
@@ -438,6 +458,122 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     if let Some(rec) = &recorder {
         write!(out, "{}", rec.metrics().snapshot().render_table())?;
+    }
+    Ok(())
+}
+
+/// `spring monitor --shards N` — the same monitoring run, deployed
+/// through a [`ShardedRunner`] instead of the inline monitor loop.
+///
+/// The printed transcript is identical to the inline path: matches in
+/// stream order (the trailing pending-group match tagged
+/// `(stream end)`), then the `N match(es) over T ticks` summary. Gap
+/// handling stays CLI-side — only finite values are pushed — so the
+/// attachment sees exactly the samples the inline monitor would step.
+fn monitor_sharded(
+    p: &Parsed,
+    shards: usize,
+    kernel: Kernel,
+    gap: Gap,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if p.get("resume").is_some() || p.get("checkpoint").is_some() {
+        return Err(CliError::Compute(
+            "--resume/--checkpoint are incompatible with --shards".into(),
+        ));
+    }
+    let query = read_csv_named(p.require("query")?)?;
+    let epsilon: f64 = p.require_parsed("epsilon", "number")?;
+    let spec = spec_from_flags(p, epsilon)?;
+    let monitor = spec
+        .build(&query.values, kernel)
+        .map_err(|e| CliError::Compute(e.to_string()))?;
+    let metrics = p.has("stats").then(|| std::sync::Arc::new(Metrics::new()));
+    let sink = std::sync::Arc::new(VecSink::new());
+    let stream_id = StreamId(0);
+    // NaN never reaches the attachment (gaps are resolved CLI-side
+    // below), so the runner-side gap policy is irrelevant.
+    let attachment = RunnerAttachment::new(stream_id, QueryId(0), monitor, GapPolicy::Skip);
+    let mut runner = ShardedRunner::spawn_with_metrics(
+        vec![attachment],
+        shards,
+        1,
+        sink.clone(),
+        metrics.clone(),
+    )
+    .map_err(|e| CliError::Compute(e.to_string()))?;
+    let batch: usize = p
+        .get_parsed("batch", "integer")?
+        .unwrap_or(spring_monitor::DEFAULT_MAX_BATCH)
+        .max(1);
+    runner.set_max_batch(batch);
+    if let Some(ms) = p.get_parsed::<u64>("linger-ms", "integer")? {
+        runner.set_linger(std::time::Duration::from_millis(ms));
+    }
+    let mut ticks = 0u64;
+    let mut last = None;
+    let mut push_err = None;
+    for_each_value(open_stream(p)?, |v| {
+        let x = if v.is_finite() {
+            last = Some(v);
+            v
+        } else {
+            match (gap, last) {
+                (Gap::Carry, Some(prev)) => prev,
+                _ => return Ok(()), // skip
+            }
+        };
+        ticks += 1;
+        if push_err.is_none() {
+            if let Err(e) = runner.push(stream_id, &x) {
+                push_err = Some(e);
+            }
+        }
+        Ok(())
+    })?;
+    // Flush the trailing partial frame and wait for the shard to drain,
+    // so `mid` below holds exactly the in-stream matches; everything the
+    // finish adds afterwards is the pending-group (stream end) match.
+    if push_err.is_none() {
+        if let Err(e) = runner
+            .flush(stream_id)
+            .and_then(|()| runner.sync(stream_id))
+        {
+            push_err = Some(e);
+        }
+    }
+    let mid = sink.events().len();
+    if push_err.is_none() {
+        if let Err(e) = runner.finish_stream(stream_id) {
+            push_err = Some(e);
+        }
+    }
+    // The recorded worker error (surfaced by shutdown) takes precedence
+    // over the secondary WorkerLost a push may have observed.
+    runner
+        .shutdown()
+        .map_err(|e| CliError::Compute(e.to_string()))?;
+    if let Some(e) = push_err {
+        return Err(CliError::Compute(e.to_string()));
+    }
+    let mut count = 0u64;
+    for (i, ev) in sink.events().iter().enumerate() {
+        let m = &ev.m;
+        count += 1;
+        let suffix = if i < mid { "" } else { " (stream end)" };
+        writeln!(
+            out,
+            "match {count}: ticks {}..={} len {} distance {:.6} reported_at {}{suffix}",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance,
+            m.reported_at
+        )?;
+    }
+    writeln!(out, "{count} match(es) over {ticks} ticks")?;
+    if let Some(m) = &metrics {
+        write!(out, "{}", m.snapshot().render_table())?;
     }
     Ok(())
 }
@@ -633,8 +769,8 @@ pub fn fuzz(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let iters: u64 = p.get_parsed("iters", "integer")?.unwrap_or(200);
     writeln!(
         out,
-        "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4) \
-         x (per-sample | batch 1,3,64)"
+        "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4 \
+         | sharded s=1,2,4) x (per-sample | batch 1,3,64; sharded: batch 1,64)"
     )?;
     match spring_testkit::differential::fuzz(seed, iters) {
         Ok(n) => {
@@ -828,6 +964,79 @@ mod tests {
             };
             assert_eq!(scrub(&text), scrub(&reference), "--batch {n} diverged");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_monitor_transcript_matches_the_inline_monitor() {
+        // `--shards N` deploys the same run through the ShardedRunner;
+        // the printed transcript must be byte-identical to the inline
+        // path for every shard count, batch size, and linger setting —
+        // including the `(stream end)` tag on the pending-group match
+        // and the gap handling.
+        let dir = tmpdir("shardeq");
+        let q = write_series(&dir, "q.csv", &[0.0, 9.0, 0.0]);
+        let s = dir.join("s.csv");
+        // A mid-stream occurrence, a NaN gap, and an occurrence at the
+        // very end of the stream (confirmed only by the finish).
+        std::fs::write(&s, "50\n50\n0\n9\n0\n50\nNaN\n50\n50\n0\n9\n0\n").unwrap();
+        let run = |extra: &str| {
+            let mut out = Vec::new();
+            monitor(
+                &argv(&format!(
+                    "--query {} --epsilon 1 --stream {}{extra}",
+                    q.display(),
+                    s.display()
+                )),
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let reference = run("");
+        assert!(reference.contains("2 match(es)"), "{reference}");
+        assert!(reference.contains("(stream end)"), "{reference}");
+        for extra in [
+            " --shards 1",
+            " --shards 2",
+            " --shards 4 --batch 1",
+            " --shards 2 --batch 3",
+            " --shards 2 --linger-ms 2",
+            " --shards 2 --gap carry",
+        ] {
+            let got = run(extra);
+            let want = if extra.contains("carry") {
+                run(" --gap carry")
+            } else {
+                reference.clone()
+            };
+            assert_eq!(got, want, "{extra} diverged from the inline monitor");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_monitor_rejects_conflicting_flags() {
+        let dir = tmpdir("shardflags");
+        let q = write_series(&dir, "q.csv", &[0.0, 9.0, 0.0]);
+        let err = monitor(
+            &argv(&format!(
+                "--query {} --epsilon 1 --shards 2 --checkpoint snap.json",
+                q.display()
+            )),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+        let err = monitor(
+            &argv(&format!(
+                "--query {} --epsilon 1 --linger-ms 5",
+                q.display()
+            )),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--linger-ms"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,23 +15,40 @@
 //! `finish()` flush. `--once` serves a single connection then exits
 //! (used by the tests; production deployments run without it).
 //!
+//! Monitoring runs on a server-wide
+//! [`ShardedRunner`]`<`[`ScalarMonitor`]`>`: each connection is assigned
+//! a fresh stream id, its monitor is attached at runtime to the shard
+//! owning that id (FNV-1a hash), and its decoded values are pushed to
+//! that shard — connections on different shards share no locks, and a
+//! worker panic in one shard is healed by that shard's supervisor while
+//! the others keep streaming. `--shards` sets the shard count (default
+//! `min(8, cores)`); `--linger-ms` bounds how long a partial frame may
+//! sit before the shard flushes it, so a slow sensor still gets timely
+//! match lines at `--batch` > 1.
+//!
 //! Connections whose first line is an HTTP request line (`GET <path>
 //! HTTP/1.x`) are answered as HTTP instead: `GET /metrics` returns the
 //! server-wide [`Metrics`] registry in the Prometheus text exposition
-//! format, anything else a 404. This lets one port serve both sensor
-//! clients and a scrape target.
+//! format (including the per-shard `spring_shard_*` series), anything
+//! else a 404. This lets one port serve both sensor clients and a
+//! scrape target.
 //!
 //! The listener binds **loopback only** (`127.0.0.1`): the protocol is
 //! unauthenticated, so exposure beyond the host should go through a
 //! reverse proxy or tunnel that adds transport security.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Duration;
 
-use spring_core::{Monitor, MonitorSpec};
+use spring_core::{MonitorSpec, ScalarMonitor};
 use spring_dtw::Kernel;
-use spring_monitor::{Metrics, TickRecorder};
+use spring_monitor::{
+    Event, GapPolicy, MatchSink, Metrics, QueryId, RunnerAttachment, ShardedRunner, StreamId,
+};
 
 use crate::args::Parsed;
 use crate::commands::CliError;
@@ -48,11 +65,18 @@ pub struct ServeOptions {
     pub kernel: Kernel,
     /// Serve a single connection, then return.
     pub once: bool,
-    /// Samples stepped per ingestion batch (`--batch`, clamped to ≥ 1).
-    /// Output is identical for every value — `1` is the per-sample loop;
-    /// matches are still delivered at every batch flush, and a client
-    /// EOF flushes the trailing partial batch immediately (linger-free).
+    /// Samples per runner frame (`--batch`, clamped to ≥ 1). Output is
+    /// identical for every value — `1` is per-sample messaging; matches
+    /// are still delivered at every frame flush, and a client EOF
+    /// flushes the trailing partial frame immediately.
     pub batch: usize,
+    /// Runner shards connections are hashed across (`--shards`,
+    /// clamped to ≥ 1).
+    pub shards: usize,
+    /// Optional linger deadline for partial frames (`--linger-ms`):
+    /// with it, a partial frame is flushed by the shard's janitor once
+    /// it is this old, instead of waiting for the frame to fill.
+    pub linger: Option<Duration>,
 }
 
 /// True when `line` looks like an HTTP request line (`GET / HTTP/1.1`).
@@ -91,73 +115,76 @@ fn respond_http(stream: TcpStream, request_line: &str, metrics: &Metrics) -> std
     writer.flush()
 }
 
-/// Steps the connection's pending batch through its monitor, delivering
-/// matches (flushed immediately — they are alerts) and driving the
-/// server-wide metrics registry with per-sample-identical totals.
-///
-/// A sample the monitor rejects gets an `error:` line and is skipped,
-/// exactly like the historical per-sample loop — one bad reading must
-/// not kill the session, so stepping resumes right after it.
-#[allow(clippy::too_many_arguments)]
-fn flush_serve_batch(
-    spring: &mut spring_core::ScalarMonitor,
-    buf: &mut Vec<f64>,
-    hits: &mut Vec<spring_core::Match>,
-    missing_in_buf: &mut u64,
-    recorder: &mut TickRecorder,
-    count: &mut u64,
-    writer: &mut impl Write,
-) -> std::io::Result<()> {
-    let mut rest: &[f64] = buf;
-    let mut missing_left = *missing_in_buf;
-    while !rest.is_empty() {
-        let started = recorder.begin_frame(rest.len());
-        let before = Monitor::tick(spring);
-        hits.clear();
-        let stepped = Monitor::step_batch(spring, rest, hits);
-        let consumed = Monitor::tick(spring) - before;
-        recorder.record_frame(started, consumed, missing_left.min(consumed), hits, || {
-            (Monitor::memory_use(spring), Monitor::memory_cells(spring))
-        });
-        missing_left = missing_left.saturating_sub(consumed);
-        for m in hits.iter() {
-            *count += 1;
-            writeln!(
-                writer,
-                "match ticks {}..={} len {} distance {:.6} reported_at {}",
-                m.start,
-                m.end,
-                m.len(),
-                m.distance,
-                m.reported_at
-            )?;
-            // Matches are alerts: deliver immediately, not on buffer fill.
-            writer.flush()?;
-        }
-        match stepped {
-            Ok(()) => break,
-            Err(e) => {
-                writeln!(writer, "error: {e}")?;
-                writer.flush()?;
-                // Skip the rejected sample, keep the rest of the batch.
-                rest = &rest[consumed as usize + 1..];
-                missing_left = missing_left.saturating_sub(1);
-            }
-        }
-    }
-    buf.clear();
-    *missing_in_buf = 0;
-    Ok(())
+/// One connection's server-side state, shared between its handler
+/// thread and the [`ServeSink`] (which delivers matches from the shard
+/// workers).
+struct ConnState {
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Matches delivered so far (the `done` line's count).
+    matches: AtomicU64,
+    /// Set once the client stream has ended and drained: matches
+    /// delivered after this point come from the pending-group flush and
+    /// are tagged `(stream end)`.
+    ended: AtomicBool,
 }
 
-/// Handles one client connection: one stream, one monitor — or, when
-/// the first line is an HTTP request line, one HTTP exchange.
-fn handle_client(
-    stream: TcpStream,
-    opts: &ServeOptions,
-    metrics: &Arc<Metrics>,
-) -> std::io::Result<()> {
-    let peer = stream.peer_addr()?;
+/// The server-wide [`MatchSink`]: routes each event to the writer of
+/// the connection owning its stream id. Shard workers call this
+/// concurrently for *different* streams; per stream, delivery is
+/// serialized by the owning worker, so a connection's match lines stay
+/// in confirmation order.
+#[derive(Default)]
+struct ServeSink {
+    conns: RwLock<HashMap<StreamId, Arc<ConnState>>>,
+}
+
+impl MatchSink for ServeSink {
+    fn on_match(&self, event: &Event) {
+        let conn = self
+            .conns
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&event.stream)
+            .cloned();
+        // A detached connection's stragglers have nowhere to go.
+        let Some(conn) = conn else { return };
+        let suffix = if conn.ended.load(Ordering::Acquire) {
+            " (stream end)"
+        } else {
+            ""
+        };
+        conn.matches.fetch_add(1, Ordering::Relaxed);
+        let m = &event.m;
+        let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Matches are alerts: deliver immediately. A client gone mid-write
+        // is normal — the handler notices at its next own write.
+        let _ = writeln!(
+            w,
+            "match ticks {}..={} len {} distance {:.6} reported_at {}{suffix}",
+            m.start,
+            m.end,
+            m.len(),
+            m.distance,
+            m.reported_at
+        );
+        let _ = w.flush();
+    }
+}
+
+/// Everything the connection handlers share: the sharded runner, the
+/// sink routing matches back to connections, the metrics registry, and
+/// the stream-id allocator.
+struct ServerState {
+    runner: ShardedRunner<ScalarMonitor>,
+    sink: Arc<ServeSink>,
+    metrics: Arc<Metrics>,
+    next_stream: AtomicU32,
+}
+
+/// Handles one client connection: one stream, one runtime-attached
+/// monitor on the shard owning the stream id — or, when the first line
+/// is an HTTP request line, one HTTP exchange.
+fn handle_client(stream: TcpStream, opts: &ServeOptions, srv: &ServerState) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     // Sniff the first line: HTTP scrape or line-protocol stream?
     let mut first = String::new();
@@ -165,27 +192,48 @@ fn handle_client(
         return Ok(()); // connected and immediately hung up
     }
     if is_http_request(first.trim_end()) {
-        return respond_http(stream, first.trim_end(), metrics);
+        return respond_http(stream, first.trim_end(), &srv.metrics);
     }
-    let mut writer = BufWriter::new(stream);
-    let mut spring = match opts.spec.build(&opts.query, opts.kernel) {
+    let monitor = match opts.spec.build(&opts.query, opts.kernel) {
         Ok(s) => s,
         Err(e) => {
+            let mut writer = BufWriter::new(stream);
             writeln!(writer, "error: {e}")?;
             return writer.flush();
         }
     };
-    let mut recorder = TickRecorder::new(Arc::clone(metrics));
-    let mut count = 0u64;
+    let stream_id = StreamId(srv.next_stream.fetch_add(1, Ordering::Relaxed));
+    let conn = Arc::new(ConnState {
+        writer: Mutex::new(BufWriter::new(stream)),
+        matches: AtomicU64::new(0),
+        ended: AtomicBool::new(false),
+    });
+    // Register with the sink *before* attaching, so the first match can
+    // never race past the routing table.
+    srv.sink
+        .conns
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(stream_id, Arc::clone(&conn));
+    // Gaps never reach the attachment — they are resolved to the carried
+    // value (or dropped) below, like the historical per-connection loop.
+    let attached = srv.runner.attach(RunnerAttachment::new(
+        stream_id,
+        QueryId(0),
+        monitor,
+        GapPolicy::Skip,
+    ));
+    let id = match attached {
+        Ok(id) => id,
+        Err(e) => {
+            deregister(srv, stream_id);
+            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            writeln!(w, "error: {e}")?;
+            return w.flush();
+        }
+    };
+    let mut ticks = 0u64;
     let mut last = None;
-    // Batched ingestion: lines parse into a reusable buffer that is
-    // stepped through `Monitor::step_batch` once full (or at EOF /
-    // before an error line), so channel-of-lines overhead is paid per
-    // batch. `batch == 1` reproduces the per-sample loop exactly.
-    let batch = opts.batch.max(1);
-    let mut buf: Vec<f64> = Vec::with_capacity(batch);
-    let mut hits: Vec<spring_core::Match> = Vec::new();
-    let mut missing_in_buf = 0u64;
     for line in std::iter::once(Ok(first)).chain(reader.lines()) {
         let line = line?;
         let line = line.trim();
@@ -193,77 +241,58 @@ fn handle_client(
             continue;
         }
         let Ok(v) = line.parse::<f64>() else {
-            // Flush first so the error lands after this line's
-            // predecessors' matches, exactly like the per-sample loop.
-            flush_serve_batch(
-                &mut spring,
-                &mut buf,
-                &mut hits,
-                &mut missing_in_buf,
-                &mut recorder,
-                &mut count,
-                &mut writer,
-            )?;
-            writeln!(writer, "error: `{line}` is not a number")?;
-            writer.flush()?;
+            // Drain first so the error line lands after the matches of
+            // everything pushed before it, like the per-sample loop.
+            let _ = srv.runner.flush(stream_id);
+            let _ = srv.runner.sync(stream_id);
+            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            writeln!(w, "error: `{line}` is not a number")?;
+            w.flush()?;
             continue;
         };
         // Missing readings carry the last observation (sensors hold).
-        if v.is_finite() {
+        let x = if v.is_finite() {
             last = Some(v);
-            buf.push(v);
+            v
         } else {
             match last {
-                Some(prev) => {
-                    missing_in_buf += 1;
-                    buf.push(prev);
-                }
+                Some(prev) => prev,
                 None => continue,
             }
-        }
-        if buf.len() >= batch {
-            flush_serve_batch(
-                &mut spring,
-                &mut buf,
-                &mut hits,
-                &mut missing_in_buf,
-                &mut recorder,
-                &mut count,
-                &mut writer,
-            )?;
+        };
+        ticks += 1;
+        if let Err(e) = srv.runner.push(stream_id, &x) {
+            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            writeln!(w, "error: {e}")?;
+            w.flush()?;
+            break;
         }
     }
-    // EOF: flush the trailing partial batch before the finish() flush.
-    flush_serve_batch(
-        &mut spring,
-        &mut buf,
-        &mut hits,
-        &mut missing_in_buf,
-        &mut recorder,
-        &mut count,
-        &mut writer,
-    )?;
-    if let Some(m) = Monitor::finish(&mut spring) {
-        recorder.metrics().record_match(&m);
-        count += 1;
-        writeln!(
-            writer,
-            "match ticks {}..={} len {} distance {:.6} reported_at {} (stream end)",
-            m.start,
-            m.end,
-            m.len(),
-            m.distance,
-            m.reported_at
-        )?;
+    // EOF: flush the trailing partial frame and wait for the shard to
+    // drain it, so every in-stream match is delivered (and counted)
+    // before the stream-end flush below.
+    let _ = srv.runner.flush(stream_id);
+    let _ = srv.runner.sync(stream_id);
+    conn.ended.store(true, Ordering::Release);
+    let _ = srv.runner.finish_stream(stream_id);
+    let _ = srv.runner.sync(stream_id);
+    let count = conn.matches.load(Ordering::Relaxed);
+    {
+        let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        writeln!(w, "done {count} match(es) over {ticks} ticks")?;
+        w.flush()?;
     }
-    writeln!(
-        writer,
-        "done {count} match(es) over {} ticks",
-        Monitor::tick(&spring)
-    )?;
-    writer.flush()?;
-    let _ = peer; // retained for future per-peer logging
+    let _ = srv.runner.detach(id);
+    deregister(srv, stream_id);
     Ok(())
+}
+
+fn deregister(srv: &ServerState, stream_id: StreamId) {
+    srv.sink
+        .conns
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&stream_id);
 }
 
 /// Serves connections from an already-bound listener. Exposed so tests
@@ -275,31 +304,69 @@ pub fn serve_listener(
 ) -> Result<(), CliError> {
     writeln!(out, "listening on {}", listener.local_addr()?)?;
     out.flush()?;
-    let opts = Arc::new(opts);
-    // One registry for the whole server: every connection's monitor
-    // feeds it, and any `GET /metrics` connection scrapes it.
+    // One registry and one sharded runner for the whole server: every
+    // connection's attachment feeds them, and any `GET /metrics`
+    // connection scrapes the registry.
     let metrics = Arc::new(Metrics::new());
+    let sink = Arc::new(ServeSink::default());
+    let mut runner = ShardedRunner::spawn_with_metrics(
+        Vec::new(),
+        opts.shards.max(1),
+        1,
+        Arc::clone(&sink) as Arc<dyn MatchSink>,
+        Some(Arc::clone(&metrics)),
+    )
+    .map_err(|e| CliError::Compute(e.to_string()))?;
+    runner.set_max_batch(opts.batch.max(1));
+    if let Some(linger) = opts.linger {
+        runner.set_linger(linger);
+    }
+    let srv = Arc::new(ServerState {
+        runner,
+        sink,
+        metrics,
+        next_stream: AtomicU32::new(0),
+    });
+    let opts = Arc::new(opts);
     for conn in listener.incoming() {
         let conn = conn?;
         let once = opts.once;
         let worker_opts = Arc::clone(&opts);
-        let worker_metrics = Arc::clone(&metrics);
+        let worker_srv = Arc::clone(&srv);
         let handle = std::thread::spawn(move || {
             // A dropped client mid-stream is normal; log-and-continue.
-            if let Err(e) = handle_client(conn, &worker_opts, &worker_metrics) {
+            if let Err(e) = handle_client(conn, &worker_opts, &worker_srv) {
                 eprintln!("client error: {e}");
             }
         });
         if once {
             let _ = handle.join();
-            return Ok(());
+            break;
         }
         // Detached: collecting handles would grow without bound on a
         // long-running server, and there is nothing to do with them —
         // worker errors are already logged from the worker itself.
         drop(handle);
     }
+    // Drain the shards on the way out (reachable in `--once` mode; the
+    // long-running accept loop above only ends on a listener error).
+    if let Ok(state) = Arc::try_unwrap(srv) {
+        state
+            .runner
+            .shutdown()
+            .map_err(|e| CliError::Compute(e.to_string()))?;
+    }
     Ok(())
+}
+
+/// Default shard count: one per core, capped at 8 (a shard is a full
+/// runner — channels, supervisor, checkpoints — so more than a handful
+/// only pays off with very many connections).
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// `spring serve` — parse flags, bind, and serve.
@@ -316,6 +383,8 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "max-run",
             "normalize",
             "batch",
+            "shards",
+            "linger-ms",
         ],
         &["once"],
     )?;
@@ -329,6 +398,13 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .get_parsed("batch", "integer")?
         .unwrap_or(spring_monitor::DEFAULT_MAX_BATCH)
         .max(1);
+    let shards: usize = p
+        .get_parsed("shards", "integer")?
+        .unwrap_or_else(default_shards)
+        .max(1);
+    let linger = p
+        .get_parsed::<u64>("linger-ms", "integer")?
+        .map(Duration::from_millis);
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(
         listener,
@@ -338,6 +414,8 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             kernel,
             once: p.has("once"),
             batch,
+            shards,
+            linger,
         },
         out,
     )
@@ -363,6 +441,8 @@ mod tests {
                     // Small odd batch: exercises mid-stream flushes and
                     // trailing partial batches in every test below.
                     batch: 3,
+                    shards: 2,
+                    linger: None,
                 },
                 &mut Vec::new(),
             )
@@ -439,6 +519,8 @@ mod tests {
                     kernel: Kernel::Squared,
                     once: true,
                     batch: spring_monitor::DEFAULT_MAX_BATCH,
+                    shards: 1,
+                    linger: None,
                 },
                 &mut Vec::new(),
             )
@@ -459,6 +541,46 @@ mod tests {
     }
 
     #[test]
+    fn linger_delivers_partial_frame_matches_before_eof() {
+        // Large frames + a linger: the match from a partial frame must
+        // arrive without the client closing its write side first.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_listener(
+                listener,
+                ServeOptions {
+                    query: vec![0.0, 9.0, 0.0],
+                    spec: MonitorSpec::Spring { epsilon: 1.0 },
+                    kernel: Kernel::Squared,
+                    once: true,
+                    batch: 1024, // would buffer forever without the linger
+                    shards: 2,
+                    linger: Some(Duration::from_millis(5)),
+                },
+                &mut Vec::new(),
+            )
+            .unwrap();
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.flush().unwrap();
+        // Read the match line while the connection is still open for
+        // writing: only the janitor can have flushed the frame.
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("match ticks 3..=5"), "{line}");
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        server.join().unwrap();
+        assert!(rest.contains("done 1 match(es) over 7 ticks"), "{rest}");
+    }
+
+    #[test]
     fn http_get_metrics_scrapes_prometheus_text() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -475,6 +597,8 @@ mod tests {
                     once: false,
                     // Per-sample messaging: `--batch 1` compatibility.
                     batch: 1,
+                    shards: 2,
+                    linger: None,
                 },
                 &mut Vec::new(),
             )
@@ -507,6 +631,16 @@ mod tests {
         );
         assert!(
             http.contains("spring_detection_delay_ticks_count"),
+            "{http}"
+        );
+        // The sharded runner's per-shard series are exposed too, and the
+        // connection's 7 ticks all landed on its owning shard.
+        assert!(
+            http.contains("spring_shard_ticks_total{shard=\"0\"}"),
+            "{http}"
+        );
+        assert!(
+            http.contains("spring_shard_queue_depth{shard=\"1\"}"),
             "{http}"
         );
         // Unknown paths get a 404, not a protocol error.

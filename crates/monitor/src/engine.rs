@@ -89,6 +89,9 @@ pub enum MonitorError {
         /// 1-based tick of the offending sample.
         tick: u64,
     },
+    /// Referenced attachment id was never registered (or already
+    /// detached).
+    UnknownAttachment(AttachmentId),
     /// A [`crate::Runner`] worker thread died (panicked or stopped after
     /// an ingestion error) and could not be restarted, so at least one
     /// shard is no longer monitored.
@@ -107,6 +110,7 @@ impl fmt::Display for MonitorError {
             MonitorError::MissingSample { stream, tick } => {
                 write!(f, "missing sample on stream {} at tick {tick}", stream.0)
             }
+            MonitorError::UnknownAttachment(id) => write!(f, "unknown attachment {}", id.0),
             MonitorError::WorkerLost => write!(f, "a monitor worker thread was lost"),
             #[cfg(feature = "failpoints")]
             MonitorError::Injected(site) => write!(f, "injected fault at failpoint `{site}`"),

@@ -21,6 +21,13 @@
 //!   bounded channels, for deployments where one core cannot sustain
 //!   `streams × queries × O(m)` per tick. Worker failures surface as
 //!   [`MonitorError::WorkerLost`] instead of silent sample loss.
+//!   Attachments can be added and removed at runtime, and an optional
+//!   linger deadline bounds match latency on slow streams.
+//! * [`sharded`] — a [`ShardedRunner`]`<M>` stacking several
+//!   independent `Runner`s: streams are routed by a deterministic
+//!   FNV-1a hash of their id, so per-stream buffers, checkpoints,
+//!   supervision, and backpressure are per-shard with no cross-shard
+//!   locking.
 //! * [`metrics`] — dependency-free observability: atomic counters,
 //!   gauges, and fixed-bucket histograms behind a shared [`Metrics`]
 //!   registry (tick latency, match counts, detection delay, queue
@@ -39,6 +46,7 @@ pub mod engine;
 pub mod failpoints;
 pub mod metrics;
 pub mod runner;
+pub mod sharded;
 pub mod sink;
 pub mod vector_engine;
 
@@ -77,8 +85,9 @@ pub use engine::{
     SpringEngine, StreamId, VectorEngine, VectorEvent,
 };
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, TickRecorder,
-    WorkerMetrics, WorkerSnapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, ShardMetrics,
+    ShardSnapshot, TickRecorder, WorkerMetrics, WorkerSnapshot,
 };
 pub use runner::{RestartPolicy, Runner, RunnerAttachment, CHECKPOINT_EVERY, DEFAULT_MAX_BATCH};
+pub use sharded::ShardedRunner;
 pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};

@@ -35,6 +35,9 @@
 //! | `spring_runner_queue_depth` | gauge | messages | queued samples across all runner workers |
 //! | `spring_worker_ticks_total{worker=…}` | counter | messages | samples processed per worker |
 //! | `spring_worker_queue_depth{worker=…}` | gauge | messages | queued samples per worker |
+//! | `spring_shard_ticks_total{shard=…}` | counter | samples | samples processed per runner shard |
+//! | `spring_shard_queue_depth{shard=…}` | gauge | messages | queued samples per runner shard |
+//! | `spring_shard_restarts_total{shard=…}` | counter | workers | supervisor restarts inside each shard |
 //!
 //! # Overhead budget
 //!
@@ -264,6 +267,22 @@ pub struct WorkerMetrics {
     pub queue_depth: Gauge,
 }
 
+/// Per-shard hot-path metrics for a [`crate::ShardedRunner`];
+/// registered into a [`Metrics`] via [`Metrics::register_shard`].
+///
+/// A shard aggregates its workers: each worker mirrors its tick and
+/// queue-depth updates into its shard's handle, so per-shard load and
+/// backpressure are visible without walking the worker list.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Sample messages processed by this shard's workers.
+    pub ticks: Counter,
+    /// Messages currently queued across this shard's workers.
+    pub queue_depth: Gauge,
+    /// Supervisor restarts of workers inside this shard.
+    pub restarts: Counter,
+}
+
 /// The metrics registry shared by every instrumented component.
 ///
 /// Create one (usually inside an `Arc`), hand clones to the engine
@@ -300,6 +319,8 @@ pub struct Metrics {
     /// Registered runner workers (read-locked only for snapshots; the
     /// hot path goes through each worker's own `Arc`).
     workers: RwLock<Vec<Arc<WorkerMetrics>>>,
+    /// Registered runner shards (same locking discipline as `workers`).
+    shards: RwLock<Vec<Arc<ShardMetrics>>>,
 }
 
 impl Default for Metrics {
@@ -316,6 +337,7 @@ impl Default for Metrics {
             detection_delay: Histogram::delay_buckets(),
             batch_len: Histogram::batch_buckets(),
             workers: RwLock::new(Vec::new()),
+            shards: RwLock::new(Vec::new()),
         }
     }
 }
@@ -334,6 +356,16 @@ impl Metrics {
             .unwrap_or_else(PoisonError::into_inner)
             .push(Arc::clone(&wm));
         wm
+    }
+
+    /// Registers one runner shard and returns its hot-path handle.
+    pub fn register_shard(&self) -> Arc<ShardMetrics> {
+        let sm = Arc::new(ShardMetrics::default());
+        self.shards
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&sm));
+        sm
     }
 
     /// Records a confirmed match: bumps the match counter and the
@@ -361,6 +393,17 @@ impl Metrics {
                 queue_depth: w.queue_depth.get(),
             })
             .collect();
+        let shards = self
+            .shards
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|sh| ShardSnapshot {
+                ticks: sh.ticks.get(),
+                queue_depth: sh.queue_depth.get(),
+                restarts: sh.restarts.get(),
+            })
+            .collect();
         MetricsSnapshot {
             ticks_total: self.ticks.get(),
             matches_total: self.matches.get(),
@@ -373,6 +416,7 @@ impl Metrics {
             detection_delay: self.detection_delay.snapshot(),
             batch_len: self.batch_len.snapshot(),
             workers,
+            shards,
         }
     }
 
@@ -389,6 +433,17 @@ pub struct WorkerSnapshot {
     pub ticks: u64,
     /// Messages queued at snapshot time.
     pub queue_depth: u64,
+}
+
+/// Point-in-time view of one runner shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Samples processed by this shard so far.
+    pub ticks: u64,
+    /// Messages queued across this shard's workers at snapshot time.
+    pub queue_depth: u64,
+    /// Supervisor restarts inside this shard so far.
+    pub restarts: u64,
 }
 
 /// A consistent point-in-time view of a [`Metrics`] registry.
@@ -416,6 +471,8 @@ pub struct MetricsSnapshot {
     pub batch_len: HistogramSnapshot,
     /// Per-worker views (empty outside runner deployments).
     pub workers: Vec<WorkerSnapshot>,
+    /// Per-shard views (empty outside sharded-runner deployments).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 /// Formats an `le` bound for the exposition format (`+Inf` for the
@@ -540,6 +597,40 @@ impl MetricsSnapshot {
                 );
             }
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(
+                s,
+                "# HELP spring_shard_ticks_total Samples processed per runner shard."
+            );
+            let _ = writeln!(s, "# TYPE spring_shard_ticks_total counter");
+            for (i, sh) in self.shards.iter().enumerate() {
+                let _ = writeln!(s, "spring_shard_ticks_total{{shard=\"{i}\"}} {}", sh.ticks);
+            }
+            let _ = writeln!(
+                s,
+                "# HELP spring_shard_queue_depth Queued sample messages per runner shard."
+            );
+            let _ = writeln!(s, "# TYPE spring_shard_queue_depth gauge");
+            for (i, sh) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "spring_shard_queue_depth{{shard=\"{i}\"}} {}",
+                    sh.queue_depth
+                );
+            }
+            let _ = writeln!(
+                s,
+                "# HELP spring_shard_restarts_total Supervisor restarts inside each runner shard."
+            );
+            let _ = writeln!(s, "# TYPE spring_shard_restarts_total counter");
+            for (i, sh) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "spring_shard_restarts_total{{shard=\"{i}\"}} {}",
+                    sh.restarts
+                );
+            }
+        }
         s
     }
 
@@ -603,6 +694,15 @@ impl MetricsSnapshot {
             row(
                 &format!("worker {i}"),
                 format!("{} ticks, queue depth {}", w.ticks, w.queue_depth),
+            );
+        }
+        for (i, sh) in self.shards.iter().enumerate() {
+            row(
+                &format!("shard {i}"),
+                format!(
+                    "{} ticks, queue depth {}, restarts {}",
+                    sh.ticks, sh.queue_depth, sh.restarts
+                ),
             );
         }
         s

@@ -9,7 +9,10 @@
 //!
 //! Scaling model: with `A` attachments of query length `m` spread over
 //! `w` workers, each incoming sample costs `O(A·m / w)` on the critical
-//! path — the `monitor_scaling` bench measures exactly this.
+//! path — the `monitor_scaling` bench measures exactly this. To scale
+//! across *streams* (separate pending buffers, routes, checkpoints, and
+//! backpressure per group of streams), stack a [`crate::ShardedRunner`]
+//! on top: it hashes stream ids over several independent `Runner`s.
 //!
 //! # Framed channels
 //!
@@ -19,12 +22,27 @@
 //! batch instead of per tick. [`Runner::push`] appends to a per-stream
 //! pending buffer and sends a frame when it fills;
 //! [`Runner::push_batch`] hands over whole slices. Flushing is
-//! **linger-free**: no timer holds samples back — a partial frame is
-//! flushed by [`Runner::finish_stream`] and [`Runner::shutdown`] (and
-//! can be forced any time with [`Runner::flush`]), so `max_batch = 1`
-//! reproduces the old per-sample messaging exactly. Checkpoints, the
+//! **linger-free by default**: no timer holds samples back — a partial
+//! frame is flushed by [`Runner::finish_stream`] and
+//! [`Runner::shutdown`] (and can be forced any time with
+//! [`Runner::flush`]), so `max_batch = 1` reproduces the old per-sample
+//! messaging exactly. [`Runner::set_linger`] opts into a deadline: a
+//! janitor thread flushes partial frames older than the configured
+//! linger, bounding match latency on slow streams. Checkpoints, the
 //! replay log, and at-least-once redelivery all operate at frame
 //! granularity.
+//!
+//! # Dynamic attachments
+//!
+//! [`Runner::attach`] and [`Runner::detach`] add and remove
+//! (stream, query) attachments while the runner is live, from `&self` —
+//! long-lived deployments (`spring serve`) attach one monitor per
+//! connection. Attach/detach travel through the same logged, replayed
+//! message path as frames, so a worker restart reconstructs them.
+//! [`Runner::sync`] is a barrier: it returns once every worker watching
+//! a stream has drained the messages enqueued before the call, which is
+//! how a caller knows all matches for its pushed samples have reached
+//! the sink.
 //!
 //! # Failure handling and supervision
 //!
@@ -32,9 +50,9 @@
 //! differently:
 //!
 //! * **Ingestion errors** (e.g. [`GapPolicy::Fail`] on a missing value)
-//!   are deliberate: the first one is recorded and returned by
-//!   [`Runner::shutdown`]; the worker is *not* restarted, and pushes to
-//!   its streams report [`MonitorError::WorkerLost`].
+//!   are deliberate: the lowest-ranked one (see below) is recorded and
+//!   returned by [`Runner::shutdown`]; the worker is *not* restarted,
+//!   and pushes to its streams report [`MonitorError::WorkerLost`].
 //! * **Panics** (a crashing sink, an injected fault) are infrastructure
 //!   failures: a built-in supervisor restarts the worker with capped
 //!   exponential backoff ([`RestartPolicy`]), restores its shard from
@@ -49,22 +67,27 @@
 //!   [`RestartPolicy::max_restarts`] it is permanently lost and
 //!   [`Runner::shutdown`] reports [`MonitorError::WorkerLost`].
 //!
-//! [`Runner::shutdown`] drains every queue before joining: dead workers
-//! are healed (restart + replay) first, so samples queued at crash time
-//! are still processed, and a documented error is returned only when a
-//! worker is permanently lost.
+//! [`Runner::shutdown`] drains every queue before joining: pending
+//! partial frames are flushed in ascending `StreamId` order (HashMap
+//! iteration order would make the surfaced error run-dependent when
+//! several streams hold failing samples), dead workers are healed
+//! (restart + replay) first so samples queued at crash time are still
+//! processed, and when several workers record errors the *lowest
+//! ranked* one is returned deterministically: `MissingSample` ordered
+//! by (stream, tick) before other ingestion errors before
+//! [`MonitorError::WorkerLost`].
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use spring_core::monitor::Monitor;
 
 use crate::engine::{Attachment, AttachmentId, GapPolicy, MonitorError, Owned, QueryId, StreamId};
-use crate::metrics::{Metrics, WorkerMetrics};
+use crate::metrics::{Metrics, ShardMetrics, WorkerMetrics};
 use crate::sink::MatchSink;
 
 /// Queue depth per worker (messages, i.e. frames); bounds memory under
@@ -168,6 +191,56 @@ impl RunnerAttachment<spring_core::Spring<spring_dtw::Kernel>> {
     }
 }
 
+/// A barrier one [`Runner::sync`] call shares with the workers it
+/// waits on: each worker arrives when it dequeues its `Sync` message.
+///
+/// Arrival is saturating (a restart replays the logged `Sync`, so a
+/// worker may arrive twice) — the barrier is exact in fault-free runs
+/// and never blocks forever under the at-least-once replay.
+struct SyncPoint {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl SyncPoint {
+    fn new(workers: usize) -> Self {
+        SyncPoint {
+            remaining: Mutex::new(workers),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut r = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *r = r.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout`; `true` once every worker has arrived.
+    fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut r = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *r > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(r, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            r = g;
+        }
+        true
+    }
+}
+
 enum Msg<M: Monitor> {
     /// A batch of consecutive samples of one stream (the unit of
     /// channel traffic, checkpointing, and replay).
@@ -176,10 +249,17 @@ enum Msg<M: Monitor> {
         samples: Vec<Owned<M>>,
     },
     FinishStream(StreamId),
+    /// Add an attachment to the receiving worker's shard (logged and
+    /// replayed like a frame, so restarts reconstruct it).
+    Attach(Box<Attachment<M>>),
+    /// Remove an attachment from the receiving worker's shard.
+    Detach(AttachmentId),
+    /// Arrive at the barrier (see [`Runner::sync`]).
+    Sync(Arc<SyncPoint>),
     Shutdown,
 }
 
-impl<M: Monitor> Clone for Msg<M>
+impl<M: Monitor + Clone> Clone for Msg<M>
 where
     Owned<M>: Clone,
 {
@@ -190,6 +270,9 @@ where
                 samples: samples.clone(),
             },
             Msg::FinishStream(stream) => Msg::FinishStream(*stream),
+            Msg::Attach(att) => Msg::Attach(Box::new(att.fork())),
+            Msg::Detach(id) => Msg::Detach(*id),
+            Msg::Sync(point) => Msg::Sync(Arc::clone(point)),
             Msg::Shutdown => Msg::Shutdown,
         }
     }
@@ -223,30 +306,103 @@ struct WorkerSlot<M: Monitor> {
     shared: Arc<WorkerShared<M>>,
 }
 
-/// A running pool of monitor workers.
-///
-/// Samples are pushed from any thread via [`Runner::push`]; matches
-/// arrive at the sink from worker threads. Call [`Runner::shutdown`] to
-/// flush, join, and learn about any worker failure. Workers lost to
-/// panics are restarted from their last checkpoint per the configured
-/// [`RestartPolicy`].
-pub struct Runner<M: Monitor> {
+/// Everything a worker thread needs besides its shard and channel —
+/// bundled so spawning and healing share one construction site.
+struct WorkerCtx<M: Monitor> {
+    sink: Arc<dyn MatchSink>,
+    error: Arc<Mutex<Option<MonitorError>>>,
+    wm: Option<Arc<WorkerMetrics>>,
+    /// Shard-level mirror of the worker gauges (set when this runner is
+    /// one shard of a [`crate::ShardedRunner`]).
+    sm: Option<Arc<ShardMetrics>>,
+    metrics: Option<Arc<Metrics>>,
+    shared: Arc<WorkerShared<M>>,
+}
+
+/// The runner state shared between the [`Runner`] handle, its workers'
+/// supervisor paths, and the optional linger janitor thread.
+struct Core<M: Monitor> {
     slots: Vec<Mutex<WorkerSlot<M>>>,
-    /// Worker indices interested in each stream.
-    routes: HashMap<StreamId, Vec<usize>>,
+    /// Worker indices interested in each stream (write-locked only by
+    /// attach/detach; routing takes the read lock).
+    routes: RwLock<HashMap<StreamId, Vec<usize>>>,
+    /// Owning worker and stream of every live attachment — the
+    /// attach/detach bookkeeping from which routes are recomputed.
+    homes: Mutex<HashMap<AttachmentId, (usize, StreamId)>>,
     /// Per-stream sample buffers awaiting a full frame (flushed at
-    /// `max_batch`, on `finish_stream`, `flush`, and `shutdown`).
-    pending: Mutex<HashMap<StreamId, Vec<Owned<M>>>>,
+    /// `max_batch`, on `finish_stream`, `flush`, `shutdown`, and — when
+    /// a linger is configured — by the janitor on deadline).
+    pending: Mutex<HashMap<StreamId, PendingBuf<M>>>,
     /// Samples per frame before a buffer is flushed (≥ 1).
-    max_batch: usize,
-    /// First ingestion error recorded by any worker.
+    max_batch: AtomicUsize,
+    /// Linger deadline for partial frames, nanoseconds; `0` = off.
+    linger: AtomicU64,
+    /// Next id handed out by [`Runner::attach`].
+    next_attachment: AtomicU32,
+    /// Lowest-ranked ingestion error recorded by any worker.
     error: Arc<Mutex<Option<MonitorError>>>,
     /// Per-worker observability handles (aligned with `slots`; reused
     /// across restarts so worker indices stay stable).
     worker_metrics: Vec<Option<Arc<WorkerMetrics>>>,
+    /// Shard-level aggregate gauges (sharded deployments only).
+    shard_metrics: Option<Arc<ShardMetrics>>,
     metrics: Option<Arc<Metrics>>,
     sink: Arc<dyn MatchSink>,
     restart: RestartPolicy,
+}
+
+/// One stream's samples awaiting a full frame.
+struct PendingBuf<M: Monitor> {
+    samples: Vec<Owned<M>>,
+    /// When the oldest buffered sample arrived (stamped only while a
+    /// linger deadline is configured — the linger-free hot path takes
+    /// no clock reads).
+    since: Option<Instant>,
+}
+
+impl<M: Monitor> Default for PendingBuf<M> {
+    fn default() -> Self {
+        PendingBuf {
+            samples: Vec::new(),
+            since: None,
+        }
+    }
+}
+
+impl<M: Monitor> PendingBuf<M> {
+    fn take(&mut self) -> Vec<Owned<M>> {
+        self.since = None;
+        std::mem::take(&mut self.samples)
+    }
+}
+
+/// The linger janitor: a thread flushing overdue partial frames.
+struct Janitor {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<()>,
+}
+
+/// A running pool of monitor workers.
+///
+/// Samples are pushed from any thread via [`Runner::push`]; matches
+/// arrive at the sink from worker threads. Attachments can be added and
+/// removed at runtime ([`Runner::attach`] / [`Runner::detach`]). Call
+/// [`Runner::shutdown`] to flush, join, and learn about any worker
+/// failure. Workers lost to panics are restarted from their last
+/// checkpoint per the configured [`RestartPolicy`].
+pub struct Runner<M: Monitor> {
+    core: Arc<Core<M>>,
+    janitor: Option<Janitor>,
+}
+
+impl<M: Monitor> Drop for Runner<M> {
+    fn drop(&mut self) {
+        if let Some(j) = self.janitor.take() {
+            *j.stop.0.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            j.stop.1.notify_all();
+            let _ = j.handle.join();
+        }
+    }
 }
 
 /// Increments `spring_worker_lost_total` when the worker thread exits
@@ -272,11 +428,7 @@ impl Drop for WorkerLostGuard {
 fn spawn_worker<M>(
     mut shard: Vec<Attachment<M>>,
     rx: Receiver<Msg<M>>,
-    sink: Arc<dyn MatchSink>,
-    error: Arc<Mutex<Option<MonitorError>>>,
-    wm: Option<Arc<WorkerMetrics>>,
-    guard_metrics: Option<Arc<Metrics>>,
-    shared: Arc<WorkerShared<M>>,
+    ctx: WorkerCtx<M>,
 ) -> JoinHandle<()>
 where
     M: Monitor + Clone + Send + 'static,
@@ -287,19 +439,22 @@ where
         // panicking sink (or a recorded ingestion error) bumps
         // `spring_worker_lost_total` exactly once per lost worker.
         let mut guard = WorkerLostGuard {
-            metrics: guard_metrics,
+            metrics: ctx.metrics.clone(),
             lost: false,
         };
         // Messages applied by this incarnation, continuing the absolute
         // count from the checkpoint the shard was forked at.
-        let mut applied = shared.applied.load(Ordering::Acquire);
+        let mut applied = ctx.shared.applied.load(Ordering::Acquire);
         'recv: for msg in rx {
             crate::fail_point!("runner::worker::recv");
             // Shutdown messages are not routed (and not counted into the
-            // depth gauge), so only samples/finishes decrement it.
-            if let Some(wm) = &wm {
-                if !matches!(msg, Msg::Shutdown) {
+            // depth gauges), so only routed messages decrement them.
+            if !matches!(msg, Msg::Shutdown) {
+                if let Some(wm) = &ctx.wm {
                     wm.queue_depth.add(-1);
+                }
+                if let Some(sm) = &ctx.sm {
+                    sm.queue_depth.add(-1);
                 }
             }
             match msg {
@@ -315,24 +470,27 @@ where
                             match att.ingest(std::borrow::Borrow::borrow(value)) {
                                 Ok(Some(event)) => {
                                     crate::fail_point!("runner::sink");
-                                    sink.on_match(&event);
+                                    ctx.sink.on_match(&event);
                                 }
                                 Ok(None) => {}
                                 Err(e) => {
-                                    record_error(&error, e);
+                                    record_error(&ctx.error, e);
                                     // Deliberate stop: tell the
                                     // supervisor not to restart; the
                                     // frame tail is dropped with the
                                     // rest of the stream.
-                                    shared.failed.store(true, Ordering::Release);
+                                    ctx.shared.failed.store(true, Ordering::Release);
                                     failed = true;
                                     break 'frame;
                                 }
                             }
                         }
                     }
-                    if let Some(wm) = &wm {
+                    if let Some(wm) = &ctx.wm {
                         wm.ticks.add(processed);
+                    }
+                    if let Some(sm) = &ctx.sm {
+                        sm.ticks.add(processed);
                     }
                     if failed {
                         // Drop the receiver so later pushes fail fast.
@@ -344,20 +502,30 @@ where
                     for att in shard.iter_mut().filter(|a| a.stream == stream) {
                         if let Some(event) = att.flush() {
                             crate::fail_point!("runner::sink");
-                            sink.on_match(&event);
+                            ctx.sink.on_match(&event);
                         }
                     }
                 }
+                Msg::Attach(att) => {
+                    // Replays are pruned against the checkpoint, so a
+                    // duplicate can't normally arrive — the guard keeps
+                    // a duplicated Attach from double-counting anyway.
+                    if !shard.iter().any(|a| a.id == att.id) {
+                        shard.push(*att);
+                    }
+                }
+                Msg::Detach(id) => shard.retain(|a| a.id != id),
+                Msg::Sync(point) => point.arrive(),
                 Msg::Shutdown => break,
             }
             applied += 1;
-            if applied - shared.applied.load(Ordering::Relaxed) >= CHECKPOINT_EVERY {
+            if applied - ctx.shared.applied.load(Ordering::Relaxed) >= CHECKPOINT_EVERY {
                 let fork: Vec<Attachment<M>> = shard.iter().map(Attachment::fork).collect();
-                *shared
+                *ctx.shared
                     .checkpoint
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner) = fork;
-                shared.applied.store(applied, Ordering::Release);
+                ctx.shared.applied.store(applied, Ordering::Release);
             }
         }
     })
@@ -417,6 +585,26 @@ where
         metrics: Option<Arc<Metrics>>,
         restart: RestartPolicy,
     ) -> Result<Self, MonitorError> {
+        let prepared = attachments
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (AttachmentId(i as u32), a))
+            .collect();
+        Runner::spawn_prepared(prepared, workers, sink, metrics, restart, None)
+    }
+
+    /// The innermost constructor: attachment ids are caller-assigned
+    /// (a [`crate::ShardedRunner`] keeps ids globally unique across its
+    /// shards) and an optional [`ShardMetrics`] mirror aggregates this
+    /// runner's worker gauges at shard granularity.
+    pub(crate) fn spawn_prepared(
+        attachments: Vec<(AttachmentId, RunnerAttachment<M>)>,
+        workers: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+        restart: RestartPolicy,
+        shard_metrics: Option<Arc<ShardMetrics>>,
+    ) -> Result<Self, MonitorError> {
         if workers == 0 {
             return Err(MonitorError::Spring(
                 spring_core::SpringError::InvalidQuery("runner needs at least one worker".into()),
@@ -424,10 +612,13 @@ where
         }
         let mut shards: Vec<Vec<Attachment<M>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut routes: HashMap<StreamId, Vec<usize>> = HashMap::new();
-        for (i, spec) in attachments.into_iter().enumerate() {
+        let mut homes: HashMap<AttachmentId, (usize, StreamId)> = HashMap::new();
+        let mut next_id: u32 = 0;
+        for (i, (id, spec)) in attachments.into_iter().enumerate() {
             let worker = i % workers;
+            next_id = next_id.max(id.0.saturating_add(1));
             let mut attachment = Attachment::new(
-                AttachmentId(i as u32),
+                id,
                 spec.stream,
                 spec.query_id,
                 spec.monitor,
@@ -436,6 +627,7 @@ where
             if let Some(metrics) = &metrics {
                 attachment.set_metrics(metrics);
             }
+            homes.insert(id, (worker, spec.stream));
             shards[worker].push(attachment);
             let entry = routes.entry(spec.stream).or_default();
             if !entry.contains(&worker) {
@@ -456,15 +648,15 @@ where
                 checkpoint: Mutex::new(shard.iter().map(Attachment::fork).collect()),
             });
             let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
-            let handle = spawn_worker(
-                shard,
-                rx,
-                Arc::clone(&sink),
-                Arc::clone(&error),
+            let ctx = WorkerCtx {
+                sink: Arc::clone(&sink),
+                error: Arc::clone(&error),
                 wm,
-                metrics.clone(),
-                Arc::clone(&shared),
-            );
+                sm: shard_metrics.clone(),
+                metrics: metrics.clone(),
+                shared: Arc::clone(&shared),
+            };
+            let handle = spawn_worker(shard, rx, ctx);
             slots.push(Mutex::new(WorkerSlot {
                 sender: tx,
                 handle: Some(handle),
@@ -476,15 +668,22 @@ where
             }));
         }
         Ok(Runner {
-            slots,
-            routes,
-            pending: Mutex::new(HashMap::new()),
-            max_batch: DEFAULT_MAX_BATCH,
-            error,
-            worker_metrics,
-            metrics,
-            sink,
-            restart,
+            core: Arc::new(Core {
+                slots,
+                routes: RwLock::new(routes),
+                homes: Mutex::new(homes),
+                pending: Mutex::new(HashMap::new()),
+                max_batch: AtomicUsize::new(DEFAULT_MAX_BATCH),
+                linger: AtomicU64::new(0),
+                next_attachment: AtomicU32::new(next_id),
+                error,
+                worker_metrics,
+                shard_metrics,
+                metrics,
+                sink,
+                restart,
+            }),
+            janitor: None,
         })
     }
 
@@ -493,12 +692,112 @@ where
     /// `1` reproduces per-sample messaging exactly). Call before
     /// pushing; changing it mid-stream only affects future frames.
     pub fn set_max_batch(&mut self, max_batch: usize) {
-        self.max_batch = max_batch.max(1);
+        self.core
+            .max_batch
+            .store(max_batch.max(1), Ordering::Relaxed);
     }
 
     /// The configured frame size (default [`DEFAULT_MAX_BATCH`]).
     pub fn max_batch(&self) -> usize {
-        self.max_batch
+        self.core.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Sets the linger deadline for partial frames: a janitor thread
+    /// flushes any stream whose pending buffer has been non-empty for
+    /// at least `linger`, bounding match latency on slow streams.
+    /// `Duration::ZERO` (the default) disables lingering — partial
+    /// frames then wait for [`Runner::flush`]/[`Runner::finish_stream`]/
+    /// [`Runner::shutdown`] exactly as before, so at `max_batch = 1`
+    /// (where no partial frame ever exists) a configured linger changes
+    /// nothing about the transcript.
+    pub fn set_linger(&mut self, linger: Duration) {
+        let nanos = u64::try_from(linger.as_nanos()).unwrap_or(u64::MAX);
+        self.core.linger.store(nanos, Ordering::Relaxed);
+        if nanos > 0 && self.janitor.is_none() {
+            let core = Arc::clone(&self.core);
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let stop2 = Arc::clone(&stop);
+            let handle = thread::spawn(move || {
+                let (lock, cv) = &*stop2;
+                let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while !*stopped {
+                    let nanos = core.linger.load(Ordering::Relaxed);
+                    // Wake about twice per linger so a frame overstays
+                    // its deadline by at most ~50%.
+                    let interval = if nanos == 0 {
+                        Duration::from_millis(50)
+                    } else {
+                        Duration::from_nanos(nanos / 2)
+                            .clamp(Duration::from_millis(1), Duration::from_millis(50))
+                    };
+                    let (g, _) = cv
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = g;
+                    if *stopped {
+                        break;
+                    }
+                    let nanos = core.linger.load(Ordering::Relaxed);
+                    if nanos > 0 {
+                        core.flush_lingering(Duration::from_nanos(nanos));
+                    }
+                }
+            });
+            self.janitor = Some(Janitor { stop, handle });
+        }
+    }
+
+    /// The configured linger deadline (`Duration::ZERO` = off).
+    pub fn linger(&self) -> Duration {
+        Duration::from_nanos(self.core.linger.load(Ordering::Relaxed))
+    }
+
+    /// Adds an attachment while the runner is live, on the least-loaded
+    /// worker (fewest attachments), and returns its id. The attachment
+    /// sees every sample pushed to its stream *after* this call returns.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] when the chosen worker is
+    /// permanently lost.
+    pub fn attach(&self, spec: RunnerAttachment<M>) -> Result<AttachmentId, MonitorError> {
+        let id = AttachmentId(self.core.next_attachment.fetch_add(1, Ordering::Relaxed));
+        self.core.attach_with_id(id, spec)?;
+        Ok(id)
+    }
+
+    /// [`Runner::attach`] with a caller-assigned id (the
+    /// [`crate::ShardedRunner`] allocates ids globally).
+    pub(crate) fn attach_with_id(
+        &self,
+        id: AttachmentId,
+        spec: RunnerAttachment<M>,
+    ) -> Result<(), MonitorError> {
+        self.core.attach_with_id(id, spec)
+    }
+
+    /// Removes a live attachment: flushes its stream's pending partial
+    /// frame (so buffered samples are still monitored), detaches the
+    /// monitor, and drops the route if it was the stream's last watcher.
+    ///
+    /// # Errors
+    /// [`MonitorError::UnknownAttachment`] for an id never attached (or
+    /// already detached); [`MonitorError::WorkerLost`] when the owning
+    /// worker is permanently lost.
+    pub fn detach(&self, id: AttachmentId) -> Result<(), MonitorError> {
+        self.core.detach(id)
+    }
+
+    /// Barrier: returns once every worker watching `stream` has drained
+    /// all messages enqueued for it before this call — at which point
+    /// every match implied by previously pushed (and flushed) samples
+    /// has reached the sink. Samples still in the pending buffer are
+    /// *not* flushed; call [`Runner::flush`] first when that matters.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] when a watching worker is
+    /// permanently lost before arriving.
+    pub fn sync(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.core.sync(stream)
     }
 
     /// Pushes one sample to `stream`: the sample joins the stream's
@@ -508,7 +807,7 @@ where
     /// Blocks briefly when a worker's queue is full (backpressure).
     /// With `max_batch > 1` a reported error may concern a sample from
     /// an *earlier* push of the same stream (the frame that just
-    /// flushed); [`Runner::shutdown`] still surfaces the first recorded
+    /// flushed); [`Runner::shutdown`] still surfaces the recorded
     /// ingestion error either way.
     ///
     /// # Errors
@@ -516,14 +815,7 @@ where
     /// permanently lost (recorded ingestion error, or a panic loop that
     /// exhausted the restart budget).
     pub fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
-        let mut pending = self.lock_pending();
-        let buf = pending.entry(stream).or_default();
-        buf.push(sample.to_owned());
-        if buf.len() >= self.max_batch {
-            let frame = std::mem::take(buf);
-            return self.send_frame(stream, frame);
-        }
-        Ok(())
+        self.core.push(stream, sample)
     }
 
     /// Pushes a whole slice of samples to `stream` (batch form of
@@ -533,27 +825,95 @@ where
     /// # Errors
     /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
     pub fn push_batch(&self, stream: StreamId, samples: &[Owned<M>]) -> Result<(), MonitorError> {
-        if samples.is_empty() {
-            return Ok(());
-        }
-        let mut pending = self.lock_pending();
-        let buf = pending.entry(stream).or_default();
-        buf.extend(samples.iter().cloned());
-        while buf.len() >= self.max_batch {
-            let frame: Vec<Owned<M>> = buf.drain(..self.max_batch).collect();
-            self.send_frame(stream, frame)?;
-        }
-        Ok(())
+        self.core.push_batch(stream, samples)
     }
 
     /// Enqueues the stream's pending partial frame immediately (a no-op
     /// when nothing is buffered). [`Runner::finish_stream`] and
-    /// [`Runner::shutdown`] call this implicitly — there is no linger
-    /// timer to wait out.
+    /// [`Runner::shutdown`] call this implicitly.
     ///
     /// # Errors
     /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
     pub fn flush(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.core.flush(stream)
+    }
+
+    /// Flushes the stream's pending frame, then its attachments' pending
+    /// group optima.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] when a watching worker is
+    /// permanently lost.
+    pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.core.finish_stream(stream)
+    }
+
+    /// Drains all queues, stops the workers, and joins them.
+    ///
+    /// Pending partial frames are flushed first, in ascending
+    /// `StreamId` order (deterministic error precedence). Dead workers
+    /// are healed (restarted from checkpoint + replayed) before the
+    /// drain, so every queued sample is processed unless a worker is
+    /// permanently lost — in which case the error below is returned and
+    /// some samples may not have been monitored.
+    ///
+    /// # Errors
+    /// The lowest-ranked ingestion error recorded by any worker
+    /// ([`MonitorError::MissingSample`] ordered by (stream, tick) first),
+    /// or [`MonitorError::WorkerLost`] when a worker was permanently
+    /// lost (panic with supervision off, or restart budget exhausted).
+    pub fn shutdown(self) -> Result<(), MonitorError> {
+        // Dropping the handle joins the janitor first, so no flush races
+        // the drain; the workers keep running — the core keeps them
+        // alive until it finishes the drain below.
+        let core = Arc::clone(&self.core);
+        drop(self);
+        core.shutdown()
+    }
+}
+
+impl<M> Core<M>
+where
+    M: Monitor + Clone + Send + 'static,
+    Owned<M>: Clone + Send,
+{
+    fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
+        let max_batch = self.max_batch.load(Ordering::Relaxed);
+        let mut pending = self.lock_pending();
+        let buf = pending.entry(stream).or_default();
+        if buf.samples.is_empty() && self.linger.load(Ordering::Relaxed) > 0 {
+            buf.since = Some(Instant::now());
+        }
+        buf.samples.push(sample.to_owned());
+        if buf.samples.len() >= max_batch {
+            let frame = buf.take();
+            return self.send_frame(stream, frame);
+        }
+        Ok(())
+    }
+
+    fn push_batch(&self, stream: StreamId, samples: &[Owned<M>]) -> Result<(), MonitorError> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let max_batch = self.max_batch.load(Ordering::Relaxed);
+        let mut pending = self.lock_pending();
+        let buf = pending.entry(stream).or_default();
+        if buf.samples.is_empty() && self.linger.load(Ordering::Relaxed) > 0 {
+            buf.since = Some(Instant::now());
+        }
+        buf.samples.extend(samples.iter().cloned());
+        while buf.samples.len() >= max_batch {
+            let frame: Vec<Owned<M>> = buf.samples.drain(..max_batch).collect();
+            self.send_frame(stream, frame)?;
+        }
+        if buf.samples.is_empty() {
+            buf.since = None;
+        }
+        Ok(())
+    }
+
+    fn flush(&self, stream: StreamId) -> Result<(), MonitorError> {
         let mut pending = self.lock_pending();
         self.flush_locked(&mut pending, stream)
     }
@@ -562,15 +922,33 @@ where
     /// frame order per stream is total even across pusher threads).
     fn flush_locked(
         &self,
-        pending: &mut HashMap<StreamId, Vec<Owned<M>>>,
+        pending: &mut HashMap<StreamId, PendingBuf<M>>,
         stream: StreamId,
     ) -> Result<(), MonitorError> {
         match pending.get_mut(&stream) {
-            Some(buf) if !buf.is_empty() => {
-                let frame = std::mem::take(buf);
+            Some(buf) if !buf.samples.is_empty() => {
+                let frame = buf.take();
                 self.send_frame(stream, frame)
             }
             _ => Ok(()),
+        }
+    }
+
+    /// Janitor body: flushes every stream whose partial frame is older
+    /// than `linger`, in `StreamId` order. A lost worker is left for the
+    /// pusher to discover — the janitor only bounds latency.
+    fn flush_lingering(&self, linger: Duration) {
+        let mut pending = self.lock_pending();
+        let mut due: Vec<StreamId> = pending
+            .iter()
+            .filter(|(_, buf)| {
+                !buf.samples.is_empty() && buf.since.is_some_and(|t| t.elapsed() >= linger)
+            })
+            .map(|(&s, _)| s)
+            .collect();
+        due.sort_unstable();
+        for s in due {
+            let _ = self.flush_locked(&mut pending, s);
         }
     }
 
@@ -585,13 +963,7 @@ where
         })
     }
 
-    /// Flushes the stream's pending frame, then its attachments' pending
-    /// group optima.
-    ///
-    /// # Errors
-    /// [`MonitorError::WorkerLost`] when a watching worker is
-    /// permanently lost.
-    pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
+    fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
         let mut pending = self.lock_pending();
         self.flush_locked(&mut pending, stream)?;
         self.route(stream, Msg::FinishStream)
@@ -601,8 +973,47 @@ where
         self.slots[w].lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_pending(&self) -> MutexGuard<'_, HashMap<StreamId, Vec<Owned<M>>>> {
+    fn lock_pending(&self) -> MutexGuard<'_, HashMap<StreamId, PendingBuf<M>>> {
         self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_homes(&self) -> MutexGuard<'_, HashMap<AttachmentId, (usize, StreamId)>> {
+        self.homes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Workers currently routed for `stream`.
+    fn watchers(&self, stream: StreamId) -> Vec<usize> {
+        self.routes
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&stream)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Enqueues one message to worker `w` with its slot locked: logs it,
+    /// bumps the depth gauges, sends, and heals on a dead channel.
+    /// `false` when the worker is (or became) permanently lost.
+    fn enqueue(&self, w: usize, slot: &mut WorkerSlot<M>, m: Msg<M>) -> bool {
+        // Drop log entries already covered by a checkpoint.
+        prune_log(slot);
+        slot.sent += 1;
+        let seq = slot.sent;
+        slot.log.push_back((seq, m.clone()));
+        // Depth is incremented *before* the send so the worker's
+        // decrement (which can only happen after the send) never
+        // transiently underflows the gauges.
+        if let Some(wm) = &self.worker_metrics[w] {
+            wm.queue_depth.add(1);
+        }
+        if let Some(sm) = &self.shard_metrics {
+            sm.queue_depth.add(1);
+        }
+        // A worker only stops receiving after Shutdown, a recorded
+        // error, or a panic — a failed send means it is gone: try to
+        // heal it (the message is already in the log, so a successful
+        // heal replays it).
+        !(slot.sender.send(m).is_err() && self.heal(w, slot).is_err())
     }
 
     fn route(
@@ -611,38 +1022,129 @@ where
         mut msg: impl FnMut(StreamId) -> Msg<M>,
     ) -> Result<(), MonitorError> {
         let mut lost = false;
-        if let Some(workers) = self.routes.get(&stream) {
-            for &w in workers {
-                let mut slot = self.lock_slot(w);
-                if slot.dead {
-                    lost = true;
-                    continue;
-                }
-                // Drop log entries already covered by a checkpoint.
-                prune_log(&mut slot);
-                let m = msg(stream);
-                slot.sent += 1;
-                let seq = slot.sent;
-                slot.log.push_back((seq, m.clone()));
-                // Depth is incremented *before* the send so the worker's
-                // decrement (which can only happen after the send) never
-                // transiently underflows the gauge.
-                if let Some(wm) = &self.worker_metrics[w] {
-                    wm.queue_depth.add(1);
-                }
-                // A worker only stops receiving after Shutdown, a
-                // recorded error, or a panic — a failed send means it is
-                // gone: try to heal it (the message is already in the
-                // log, so a successful heal replays it).
-                if slot.sender.send(m).is_err() && self.heal(w, &mut slot).is_err() {
-                    lost = true;
-                }
+        for w in self.watchers(stream) {
+            let mut slot = self.lock_slot(w);
+            if slot.dead {
+                lost = true;
+                continue;
+            }
+            if !self.enqueue(w, &mut slot, msg(stream)) {
+                lost = true;
             }
         }
         if lost {
             Err(MonitorError::WorkerLost)
         } else {
             Ok(())
+        }
+    }
+
+    fn attach_with_id(
+        &self,
+        id: AttachmentId,
+        spec: RunnerAttachment<M>,
+    ) -> Result<(), MonitorError> {
+        let stream = spec.stream;
+        // Least-loaded worker, lowest index on ties.
+        let w = {
+            let homes = self.lock_homes();
+            let mut counts = vec![0usize; self.slots.len()];
+            for &(wk, _) in homes.values() {
+                counts[wk] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, c)| (*c, i))
+                .map(|(i, _)| i)
+                .expect("runner has at least one worker")
+        };
+        let mut attachment =
+            Attachment::new(id, stream, spec.query_id, spec.monitor, spec.gap_policy);
+        if let Some(m) = &self.metrics {
+            attachment.set_metrics(m);
+        }
+        {
+            let mut slot = self.lock_slot(w);
+            if slot.dead || !self.enqueue(w, &mut slot, Msg::Attach(Box::new(attachment))) {
+                return Err(MonitorError::WorkerLost);
+            }
+        }
+        self.lock_homes().insert(id, (w, stream));
+        // Route added *after* the Attach is enqueued: the channel is
+        // FIFO, so any frame routed from here on reaches the worker
+        // after the attachment exists.
+        let mut routes = self.routes.write().unwrap_or_else(PoisonError::into_inner);
+        let entry = routes.entry(stream).or_default();
+        if !entry.contains(&w) {
+            entry.push(w);
+        }
+        Ok(())
+    }
+
+    fn detach(&self, id: AttachmentId) -> Result<(), MonitorError> {
+        let (w, stream) = self
+            .lock_homes()
+            .remove(&id)
+            .ok_or(MonitorError::UnknownAttachment(id))?;
+        // Buffered samples still belong to the attachment: flush before
+        // it leaves. A lost worker surfaces below either way.
+        let _ = self.flush(stream);
+        let sent = {
+            let mut slot = self.lock_slot(w);
+            !slot.dead && self.enqueue(w, &mut slot, Msg::Detach(id))
+        };
+        // Recompute the stream's route from the remaining attachments.
+        let workers: Vec<usize> = {
+            let homes = self.lock_homes();
+            let mut ws: Vec<usize> = homes
+                .values()
+                .filter(|&&(_, s)| s == stream)
+                .map(|&(wk, _)| wk)
+                .collect();
+            ws.sort_unstable();
+            ws.dedup();
+            ws
+        };
+        let mut routes = self.routes.write().unwrap_or_else(PoisonError::into_inner);
+        if workers.is_empty() {
+            routes.remove(&stream);
+        } else {
+            routes.insert(stream, workers);
+        }
+        drop(routes);
+        if sent {
+            Ok(())
+        } else {
+            Err(MonitorError::WorkerLost)
+        }
+    }
+
+    fn sync(&self, stream: StreamId) -> Result<(), MonitorError> {
+        let workers = self.watchers(stream);
+        if workers.is_empty() {
+            return Ok(());
+        }
+        let point = Arc::new(SyncPoint::new(workers.len()));
+        self.route(stream, |_| Msg::Sync(Arc::clone(&point)))?;
+        loop {
+            if point.wait_for(Duration::from_millis(50)) {
+                return Ok(());
+            }
+            // Not everyone arrived within the poll interval: make sure
+            // the stragglers are still alive (a healed worker re-arrives
+            // via the replayed Sync in its log).
+            for &w in &workers {
+                let mut slot = self.lock_slot(w);
+                if slot.dead {
+                    return Err(MonitorError::WorkerLost);
+                }
+                if slot.handle.as_ref().is_none_or(|h| h.is_finished())
+                    && self.heal(w, &mut slot).is_err()
+                {
+                    return Err(MonitorError::WorkerLost);
+                }
+            }
         }
     }
 
@@ -670,13 +1172,21 @@ where
             if let Some(m) = &self.metrics {
                 m.worker_restarts.inc();
             }
+            if let Some(sm) = &self.shard_metrics {
+                sm.restarts.inc();
+            }
             thread::sleep(self.restart.backoff(slot.restarts));
             // The worker is dead and we hold its slot lock, so nothing
-            // races the gauge: reset it (messages queued at crash time
-            // were incremented but never dequeued); the replay below
+            // races the gauges: reset the worker's (messages queued at
+            // crash time were incremented but never dequeued) and give
+            // the same amount back to the shard mirror; the replay below
             // re-increments per message it resends.
             if let Some(wm) = &self.worker_metrics[w] {
+                let stale = wm.queue_depth.get();
                 wm.queue_depth.set(0);
+                if let Some(sm) = &self.shard_metrics {
+                    sm.queue_depth.add(-(stale as i64));
+                }
             }
             prune_log(slot);
             // Respawn from the checkpointed shard …
@@ -689,15 +1199,15 @@ where
                 cp.iter().map(Attachment::fork).collect()
             };
             let (tx, rx) = sync_channel::<Msg<M>>(QUEUE_DEPTH);
-            let handle = spawn_worker(
-                shard,
-                rx,
-                Arc::clone(&self.sink),
-                Arc::clone(&self.error),
-                self.worker_metrics[w].clone(),
-                self.metrics.clone(),
-                Arc::clone(&slot.shared),
-            );
+            let ctx = WorkerCtx {
+                sink: Arc::clone(&self.sink),
+                error: Arc::clone(&self.error),
+                wm: self.worker_metrics[w].clone(),
+                sm: self.shard_metrics.clone(),
+                metrics: self.metrics.clone(),
+                shared: Arc::clone(&slot.shared),
+            };
+            let handle = spawn_worker(shard, rx, ctx);
             slot.sender = tx;
             slot.handle = Some(handle);
             // … and replay the uncheckpointed tail. Delivery is at least
@@ -706,6 +1216,9 @@ where
             for (_, m) in &slot.log {
                 if let Some(wm) = &self.worker_metrics[w] {
                     wm.queue_depth.add(1);
+                }
+                if let Some(sm) = &self.shard_metrics {
+                    sm.queue_depth.add(1);
                 }
                 if slot.sender.send(m.clone()).is_err() {
                     // Died again mid-replay; spend another restart.
@@ -716,24 +1229,17 @@ where
         }
     }
 
-    /// Drains all queues, stops the workers, and joins them.
-    ///
-    /// Dead workers are healed (restarted from checkpoint + replayed)
-    /// before the drain, so every queued sample is processed unless a
-    /// worker is permanently lost — in which case the error below is
-    /// returned and some samples may not have been monitored.
-    ///
-    /// # Errors
-    /// The first ingestion error recorded by any worker, or
-    /// [`MonitorError::WorkerLost`] when a worker was permanently lost
-    /// (panic with supervision off, or restart budget exhausted).
-    pub fn shutdown(self) -> Result<(), MonitorError> {
-        // Flush every stream's pending partial frame first — shutdown is
-        // linger-free: nothing buffered at the pusher may be dropped.
+    fn shutdown(&self) -> Result<(), MonitorError> {
+        // Flush every stream's pending partial frame first — nothing
+        // buffered at the pusher may be dropped. Ascending StreamId
+        // order: HashMap iteration order varies per process, and the
+        // first frame to reach a failing worker decides which error
+        // surfaces.
         let mut flush_err = None;
         {
             let mut pending = self.lock_pending();
-            let streams: Vec<StreamId> = pending.keys().copied().collect();
+            let mut streams: Vec<StreamId> = pending.keys().copied().collect();
+            streams.sort_unstable();
             for s in streams {
                 if let Err(e) = self.flush_locked(&mut pending, s) {
                     flush_err.get_or_insert(e);
@@ -795,9 +1301,26 @@ fn prune_log<M: Monitor>(slot: &mut WorkerSlot<M>) {
     }
 }
 
+/// Total order over ingestion errors, so concurrent workers surface the
+/// same error regardless of scheduling: missing samples (ordered by
+/// stream, then tick) rank before other ingestion errors, which rank
+/// before [`MonitorError::WorkerLost`].
+pub(crate) fn error_rank(e: &MonitorError) -> (u8, u64, u64) {
+    match e {
+        MonitorError::MissingSample { stream, tick } => (0, u64::from(stream.0), *tick),
+        MonitorError::WorkerLost => (2, 0, 0),
+        _ => (1, 0, 0),
+    }
+}
+
 fn record_error(slot: &Mutex<Option<MonitorError>>, e: MonitorError) {
     let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-    guard.get_or_insert(e);
+    if guard
+        .as_ref()
+        .is_none_or(|cur| error_rank(&e) < error_rank(cur))
+    {
+        *guard = Some(e);
+    }
 }
 
 #[cfg(test)]
@@ -923,6 +1446,46 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_surfaces_the_lowest_stream_error_deterministically() {
+        // Regression: two Fail-policy attachments on streams 5 and 1
+        // share one worker, and both buffers hold a NaN at shutdown.
+        // Whichever frame the drain sends first decides the surfaced
+        // error — so the drain must flush in StreamId order, not the
+        // run-dependent HashMap iteration order.
+        for _ in 0..8 {
+            let sink = Arc::new(VecSink::new());
+            let atts = vec![
+                RunnerAttachment::spring(
+                    StreamId(5),
+                    QueryId(0),
+                    &[0.0, 10.0, 0.0],
+                    1.0,
+                    GapPolicy::Fail,
+                )
+                .unwrap(),
+                RunnerAttachment::spring(
+                    StreamId(1),
+                    QueryId(1),
+                    &[0.0, 10.0, 0.0],
+                    1.0,
+                    GapPolicy::Fail,
+                )
+                .unwrap(),
+            ];
+            let runner = SpringRunner::spawn(atts, 1, sink).unwrap();
+            runner.push(StreamId(5), &f64::NAN).unwrap();
+            runner.push(StreamId(1), &f64::NAN).unwrap();
+            assert_eq!(
+                runner.shutdown(),
+                Err(MonitorError::MissingSample {
+                    stream: StreamId(1),
+                    tick: 1
+                })
+            );
+        }
+    }
+
+    #[test]
     fn pushes_after_a_worker_dies_report_worker_lost() {
         let sink = Arc::new(VecSink::new());
         let att = RunnerAttachment::spring(
@@ -986,6 +1549,111 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!((events[0].m.start, events[0].m.end), (4, 6));
         assert_eq!(events[0].variant, spring_core::MonitorVariant::Vector);
+    }
+
+    // ---- dynamic attachments / sync ------------------------------------
+
+    #[test]
+    fn attach_detach_and_sync_at_runtime() {
+        let sink = Arc::new(VecSink::new());
+        let mut runner = SpringRunner::spawn(Vec::new(), 2, sink.clone()).unwrap();
+        runner.set_max_batch(1);
+        let id = runner.attach(spike_attachment(StreamId(7), 3)).unwrap();
+        for x in spike_stream(&[4], 12) {
+            runner.push(StreamId(7), &x).unwrap();
+        }
+        // The barrier guarantees the match has reached the sink.
+        runner.sync(StreamId(7)).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].attachment, id);
+        assert_eq!(events[0].query, QueryId(3));
+        assert_eq!(events[0].m.start, 5);
+        runner.detach(id).unwrap();
+        // Detached: pushes to the stream are silently unrouted, and the
+        // id cannot be detached twice.
+        runner.push(StreamId(7), &1.0).unwrap();
+        assert_eq!(runner.detach(id), Err(MonitorError::UnknownAttachment(id)));
+        runner.shutdown().unwrap();
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn sync_on_an_unwatched_stream_returns_immediately() {
+        let sink = Arc::new(VecSink::new());
+        let runner = SpringRunner::spawn(Vec::new(), 1, sink).unwrap();
+        runner.sync(StreamId(42)).unwrap();
+        runner.shutdown().unwrap();
+    }
+
+    #[test]
+    fn attachments_added_at_runtime_survive_a_worker_restart() {
+        // The Attach message is logged and replayed like a frame: a
+        // worker killed by a flaky sink must reconstruct an attachment
+        // it gained after its last checkpoint.
+        let sink = Arc::new(FlakySink::new(1));
+        let mut runner = SpringRunner::spawn(Vec::new(), 1, sink.clone()).unwrap();
+        runner.set_max_batch(1);
+        runner.attach(spike_attachment(StreamId(0), 0)).unwrap();
+        for x in spike_stream(&[4, 15], 25) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let starts: Vec<u64> = sink.inner.events().iter().map(|e| e.m.start).collect();
+        assert_eq!(starts, vec![5, 16]);
+    }
+
+    // ---- linger --------------------------------------------------------
+
+    #[test]
+    fn linger_flushes_partial_frames_without_an_explicit_flush() {
+        let sink = Arc::new(VecSink::new());
+        let mut runner =
+            SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+        runner.set_linger(Duration::from_millis(5));
+        assert_eq!(runner.linger(), Duration::from_millis(5));
+        // 7 samples ≪ DEFAULT_MAX_BATCH: without a linger these would
+        // sit in the pending buffer until finish/shutdown.
+        for x in spike_stream(&[2], 7) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sink.events().is_empty() {
+            assert!(Instant::now() < deadline, "linger janitor never flushed");
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(sink.events()[0].m.start, 3);
+        runner.shutdown().unwrap();
+    }
+
+    #[test]
+    fn linger_transcript_matches_linger_free_at_batch_one() {
+        // At max_batch = 1 no partial frame ever exists, so a configured
+        // linger must not change the transcript in any way.
+        let stream = spike_stream(&[3, 10, 17], 26);
+        let run = |linger: Option<Duration>| {
+            let sink = Arc::new(VecSink::new());
+            let mut runner =
+                SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone())
+                    .unwrap();
+            runner.set_max_batch(1);
+            if let Some(d) = linger {
+                runner.set_linger(d);
+            }
+            for x in &stream {
+                runner.push(StreamId(0), x).unwrap();
+            }
+            runner.finish_stream(StreamId(0)).unwrap();
+            runner.shutdown().unwrap();
+            sink.events()
+                .iter()
+                .map(|e| (e.m.start, e.m.end, e.m.distance.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let free = run(None);
+        assert!(!free.is_empty());
+        assert_eq!(free, run(Some(Duration::from_millis(1))));
     }
 
     // ---- supervision ---------------------------------------------------

@@ -1,0 +1,485 @@
+//! Stream sharding: a [`ShardedRunner`] hashes stream ids across
+//! several independent [`Runner`]s.
+//!
+//! One [`Runner`] scales across *attachments* (its workers split the
+//! `O(A·m)` per-tick work), but every push still crosses one pending
+//! buffer mutex, one route table, and one supervisor — with thousands
+//! of streams those become the bottleneck. A `ShardedRunner` removes
+//! the global serialization point: each stream id is hashed (FNV-1a,
+//! [`spring_util::hash`]) to one of `N` shards, and each shard is a
+//! complete `Runner` with its own pending buffers, routes, worker
+//! channels, checkpoints, replay logs, and restart supervisor. Pushes
+//! to streams on different shards touch disjoint state and proceed
+//! without any cross-shard locking.
+//!
+//! The hash is deterministic across processes (unlike the std
+//! `HashMap` hasher, which is seeded per process), so a stream lands on
+//! the same shard in every run and across restarts — checkpoint/replay
+//! state stays with the shard that owns the stream.
+//!
+//! Everything per-shard is inherited unchanged from [`Runner`]:
+//! frame-granular checkpoints every [`crate::CHECKPOINT_EVERY`]
+//! messages, capped-exponential restart supervision, at-least-once
+//! sink delivery, and bounded queues (backpressure blocks only pushers
+//! of streams on the congested shard). With a [`Metrics`] registry,
+//! each shard registers a [`crate::ShardMetrics`]
+//! (`spring_shard_ticks_total`, `spring_shard_queue_depth`,
+//! `spring_shard_restarts_total`, labelled by shard index) alongside
+//! the per-worker gauges.
+//!
+//! [`ShardedRunner::shutdown`] drains shards in index order and — like
+//! [`Runner::shutdown`] within one shard — surfaces the lowest-ranked
+//! error across all of them, so the reported error does not depend on
+//! which shard happened to drain first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use spring_core::monitor::Monitor;
+
+use crate::engine::{AttachmentId, MonitorError, Owned, StreamId};
+use crate::metrics::Metrics;
+use crate::runner::{error_rank, RestartPolicy, Runner, RunnerAttachment};
+use crate::sink::MatchSink;
+
+/// A pool of independent [`Runner`] shards with streams routed by
+/// stream-id hash.
+///
+/// The API mirrors [`Runner`]: push/flush/finish by stream, dynamic
+/// [`ShardedRunner::attach`]/[`ShardedRunner::detach`], a per-stream
+/// [`ShardedRunner::sync`] barrier, and a draining
+/// [`ShardedRunner::shutdown`]. All stream-addressed calls route to the
+/// owning shard in O(1) with no cross-shard coordination.
+pub struct ShardedRunner<M: Monitor> {
+    shards: Vec<Runner<M>>,
+    /// Owning shard of every live attachment (detach must not re-hash:
+    /// the stream is recorded at attach time).
+    directory: Mutex<HashMap<AttachmentId, usize>>,
+    /// Next globally unique attachment id (ids must not collide across
+    /// shards — events carry them).
+    next_attachment: AtomicU32,
+}
+
+impl<M> ShardedRunner<M>
+where
+    M: Monitor + Clone + Send + 'static,
+    Owned<M>: Clone + Send,
+{
+    /// Spawns `shards` independent runners of `workers_per_shard`
+    /// workers each, distributing `attachments` to shards by stream
+    /// hash, with the default [`RestartPolicy`].
+    ///
+    /// # Errors
+    /// Fails when `shards == 0` or `workers_per_shard == 0`.
+    pub fn spawn(
+        attachments: Vec<RunnerAttachment<M>>,
+        shards: usize,
+        workers_per_shard: usize,
+        sink: Arc<dyn MatchSink>,
+    ) -> Result<Self, MonitorError> {
+        ShardedRunner::spawn_with_policy(
+            attachments,
+            shards,
+            workers_per_shard,
+            sink,
+            None,
+            RestartPolicy::default(),
+        )
+    }
+
+    /// [`ShardedRunner::spawn`] with an observability registry: each
+    /// shard registers a [`crate::ShardMetrics`] and its workers
+    /// register [`crate::WorkerMetrics`] as usual.
+    ///
+    /// # Errors
+    /// Fails when `shards == 0` or `workers_per_shard == 0`.
+    pub fn spawn_with_metrics(
+        attachments: Vec<RunnerAttachment<M>>,
+        shards: usize,
+        workers_per_shard: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Result<Self, MonitorError> {
+        ShardedRunner::spawn_with_policy(
+            attachments,
+            shards,
+            workers_per_shard,
+            sink,
+            metrics,
+            RestartPolicy::default(),
+        )
+    }
+
+    /// Fully explicit constructor (metrics + restart policy).
+    ///
+    /// # Errors
+    /// Fails when `shards == 0` or `workers_per_shard == 0`.
+    pub fn spawn_with_policy(
+        attachments: Vec<RunnerAttachment<M>>,
+        shards: usize,
+        workers_per_shard: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+        restart: RestartPolicy,
+    ) -> Result<Self, MonitorError> {
+        if shards == 0 {
+            return Err(MonitorError::Spring(
+                spring_core::SpringError::InvalidQuery(
+                    "sharded runner needs at least one shard".into(),
+                ),
+            ));
+        }
+        // Global ids first (stable: position in the caller's vec), then
+        // partition by stream hash — the same scheme `attach` uses, so
+        // initial and runtime attachments land on the same shards.
+        let mut per_shard: Vec<Vec<(AttachmentId, RunnerAttachment<M>)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        let mut directory = HashMap::new();
+        let mut next_id: u32 = 0;
+        for (i, spec) in attachments.into_iter().enumerate() {
+            let id = AttachmentId(i as u32);
+            next_id = id.0.saturating_add(1);
+            let shard = shard_of(spec.stream, shards);
+            directory.insert(id, shard);
+            per_shard[shard].push((id, spec));
+        }
+        let mut runners = Vec::with_capacity(shards);
+        for prepared in per_shard {
+            let sm = metrics.as_ref().map(|m| m.register_shard());
+            runners.push(Runner::spawn_prepared(
+                prepared,
+                workers_per_shard,
+                Arc::clone(&sink),
+                metrics.clone(),
+                restart,
+                sm,
+            )?);
+        }
+        Ok(ShardedRunner {
+            shards: runners,
+            directory: Mutex::new(directory),
+            next_attachment: AtomicU32::new(next_id),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `stream` (pure function of the stream id
+    /// and the shard count).
+    pub fn shard_of(&self, stream: StreamId) -> usize {
+        shard_of(stream, self.shards.len())
+    }
+
+    fn shard(&self, stream: StreamId) -> &Runner<M> {
+        &self.shards[self.shard_of(stream)]
+    }
+
+    /// Sets the frame size on every shard (see [`Runner::set_max_batch`]).
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        for s in &mut self.shards {
+            s.set_max_batch(max_batch);
+        }
+    }
+
+    /// The configured frame size.
+    pub fn max_batch(&self) -> usize {
+        self.shards[0].max_batch()
+    }
+
+    /// Sets the linger deadline on every shard (see [`Runner::set_linger`]).
+    pub fn set_linger(&mut self, linger: Duration) {
+        for s in &mut self.shards {
+            s.set_linger(linger);
+        }
+    }
+
+    /// Adds an attachment at runtime on the shard owning its stream and
+    /// returns its globally unique id.
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::attach`].
+    pub fn attach(&self, spec: RunnerAttachment<M>) -> Result<AttachmentId, MonitorError> {
+        let id = AttachmentId(self.next_attachment.fetch_add(1, Ordering::Relaxed));
+        let shard = self.shard_of(spec.stream);
+        self.shards[shard].attach_with_id(id, spec)?;
+        self.directory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, shard);
+        Ok(id)
+    }
+
+    /// Removes a live attachment from its owning shard.
+    ///
+    /// # Errors
+    /// [`MonitorError::UnknownAttachment`] for an id never attached (or
+    /// already detached); [`MonitorError::WorkerLost`] — see
+    /// [`Runner::detach`].
+    pub fn detach(&self, id: AttachmentId) -> Result<(), MonitorError> {
+        let shard = self
+            .directory
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id)
+            .ok_or(MonitorError::UnknownAttachment(id))?;
+        self.shards[shard].detach(id)
+    }
+
+    /// Pushes one sample to `stream` on its owning shard (see
+    /// [`Runner::push`]).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn push(&self, stream: StreamId, sample: &M::Sample) -> Result<(), MonitorError> {
+        self.shard(stream).push(stream, sample)
+    }
+
+    /// Pushes a slice of samples to `stream` on its owning shard (see
+    /// [`Runner::push_batch`]).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn push_batch(&self, stream: StreamId, samples: &[Owned<M>]) -> Result<(), MonitorError> {
+        self.shard(stream).push_batch(stream, samples)
+    }
+
+    /// Flushes `stream`'s pending partial frame (see [`Runner::flush`]).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn flush(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.shard(stream).flush(stream)
+    }
+
+    /// Flushes and finishes `stream` (see [`Runner::finish_stream`]).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::push`].
+    pub fn finish_stream(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.shard(stream).finish_stream(stream)
+    }
+
+    /// Per-stream barrier on the owning shard (see [`Runner::sync`]).
+    ///
+    /// # Errors
+    /// [`MonitorError::WorkerLost`] — see [`Runner::sync`].
+    pub fn sync(&self, stream: StreamId) -> Result<(), MonitorError> {
+        self.shard(stream).sync(stream)
+    }
+
+    /// Drains and joins every shard, in index order.
+    ///
+    /// All shards are fully drained even when an early one fails; the
+    /// lowest-ranked error across shards is returned (same total order
+    /// as within one [`Runner`]: missing samples by (stream, tick), then
+    /// other ingestion errors, then [`MonitorError::WorkerLost`]), so
+    /// the surfaced error is independent of shard drain order.
+    ///
+    /// # Errors
+    /// See [`Runner::shutdown`].
+    pub fn shutdown(self) -> Result<(), MonitorError> {
+        let mut worst: Option<MonitorError> = None;
+        for shard in self.shards {
+            if let Err(e) = shard.shutdown() {
+                if worst
+                    .as_ref()
+                    .is_none_or(|cur| error_rank(&e) < error_rank(cur))
+                {
+                    worst = Some(e);
+                }
+            }
+        }
+        match worst {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Maps a stream id to a shard: FNV-1a over the id's little-endian
+/// bytes, mod the shard count. Deterministic across processes and
+/// platforms.
+fn shard_of(stream: StreamId, shards: usize) -> usize {
+    (spring_util::hash::fnv1a_u64(u64::from(stream.0)) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{GapPolicy, QueryId};
+    use crate::sink::VecSink;
+    use spring_core::Spring;
+    use spring_dtw::Kernel;
+
+    type Sharded = ShardedRunner<Spring<Kernel>>;
+
+    fn spike_stream(spike_at: &[usize], len: usize) -> Vec<f64> {
+        let mut v = vec![50.0; len];
+        for &s in spike_at {
+            v[s] = 0.0;
+            v[s + 1] = 10.0;
+            v[s + 2] = 0.0;
+        }
+        v
+    }
+
+    fn spike_attachment(stream: StreamId, qid: u32) -> RunnerAttachment<Spring<Kernel>> {
+        RunnerAttachment::spring(
+            stream,
+            QueryId(qid),
+            &[0.0, 10.0, 0.0],
+            1.0,
+            GapPolicy::Skip,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let sink = Arc::new(VecSink::new());
+        assert!(Sharded::spawn(vec![], 0, 1, sink).is_err());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let sink = Arc::new(VecSink::new());
+        let sharded = Sharded::spawn(vec![], 4, 1, sink).unwrap();
+        for s in 0..64 {
+            let shard = sharded.shard_of(StreamId(s));
+            assert!(shard < 4);
+            assert_eq!(shard, sharded.shard_of(StreamId(s)));
+        }
+        // FNV spreads consecutive ids: all 4 shards get traffic.
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|s| sharded.shard_of(StreamId(s))).collect();
+        assert_eq!(hit.len(), 4);
+        sharded.shutdown().unwrap();
+    }
+
+    #[test]
+    fn streams_match_identically_across_shard_counts() {
+        let n_streams = 8u32;
+        let run = |shards: usize| {
+            let sink = Arc::new(VecSink::new());
+            let attachments: Vec<_> = (0..n_streams)
+                .map(|s| spike_attachment(StreamId(s), s))
+                .collect();
+            let sharded = Sharded::spawn(attachments, shards, 2, sink.clone()).unwrap();
+            for s in 0..n_streams {
+                for x in spike_stream(&[3 + s as usize], 24) {
+                    sharded.push(StreamId(s), &x).unwrap();
+                }
+                sharded.finish_stream(StreamId(s)).unwrap();
+            }
+            sharded.shutdown().unwrap();
+            let mut got: Vec<(u32, u64, u64)> = sink
+                .events()
+                .iter()
+                .map(|e| (e.stream.0, e.m.start, e.m.end))
+                .collect();
+            got.sort_unstable();
+            got
+        };
+        let one = run(1);
+        assert_eq!(one.len(), n_streams as usize);
+        for s in 0..n_streams {
+            assert!(one.contains(&(s, 4 + u64::from(s), 6 + u64::from(s))));
+        }
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+    }
+
+    #[test]
+    fn attach_detach_route_through_the_owning_shard() {
+        let sink = Arc::new(VecSink::new());
+        let mut sharded = Sharded::spawn(Vec::new(), 3, 1, sink.clone()).unwrap();
+        sharded.set_max_batch(1);
+        let a = sharded.attach(spike_attachment(StreamId(10), 0)).unwrap();
+        let b = sharded.attach(spike_attachment(StreamId(11), 1)).unwrap();
+        assert_ne!(a, b, "ids must be globally unique across shards");
+        for x in spike_stream(&[4], 12) {
+            sharded.push(StreamId(10), &x).unwrap();
+            sharded.push(StreamId(11), &x).unwrap();
+        }
+        sharded.sync(StreamId(10)).unwrap();
+        sharded.sync(StreamId(11)).unwrap();
+        assert_eq!(sink.events().len(), 2);
+        sharded.detach(a).unwrap();
+        assert_eq!(sharded.detach(a), Err(MonitorError::UnknownAttachment(a)));
+        sharded.detach(b).unwrap();
+        sharded.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_surfaces_the_lowest_ranked_error_across_shards() {
+        // Fail-policy attachments on several streams spread over the
+        // shards, each fed a NaN: the surfaced error must be the lowest
+        // (stream, tick) — stream 0's — regardless of shard drain order.
+        let sink = Arc::new(VecSink::new());
+        let attachments: Vec<_> = (0..6)
+            .map(|s| {
+                RunnerAttachment::spring(
+                    StreamId(s),
+                    QueryId(s),
+                    &[0.0, 10.0, 0.0],
+                    1.0,
+                    GapPolicy::Fail,
+                )
+                .unwrap()
+            })
+            .collect();
+        let sharded = Sharded::spawn(attachments, 4, 1, sink).unwrap();
+        for s in 0..6 {
+            sharded.push(StreamId(s), &f64::NAN).unwrap();
+        }
+        assert_eq!(
+            sharded.shutdown(),
+            Err(MonitorError::MissingSample {
+                stream: StreamId(0),
+                tick: 1
+            })
+        );
+    }
+
+    #[test]
+    fn shard_metrics_add_up_and_drain() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let n_streams = 8u32;
+        let ticks_per_stream = 32u64;
+        let attachments: Vec<_> = (0..n_streams)
+            .map(|s| spike_attachment(StreamId(s), s))
+            .collect();
+        let mut sharded =
+            Sharded::spawn_with_metrics(attachments, 4, 1, sink, Some(Arc::clone(&metrics)))
+                .unwrap();
+        sharded.set_max_batch(8);
+        for s in 0..n_streams {
+            for x in spike_stream(&[5], ticks_per_stream as usize) {
+                sharded.push(StreamId(s), &x).unwrap();
+            }
+            sharded.finish_stream(StreamId(s)).unwrap();
+        }
+        sharded.shutdown().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.shards.len(), 4);
+        let shard_ticks: u64 = snap.shards.iter().map(|s| s.ticks).sum();
+        assert_eq!(shard_ticks, u64::from(n_streams) * ticks_per_stream);
+        for (i, s) in snap.shards.iter().enumerate() {
+            assert_eq!(s.queue_depth, 0, "shard {i} queue must drain to 0");
+            assert_eq!(s.restarts, 0);
+        }
+        // Shard totals are a regrouping of the same work the workers did.
+        let worker_ticks: u64 = snap.workers.iter().map(|w| w.ticks).sum();
+        assert_eq!(shard_ticks, worker_ticks);
+        let text = snap.to_prometheus();
+        assert!(text.contains("spring_shard_ticks_total{shard=\"0\"}"));
+        assert!(text.contains("spring_shard_queue_depth{shard=\"3\"}"));
+        assert!(text.contains("spring_shard_restarts_total{shard=\"1\"}"));
+    }
+}

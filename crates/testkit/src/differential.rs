@@ -10,6 +10,10 @@
 //! 3. the threaded [`Runner`] with 1, 2, and 4 workers, per-sample
 //!    **and** batched (`push_batch` over the same batch sizes, with the
 //!    frame size pinned to the batch),
+//! 4. the [`ShardedRunner`] with 1, 2, and 4 shards (batch sizes 1 and
+//!    64), carrying *three* streams that each hold the full scenario —
+//!    so shard routing, per-shard buffers, and cross-shard error
+//!    precedence are all exercised,
 //!
 //! — and demands bit-identical match streams from all of them. On top of
 //! the cross-layer equality, variant-specific **oracle checks** compare
@@ -38,7 +42,8 @@ use spring_core::naive::all_subsequence_distances;
 use spring_core::{Match, NaiveMonitor};
 use spring_dtw::{dtw_distance, Kernel, Squared};
 use spring_monitor::{
-    GapPolicy, MixedEngine, MonitorError, QueryId, Runner, RunnerAttachment, StreamId, VecSink,
+    GapPolicy, MixedEngine, MonitorError, QueryId, Runner, RunnerAttachment, ShardedRunner,
+    StreamId, VecSink,
 };
 use spring_util::Rng;
 
@@ -46,6 +51,19 @@ use crate::scenario::Scenario;
 
 /// Worker counts exercised for every scenario.
 pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Shard counts exercised for every scenario on the sharded-runner path.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Batch sizes exercised on the sharded-runner path: the per-sample
+/// degenerate and the production default (a smaller cross product than
+/// [`BATCH_SIZES`], which the plain runner already sweeps).
+pub const SHARD_BATCHES: [usize; 2] = [1, 64];
+
+/// Streams fed through the sharded runner, each carrying the full
+/// scenario stream, so several shards see real traffic and the
+/// cross-shard error precedence is exercised.
+const N_STREAMS: u32 = 3;
 
 /// Batch sizes exercised for every scenario on the batched ingestion
 /// paths (`Engine::push_batch` / `Runner::push_batch`): the degenerate
@@ -262,6 +280,66 @@ pub fn run_runner_batched(
     run_runner_with(sc, spec, workers, Feed::Batched(batch))
 }
 
+/// Runs `spec` over the scenario through a [`ShardedRunner`]:
+/// `N_STREAMS` streams (ids 0, 1, 2 — hashed across the shards) each
+/// carry the full scenario stream and each hold `N_ATTACH` identical
+/// attachments, with one worker per shard and the frame size pinned to
+/// `batch`. Returns every (stream, attachment) match stream separately;
+/// all of them must agree with the bare run, and a failing scenario must
+/// surface stream 0's error (the lowest-ranked across shards — exactly
+/// the bare error).
+pub fn run_sharded(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    shards: usize,
+    batch: usize,
+) -> Result<Vec<Vec<Match>>, MonitorError> {
+    let mut attachments = Vec::with_capacity(N_STREAMS as usize * N_ATTACH);
+    for s in 0..N_STREAMS {
+        for k in 0..N_ATTACH {
+            let monitor = spec.build(&sc.query, Kernel::Squared)?;
+            attachments.push(RunnerAttachment::new(
+                StreamId(s),
+                QueryId(k as u32),
+                monitor,
+                sc.gap_policy,
+            ));
+        }
+    }
+    let sink = Arc::new(VecSink::new());
+    let mut runner = ShardedRunner::spawn(attachments, shards, 1, sink.clone())?;
+    runner.set_max_batch(batch);
+    let mut push_err = None;
+    // Round-robin the chunks across the streams so the shards interleave.
+    'push: for chunk in sc.stream.chunks(batch.max(1)) {
+        for s in 0..N_STREAMS {
+            if let Err(e) = runner.push_batch(StreamId(s), chunk) {
+                push_err = Some(e);
+                break 'push;
+            }
+        }
+    }
+    if push_err.is_none() {
+        for s in 0..N_STREAMS {
+            if let Err(e) = runner.finish_stream(StreamId(s)) {
+                push_err = Some(e);
+                break;
+            }
+        }
+    }
+    // The recorded (lowest-ranked) worker error takes precedence over
+    // the secondary WorkerLost a push may have observed.
+    runner.shutdown()?;
+    if let Some(e) = push_err {
+        return Err(e);
+    }
+    let mut per = vec![Vec::new(); N_STREAMS as usize * N_ATTACH];
+    for e in sink.events() {
+        per[e.stream.0 as usize * N_ATTACH + e.query.0 as usize].push(e.m);
+    }
+    Ok(per)
+}
+
 fn fmt_matches(out: &Result<Vec<Match>, MonitorError>) -> String {
     match out {
         Ok(ms) => format!(
@@ -352,6 +430,15 @@ fn verify_spec(sc: &Scenario, spec: MonitorSpec) -> Result<(), String> {
                 &bare,
                 run_runner_batched(sc, spec, workers, batch),
                 &format!("{spec:?}: runner({workers} workers, batch {batch})"),
+            )?;
+        }
+    }
+    for shards in SHARD_COUNTS {
+        for batch in SHARD_BATCHES {
+            check_runner_against_bare(
+                &bare,
+                run_sharded(sc, spec, shards, batch),
+                &format!("{spec:?}: sharded({shards} shards, batch {batch})"),
             )?;
         }
     }
@@ -722,6 +809,13 @@ mod tests {
                 );
             }
         }
+        // The sharded runner surfaces the lowest-ranked error across
+        // shards — stream 0's, which is exactly the bare error.
+        for shards in SHARD_COUNTS {
+            for batch in SHARD_BATCHES {
+                assert_eq!(run_sharded(&sc, spec, shards, batch).unwrap_err(), bare);
+            }
+        }
         // And verify() as a whole accepts the error-equivalence.
         verify(&sc).unwrap();
     }
@@ -762,6 +856,24 @@ mod tests {
                 let per = run_runner_batched(&sc, spec, workers, batch).unwrap();
                 for (k, ms) in per.iter().enumerate() {
                     assert_eq!(ms, &bare, "workers {workers} batch {batch} attachment {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runner_agrees_with_bare_across_shards_and_batches() {
+        let sc = spike_scenario();
+        let spec = MonitorSpec::Spring {
+            epsilon: sc.epsilon,
+        };
+        let bare = run_bare(&sc, spec).unwrap();
+        for shards in SHARD_COUNTS {
+            for batch in SHARD_BATCHES {
+                let per = run_sharded(&sc, spec, shards, batch).unwrap();
+                assert_eq!(per.len(), 3 * N_ATTACH);
+                for (k, ms) in per.iter().enumerate() {
+                    assert_eq!(ms, &bare, "shards {shards} batch {batch} slot {k}");
                 }
             }
         }

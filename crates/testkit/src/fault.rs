@@ -13,7 +13,7 @@ use spring_core::monitor::MonitorSpec;
 use spring_core::Match;
 use spring_monitor::failpoints::{self, FailAction, FailRule};
 
-use crate::differential::{run_runner, run_runner_batched};
+use crate::differential::{run_runner, run_runner_batched, run_sharded};
 use crate::scenario::Scenario;
 
 /// One deterministic fault to inject into a runner run.
@@ -124,4 +124,40 @@ pub fn verify_under_fault_with(
 /// [`verify_under_fault_with`] on the per-sample ingestion path.
 pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String> {
     verify_under_fault_with(sc, fault, None)
+}
+
+/// The sharded analogue of [`verify_under_fault_with`]: runs the
+/// scenario through a 2-shard [`spring_monitor::ShardedRunner`]
+/// (one worker per shard, frame size `batch`) with `fault` armed.
+///
+/// The failpoint fires in whichever shard's worker hits the site first,
+/// so the fault lands *inside one shard* while the others keep running —
+/// the supervisor of that shard alone must recover, and the
+/// deduplicated match set of every (stream, attachment) slot must still
+/// equal the fault-free run's.
+///
+/// Uses the global failpoint registry: hold
+/// [`failpoints::exclusive`] around calls in multi-test binaries.
+pub fn verify_under_fault_sharded(
+    sc: &Scenario,
+    fault: FaultPlan,
+    batch: usize,
+) -> Result<(), String> {
+    let spec = MonitorSpec::Spring {
+        epsilon: sc.epsilon,
+    };
+    failpoints::clear();
+    let clean =
+        run_sharded(sc, spec, 2, batch).map_err(|e| format!("fault-free run failed: {e}"))?;
+    fault.arm();
+    let faulted = run_sharded(sc, spec, 2, batch);
+    failpoints::clear();
+    let faulted = faulted.map_err(|e| format!("faulted run failed: {e} ({fault:?})"))?;
+    let (clean, faulted) = (normalize(clean), normalize(faulted));
+    if clean != faulted {
+        return Err(format!(
+            "sharded match sets diverge under {fault:?}\n  fault-free: {clean:?}\n  faulted:    {faulted:?}"
+        ));
+    }
+    Ok(())
 }

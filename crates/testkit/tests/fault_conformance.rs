@@ -8,7 +8,9 @@
 
 use spring_monitor::failpoints;
 use spring_monitor::GapPolicy;
-use spring_testkit::fault::{verify_under_fault, verify_under_fault_with, FaultPlan};
+use spring_testkit::fault::{
+    verify_under_fault, verify_under_fault_sharded, verify_under_fault_with, FaultPlan,
+};
 use spring_testkit::Scenario;
 use spring_util::Rng;
 
@@ -76,6 +78,23 @@ fn slow_sink_backpressure_changes_nothing() {
     let _guard = failpoints::exclusive();
     let sc = spike_scenario(80, &[15, 55]);
     verify_under_fault(&sc, FaultPlan::SlowSink { ms: 1 }).unwrap();
+}
+
+#[test]
+fn worker_loss_inside_one_shard_loses_no_matches() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(200, &[10, 80, 150]);
+    // The panic fires inside whichever shard's worker hits the site
+    // first; that shard's supervisor alone must recover while the other
+    // shard keeps streaming — the combined deduped match set across all
+    // (stream, attachment) slots must match the fault-free run.
+    for batch in [1usize, 64] {
+        for after in [5u64, 40] {
+            verify_under_fault_sharded(&sc, FaultPlan::WorkerPanic { after }, batch).unwrap();
+        }
+        verify_under_fault_sharded(&sc, FaultPlan::FramePanic { after: 1 }, batch).unwrap();
+        verify_under_fault_sharded(&sc, FaultPlan::SinkPanic { after: 0 }, batch).unwrap();
+    }
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! # spring-util — zero-dependency support utilities
 //!
 //! The SPRING workspace is built to compile **offline, with no external
-//! crates**. This crate supplies the two pieces of infrastructure the
-//! rest of the workspace would otherwise pull from crates.io:
+//! crates**. This crate supplies the pieces of infrastructure the rest
+//! of the workspace would otherwise pull from crates.io:
 //!
 //! * [`rng`] — a small, fast, seeded PRNG (splitmix64-seeded
 //!   xoshiro256**), with uniform and Gaussian helpers. Deterministic per
@@ -13,10 +13,14 @@
 //!   (nested arrays/objects, escapes, exponents); non-representable
 //!   floats (`NaN`, `±∞`) are the *caller's* concern — encode them as
 //!   `null` where the schema calls for it.
+//! * [`hash`] — deterministic FNV-1a hashing for stable stream→shard
+//!   routing (seeded `HashMap` hashers vary per process; shard routing
+//!   must not).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hash;
 pub mod json;
 pub mod rng;
 

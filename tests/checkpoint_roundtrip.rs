@@ -131,6 +131,77 @@ fn json_checkpoint_resumes_identically_at_every_cut_point() {
     );
 }
 
+/// Splits the run at `cut`, restores the JSON snapshot, and streams the
+/// tail through a [`ShardedRunner`] instead of stepping inline: the
+/// restored monitor is attached to whichever shard owns its stream id,
+/// and the combined match stream must still equal the uninterrupted run.
+fn sharded_tail_run(
+    values: &[f64],
+    query: &[f64],
+    eps: f64,
+    cut: usize,
+    shards: usize,
+) -> Vec<Match> {
+    use spring::monitor::{GapPolicy, QueryId, RunnerAttachment, ShardedRunner, StreamId, VecSink};
+    let mut first = Spring::new(query, SpringConfig::new(eps)).unwrap();
+    let mut got: Vec<Match> = values[..cut]
+        .iter()
+        .filter_map(|&x| first.step(x))
+        .collect();
+    let json = first.snapshot().to_json_string();
+    drop(first);
+    let snap = SpringSnapshot::parse_json(&json).unwrap();
+    let restored = Spring::restore_squared(&snap).unwrap();
+
+    let stream = StreamId(7);
+    let sink = std::sync::Arc::new(VecSink::new());
+    let attachment = RunnerAttachment::new(stream, QueryId(0), restored, GapPolicy::Skip);
+    let runner = ShardedRunner::spawn(vec![attachment], shards, 1, sink.clone()).unwrap();
+    for &x in &values[cut..] {
+        runner.push(stream, &x).unwrap();
+    }
+    runner.finish_stream(stream).unwrap();
+    runner.shutdown().unwrap();
+    got.extend(sink.events().into_iter().map(|e| e.m));
+    got
+}
+
+#[test]
+fn sharded_tail_after_a_json_checkpoint_resumes_identically_at_every_cut_point() {
+    // Same property as above, but the post-restore half of the stream
+    // runs through the sharded runner stack (shard routing, framing,
+    // worker checkpoints, end-of-stream flush) rather than inline steps
+    // — a process restart picked up by a sharded deployment.
+    use spring_testkit::Scenario;
+    let mut rng = spring_util::Rng::seed_from_u64(0x5A4D_C4E1);
+    let mut checked = 0usize;
+    for _ in 0..8 {
+        let sc = Scenario::generate(&mut rng);
+        let eff = sc.effective_stream();
+        if eff.len() < 2 {
+            continue;
+        }
+        let mut whole = Spring::new(&sc.query, SpringConfig::new(sc.epsilon)).unwrap();
+        let mut expected: Vec<Match> = eff.iter().filter_map(|&x| whole.step(x)).collect();
+        expected.extend(whole.finish());
+
+        for cut in 1..eff.len() {
+            for shards in [1usize, 2] {
+                assert_eq!(
+                    sharded_tail_run(&eff, &sc.query, sc.epsilon, cut, shards),
+                    expected,
+                    "cut {cut} with {shards} shard(s) diverged (scenario {sc:?})"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 50,
+        "property must exercise many cuts (ran {checked})"
+    );
+}
+
 #[test]
 fn checkpoint_is_small() {
     let cfg = MaskedChirp::small();
