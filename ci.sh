@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # The full local CI gate: formatting, lints, release build, tests, docs,
 # and (with --quick) a bench smoke run that writes BENCH_SMOKE.json.
-# Usage: ./ci.sh [--quick]
+# Usage: ./ci.sh [--quick] [--miri]
 #   --quick   additionally run every benchmark for one calibrated ~2 ms
 #             batch (SPRING_BENCH_SMOKE=1) and assemble the results into
 #             BENCH_SMOKE.json — "do the benches still run?", not a
 #             performance measurement.
+#   --miri    additionally run the kernel + snapshot tests under Miri
+#             (needs a nightly toolchain with the miri component; the
+#             stage is skipped with a warning when none is installed,
+#             since the hosted `miri` CI job always runs it).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 quick=0
+miri=0
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
-    *) echo "unknown flag: $arg (usage: ./ci.sh [--quick])" >&2; exit 2 ;;
+    --miri) miri=1 ;;
+    *) echo "unknown flag: $arg (usage: ./ci.sh [--quick] [--miri])" >&2; exit 2 ;;
   esac
 done
 
@@ -23,11 +29,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (simd + failpoints features)"
+cargo clippy --workspace --all-targets \
+  --features spring/simd,spring-testkit/simd,spring-testkit/failpoints \
+  -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test (simd feature: explicit SIMD kernel paths)"
+cargo test -q -p spring-core -p spring-testkit --features simd
 
 echo "==> cargo test (failpoints feature: fault-injection conformance)"
 cargo test -q -p spring-testkit -p spring-monitor \
@@ -43,38 +57,48 @@ cargo run --release -q -p spring-cli -- fuzz --seed "$fuzz_seed" --iters 500
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+if [ "$miri" -eq 1 ]; then
+  echo "==> miri (kernel + snapshot tests, simd feature)"
+  # Pinned seed so local runs match the hosted job's default layout
+  # randomization; the hosted job also varies it across runs.
+  if rustup run nightly cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="${MIRIFLAGS:--Zmiri-seed=2007}" \
+      rustup run nightly cargo miri test -p spring-core --features simd \
+        --lib -- kernel snapshot
+  else
+    echo "WARN: miri unavailable (install with:" \
+         "rustup toolchain install nightly --component miri); skipping" >&2
+  fi
+fi
+
 if [ "$quick" -eq 1 ]; then
   echo "==> bench smoke (one calibrated iteration per benchmark)"
   jsonl="$(mktemp)"
   trap 'rm -f "$jsonl"' EXIT
-  for b in per_tick dtw_kernels lower_bounds monitor_scaling extensions metrics_overhead batch_ingest shard_scaling; do
+  # The bench list is derived from the crate itself so a new benchmark
+  # can't silently miss the smoke gate.
+  for src in crates/bench/benches/*.rs; do
+    b="$(basename "$src" .rs)"
     echo "--> cargo bench --bench $b (smoke)"
+    before="$(wc -l < "$jsonl" 2>/dev/null || echo 0)"
     SPRING_BENCH_SMOKE=1 SPRING_BENCH_JSON="$jsonl" \
-      cargo bench -p spring-bench --bench "$b" --quiet
+      cargo bench -p spring-bench --bench "$b" --features simd --quiet
+    after="$(wc -l < "$jsonl")"
+    if [ "$after" -le "$before" ]; then
+      echo "ERROR: bench $b emitted no JSON result line" \
+           "(is it registered in crates/bench/Cargo.toml and reporting" \
+           "through the smoke harness?)" >&2
+      exit 1
+    fi
   done
-  # Regression tripwire: compare the batch_ingest and shard_scaling
-  # results against the committed BENCH_SMOKE.json baseline *before*
-  # overwriting it. Smoke timings are a single calibrated batch on
-  # whatever machine this is, so a >25% slowdown only WARNS — it flags
-  # "look at this", it does not fail the gate.
+  # Regression tripwire: compare against the committed BENCH_SMOKE.json
+  # baseline *before* overwriting it. Smoke timings are a single
+  # calibrated batch on whatever machine this is, so locally the shared
+  # comparison script runs warn-only — it flags "look at this", it does
+  # not fail the gate. The hosted bench-compare job enforces the same
+  # thresholds against the PR's merge-base for real.
   if [ -f BENCH_SMOKE.json ]; then
-    extract_tracked() {
-      awk '/"name":"(batch_ingest|shard_scaling)/ {
-        name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
-        secs = $0; sub(/.*"secs_per_iter":/, "", secs); sub(/[,}].*/, "", secs)
-        print name, secs
-      }' "$1"
-    }
-    extract_tracked BENCH_SMOKE.json > "$jsonl.base"
-    extract_tracked "$jsonl" > "$jsonl.new"
-    awk 'NR == FNR { base[$1] = $2; next }
-         ($1 in base) && base[$1] + 0 > 0 {
-           ratio = $2 / base[$1]
-           if (ratio > 1.25)
-             printf "WARN: bench %s regressed %.0f%% vs committed baseline (%.3g -> %.3g s/iter)\n", \
-                    $1, (ratio - 1) * 100, base[$1], $2
-         }' "$jsonl.base" "$jsonl.new"
-    rm -f "$jsonl.base" "$jsonl.new"
+    scripts/bench_compare.sh --warn-only BENCH_SMOKE.json "$jsonl"
   fi
   # Assemble the JSON-lines file into a single JSON document.
   {

@@ -192,6 +192,42 @@ impl<K: DistanceKernel> crate::monitor::Monitor for BoundedSpring<K> {
         Ok(BoundedSpring::step(self, *sample))
     }
 
+    /// Optimized batch path: hoists the config loads (`min_len`,
+    /// `max_len`, `m`) out of the frame loop and steps the SoA kernel
+    /// directly, keeping its lane scratch warm across the frame. Match
+    /// output and the error contract (failing sample leaves the state
+    /// untouched) are identical to the per-sample path.
+    fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
+        let m = self.stwm.query_len();
+        let BoundedConfig {
+            min_len, max_len, ..
+        } = self.config;
+        for &x in samples {
+            if !x.is_finite() {
+                return Err(SpringError::NonFiniteInput {
+                    tick: self.stwm.tick() + 1,
+                });
+            }
+            self.stwm.step(x);
+            let t = self.stwm.tick();
+            // Max-length cut: kill any path already spanning > max_len.
+            for i in 1..=m {
+                if t + 1 - self.stwm.starts()[i] > max_len {
+                    self.stwm.invalidate(i);
+                }
+            }
+            let mut ops = BoundedOps {
+                inner: StwmOps(&mut self.stwm),
+                t,
+                min_len,
+            };
+            if let Some(report) = self.policy.step(t, &mut ops) {
+                out.push(report);
+            }
+        }
+        Ok(())
+    }
+
     fn finish(&mut self) -> Option<Match> {
         BoundedSpring::finish(self)
     }

@@ -16,6 +16,7 @@
 use spring_dtw::kernels::{DistanceKernel, Squared};
 
 use crate::error::{check_epsilon, SpringError};
+use crate::kernel::{self, Frame};
 use crate::mem::MemoryUse;
 use crate::policy::{ColumnOps, DisjointPolicy};
 use crate::stwm::Stwm;
@@ -48,6 +49,28 @@ impl<K: DistanceKernel> ColumnOps for StwmOps<'_, K> {
     }
 }
 
+/// [`ColumnOps`] over one stored column of a wavefront [`Frame`] —
+/// lets the reporting policy walk a batch's columns tick by tick
+/// without committing each one to the rolling matrix first.
+struct FrameOps<'a> {
+    frame: &'a mut Frame,
+    j: usize,
+}
+
+impl ColumnOps for FrameOps<'_> {
+    fn confirmed(&self, dmin: f64, te: u64) -> bool {
+        self.frame.confirmed(self.j, dmin, te)
+    }
+
+    fn invalidate(&mut self, te: u64) {
+        self.frame.invalidate(self.j, te);
+    }
+
+    fn current(&self) -> (f64, u64) {
+        self.frame.current(self.j)
+    }
+}
+
 /// Configuration for a [`Spring`] monitor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpringConfig {
@@ -73,6 +96,9 @@ pub struct Spring<K: DistanceKernel = Squared> {
     policy: DisjointPolicy,
     /// Total matches reported (monitoring statistic).
     reported: u64,
+    /// Wavefront frame for `step_batch`; empty until the first batch,
+    /// then a fixed `O(m)` block reused for every frame.
+    frame: Frame,
 }
 
 impl Spring<Squared> {
@@ -94,6 +120,7 @@ impl<K: DistanceKernel> Spring<K> {
             stwm: Stwm::with_kernel(query, kernel)?,
             policy: DisjointPolicy::new(config.epsilon),
             reported: 0,
+            frame: Frame::default(),
         })
     }
 
@@ -163,6 +190,17 @@ impl<K: DistanceKernel> Spring<K> {
         self.after_column()
     }
 
+    /// Like [`Spring::step`], but fills the column with the branchy
+    /// scalar reference loop instead of the SoA kernel. The two paths
+    /// are bit-identical (same matches, same `f64::to_bits` distances);
+    /// the differential suite and the `kernel_throughput` bench use this
+    /// as the executable spec / speedup baseline.
+    pub fn step_reference(&mut self, x: f64) -> Option<Match> {
+        debug_assert!(x.is_finite(), "stream value must be finite");
+        self.stwm.step_reference(x);
+        self.after_column()
+    }
+
     /// Validating variant of [`Spring::step`].
     pub fn step_checked(&mut self, x: f64) -> Result<Option<Match>, SpringError> {
         if !x.is_finite() {
@@ -181,6 +219,36 @@ impl<K: DistanceKernel> Spring<K> {
         report
     }
 
+    /// Ingests one frame of finite samples (`1 ..= FRAME_COLS`): fills
+    /// all columns with the wavefront kernel, then replays the
+    /// capture/confirm policy over the stored columns in tick order. A
+    /// report invalidates its column, so the (rare) tail after a report
+    /// is recomputed with the per-column kernel before the walk
+    /// continues. Bit-identical to calling [`Spring::step`] per sample.
+    fn step_frame(&mut self, xs: &[f64], out: &mut Vec<Match>) {
+        let t0 = self.stwm.tick();
+        self.stwm.fill_frame(xs, &mut self.frame);
+        let w = xs.len();
+        for j in 1..=w {
+            let t = t0 + j as u64;
+            let report = self.policy.step(
+                t,
+                &mut FrameOps {
+                    frame: &mut self.frame,
+                    j,
+                },
+            );
+            if let Some(m) = report {
+                self.reported += 1;
+                out.push(m);
+                if j < w {
+                    self.stwm.refill_frame_tail(xs, &mut self.frame, j + 1);
+                }
+            }
+        }
+        self.stwm.commit_frame(&self.frame);
+    }
+
     /// Declares the end of the stream: reports the still-pending group
     /// optimum, if any. Idempotent.
     pub fn finish(&mut self) -> Option<Match> {
@@ -192,7 +260,7 @@ impl<K: DistanceKernel> Spring<K> {
 
 impl<K: DistanceKernel> MemoryUse for Spring<K> {
     fn bytes_used(&self) -> usize {
-        self.stwm.bytes_used()
+        self.stwm.bytes_used() + self.frame.bytes()
     }
 }
 
@@ -207,26 +275,28 @@ impl<K: DistanceKernel> crate::monitor::Monitor for Spring<K> {
         self.step_checked(*sample)
     }
 
-    /// Optimized batch path: one monomorphic loop over the frame with
-    /// the finiteness guard inlined, stepping the STWM column directly
-    /// (the column recurrence itself is untouched —
-    /// [`Stwm::step`](crate::stwm::Stwm) is the same code the per-sample
-    /// path runs). Matches append to the caller-owned `out`; the steady
-    /// state allocates nothing.
+    /// Optimized batch path: ingests the samples in frames of
+    /// `kernel::FRAME_COLS` (8) columns via the anti-diagonal wavefront
+    /// kernel, which pipelines up to a frame's worth of independent
+    /// min/add chains instead of serializing on one column's — see
+    /// `crate::kernel::Frame`. Bit-identical to per-sample stepping
+    /// (same matches, same column bits). Matches append to the
+    /// caller-owned `out`; after the first batch the steady state
+    /// allocates nothing.
     fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
-        // Per-step invariants (ε lives in the policy, m in the column
-        // buffers) are reachable without indirection here; the only
-        // per-sample work left is the guard, the column fill, and the
-        // capture/confirm policy step.
-        for &x in samples {
-            if !x.is_finite() {
+        for chunk in samples.chunks(kernel::FRAME_COLS) {
+            // The error contract consumes every sample before the first
+            // non-finite one, so a poisoned chunk still ingests its
+            // valid prefix.
+            let bad = chunk.iter().position(|x| !x.is_finite());
+            let valid = &chunk[..bad.unwrap_or(chunk.len())];
+            if !valid.is_empty() {
+                self.step_frame(valid, out);
+            }
+            if bad.is_some() {
                 return Err(SpringError::NonFiniteInput {
                     tick: self.stwm.tick() + 1,
                 });
-            }
-            self.stwm.step(x);
-            if let Some(m) = self.after_column() {
-                out.push(m);
             }
         }
         Ok(())
@@ -443,6 +513,51 @@ mod tests {
         let out = run(&query, &stream, 0.0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].distance, 0.0);
+    }
+
+    #[test]
+    fn batched_ingestion_with_frequent_reports_matches_per_sample() {
+        // Dense, repeating occurrences force reports (and therefore
+        // column invalidation + frame-tail recomputation) to land on
+        // every in-frame offset across the run. The batched monitor must
+        // report identical matches and leave bit-identical columns.
+        use crate::monitor::Monitor as _;
+        let query = [0.0, 6.0, 0.0];
+        let mut stream = Vec::new();
+        for gap in 1..=12usize {
+            for _ in 0..3 {
+                stream.extend([0.0, 6.0, 0.0]);
+                stream.extend(std::iter::repeat_n(40.0, gap));
+            }
+        }
+        for batch in [1usize, 2, 3, 5, 8, 13, 64] {
+            let mut a = Spring::new(&query, SpringConfig::new(2.0)).unwrap();
+            let mut b = Spring::new(&query, SpringConfig::new(2.0)).unwrap();
+            let mut expect = Vec::new();
+            for &x in &stream {
+                expect.extend(a.step(x));
+            }
+            let mut got = Vec::new();
+            for chunk in stream.chunks(batch) {
+                b.step_batch(chunk, &mut got).unwrap();
+            }
+            assert_eq!(got, expect, "batch={batch}");
+            assert_eq!(a.pending(), b.pending(), "batch={batch}");
+            assert_eq!(
+                a.stwm()
+                    .distances()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>(),
+                b.stwm()
+                    .distances()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>(),
+                "batch={batch}: final distance column diverges"
+            );
+            assert_eq!(a.stwm().starts(), b.stwm().starts(), "batch={batch}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use spring_dtw::kernels::{DistanceKernel, Squared};
 
 use crate::error::{check_query, SpringError};
+use crate::kernel::{self, Scratch};
 use crate::mem::MemoryUse;
 
 /// Rolling two-column STWM between an evolving stream and a fixed query.
@@ -34,6 +35,9 @@ pub struct Stwm<K: DistanceKernel = Squared> {
     s_prev: Vec<u64>,
     /// Current 1-based tick (0 before the first value).
     t: u64,
+    /// Lane scratch for the two-phase SoA kernel (see `crate::kernel`);
+    /// kept in-struct so steady-state stepping never allocates.
+    scratch: Scratch,
 }
 
 /// Which predecessor supplied `dbest` in Equation (7); used by
@@ -63,6 +67,7 @@ impl<K: DistanceKernel> Stwm<K> {
             s_cur: vec![0; m + 1],
             s_prev: vec![0; m + 1],
             t: 0,
+            scratch: Scratch::new(m),
         })
     }
 
@@ -87,44 +92,93 @@ impl<K: DistanceKernel> Stwm<K> {
     }
 
     /// Consumes the next stream value and fills the column for tick
-    /// `t + 1`. Equations (7) and (8) of the paper.
+    /// `t + 1`. Equations (7) and (8) of the paper, computed by the
+    /// two-phase SoA kernel (`crate::kernel`) — bit-exact with
+    /// [`Stwm::step_reference`].
     pub fn step(&mut self, x: f64) {
+        self.t += 1;
+        kernel::fill_column(
+            self.kernel,
+            &self.query,
+            x,
+            self.t,
+            &mut self.d_prev,
+            &mut self.s_prev,
+            &mut self.d_cur,
+            &mut self.s_cur,
+            &mut self.scratch,
+        );
+        std::mem::swap(&mut self.d_cur, &mut self.d_prev);
+        std::mem::swap(&mut self.s_cur, &mut self.s_prev);
+    }
+
+    /// Like [`Stwm::step`], but via the branchy scalar reference loop —
+    /// the executable spec the SoA kernel is pinned against by the
+    /// differential suite. Column contents are bit-identical to
+    /// [`Stwm::step`]'s.
+    pub fn step_reference(&mut self, x: f64) {
         self.step_traced(x, |_, _| {});
     }
 
-    /// Like [`Stwm::step`], but invokes `trace(i, step)` for every query
-    /// row with the predecessor that won Equation (7) — the hook
-    /// [`crate::PathSpring`] uses to record back-pointers. `i` is the
-    /// 1-based query row.
-    pub fn step_traced(&mut self, x: f64, mut trace: impl FnMut(usize, Step)) {
+    /// Like [`Stwm::step_reference`], but invokes `trace(i, step)` for
+    /// every query row with the predecessor that won Equation (7) — the
+    /// hook [`crate::PathSpring`] uses to record back-pointers. `i` is
+    /// the 1-based query row. Runs the scalar reference loop (the trace
+    /// needs the per-row three-way decision the kernel splits apart).
+    pub fn step_traced(&mut self, x: f64, trace: impl FnMut(usize, Step)) {
         self.t += 1;
-        let t = self.t;
-        let m = self.query.len();
-        // Star row: distance 0; a path entering from (t, 0) or diagonally
-        // from (t−1, 0) starts its first real element at tick t.
-        self.d_cur[0] = 0.0;
-        self.s_cur[0] = t;
-        self.d_prev[0] = 0.0;
-        self.s_prev[0] = t;
-        for i in 1..=m {
-            let base = self.kernel.dist(x, self.query[i - 1]);
-            let left = self.d_cur[i - 1]; //  d(t,   i−1)
-            let down = self.d_prev[i]; //     d(t−1, i)
-            let diag = self.d_prev[i - 1]; // d(t−1, i−1)
-                                           // Tie-break in the order of Equation (8).
-            let (dbest, s, step) = if left <= down && left <= diag {
-                (left, self.s_cur[i - 1], Step::Left)
-            } else if down <= diag {
-                (down, self.s_prev[i], Step::Down)
-            } else {
-                (diag, self.s_prev[i - 1], Step::Diag)
-            };
-            self.d_cur[i] = base + dbest;
-            self.s_cur[i] = s;
-            trace(i, step);
-        }
+        kernel::fill_column_reference(
+            self.kernel,
+            &self.query,
+            x,
+            self.t,
+            &mut self.d_prev,
+            &mut self.s_prev,
+            &mut self.d_cur,
+            &mut self.s_cur,
+            trace,
+        );
         std::mem::swap(&mut self.d_cur, &mut self.d_prev);
         std::mem::swap(&mut self.s_cur, &mut self.s_prev);
+    }
+
+    /// Fills a frame of `xs.len() ≤ FRAME_COLS` columns (ticks
+    /// `t+1 ..= t+w`) by the anti-diagonal wavefront kernel, without
+    /// advancing the tick — the policy layer walks the stored columns
+    /// first, then calls [`Stwm::commit_frame`]. Bit-identical to
+    /// `xs.len()` consecutive [`Stwm::step`]s.
+    pub(crate) fn fill_frame(&self, xs: &[f64], frame: &mut kernel::Frame) {
+        kernel::fill_frame(
+            self.kernel,
+            &self.query,
+            xs,
+            self.t,
+            &self.d_prev,
+            &self.s_prev,
+            frame,
+        );
+    }
+
+    /// Recomputes frame columns `from ..= w` after a disjoint-query
+    /// reset invalidated column `from − 1` (`xs` is the same slice
+    /// passed to [`Stwm::fill_frame`]).
+    pub(crate) fn refill_frame_tail(&mut self, xs: &[f64], frame: &mut kernel::Frame, from: usize) {
+        kernel::refill_frame_tail(
+            self.kernel,
+            &self.query,
+            xs,
+            self.t,
+            frame,
+            from,
+            &mut self.scratch,
+        );
+    }
+
+    /// Adopts the last column of a filled frame as the rolling column
+    /// and advances the tick by the frame width.
+    pub(crate) fn commit_frame(&mut self, frame: &kernel::Frame) {
+        frame.copy_col(frame.width(), &mut self.d_prev, &mut self.s_prev);
+        self.t += frame.width() as u64;
     }
 
     /// Distance column of the current tick: `d(t, i)` for `i = 0 ..= m`
@@ -189,10 +243,12 @@ impl Stwm<Squared> {
 
 impl<K: DistanceKernel> MemoryUse for Stwm<K> {
     fn bytes_used(&self) -> usize {
-        // Query + two distance columns + two start columns.
+        // Query + two distance columns + two start columns + kernel
+        // scratch lanes.
         self.query.capacity() * std::mem::size_of::<f64>()
             + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
             + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
+            + self.scratch.bytes()
     }
 }
 
@@ -311,6 +367,32 @@ mod tests {
             stwm.step((t as f64).cos());
         }
         assert_eq!(stwm.bytes_used(), before);
+    }
+
+    #[test]
+    fn step_and_step_reference_agree_bit_for_bit() {
+        let query = [11.0, 6.0, 9.0, 4.0, 2.5];
+        let mut fast = Stwm::new(&query).unwrap();
+        let mut reference = Stwm::new(&query).unwrap();
+        for t in 0..500 {
+            let x = ((t as f64) * 0.31).sin() * 8.0 + ((t % 7) as f64);
+            fast.step(x);
+            reference.step_reference(x);
+            assert_eq!(
+                fast.distances()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>(),
+                reference
+                    .distances()
+                    .iter()
+                    .map(|d| d.to_bits())
+                    .collect::<Vec<_>>(),
+                "distance column diverges at t = {}",
+                t + 1
+            );
+            assert_eq!(fast.starts(), reference.starts());
+        }
     }
 
     #[test]

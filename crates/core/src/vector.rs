@@ -15,6 +15,7 @@ use spring_dtw::kernels::{DistanceKernel, Squared};
 use spring_dtw::multivariate::element_distance;
 
 use crate::error::{check_epsilon, SpringError};
+use crate::kernel::{self, Scratch};
 use crate::mem::MemoryUse;
 use crate::policy::{ColumnOps, DisjointPolicy};
 use crate::types::Match;
@@ -58,6 +59,8 @@ struct VectorStwm<K: DistanceKernel> {
     s_cur: Vec<u64>,
     s_prev: Vec<u64>,
     t: u64,
+    /// Lane scratch shared with the scalar SoA kernel (`crate::kernel`).
+    scratch: Scratch,
 }
 
 impl<K: DistanceKernel> VectorStwm<K> {
@@ -78,6 +81,7 @@ impl<K: DistanceKernel> VectorStwm<K> {
             s_cur: vec![0; m + 1],
             s_prev: vec![0; m + 1],
             t: 0,
+            scratch: Scratch::new(m),
         })
     }
 
@@ -89,27 +93,24 @@ impl<K: DistanceKernel> VectorStwm<K> {
             });
         }
         self.t += 1;
-        let t = self.t;
-        self.d_cur[0] = 0.0;
-        self.s_cur[0] = t;
-        self.d_prev[0] = 0.0;
-        self.s_prev[0] = t;
-        for i in 1..=self.m {
-            let row = &self.query[(i - 1) * self.dim..i * self.dim];
-            let base = element_distance(x, row, self.kernel);
-            let left = self.d_cur[i - 1];
-            let down = self.d_prev[i];
-            let diag = self.d_prev[i - 1];
-            let (dbest, s) = if left <= down && left <= diag {
-                (left, self.s_cur[i - 1])
-            } else if down <= diag {
-                (down, self.s_prev[i])
-            } else {
-                (diag, self.s_prev[i - 1])
-            };
-            self.d_cur[i] = base + dbest;
-            self.s_cur[i] = s;
-        }
+        // Same two-phase SoA kernel as the scalar STWM; only the base
+        // lane differs (per-row channel sums instead of a 1-D kernel).
+        let query = &self.query;
+        let dim = self.dim;
+        let kern = self.kernel;
+        kernel::fill_column_with(
+            |base| {
+                for (i, b) in base[1..].iter_mut().enumerate() {
+                    *b = element_distance(x, &query[i * dim..(i + 1) * dim], kern);
+                }
+            },
+            self.t,
+            &mut self.d_prev,
+            &mut self.s_prev,
+            &mut self.d_cur,
+            &mut self.s_cur,
+            &mut self.scratch,
+        );
         std::mem::swap(&mut self.d_cur, &mut self.d_prev);
         std::mem::swap(&mut self.s_cur, &mut self.s_prev);
         Ok(())
@@ -119,6 +120,7 @@ impl<K: DistanceKernel> VectorStwm<K> {
         self.query.capacity() * std::mem::size_of::<f64>()
             + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
             + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
+            + self.scratch.bytes()
     }
 }
 

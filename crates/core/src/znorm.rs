@@ -239,8 +239,11 @@ impl<K: DistanceKernel> crate::monitor::Monitor for NormalizedSpring<K> {
     }
 
     /// Optimized batch path: hoists the warmup capacity and the raw-tick
-    /// offset out of the loop and steps the inner STWM directly; the
-    /// normalization arithmetic and column recurrence are unchanged.
+    /// offset out of the loop and steps the inner STWM's SoA kernel
+    /// directly, keeping its lane scratch warm across the frame; the
+    /// normalization arithmetic is unchanged and z-scores of finite
+    /// samples are always finite, so the inner column never sees the
+    /// values the guard rejects.
     fn step_batch(&mut self, samples: &[f64], out: &mut Vec<Match>) -> Result<(), SpringError> {
         let capacity = self.stats.capacity;
         let offset = self.offset;
