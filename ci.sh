@@ -31,8 +31,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy (simd + failpoints features)"
 cargo clippy --workspace --all-targets \
-  --features spring/simd,spring-testkit/simd,spring-testkit/failpoints \
+  --features spring/simd,spring-testkit/simd,spring-testkit/failpoints,spring-cli/failpoints \
   -- -D warnings
+
+echo "==> cargo clippy (spring-monitor without the reactor feature)"
+# Built standalone the crate drops its only unsafe module and must stay
+# warning-free under forbid(unsafe_code); the workspace build above
+# always unifies `reactor` in via spring-cli, so this is the one place
+# the reactor-less configuration is checked.
+cargo clippy -p spring-monitor --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -43,9 +50,12 @@ cargo test -q
 echo "==> cargo test (simd feature: explicit SIMD kernel paths)"
 cargo test -q -p spring-core -p spring-testkit --features simd
 
+echo "==> cargo test (spring-monitor without the reactor feature)"
+cargo test -q -p spring-monitor
+
 echo "==> cargo test (failpoints feature: fault-injection conformance)"
-cargo test -q -p spring-testkit -p spring-monitor \
-  --features spring-testkit/failpoints
+cargo test -q -p spring-testkit -p spring-monitor -p spring-cli \
+  --features spring-testkit/failpoints,spring-cli/failpoints
 
 echo "==> differential fuzz (every variant x bare/engine/runner)"
 # CI sets SPRING_FUZZ_SEED to a varying value (e.g. the run id) so the
@@ -65,6 +75,13 @@ if [ "$miri" -eq 1 ]; then
     MIRIFLAGS="${MIRIFLAGS:--Zmiri-seed=2007}" \
       rustup run nightly cargo miri test -p spring-core --features simd \
         --lib -- kernel snapshot
+    # The reactor feature carries spring-monitor's only unsafe code (the
+    # raw syscall shims); socket-driving tests are `#[cfg_attr(miri,
+    # ignore)]`, so this interprets the pure reactor logic and keeps the
+    # unsafe module inside Miri's build graph.
+    MIRIFLAGS="${MIRIFLAGS:--Zmiri-seed=2007}" \
+      rustup run nightly cargo miri test -p spring-monitor --features reactor \
+        --lib -- reactor
   else
     echo "WARN: miri unavailable (install with:" \
          "rustup toolchain install nightly --component miri); skipping" >&2

@@ -1,0 +1,110 @@
+//! End-to-end `spring serve` throughput (DESIGN.md §6h): the readiness
+//! event loop driven over real loopback sockets, sweeping concurrent
+//! connections {1, 64, 256} × runner frame size {1, 64}.
+//!
+//! Each timed iteration is one complete server lifetime: bind, accept
+//! `CONNS` concurrent clients, ingest [`SAMPLES_PER_CONN`] samples from
+//! each (every connection is its own stream with its own monitor),
+//! deliver every transcript, and shut the shards down. The reported
+//! element count is total samples, so the number is *sampled values per
+//! second through the whole stack* — parser, runner hand-off, DP, match
+//! write-back — not just socket bytes.
+//!
+//! What to expect: batch 64 amortizes the per-frame runner message and
+//! dominates batch 1 at every connection count. Fan-in (256 conns) pays
+//! the per-connection fixed costs (accept, attach, teardown) against a
+//! short stream, so per-sample cost rises with conns at fixed stream
+//! length — the interesting regression signal is a *superlinear* jump
+//! there, which is what an event-loop scalability bug looks like. One
+//! such jump already happened and was fixed: all clients connect at
+//! once, so the 256-conn rounds depend on `serve_listener` widening the
+//! listener backlog past std's hardcoded 128 — without it the kernel
+//! drops the overflow SYNs and each straggler stalls ~1 s (one TCP
+//! retransmission timeout), turning a 30 ms round into a 1 s one.
+//!
+//! `ci.sh --quick` captures these results in BENCH_SMOKE.json and warns
+//! when they regress >25% against the committed baseline.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use spring_bench::harness::Bench;
+use spring_cli::serve::{serve_listener, ServeOptions};
+use spring_core::MonitorSpec;
+use spring_dtw::Kernel;
+
+const CONNS: [usize; 3] = [1, 64, 256];
+const BATCHES: [usize; 2] = [1, 64];
+/// Samples each connection streams per iteration. Short on purpose:
+/// the serve-specific costs under test are per-connection and
+/// per-frame, and the DP itself is covered by the monitor benches.
+const SAMPLES_PER_CONN: usize = 64;
+
+fn options(batch: usize, conns: usize) -> ServeOptions {
+    ServeOptions {
+        query: vec![0.0, 9.0, 0.0],
+        spec: MonitorSpec::Spring { epsilon: 1.0 },
+        kernel: Kernel::Squared,
+        once: false,
+        batch,
+        shards: 2,
+        linger: None,
+        max_conns: conns.max(1),
+        accept_limit: Some(conns),
+    }
+}
+
+/// One full server lifetime serving `conns` concurrent clients.
+fn run_round(batch: usize, conns: usize, payload: &[u8]) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn({
+        let options = options(batch, conns);
+        move || {
+            serve_listener(listener, options, &mut Vec::new()).expect("serve");
+        }
+    });
+    let clients: Vec<_> = (0..conns)
+        .map(|_| {
+            let payload = payload.to_vec();
+            std::thread::spawn(move || {
+                let mut sock = TcpStream::connect(addr).expect("connect");
+                sock.write_all(&payload).expect("stream samples");
+                sock.shutdown(std::net::Shutdown::Write).expect("eof");
+                let mut transcript = String::new();
+                sock.read_to_string(&mut transcript).expect("transcript");
+                assert!(transcript.contains("match(es) over"), "{transcript}");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client");
+    }
+    server.join().expect("server thread");
+}
+
+fn main() {
+    // A quiet sine: values stay far from the query at ε = 1.0, so the
+    // measurement is ingestion + event-loop overhead, not match
+    // formatting.
+    let mut payload = Vec::new();
+    for t in 0..SAMPLES_PER_CONN {
+        let v = 30.0 + (t as f64 * 0.05).sin();
+        payload.extend_from_slice(format!("{v}\n").as_bytes());
+    }
+    // Server lifetimes are tens of milliseconds; one round per batch at
+    // default settings keeps the full sweep under a minute.
+    let b = Bench::new("serve_throughput")
+        .target(Duration::from_millis(30))
+        .samples(3);
+    for conns in CONNS {
+        for batch in BATCHES {
+            b.bench_elems(
+                &format!("serve/conns{conns}/batch{batch}"),
+                (conns * SAMPLES_PER_CONN) as u64,
+                || run_round(batch, conns, &payload),
+            );
+        }
+    }
+}

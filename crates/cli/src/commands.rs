@@ -74,10 +74,12 @@ USAGE:
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
                    [--min-len N --max-len N | --max-run R | --normalize W] [--batch N]
-                   [--shards N] [--linger-ms MS]
-                   (HTTP `GET /metrics` on the same port serves Prometheus text;
-                    connections are routed to --shards runner shards by
-                    stream-id hash, default min(8, cores))
+                   [--shards N] [--linger-ms MS] [--max-conns N]
+                   (one acceptor thread multiplexes all connections through a
+                    readiness event loop; HTTP `GET /metrics` on the same port
+                    serves Prometheus text; connections are routed to --shards
+                    runner shards by stream-id hash, default min(8, cores);
+                    --max-conns caps concurrent connections, default 1024)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring fuzz      [--seed N] [--iters N]
                    (differential conformance: every monitor variant through the bare

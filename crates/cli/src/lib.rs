@@ -24,6 +24,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod proto;
 pub mod serve;
 
 pub use args::{ArgError, Parsed};

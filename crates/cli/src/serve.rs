@@ -1,4 +1,5 @@
-//! `spring serve` — a line-protocol monitoring server.
+//! `spring serve` — a line-protocol monitoring server on a
+//! readiness-driven event loop.
 //!
 //! The paper's motivating deployments (network monitoring, sensor
 //! fleets) push values over sockets; this subcommand accepts them. Each
@@ -11,47 +12,92 @@
 //!          confirmed match, "done N match(es) over T ticks" at EOF
 //! ```
 //!
-//! Clients that half-close their write side still receive the trailing
-//! `finish()` flush. `--once` serves a single connection then exits
-//! (used by the tests; production deployments run without it).
+//! # Architecture (DESIGN.md §6h)
 //!
-//! Monitoring runs on a server-wide
-//! [`ShardedRunner`]`<`[`ScalarMonitor`]`>`: each connection is assigned
-//! a fresh stream id, its monitor is attached at runtime to the shard
-//! owning that id (FNV-1a hash), and its decoded values are pushed to
-//! that shard — connections on different shards share no locks, and a
-//! worker panic in one shard is healed by that shard's supervisor while
-//! the others keep streaming. `--shards` sets the shard count (default
-//! `min(8, cores)`); `--linger-ms` bounds how long a partial frame may
-//! sit before the shard flushes it, so a slow sensor still gets timely
-//! match lines at `--batch` > 1.
+//! One **acceptor thread** multiplexes every connection through a
+//! [`Reactor`] (`spring-monitor::reactor`: epoll on Linux, `poll(2)`
+//! fallback, in-tree and dependency-free) — there is no
+//! thread-per-connection. Sockets are nonblocking; each connection is a
+//! small state machine: a [`ProtoParser`] accumulates partial reads
+//! into protocol lines (bounded — an unterminated line is cut off at
+//! [`proto::MAX_LINE_BYTES`] with a protocol error), decoded samples
+//! are pushed into a server-wide [`ShardedRunner`], and everything the
+//! client should see is staged in a per-connection write buffer flushed
+//! as the socket allows. A slow or dead client therefore never stalls
+//! the loop: its buffer fills, its reads pause (backpressure), and past
+//! a hard cap the connection is dropped
+//! (`spring_conn_dropped_total`).
+//!
+//! Barrier operations — the flush/sync that orders an `error:` line or
+//! the final `done` line *after* every match for samples pushed before
+//! it — block on shard queues, so they run on one **completion
+//! thread**, never on the acceptor. While a connection waits for its
+//! barrier its reads stay paused, which preserves the blocking
+//! implementation's per-connection ordering exactly; other connections
+//! keep streaming.
+//!
+//! Matches are delivered by the shard workers through the serve sink
+//! straight into the owning connection's write buffer, then the
+//! reactor is woken to flush. Per stream, delivery order is the shard
+//! worker's confirmation order, as before.
 //!
 //! Connections whose first line is an HTTP request line (`GET <path>
 //! HTTP/1.x`) are answered as HTTP instead: `GET /metrics` returns the
 //! server-wide [`Metrics`] registry in the Prometheus text exposition
-//! format (including the per-shard `spring_shard_*` series), anything
-//! else a 404. This lets one port serve both sensor clients and a
-//! scrape target.
+//! format (including `spring_connections_open`,
+//! `spring_conn_read_bytes_total`, `spring_conn_parse_errors_total`,
+//! `spring_conn_dropped_total` and the per-shard `spring_shard_*`
+//! series), anything else a 404.
+//!
+//! `--shards`, `--batch`, and `--linger-ms` keep their semantics
+//! byte-identical to the blocking implementation; `--max-conns` caps
+//! concurrent connections (excess connections get one `error:` line
+//! and are closed). `--once` serves a single connection then exits
+//! (used by the tests; production deployments run without it).
 //!
 //! The listener binds **loopback only** (`127.0.0.1`): the protocol is
 //! unauthenticated, so exposure beyond the host should go through a
 //! reverse proxy or tunnel that adds transport security.
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Duration;
 
 use spring_core::{MonitorSpec, ScalarMonitor};
 use spring_dtw::Kernel;
+use spring_monitor::reactor::{self, Interest, Reactor, Ready, Waker};
 use spring_monitor::{
-    Event, GapPolicy, MatchSink, Metrics, QueryId, RunnerAttachment, ShardedRunner, StreamId,
+    AttachmentId, Event, GapPolicy, MatchSink, Metrics, QueryId, RunnerAttachment, ShardedRunner,
+    StreamId,
 };
 
 use crate::args::Parsed;
 use crate::commands::CliError;
+use crate::proto::{self, CarryForward, ProtoEvent, ProtoParser};
+
+/// Bytes read per `read(2)` call.
+const READ_CHUNK: usize = 4096;
+/// Reads per readiness event before yielding to other connections (the
+/// level-triggered reactor re-reports, so nothing is lost).
+const READS_PER_EVENT: usize = 16;
+/// Write-buffer size past which a connection's reads are paused
+/// (backpressure: a slow reader stops feeding its own monitor).
+const OUT_SOFT_LIMIT: usize = 64 * 1024;
+/// Write-buffer size past which a connection is dropped outright (a
+/// dead reader must not grow server memory without bound).
+const OUT_HARD_LIMIT: usize = 4 * 1024 * 1024;
+/// Reactor token of the listening socket (connection tokens are slab
+/// indices, far below).
+const LISTENER_TOKEN: usize = usize::MAX - 1;
+/// Safety-net wait timeout: cross-thread wakes are UDP datagrams, so a
+/// periodic sweep guarantees progress even if one is ever dropped.
+/// Coarse on purpose — every observed latency is event-driven, this
+/// only bounds recovery from a lost wake.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Options resolved from the `serve` flags.
 #[derive(Debug, Clone)]
@@ -77,22 +123,20 @@ pub struct ServeOptions {
     /// with it, a partial frame is flushed by the shard's janitor once
     /// it is this old, instead of waiting for the frame to fill.
     pub linger: Option<Duration>,
+    /// Concurrent-connection cap (`--max-conns`): connections beyond it
+    /// receive one `error:` line and are closed.
+    pub max_conns: usize,
+    /// Stop accepting after this many connections and exit once they
+    /// have all completed (`None` = serve forever). Not exposed as a
+    /// flag; the conformance harness and benches use it to run a
+    /// bounded session. `--once` is `Some(1)`.
+    pub accept_limit: Option<usize>,
 }
 
-/// True when `line` looks like an HTTP request line (`GET / HTTP/1.1`).
-fn is_http_request(line: &str) -> bool {
-    let mut parts = line.split_whitespace();
-    matches!(
-        (parts.next(), parts.next(), parts.next()),
-        (Some("GET" | "HEAD" | "POST"), Some(_), Some(v)) if v.starts_with("HTTP/")
-    )
-}
-
-/// Answers one HTTP request: `GET /metrics` serves the Prometheus text
+/// Builds one HTTP response: `GET /metrics` serves the Prometheus text
 /// exposition, anything else a 404. The connection is closed after the
 /// response (`Connection: close`), so request headers need not be read.
-fn respond_http(stream: TcpStream, request_line: &str, metrics: &Metrics) -> std::io::Result<()> {
-    let mut writer = BufWriter::new(stream);
+fn http_response(request_line: &str, metrics: &Metrics) -> String {
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, content_type, body) = if path == "/metrics" {
         (
@@ -107,19 +151,62 @@ fn respond_http(stream: TcpStream, request_line: &str, metrics: &Metrics) -> std
             "not found; try GET /metrics\n".to_string(),
         )
     };
-    write!(
-        writer,
+    format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
-    )?;
-    writer.flush()
+    )
 }
 
-/// One connection's server-side state, shared between its handler
-/// thread and the [`ServeSink`] (which delivers matches from the shard
-/// workers).
-struct ConnState {
-    writer: Mutex<BufWriter<TcpStream>>,
+/// A connection's staged output: bytes the event loop still has to
+/// write to the socket. Consumed from the front without reallocating
+/// on every write.
+#[derive(Debug, Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl OutBuf {
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 16 * 1024 {
+            // Reclaim consumed prefix once it is worth the memmove.
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// One connection's server-side state shared across threads: the event
+/// loop flushes `out`, the shard workers (via [`ServeSink`]) and the
+/// completion thread append to it.
+#[derive(Debug, Default)]
+struct ConnShared {
+    out: Mutex<OutBuf>,
     /// Matches delivered so far (the `done` line's count).
     matches: AtomicU64,
     /// Set once the client stream has ended and drained: matches
@@ -128,171 +215,604 @@ struct ConnState {
     ended: AtomicBool,
 }
 
-/// The server-wide [`MatchSink`]: routes each event to the writer of
-/// the connection owning its stream id. Shard workers call this
-/// concurrently for *different* streams; per stream, delivery is
-/// serialized by the owning worker, so a connection's match lines stay
-/// in confirmation order.
+impl ConnShared {
+    fn out(&self) -> std::sync::MutexGuard<'_, OutBuf> {
+        self.out.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The server-wide [`MatchSink`]: routes each event into the write
+/// buffer of the connection owning its stream id, then wakes the
+/// reactor to flush it. Shard workers call this concurrently for
+/// *different* streams; per stream, delivery is serialized by the
+/// owning worker, so a connection's match lines stay in confirmation
+/// order.
 #[derive(Default)]
 struct ServeSink {
-    conns: RwLock<HashMap<StreamId, Arc<ConnState>>>,
+    conns: RwLock<HashMap<StreamId, Arc<ConnShared>>>,
+    waker: OnceLock<Waker>,
+}
+
+impl ServeSink {
+    fn get(&self, stream: StreamId) -> Option<Arc<ConnShared>> {
+        self.conns
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&stream)
+            .cloned()
+    }
+
+    fn insert(&self, stream: StreamId, conn: Arc<ConnShared>) {
+        self.conns
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(stream, conn);
+    }
+
+    fn remove(&self, stream: StreamId) {
+        self.conns
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&stream);
+    }
 }
 
 impl MatchSink for ServeSink {
     fn on_match(&self, event: &Event) {
-        let conn = self
-            .conns
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(&event.stream)
-            .cloned();
         // A detached connection's stragglers have nowhere to go.
-        let Some(conn) = conn else { return };
-        let suffix = if conn.ended.load(Ordering::Acquire) {
-            " (stream end)"
-        } else {
-            ""
+        let Some(conn) = self.get(event.stream) else {
+            return;
         };
+        let stream_end = conn.ended.load(Ordering::Acquire);
         conn.matches.fetch_add(1, Ordering::Relaxed);
-        let m = &event.m;
-        let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        // Matches are alerts: deliver immediately. A client gone mid-write
-        // is normal — the handler notices at its next own write.
-        let _ = writeln!(
-            w,
-            "match ticks {}..={} len {} distance {:.6} reported_at {}{suffix}",
-            m.start,
-            m.end,
-            m.len(),
-            m.distance,
-            m.reported_at
-        );
-        let _ = w.flush();
+        conn.out()
+            .push_line(&proto::format_match(&event.m, stream_end));
+        if let Some(waker) = self.waker.get() {
+            waker.wake();
+        }
     }
 }
 
-/// Everything the connection handlers share: the sharded runner, the
-/// sink routing matches back to connections, the metrics registry, and
-/// the stream-id allocator.
+/// Barrier work the acceptor must never block on: flush/sync against
+/// the shard queues to order client-visible lines after in-flight
+/// matches. Processed in submission order by the completion thread.
+enum Job {
+    /// A protocol error line: drain the stream's in-flight samples,
+    /// write `error: <line>`, resume reading.
+    Drain {
+        stream: StreamId,
+        token: usize,
+        line: String,
+    },
+    /// Client EOF (or fatal push error): drain, optionally write a
+    /// final error line, finish the stream, write the `done` summary,
+    /// detach.
+    Eof {
+        stream: StreamId,
+        token: usize,
+        ticks: u64,
+        attachment: Option<AttachmentId>,
+        error_line: Option<String>,
+    },
+    /// Connection died mid-stream: detach and deregister, nothing to
+    /// write.
+    Abort {
+        stream: StreamId,
+        attachment: Option<AttachmentId>,
+    },
+}
+
+/// What the completion thread tells the event loop. `stream` guards
+/// against token reuse: a note only applies if the slot still holds
+/// the same stream.
+enum Note {
+    /// The `Drain` barrier completed: resume reading.
+    Resume { token: usize, stream: StreamId },
+    /// The `Eof` sequence completed: flush remaining output and close.
+    Finish { token: usize, stream: StreamId },
+}
+
+/// Everything shared between the acceptor, the completion thread, and
+/// the shard workers' sink.
 struct ServerState {
     runner: ShardedRunner<ScalarMonitor>,
     sink: Arc<ServeSink>,
     metrics: Arc<Metrics>,
-    next_stream: AtomicU32,
+    notes: Mutex<Vec<Note>>,
+    waker: Waker,
 }
 
-/// Handles one client connection: one stream, one runtime-attached
-/// monitor on the shard owning the stream id — or, when the first line
-/// is an HTTP request line, one HTTP exchange.
-fn handle_client(stream: TcpStream, opts: &ServeOptions, srv: &ServerState) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    // Sniff the first line: HTTP scrape or line-protocol stream?
-    let mut first = String::new();
-    if reader.read_line(&mut first)? == 0 {
-        return Ok(()); // connected and immediately hung up
+impl ServerState {
+    fn note(&self, note: Note) {
+        self.notes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(note);
+        self.waker.wake();
     }
-    if is_http_request(first.trim_end()) {
-        return respond_http(stream, first.trim_end(), &srv.metrics);
-    }
-    let monitor = match opts.spec.build(&opts.query, opts.kernel) {
-        Ok(s) => s,
-        Err(e) => {
-            let mut writer = BufWriter::new(stream);
-            writeln!(writer, "error: {e}")?;
-            return writer.flush();
-        }
-    };
-    let stream_id = StreamId(srv.next_stream.fetch_add(1, Ordering::Relaxed));
-    let conn = Arc::new(ConnState {
-        writer: Mutex::new(BufWriter::new(stream)),
-        matches: AtomicU64::new(0),
-        ended: AtomicBool::new(false),
-    });
-    // Register with the sink *before* attaching, so the first match can
-    // never race past the routing table.
-    srv.sink
-        .conns
-        .write()
-        .unwrap_or_else(PoisonError::into_inner)
-        .insert(stream_id, Arc::clone(&conn));
-    // Gaps never reach the attachment — they are resolved to the carried
-    // value (or dropped) below, like the historical per-connection loop.
-    let attached = srv.runner.attach(RunnerAttachment::new(
-        stream_id,
-        QueryId(0),
-        monitor,
-        GapPolicy::Skip,
-    ));
-    let id = match attached {
-        Ok(id) => id,
-        Err(e) => {
-            deregister(srv, stream_id);
-            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-            writeln!(w, "error: {e}")?;
-            return w.flush();
-        }
-    };
-    let mut ticks = 0u64;
-    let mut last = None;
-    for line in std::iter::once(Ok(first)).chain(reader.lines()) {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Ok(v) = line.parse::<f64>() else {
-            // Drain first so the error line lands after the matches of
-            // everything pushed before it, like the per-sample loop.
-            let _ = srv.runner.flush(stream_id);
-            let _ = srv.runner.sync(stream_id);
-            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-            writeln!(w, "error: `{line}` is not a number")?;
-            w.flush()?;
-            continue;
-        };
-        // Missing readings carry the last observation (sensors hold).
-        let x = if v.is_finite() {
-            last = Some(v);
-            v
-        } else {
-            match last {
-                Some(prev) => prev,
-                None => continue,
+}
+
+/// The completion thread: runs every barrier job in order. Each sync
+/// blocks only on the owning shard's queue, so a busy shard delays
+/// completions, never the acceptor.
+fn completion_loop(jobs: mpsc::Receiver<Job>, srv: Arc<ServerState>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Drain {
+                stream,
+                token,
+                line,
+            } => {
+                // Drain first so the error line lands after the matches
+                // of everything pushed before it, like the blocking
+                // per-sample loop.
+                let _ = srv.runner.flush(stream);
+                let _ = srv.runner.sync(stream);
+                if let Some(conn) = srv.sink.get(stream) {
+                    conn.out().push_line(&format!("error: {line}"));
+                }
+                srv.note(Note::Resume { token, stream });
             }
-        };
-        ticks += 1;
-        if let Err(e) = srv.runner.push(stream_id, &x) {
-            let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-            writeln!(w, "error: {e}")?;
-            w.flush()?;
-            break;
+            Job::Eof {
+                stream,
+                token,
+                ticks,
+                attachment,
+                error_line,
+            } => {
+                // Flush the trailing partial frame and wait for the
+                // shard to drain it, so every in-stream match is
+                // delivered (and counted) before the stream-end flush.
+                let _ = srv.runner.flush(stream);
+                let _ = srv.runner.sync(stream);
+                if let Some(conn) = srv.sink.get(stream) {
+                    if let Some(line) = &error_line {
+                        conn.out().push_line(&format!("error: {line}"));
+                    }
+                    conn.ended.store(true, Ordering::Release);
+                    let _ = srv.runner.finish_stream(stream);
+                    let _ = srv.runner.sync(stream);
+                    let count = conn.matches.load(Ordering::Relaxed);
+                    conn.out()
+                        .push_line(&format!("done {count} match(es) over {ticks} ticks"));
+                }
+                if let Some(id) = attachment {
+                    let _ = srv.runner.detach(id);
+                }
+                srv.sink.remove(stream);
+                srv.note(Note::Finish { token, stream });
+            }
+            Job::Abort { stream, attachment } => {
+                if let Some(id) = attachment {
+                    let _ = srv.runner.detach(id);
+                }
+                srv.sink.remove(stream);
+            }
         }
     }
-    // EOF: flush the trailing partial frame and wait for the shard to
-    // drain it, so every in-stream match is delivered (and counted)
-    // before the stream-end flush below.
-    let _ = srv.runner.flush(stream_id);
-    let _ = srv.runner.sync(stream_id);
-    conn.ended.store(true, Ordering::Release);
-    let _ = srv.runner.finish_stream(stream_id);
-    let _ = srv.runner.sync(stream_id);
-    let count = conn.matches.load(Ordering::Relaxed);
-    {
-        let mut w = conn.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        writeln!(w, "done {count} match(es) over {ticks} ticks")?;
-        w.flush()?;
-    }
-    let _ = srv.runner.detach(id);
-    deregister(srv, stream_id);
-    Ok(())
 }
 
-fn deregister(srv: &ServerState, stream_id: StreamId) {
-    srv.sink
-        .conns
-        .write()
-        .unwrap_or_else(PoisonError::into_inner)
-        .remove(&stream_id);
+/// Failpoint-instrumented socket ops (`serve::accept`, `serve::read`,
+/// `serve::write` — see `spring-monitor::failpoints`). Without the
+/// `failpoints` feature these compile to the bare syscall wrappers.
+fn sys_accept(listener: &TcpListener) -> io::Result<(TcpStream, std::net::SocketAddr)> {
+    spring_monitor::fail_point!("serve::accept", io::Error::other("injected accept fault"));
+    listener.accept()
+}
+
+fn sys_read(sock: &mut TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+    spring_monitor::fail_point!("serve::read", io::Error::other("injected read fault"));
+    sock.read(buf)
+}
+
+fn sys_write(sock: &mut TcpStream, buf: &[u8]) -> io::Result<usize> {
+    spring_monitor::fail_point!("serve::write", io::Error::other("injected write fault"));
+    sock.write(buf)
+}
+
+/// One connection's event-loop-side state machine.
+struct Conn {
+    sock: TcpStream,
+    shared: Arc<ConnShared>,
+    parser: ProtoParser,
+    /// Protocol events decoded but not yet acted on (processing stops
+    /// while a barrier job is in flight, so ordering survives pauses).
+    pending: VecDeque<ProtoEvent>,
+    carry: CarryForward,
+    stream_id: StreamId,
+    attachment: Option<AttachmentId>,
+    /// A non-HTTP first line arrived: monitor attached, samples flow.
+    session: bool,
+    /// An `Eof` job was submitted; the completion thread now owns
+    /// detach/deregister for this stream.
+    finishing: bool,
+    ticks: u64,
+    /// Reads and event processing suspended until the completion
+    /// thread's note arrives.
+    paused: bool,
+    /// The client's write side is done (EOF seen).
+    eof: bool,
+    /// Flush remaining output, then close.
+    closing: bool,
+    /// Interest currently registered with the reactor.
+    registered: Interest,
+}
+
+/// The single-threaded accept/read/write loop. See the module docs.
+struct EventLoop<'a> {
+    listener: &'a TcpListener,
+    opts: &'a ServeOptions,
+    srv: &'a Arc<ServerState>,
+    jobs: &'a mpsc::Sender<Job>,
+    reactor: &'a mut Reactor,
+    conns: Vec<Option<Conn>>,
+    accepted: usize,
+    accept_limit: Option<usize>,
+    accepting: bool,
+    next_stream: u32,
+}
+
+impl EventLoop<'_> {
+    fn live(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn run(&mut self) -> Result<(), CliError> {
+        self.listener.set_nonblocking(true)?;
+        self.reactor
+            .register(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        let mut events: Vec<Ready> = Vec::new();
+        loop {
+            if !self.accepting && self.live() == 0 {
+                return Ok(());
+            }
+            self.reactor.wait(&mut events, Some(WAIT_TIMEOUT))?;
+            let notes: Vec<Note> = {
+                let mut guard = self
+                    .srv
+                    .notes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                std::mem::take(&mut *guard)
+            };
+            for note in notes {
+                self.apply_note(note);
+            }
+            for ev in events.iter().copied() {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_burst()?;
+                } else if ev.readable {
+                    self.on_readable(ev.token);
+                }
+                // Writability is handled by the maintenance sweep: every
+                // connection with staged output gets a flush attempt.
+            }
+            for token in 0..self.conns.len() {
+                self.maintain(token);
+            }
+        }
+    }
+
+    fn apply_note(&mut self, note: Note) {
+        let (token, stream, finish) = match note {
+            Note::Resume { token, stream } => (token, stream, false),
+            Note::Finish { token, stream } => (token, stream, true),
+        };
+        let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.stream_id != stream {
+            return; // the slot was reused; the note is stale
+        }
+        conn.paused = false;
+        if finish {
+            conn.closing = true;
+            conn.finishing = false;
+            conn.attachment = None; // completion thread already detached
+        }
+    }
+
+    fn accept_burst(&mut self) -> Result<(), CliError> {
+        while self.accepting {
+            let (sock, _) = match sys_accept(self.listener) {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient accept failures (EMFILE, injected
+                    // faults) must not take down every live stream.
+                    eprintln!("accept error: {e}");
+                    break;
+                }
+            };
+            // Every accepted socket counts against the limit, including
+            // ones turned away below — the limit bounds accept()s, not
+            // completed sessions.
+            self.accepted += 1;
+            let at_limit = self.accept_limit.is_some_and(|n| self.accepted >= n);
+            if at_limit {
+                self.accepting = false;
+                let _ = self.reactor.deregister(self.listener.as_raw_fd());
+            }
+            if self.live() >= self.opts.max_conns.max(1) {
+                self.srv.metrics.conn_dropped.inc();
+                let mut sock = sock;
+                let _ = sock.write_all(b"error: server at connection capacity\n");
+                if at_limit {
+                    break;
+                }
+                continue; // dropped: the socket closes here
+            }
+            if sock.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let stream_id = StreamId(self.next_stream);
+            self.next_stream = self.next_stream.wrapping_add(1);
+            let conn = Conn {
+                sock,
+                shared: Arc::new(ConnShared::default()),
+                parser: ProtoParser::new(),
+                pending: VecDeque::new(),
+                carry: CarryForward::default(),
+                stream_id,
+                attachment: None,
+                session: false,
+                finishing: false,
+                ticks: 0,
+                paused: false,
+                eof: false,
+                closing: false,
+                registered: Interest::READ,
+            };
+            let token = match self.conns.iter().position(Option::is_none) {
+                Some(i) => i,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            if let Err(e) = self
+                .reactor
+                .register(conn.sock.as_raw_fd(), token, Interest::READ)
+            {
+                eprintln!("client register error: {e}");
+                continue;
+            }
+            self.conns[token] = Some(conn);
+            self.srv.metrics.connections_open.add(1);
+        }
+        Ok(())
+    }
+
+    fn on_readable(&mut self, token: usize) {
+        let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        let mut buf = [0u8; READ_CHUNK];
+        let mut failed = false;
+        for _ in 0..READS_PER_EVENT {
+            if conn.paused || conn.eof || conn.closing {
+                break;
+            }
+            match sys_read(&mut conn.sock, &mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    conn.parser.finish(&mut conn.pending);
+                }
+                Ok(n) => {
+                    self.srv.metrics.conn_read_bytes.add(n as u64);
+                    conn.parser.feed(&buf[..n], &mut conn.pending);
+                    self.process(&mut conn, token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Reset mid-stream: nothing more to tell the client.
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            self.drop_conn(conn, token, true);
+        } else {
+            self.process(&mut conn, token);
+            self.conns[token] = Some(conn);
+        }
+    }
+
+    /// Runs the connection's protocol state machine over its decoded
+    /// events until it empties, pauses on a barrier, or closes.
+    fn process(&mut self, conn: &mut Conn, token: usize) {
+        if !conn.session
+            && !conn.closing
+            && !conn.parser.awaiting_first_line()
+            && !conn.parser.is_http()
+        {
+            // A first line arrived and it is not an HTTP request: this
+            // is a sensor session. Register with the sink *before*
+            // attaching, so the first match can never race past the
+            // routing table.
+            match self.opts.spec.build(&self.opts.query, self.opts.kernel) {
+                Ok(monitor) => {
+                    self.srv
+                        .sink
+                        .insert(conn.stream_id, Arc::clone(&conn.shared));
+                    let spec = RunnerAttachment::new(
+                        conn.stream_id,
+                        QueryId(0),
+                        monitor,
+                        // Gaps never reach the attachment — they are
+                        // resolved by CarryForward, like the historical
+                        // per-connection loop.
+                        GapPolicy::Skip,
+                    );
+                    match self.srv.runner.attach(spec) {
+                        Ok(id) => {
+                            conn.attachment = Some(id);
+                            conn.session = true;
+                        }
+                        Err(e) => {
+                            self.srv.sink.remove(conn.stream_id);
+                            conn.shared.out().push_line(&format!("error: {e}"));
+                            conn.closing = true;
+                            conn.pending.clear();
+                        }
+                    }
+                }
+                Err(e) => {
+                    conn.shared.out().push_line(&format!("error: {e}"));
+                    conn.closing = true;
+                    conn.pending.clear();
+                }
+            }
+        }
+        while !conn.paused && !conn.closing {
+            let Some(ev) = conn.pending.pop_front() else {
+                break;
+            };
+            match ev {
+                ProtoEvent::Http(line) => {
+                    conn.shared
+                        .out()
+                        .push_bytes(http_response(&line, &self.srv.metrics).as_bytes());
+                    conn.closing = true;
+                    conn.pending.clear();
+                }
+                ProtoEvent::Sample(v) => {
+                    // Missing readings carry the last observation
+                    // (sensors hold); leading gaps are dropped.
+                    let Some(x) = conn.carry.resolve(v) else {
+                        continue;
+                    };
+                    conn.ticks += 1;
+                    if let Err(e) = self.srv.runner.push(conn.stream_id, &x) {
+                        // Fatal for this stream: report and run the
+                        // end-of-stream sequence, like the blocking
+                        // loop's `break`.
+                        conn.pending.clear();
+                        conn.eof = true;
+                        conn.paused = true;
+                        conn.finishing = true;
+                        let _ = self.jobs.send(Job::Eof {
+                            stream: conn.stream_id,
+                            token,
+                            ticks: conn.ticks,
+                            attachment: conn.attachment.take(),
+                            error_line: Some(e.to_string()),
+                        });
+                    }
+                }
+                ProtoEvent::Error(line) => {
+                    self.srv.metrics.conn_parse_errors.inc();
+                    conn.paused = true;
+                    let _ = self.jobs.send(Job::Drain {
+                        stream: conn.stream_id,
+                        token,
+                        line,
+                    });
+                }
+            }
+        }
+        if !conn.paused && !conn.closing && conn.eof && conn.pending.is_empty() && !conn.finishing {
+            if conn.session {
+                conn.paused = true;
+                conn.finishing = true;
+                let _ = self.jobs.send(Job::Eof {
+                    stream: conn.stream_id,
+                    token,
+                    ticks: conn.ticks,
+                    attachment: conn.attachment.take(),
+                    error_line: None,
+                });
+            } else {
+                // Connected and hung up without a single line.
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Per-iteration sweep: resume paused work, flush staged output,
+    /// enforce buffer caps, update reactor interest, close drained
+    /// connections.
+    fn maintain(&mut self, token: usize) {
+        let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        self.process(&mut conn, token);
+        if self.flush_out(&mut conn).is_err() {
+            self.drop_conn(conn, token, true);
+            return;
+        }
+        let out_len = conn.shared.out().len();
+        if out_len > OUT_HARD_LIMIT {
+            // A dead reader: its buffer can only grow. Cut it loose.
+            self.drop_conn(conn, token, true);
+            return;
+        }
+        if conn.closing && out_len == 0 && !conn.paused && !conn.finishing {
+            self.drop_conn(conn, token, false);
+            return;
+        }
+        let desired = Interest {
+            readable: !conn.closing
+                && !conn.eof
+                && !conn.paused
+                && !conn.finishing
+                && out_len < OUT_SOFT_LIMIT,
+            writable: out_len > 0,
+        };
+        if desired != conn.registered {
+            if self
+                .reactor
+                .modify(conn.sock.as_raw_fd(), token, desired)
+                .is_err()
+            {
+                self.drop_conn(conn, token, true);
+                return;
+            }
+            conn.registered = desired;
+        }
+        self.conns[token] = Some(conn);
+    }
+
+    /// Writes as much staged output as the socket accepts right now.
+    fn flush_out(&mut self, conn: &mut Conn) -> io::Result<()> {
+        let mut out = conn.shared.out();
+        loop {
+            if out.is_empty() {
+                return Ok(());
+            }
+            match sys_write(&mut conn.sock, out.pending()) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => out.consume(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => Err(e)?,
+            }
+        }
+    }
+
+    /// Removes a connection: deregisters, closes the socket, and (for
+    /// `dropped` removals of live sessions) routes detach through the
+    /// completion thread. `dropped` distinguishes failures from normal
+    /// completion in `spring_conn_dropped_total`.
+    fn drop_conn(&mut self, conn: Conn, _token: usize, dropped: bool) {
+        let _ = self.reactor.deregister(conn.sock.as_raw_fd());
+        self.srv.metrics.connections_open.add(-1);
+        if dropped {
+            self.srv.metrics.conn_dropped.inc();
+        }
+        if conn.session && !conn.finishing {
+            // The completion thread may still run queued jobs for this
+            // stream; Abort after them detaches and deregisters.
+            let _ = self.jobs.send(Job::Abort {
+                stream: conn.stream_id,
+                attachment: conn.attachment,
+            });
+        }
+        // `conn` drops here, closing the socket.
+    }
 }
 
 /// Serves connections from an already-bound listener. Exposed so tests
@@ -304,6 +824,13 @@ pub fn serve_listener(
 ) -> Result<(), CliError> {
     writeln!(out, "listening on {}", listener.local_addr()?)?;
     out.flush()?;
+    // `TcpListener::bind` hardcodes a backlog of 128; a burst of
+    // simultaneous connects beyond that gets its SYNs dropped and each
+    // straggler stalls for a full TCP retransmission timeout (~1 s)
+    // before it can even connect. Widen the backlog to the connection
+    // budget (best-effort: the kernel clamps to somaxconn, and on
+    // failure the listener just keeps its default backlog).
+    let _ = reactor::widen_listen_backlog(&listener, opts.max_conns.max(128));
     // One registry and one sharded runner for the whole server: every
     // connection's attachment feeds them, and any `GET /metrics`
     // connection scrapes the registry.
@@ -321,42 +848,50 @@ pub fn serve_listener(
     if let Some(linger) = opts.linger {
         runner.set_linger(linger);
     }
+    let mut reactor = Reactor::new()?;
+    let waker = reactor.waker();
+    let _ = sink.waker.set(waker.clone());
     let srv = Arc::new(ServerState {
         runner,
         sink,
         metrics,
-        next_stream: AtomicU32::new(0),
+        notes: Mutex::new(Vec::new()),
+        waker,
     });
-    let opts = Arc::new(opts);
-    for conn in listener.incoming() {
-        let conn = conn?;
-        let once = opts.once;
-        let worker_opts = Arc::clone(&opts);
-        let worker_srv = Arc::clone(&srv);
-        let handle = std::thread::spawn(move || {
-            // A dropped client mid-stream is normal; log-and-continue.
-            if let Err(e) = handle_client(conn, &worker_opts, &worker_srv) {
-                eprintln!("client error: {e}");
-            }
-        });
-        if once {
-            let _ = handle.join();
-            break;
-        }
-        // Detached: collecting handles would grow without bound on a
-        // long-running server, and there is nothing to do with them —
-        // worker errors are already logged from the worker itself.
-        drop(handle);
+    let (jobs_tx, jobs_rx) = mpsc::channel();
+    let completion = std::thread::spawn({
+        let srv = Arc::clone(&srv);
+        move || completion_loop(jobs_rx, srv)
+    });
+    let accept_limit = if opts.once {
+        Some(1)
+    } else {
+        opts.accept_limit
+    };
+    let result = EventLoop {
+        listener: &listener,
+        opts: &opts,
+        srv: &srv,
+        jobs: &jobs_tx,
+        reactor: &mut reactor,
+        conns: Vec::new(),
+        accepted: 0,
+        accept_limit,
+        accepting: true,
+        next_stream: 0,
     }
-    // Drain the shards on the way out (reachable in `--once` mode; the
-    // long-running accept loop above only ends on a listener error).
+    .run();
+    // Retire the completion thread (it drains queued barriers first),
+    // then the shards.
+    drop(jobs_tx);
+    let _ = completion.join();
     if let Ok(state) = Arc::try_unwrap(srv) {
         state
             .runner
             .shutdown()
             .map_err(|e| CliError::Compute(e.to_string()))?;
     }
-    Ok(())
+    result
 }
 
 /// Default shard count: one per core, capped at 8 (a shard is a full
@@ -368,6 +903,9 @@ fn default_shards() -> usize {
         .unwrap_or(1)
         .min(8)
 }
+
+/// Default concurrent-connection cap (`--max-conns`).
+const DEFAULT_MAX_CONNS: usize = 1024;
 
 /// `spring serve` — parse flags, bind, and serve.
 pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -385,6 +923,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "batch",
             "shards",
             "linger-ms",
+            "max-conns",
         ],
         &["once"],
     )?;
@@ -405,6 +944,10 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let linger = p
         .get_parsed::<u64>("linger-ms", "integer")?
         .map(Duration::from_millis);
+    let max_conns: usize = p
+        .get_parsed("max-conns", "integer")?
+        .unwrap_or(DEFAULT_MAX_CONNS)
+        .max(1);
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(
         listener,
@@ -416,6 +959,8 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             batch,
             shards,
             linger,
+            max_conns,
+            accept_limit: None,
         },
         out,
     )
@@ -424,31 +969,36 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{BufRead, BufReader, Read};
     use std::net::TcpStream;
 
-    fn start(query: Vec<f64>, epsilon: f64) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    fn opts(query: Vec<f64>, epsilon: f64) -> ServeOptions {
+        ServeOptions {
+            query,
+            spec: MonitorSpec::Spring { epsilon },
+            kernel: Kernel::Squared,
+            once: true,
+            // Small odd batch: exercises mid-stream flushes and
+            // trailing partial batches in every test below.
+            batch: 3,
+            shards: 2,
+            linger: None,
+            max_conns: 64,
+            accept_limit: None,
+        }
+    }
+
+    fn start_with(options: ServeOptions) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
-            serve_listener(
-                listener,
-                ServeOptions {
-                    query,
-                    spec: MonitorSpec::Spring { epsilon },
-                    kernel: Kernel::Squared,
-                    once: true,
-                    // Small odd batch: exercises mid-stream flushes and
-                    // trailing partial batches in every test below.
-                    batch: 3,
-                    shards: 2,
-                    linger: None,
-                },
-                &mut Vec::new(),
-            )
-            .unwrap();
+            serve_listener(listener, options, &mut Vec::new()).unwrap();
         });
         (addr, handle)
+    }
+
+    fn start(query: Vec<f64>, epsilon: f64) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        start_with(opts(query, epsilon))
     }
 
     #[test]
@@ -503,28 +1053,51 @@ mod tests {
     }
 
     #[test]
+    fn oversized_lines_are_cut_off_with_a_protocol_error() {
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // A line that never ends until well past the cap, then a valid
+        // session: the server must bound its buffer, report once, and
+        // keep monitoring.
+        let huge = vec![b'7'; proto::MAX_LINE_BYTES + 1000];
+        conn.write_all(&huge).unwrap();
+        conn.write_all(b"\n").unwrap();
+        for v in [0.0, 9.0, 0.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(
+            response.contains(&format!(
+                "error: line exceeds {} bytes",
+                proto::MAX_LINE_BYTES
+            )),
+            "{response}"
+        );
+        assert!(
+            response.contains("done 1 match(es) over 3 ticks"),
+            "{response}"
+        );
+    }
+
+    #[test]
     fn serve_builds_variant_monitors_from_specs() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || {
-            serve_listener(
-                listener,
-                ServeOptions {
-                    query: vec![0.0, 9.0, 0.0],
-                    spec: MonitorSpec::Bounded {
-                        epsilon: 1.0,
-                        min_len: 3,
-                        max_len: 3,
-                    },
-                    kernel: Kernel::Squared,
-                    once: true,
-                    batch: spring_monitor::DEFAULT_MAX_BATCH,
-                    shards: 1,
-                    linger: None,
-                },
-                &mut Vec::new(),
-            )
-            .unwrap();
+        let (addr, server) = start_with(ServeOptions {
+            query: vec![0.0, 9.0, 0.0],
+            spec: MonitorSpec::Bounded {
+                epsilon: 1.0,
+                min_len: 3,
+                max_len: 3,
+            },
+            kernel: Kernel::Squared,
+            once: true,
+            batch: spring_monitor::DEFAULT_MAX_BATCH,
+            shards: 1,
+            linger: None,
+            max_conns: 64,
+            accept_limit: None,
         });
         let mut conn = TcpStream::connect(addr).unwrap();
         // A stretched occurrence (len 5, rejected by the bound) and a
@@ -544,23 +1117,16 @@ mod tests {
     fn linger_delivers_partial_frame_matches_before_eof() {
         // Large frames + a linger: the match from a partial frame must
         // arrive without the client closing its write side first.
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || {
-            serve_listener(
-                listener,
-                ServeOptions {
-                    query: vec![0.0, 9.0, 0.0],
-                    spec: MonitorSpec::Spring { epsilon: 1.0 },
-                    kernel: Kernel::Squared,
-                    once: true,
-                    batch: 1024, // would buffer forever without the linger
-                    shards: 2,
-                    linger: Some(Duration::from_millis(5)),
-                },
-                &mut Vec::new(),
-            )
-            .unwrap();
+        let (addr, server) = start_with(ServeOptions {
+            query: vec![0.0, 9.0, 0.0],
+            spec: MonitorSpec::Spring { epsilon: 1.0 },
+            kernel: Kernel::Squared,
+            once: true,
+            batch: 1024, // would buffer forever without the linger
+            shards: 2,
+            linger: Some(Duration::from_millis(5)),
+            max_conns: 64,
+            accept_limit: None,
         });
         let mut conn = TcpStream::connect(addr).unwrap();
         for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
@@ -584,10 +1150,8 @@ mod tests {
     fn http_get_metrics_scrapes_prometheus_text() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        // Long-running server (once: false); the accept loop thread is
-        // intentionally leaked — it blocks in accept() until the test
-        // process exits.
-        std::thread::spawn(move || {
+        // Two connections: one data session, one scrape.
+        let server = std::thread::spawn(move || {
             serve_listener(
                 listener,
                 ServeOptions {
@@ -599,6 +1163,8 @@ mod tests {
                     batch: 1,
                     shards: 2,
                     linger: None,
+                    max_conns: 64,
+                    accept_limit: Some(3),
                 },
                 &mut Vec::new(),
             )
@@ -616,6 +1182,7 @@ mod tests {
         // Scrape: the same port answers HTTP.
         let mut scrape = TcpStream::connect(addr).unwrap();
         write!(scrape, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        scrape.shutdown(std::net::Shutdown::Write).unwrap();
         let mut http = String::new();
         scrape.read_to_string(&mut http).unwrap();
         assert!(http.starts_with("HTTP/1.1 200 OK"), "{http}");
@@ -633,6 +1200,12 @@ mod tests {
             http.contains("spring_detection_delay_ticks_count"),
             "{http}"
         );
+        // The serve-path metrics: the scrape connection itself is the
+        // one open connection, and the data session's bytes are
+        // accounted.
+        assert!(http.contains("spring_connections_open 1"), "{http}");
+        assert!(!http.contains("spring_conn_read_bytes_total 0\n"), "{http}");
+        assert!(http.contains("spring_conn_parse_errors_total 0"), "{http}");
         // The sharded runner's per-shard series are exposed too, and the
         // connection's 7 ticks all landed on its owning shard.
         assert!(
@@ -646,9 +1219,11 @@ mod tests {
         // Unknown paths get a 404, not a protocol error.
         let mut other = TcpStream::connect(addr).unwrap();
         write!(other, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        other.shutdown(std::net::Shutdown::Write).unwrap();
         let mut nf = String::new();
         other.read_to_string(&mut nf).unwrap();
         assert!(nf.starts_with("HTTP/1.1 404 Not Found"), "{nf}");
+        server.join().unwrap();
     }
 
     #[test]
@@ -663,5 +1238,58 @@ mod tests {
         conn.read_to_string(&mut response).unwrap();
         server.join().unwrap();
         assert!(response.contains("ticks 2..=5"), "{response}");
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_an_error_line() {
+        let mut options = opts(vec![0.0, 9.0, 0.0], 1.0);
+        options.once = false;
+        options.max_conns = 1;
+        options.accept_limit = Some(2);
+        let (addr, server) = start_with(options);
+        // First connection occupies the only slot…
+        let mut first = TcpStream::connect(addr).unwrap();
+        writeln!(first, "1.0").unwrap();
+        let mut over = TcpStream::connect(addr).unwrap();
+        let mut rejection = String::new();
+        // …so the second is turned away immediately.
+        over.read_to_string(&mut rejection).unwrap();
+        assert!(
+            rejection.contains("error: server at connection capacity"),
+            "{rejection}"
+        );
+        first.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        first.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("done 0 match(es) over 1 ticks"),
+            "{response}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn poll_backend_serves_the_same_protocol() {
+        // Exercise the portable poll(2) fallback end-to-end.
+        std::env::set_var("SPRING_REACTOR", "poll");
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let result = (|| {
+            let mut conn = TcpStream::connect(addr)?;
+            for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
+                writeln!(conn, "{v}")?;
+            }
+            conn.shutdown(std::net::Shutdown::Write)?;
+            let mut response = String::new();
+            conn.read_to_string(&mut response)?;
+            Ok::<_, std::io::Error>(response)
+        })();
+        std::env::remove_var("SPRING_REACTOR");
+        server.join().unwrap();
+        let response = result.unwrap();
+        assert!(response.contains("match ticks 3..=5"), "{response}");
+        assert!(
+            response.contains("done 1 match(es) over 7 ticks"),
+            "{response}"
+        );
     }
 }

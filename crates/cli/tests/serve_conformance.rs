@@ -1,0 +1,310 @@
+//! Network conformance for the `spring serve` event loop.
+//!
+//! The contract under test: whatever the clients do to the byte stream
+//! — partial writes cut inside numbers, pipelined samples, slow reads,
+//! mid-line disconnects, hundreds of concurrent connections — every
+//! completed session's match transcript is **identical** to what the
+//! inline `spring monitor` pipeline reports for the same samples, for
+//! every shards × batch configuration. The scripted clients come from
+//! `spring_testkit::net`; the oracle is the in-process `monitor`
+//! subcommand over a temp CSV of the same values.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use spring_cli::serve::{serve_listener, ServeOptions};
+use spring_core::MonitorSpec;
+use spring_data::io::write_csv;
+use spring_data::TimeSeries;
+use spring_dtw::Kernel;
+use spring_testkit::net::{
+    canonical_matches, run_client, run_clients, sample_script, split_script, ClientOp, ClientScript,
+};
+use spring_util::rng::Rng;
+
+const QUERY: [f64; 3] = [0.0, 9.0, 0.0];
+const EPSILON: f64 = 1.0;
+
+/// Streams with planted pattern occurrences, gaps, and near-misses —
+/// one per concurrent client so shard routing actually fans out.
+fn client_streams() -> Vec<Vec<f64>> {
+    vec![
+        vec![50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0],
+        vec![0.5, 9.0, 0.5, 30.0, 0.0, 9.0, 0.0, 30.0, 0.0, 8.8, 0.1],
+        // Gaps carry the last value forward mid-pattern.
+        vec![20.0, 0.0, 9.0, f64::NAN, 0.0, 20.0, 20.0],
+        // A trailing candidate only the end-of-stream flush reports.
+        vec![40.0, 40.0, 0.0, 9.0, 0.2],
+        // No match at all: the transcript is just the summary line.
+        vec![5.0, 5.0, 5.0, 5.0],
+    ]
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("spring-serve-conf-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn write_series(dir: &Path, name: &str, values: &[f64]) -> PathBuf {
+    let path = dir.join(name);
+    write_csv(&TimeSeries::new(name, values.to_vec()), &path).unwrap();
+    path
+}
+
+/// The oracle: the inline `spring monitor` transcript for `samples`,
+/// canonicalized. Serve's carry-forward gap handling corresponds to
+/// `--gap carry`.
+fn inline_monitor_matches(dir: &Path, tag: &str, samples: &[f64]) -> Vec<String> {
+    let qpath = write_series(dir, &format!("{tag}-query.csv"), &QUERY);
+    let spath = write_series(dir, &format!("{tag}-stream.csv"), samples);
+    let argv: Vec<String> = [
+        "--query",
+        qpath.to_str().unwrap(),
+        "--epsilon",
+        &EPSILON.to_string(),
+        "--stream",
+        spath.to_str().unwrap(),
+        "--gap",
+        "carry",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut out = Vec::new();
+    spring_cli::commands::monitor(&argv, &mut out).unwrap();
+    canonical_matches(&String::from_utf8(out).unwrap())
+}
+
+fn server_options(shards: usize, batch: usize, accept_limit: usize) -> ServeOptions {
+    ServeOptions {
+        query: QUERY.to_vec(),
+        spec: MonitorSpec::Spring { epsilon: EPSILON },
+        kernel: Kernel::Squared,
+        once: false,
+        batch,
+        shards,
+        linger: None,
+        max_conns: 1024,
+        accept_limit: Some(accept_limit),
+    }
+}
+
+fn start_server(options: ServeOptions) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        serve_listener(listener, options, &mut Vec::new()).unwrap();
+    });
+    (addr, handle)
+}
+
+/// The headline check: shards {1,2,4} × batch {1,64}, concurrent
+/// clients mixing clean writes, seeded byte-boundary splits, and slow
+/// readers — every transcript byte-identical (canonicalized) to the
+/// inline monitor run on the same samples.
+#[test]
+fn transcripts_match_inline_monitor_across_configs() {
+    let dir = tmpdir("matrix");
+    let streams = client_streams();
+    let expected: Vec<Vec<String>> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| inline_monitor_matches(&dir, &format!("c{i}"), s))
+        .collect();
+    // At least one stream must actually match, or the test is vacuous.
+    assert!(expected.iter().any(|m| !m.is_empty()), "{expected:?}");
+    let mut rng = Rng::seed_from_u64(0x5EEDED);
+    for shards in [1usize, 2, 4] {
+        for batch in [1usize, 64] {
+            let scripts: Vec<ClientScript> = streams
+                .iter()
+                .enumerate()
+                .map(|(i, samples)| {
+                    let mut script = if i % 2 == 0 {
+                        sample_script(samples)
+                    } else {
+                        split_script(samples, &mut rng)
+                    };
+                    if i == 1 {
+                        // One deliberately slow reader per round.
+                        script.slow_read = Some((3, Duration::from_millis(1)));
+                    }
+                    script
+                })
+                .collect();
+            let (addr, server) = start_server(server_options(shards, batch, scripts.len()));
+            let transcripts = run_clients(addr, &scripts);
+            server.join().unwrap();
+            for (i, transcript) in transcripts.iter().enumerate() {
+                assert_eq!(
+                    canonical_matches(transcript),
+                    expected[i],
+                    "client {i} diverged under shards={shards} batch={batch}:\n{transcript}"
+                );
+                assert!(
+                    transcript.contains("match(es) over"),
+                    "client {i} got no summary under shards={shards} batch={batch}:\n{transcript}"
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance criterion: one acceptor thread multiplexes 256 live
+/// connections, and each still gets its exact transcript.
+#[test]
+fn multiplexes_256_concurrent_connections() {
+    const N: usize = 256;
+    let dir = tmpdir("fanout");
+    let samples = [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0];
+    let expected = inline_monitor_matches(&dir, "fanout", &samples);
+    assert!(!expected.is_empty());
+    let (addr, server) = start_server(server_options(4, 8, N));
+    // Hold every connection open concurrently: all N connect and send
+    // a first sample, then a barrier releases the rest of the script.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(N));
+    let handles: Vec<_> = (0..N)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut sock = TcpStream::connect(addr).unwrap();
+                sock.write_all(b"50\n").unwrap();
+                // Everyone is connected before anyone finishes: the
+                // server really does hold N sockets at once.
+                barrier.wait();
+                let script = ClientScript::new(
+                    samples[1..]
+                        .iter()
+                        .map(|v| ClientOp::Send(format!("{v}\n").into_bytes()))
+                        .chain([ClientOp::CloseWrite])
+                        .collect(),
+                );
+                for op in &script.ops {
+                    match op {
+                        ClientOp::Send(b) => sock.write_all(b).unwrap(),
+                        ClientOp::Sleep(d) => std::thread::sleep(*d),
+                        ClientOp::CloseWrite => sock.shutdown(std::net::Shutdown::Write).unwrap(),
+                    }
+                }
+                let mut response = String::new();
+                use std::io::Read as _;
+                sock.read_to_string(&mut response).unwrap();
+                response
+            })
+        })
+        .collect();
+    let transcripts: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.join().unwrap();
+    for (i, transcript) in transcripts.iter().enumerate() {
+        assert_eq!(
+            canonical_matches(transcript),
+            expected,
+            "client {i} diverged:\n{transcript}"
+        );
+        assert!(
+            transcript.contains("done 1 match(es) over 7 ticks"),
+            "client {i}:\n{transcript}"
+        );
+    }
+}
+
+/// Regression: a connected client that writes samples but never reads
+/// its responses (and never hangs up) must not stall the other
+/// connections — the loop pauses *that* connection and keeps serving.
+#[test]
+fn stalled_writer_does_not_stall_live_clients() {
+    let dir = tmpdir("stall");
+    let samples = [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0];
+    let expected = inline_monitor_matches(&dir, "stall", &samples);
+    let (addr, server) = start_server(server_options(2, 1, 9));
+    // The stalled connection: keeps pumping matching patterns, never
+    // reads a byte, never closes. Its socket's receive window fills;
+    // the server must park it.
+    let stalled = TcpStream::connect(addr).unwrap();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let pump = std::thread::spawn({
+        let mut sock = stalled.try_clone().unwrap();
+        let stop = std::sync::Arc::clone(&stop);
+        move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if sock.write_all(b"0\n9\n0\n50\n").is_err() {
+                    break; // server dropped us at the hard cap: fine
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    });
+    // Eight live clients run complete sessions meanwhile; if the loop
+    // ever blocks on the stalled socket, these time out and the test
+    // fails on join.
+    let scripts: Vec<ClientScript> = (0..8).map(|_| sample_script(&samples)).collect();
+    let transcripts = run_clients(addr, &scripts);
+    for (i, transcript) in transcripts.iter().enumerate() {
+        assert_eq!(
+            canonical_matches(transcript),
+            expected,
+            "live client {i} diverged:\n{transcript}"
+        );
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    pump.join().unwrap();
+    drop(stalled); // the 9th accept slot: server can now exit
+    server.join().unwrap();
+}
+
+/// A client vanishing mid-line (abort, no clean shutdown) must be
+/// cleaned up without a transcript and without poisoning later
+/// connections.
+#[test]
+fn mid_line_disconnect_cleans_up_and_serving_continues() {
+    let dir = tmpdir("abort");
+    let samples = [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0];
+    let expected = inline_monitor_matches(&dir, "abort", &samples);
+    let (addr, server) = start_server(server_options(2, 3, 2));
+    let aborter = ClientScript {
+        ops: vec![
+            ClientOp::Send(b"0\n9\n0.".to_vec()), // cut inside a number
+            ClientOp::Sleep(Duration::from_millis(5)),
+        ],
+        slow_read: None,
+        abort: true,
+    };
+    assert_eq!(run_client(addr, &aborter).unwrap(), "");
+    let clean = run_clients(addr, &[sample_script(&samples)]);
+    server.join().unwrap();
+    assert_eq!(
+        canonical_matches(&clean[0]),
+        expected,
+        "post-abort client diverged:\n{}",
+        clean[0]
+    );
+}
+
+/// Pipelining everything — samples, EOF — into a single write before
+/// the server has even seen the connection must produce the same
+/// transcript as polite line-at-a-time interaction.
+#[test]
+fn fully_pipelined_session_is_equivalent() {
+    let dir = tmpdir("pipeline");
+    let samples = [30.0, 0.0, 9.0, 0.0, 30.0, 0.1, 8.9, 0.0, 30.0];
+    let expected = inline_monitor_matches(&dir, "pipeline", &samples);
+    assert!(!expected.is_empty());
+    let mut blob = Vec::new();
+    for v in samples {
+        blob.extend_from_slice(format!("{v}\n").as_bytes());
+    }
+    let script = ClientScript::new(vec![ClientOp::Send(blob), ClientOp::CloseWrite]);
+    let (addr, server) = start_server(server_options(2, 64, 1));
+    let transcripts = run_clients(addr, &[script]);
+    server.join().unwrap();
+    assert_eq!(
+        canonical_matches(&transcripts[0]),
+        expected,
+        "{}",
+        transcripts[0]
+    );
+}

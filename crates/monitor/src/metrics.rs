@@ -316,6 +316,19 @@ pub struct Metrics {
     /// Frame sizes seen by the batched ingestion path
     /// (`spring_batch_len`); per-tick counters stay exact regardless.
     pub batch_len: Histogram,
+    /// Live client connections on the serve path
+    /// (`spring_connections_open`).
+    pub connections_open: Gauge,
+    /// Raw bytes read from client connections
+    /// (`spring_conn_read_bytes_total`).
+    pub conn_read_bytes: Counter,
+    /// Protocol parse errors reported to clients — non-numeric or
+    /// over-long lines (`spring_conn_parse_errors_total`).
+    pub conn_parse_errors: Counter,
+    /// Connections dropped by the server: I/O errors, write-buffer
+    /// overflow, or the `--max-conns` cap
+    /// (`spring_conn_dropped_total`).
+    pub conn_dropped: Counter,
     /// Registered runner workers (read-locked only for snapshots; the
     /// hot path goes through each worker's own `Arc`).
     workers: RwLock<Vec<Arc<WorkerMetrics>>>,
@@ -336,6 +349,10 @@ impl Default for Metrics {
             tick_latency: Histogram::latency_buckets(),
             detection_delay: Histogram::delay_buckets(),
             batch_len: Histogram::batch_buckets(),
+            connections_open: Gauge::new(),
+            conn_read_bytes: Counter::new(),
+            conn_parse_errors: Counter::new(),
+            conn_dropped: Counter::new(),
             workers: RwLock::new(Vec::new()),
             shards: RwLock::new(Vec::new()),
         }
@@ -415,6 +432,10 @@ impl Metrics {
             tick_latency: self.tick_latency.snapshot(),
             detection_delay: self.detection_delay.snapshot(),
             batch_len: self.batch_len.snapshot(),
+            connections_open: self.connections_open.get(),
+            conn_read_bytes_total: self.conn_read_bytes.get(),
+            conn_parse_errors_total: self.conn_parse_errors.get(),
+            conn_dropped_total: self.conn_dropped.get(),
             workers,
             shards,
         }
@@ -469,6 +490,14 @@ pub struct MetricsSnapshot {
     pub detection_delay: HistogramSnapshot,
     /// Ingestion frame sizes, samples per batch.
     pub batch_len: HistogramSnapshot,
+    /// Live serve-path client connections.
+    pub connections_open: u64,
+    /// Raw bytes read from serve-path clients.
+    pub conn_read_bytes_total: u64,
+    /// Protocol parse errors reported to serve-path clients.
+    pub conn_parse_errors_total: u64,
+    /// Serve-path connections dropped by the server.
+    pub conn_dropped_total: u64,
     /// Per-worker views (empty outside runner deployments).
     pub workers: Vec<WorkerSnapshot>,
     /// Per-shard views (empty outside sharded-runner deployments).
@@ -544,6 +573,30 @@ impl MetricsSnapshot {
             "gauge",
             "Live DTW state cells (the O(m) bound of Theorem 2).",
             self.memory_cells,
+        );
+        scalar(
+            "spring_connections_open",
+            "gauge",
+            "Live client connections on the serve path.",
+            self.connections_open,
+        );
+        scalar(
+            "spring_conn_read_bytes_total",
+            "counter",
+            "Raw bytes read from serve-path client connections.",
+            self.conn_read_bytes_total,
+        );
+        scalar(
+            "spring_conn_parse_errors_total",
+            "counter",
+            "Protocol parse errors reported to serve-path clients.",
+            self.conn_parse_errors_total,
+        );
+        scalar(
+            "spring_conn_dropped_total",
+            "counter",
+            "Serve-path connections dropped by the server (I/O errors, buffer overflow, conn cap).",
+            self.conn_dropped_total,
         );
         scalar(
             "spring_runner_queue_depth",
@@ -684,6 +737,18 @@ impl MetricsSnapshot {
                 self.memory_cells
             ),
         );
+        if self.connections_open > 0 || self.conn_read_bytes_total > 0 {
+            row(
+                "connections",
+                format!(
+                    "{} open, {} read, {} parse error(s), {} dropped",
+                    self.connections_open,
+                    format_bytes(self.conn_read_bytes_total as usize),
+                    self.conn_parse_errors_total,
+                    self.conn_dropped_total
+                ),
+            );
+        }
         if self.worker_lost_total > 0 {
             row("workers lost", self.worker_lost_total.to_string());
         }

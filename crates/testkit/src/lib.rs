@@ -16,6 +16,10 @@
 //! * `fault` *(feature `failpoints`)* — the same differential
 //!   equality under injected worker panics, sink panics, and slow
 //!   sinks, exercising the runner's supervisor/replay path.
+//! * [`net`] — scripted multi-client network driver for `spring
+//!   serve` conformance: interleaved partial writes, slow readers,
+//!   mid-line disconnects, plus the transcript canonicalizer that
+//!   makes serve and `spring monitor` output directly comparable.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +28,7 @@ pub mod broken;
 pub mod differential;
 #[cfg(feature = "failpoints")]
 pub mod fault;
+pub mod net;
 pub mod scenario;
 
 pub use broken::BrokenSpring;
