@@ -64,6 +64,9 @@ echo "==> differential fuzz (every variant x bare/engine/runner)"
 fuzz_seed="${SPRING_FUZZ_SEED:-1592642302}"   # 0x5EED_CAFE, the default seed
 cargo run --release -q -p spring-cli -- fuzz --seed "$fuzz_seed" --iters 500
 
+echo "==> hot-swap differential fuzz (sharded swap vs prefix/suffix oracle)"
+cargo run --release -q -p spring-cli -- fuzz --swap --seed "$fuzz_seed" --iters 100
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

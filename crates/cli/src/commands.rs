@@ -81,11 +81,13 @@ USAGE:
                     runner shards by stream-id hash, default min(8, cores);
                     --max-conns caps concurrent connections, default 1024)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
-  spring fuzz      [--seed N] [--iters N]
+  spring fuzz      [--seed N] [--iters N] [--swap]
                    (differential conformance: every monitor variant through the bare
                     monitor, engine, 1/2/4-worker runner, and 1/2/4-shard sharded
                     runner vs the naive oracles; mismatches are shrunk and printed
-                    with a replayable seed)
+                    with a replayable seed. --swap instead hot-swaps a query
+                    mid-stream across 1/2/4 shards and demands exact agreement
+                    with a freshly rebuilt monitor after the swap point)
   spring help
 
 monitor/bestmatch read one value per line from --stream or stdin
@@ -762,13 +764,36 @@ pub fn generate(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 /// reproducible; CI passes a varying seed to widen coverage over time.
 /// A mismatch exits nonzero after printing the shrunk scenario and a
 /// replay command.
+///
+/// `--swap` runs the query hot-swap differential instead: each scenario
+/// swaps one query mid-stream through `ShardedRunner::swap_query`
+/// (shards 1/2/4 × batch 1/64) and demands exact agreement with a
+/// freshly rebuilt monitor after the swap point, while co-resident
+/// queries stay bit-identical to the unswapped run.
 pub fn fuzz(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let p = Parsed::parse(argv, &["seed", "iters"], &[])?;
+    let p = Parsed::parse(argv, &["seed", "iters"], &["swap"])?;
     p.positionals(0)?;
     let seed: u64 = p
         .get_parsed("seed", "integer")?
         .unwrap_or(spring_testkit::differential::DEFAULT_FUZZ_SEED);
-    let iters: u64 = p.get_parsed("iters", "integer")?.unwrap_or(200);
+    let swap = p.has("swap");
+    let iters: u64 = p
+        .get_parsed("iters", "integer")?
+        .unwrap_or(if swap { 500 } else { 200 });
+    if swap {
+        writeln!(
+            out,
+            "fuzz --swap: seed {seed}, {iters} hot-swap scenarios x 2 variants x \
+             sharded s=1,2,4 x batch 1,64 vs prefix/suffix bare composition"
+        )?;
+        return match spring_testkit::differential::fuzz_swaps(seed, iters) {
+            Ok(n) => {
+                writeln!(out, "ok: {n} swap scenarios, 0 mismatches")?;
+                Ok(())
+            }
+            Err(e) => Err(CliError::Compute(e)),
+        };
+    }
     writeln!(
         out,
         "fuzz: seed {seed}, {iters} scenarios x 6 variants x (bare | engine | runner w=1,2,4 \
@@ -835,6 +860,14 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("seed 7"), "{text}");
         assert!(text.contains("5 scenarios, 0 mismatches"), "{text}");
+    }
+
+    #[test]
+    fn swap_fuzz_smoke_runs_and_reports_clean() {
+        let mut out = Vec::new();
+        fuzz(&argv("--swap --seed 7 --iters 3"), &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("ok: 3 swap scenarios, 0 mismatches"), "{s}");
     }
 
     #[test]

@@ -48,9 +48,132 @@ pub enum ProtoEvent {
     /// A numeric line (non-finite values like `NaN` pass through; gap
     /// resolution is [`CarryForward`]'s job).
     Sample(f64),
+    /// A fleet-control verb (`query …` / `attach …`); see [`Command`].
+    Command(Command),
     /// A malformed line: the payload is the message the client gets
     /// (after `error: `). The stream stays in sync.
     Error(String),
+}
+
+/// A fleet-control verb: lines whose first token is `query` or
+/// `attach` manage the server's query table and attachments instead of
+/// carrying a sample.
+///
+/// ```text
+/// query add <id> <v1> <v2> …     register a pattern under <id>
+/// query update <id> <v1> <v2> …  hot-swap <id> across every attachment
+/// query drop <id>                remove <id> from the table
+/// attach <stream> <query-id> <eps>   attach <query-id> to a live stream
+/// ```
+///
+/// The server answers each verb with one `ok …` or `error: …` line, in
+/// order with the surrounding samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `query add <id> <v1> <v2> …`
+    QueryAdd {
+        /// Query table id.
+        id: u32,
+        /// Pattern values.
+        values: Vec<f64>,
+    },
+    /// `query update <id> <v1> <v2> …` — the hot-swap verb.
+    QueryUpdate {
+        /// Query table id.
+        id: u32,
+        /// Replacement pattern values.
+        values: Vec<f64>,
+    },
+    /// `query drop <id>`
+    QueryDrop {
+        /// Query table id.
+        id: u32,
+    },
+    /// `attach <stream> <query-id> <eps>`
+    Attach {
+        /// Server-side stream id of a live connection.
+        stream: u32,
+        /// Query table id to attach.
+        query: u32,
+        /// Distance threshold ε for the new attachment.
+        epsilon: f64,
+    },
+}
+
+/// Parses a control line. `None` when `line` is not a control verb
+/// (first token is neither `query` nor `attach`); `Some(Err(_))` for a
+/// verb with malformed arguments (the message the client gets).
+fn parse_command(line: &str) -> Option<Result<Command, String>> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next()?;
+    match verb {
+        "query" => Some(parse_query_command(tokens)),
+        "attach" => Some(parse_attach_command(tokens)),
+        _ => None,
+    }
+}
+
+fn parse_query_command<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    let action = tokens
+        .next()
+        .ok_or("query needs an action: add, update, or drop")?;
+    let id: u32 = tokens
+        .next()
+        .ok_or_else(|| format!("query {action} needs an id"))?
+        .parse()
+        .map_err(|_| format!("query {action}: id must be an integer"))?;
+    match action {
+        "add" | "update" => {
+            let values = tokens
+                .map(|t| {
+                    t.parse::<f64>()
+                        .map_err(|_| format!("query {action}: `{t}` is not a number"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            if values.is_empty() {
+                return Err(format!("query {action} needs at least one value"));
+            }
+            Ok(if action == "add" {
+                Command::QueryAdd { id, values }
+            } else {
+                Command::QueryUpdate { id, values }
+            })
+        }
+        "drop" => match tokens.next() {
+            None => Ok(Command::QueryDrop { id }),
+            Some(extra) => Err(format!("query drop takes only an id (got `{extra}`)")),
+        },
+        other => Err(format!(
+            "unknown query action `{other}` (expected add, update, or drop)"
+        )),
+    }
+}
+
+fn parse_attach_command<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    let usage = "attach needs: attach <stream> <query-id> <eps>";
+    let stream: u32 = tokens
+        .next()
+        .ok_or(usage)?
+        .parse()
+        .map_err(|_| "attach: stream must be an integer".to_string())?;
+    let query: u32 = tokens
+        .next()
+        .ok_or(usage)?
+        .parse()
+        .map_err(|_| "attach: query-id must be an integer".to_string())?;
+    let epsilon: f64 = tokens
+        .next()
+        .ok_or(usage)?
+        .parse()
+        .map_err(|_| "attach: eps must be a number".to_string())?;
+    match tokens.next() {
+        None => Ok(Command::Attach {
+            stream,
+            query,
+            epsilon,
+        }),
+        Some(extra) => Err(format!("attach takes 3 arguments (got extra `{extra}`)")),
+    }
 }
 
 /// True when `line` looks like an HTTP request line (`GET / HTTP/1.1`).
@@ -207,6 +330,13 @@ impl ProtoParser {
         if line.is_empty() || line.starts_with('#') {
             return;
         }
+        if let Some(parsed) = parse_command(line) {
+            out.push_back(match parsed {
+                Ok(cmd) => ProtoEvent::Command(cmd),
+                Err(msg) => ProtoEvent::Error(msg),
+            });
+            return;
+        }
         match line.parse::<f64>() {
             Ok(v) => out.push_back(ProtoEvent::Sample(v)),
             Err(_) => out.push_back(ProtoEvent::Error(format!("`{line}` is not a number"))),
@@ -268,7 +398,7 @@ mod tests {
 
     #[test]
     fn chunking_never_changes_the_events() {
-        let input = b"1.5\n# comment\n\n  2.5 \nnope\n3.5";
+        let input = b"1.5\n# comment\nquery add 7 1 2 3\n\n  2.5 \nattach 1 7 0.25\nnope\n3.5";
         let whole = events(&[input], true);
         for cut in 0..=input.len() {
             let (a, b) = input.split_at(cut);
@@ -278,7 +408,16 @@ mod tests {
             whole,
             vec![
                 ProtoEvent::Sample(1.5),
+                ProtoEvent::Command(Command::QueryAdd {
+                    id: 7,
+                    values: vec![1.0, 2.0, 3.0],
+                }),
                 ProtoEvent::Sample(2.5),
+                ProtoEvent::Command(Command::Attach {
+                    stream: 1,
+                    query: 7,
+                    epsilon: 0.25,
+                }),
                 ProtoEvent::Error("`nope` is not a number".into()),
                 ProtoEvent::Sample(3.5),
             ]
@@ -372,6 +511,62 @@ mod tests {
         assert_eq!(c.resolve(f64::NAN), Some(2.0));
         assert_eq!(c.resolve(f64::INFINITY), Some(2.0));
         assert_eq!(c.resolve(3.0), Some(3.0));
+    }
+
+    #[test]
+    fn control_verbs_parse_into_commands() {
+        let got = events(
+            &[b"query add 1 0 10 0\nquery update 1 5 -5\nquery drop 1\nattach 3 1 0.5\n"],
+            true,
+        );
+        assert_eq!(
+            got,
+            vec![
+                ProtoEvent::Command(Command::QueryAdd {
+                    id: 1,
+                    values: vec![0.0, 10.0, 0.0],
+                }),
+                ProtoEvent::Command(Command::QueryUpdate {
+                    id: 1,
+                    values: vec![5.0, -5.0],
+                }),
+                ProtoEvent::Command(Command::QueryDrop { id: 1 }),
+                ProtoEvent::Command(Command::Attach {
+                    stream: 3,
+                    query: 1,
+                    epsilon: 0.5,
+                }),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_control_verbs_become_errors_and_stay_in_sync() {
+        let got = events(
+            &[b"query add one 1\nquery zap 1\nattach 1 2\nquery add 2\n7\n"],
+            true,
+        );
+        assert_eq!(got.len(), 5);
+        for ev in &got[..4] {
+            assert!(matches!(ev, ProtoEvent::Error(_)), "{ev:?}");
+        }
+        assert_eq!(got[4], ProtoEvent::Sample(7.0));
+    }
+
+    #[test]
+    fn control_verbs_mix_with_samples_in_order() {
+        let got = events(&[b"1.5\nquery add 2 9 9\n2.5\n"], true);
+        assert_eq!(
+            got,
+            vec![
+                ProtoEvent::Sample(1.5),
+                ProtoEvent::Command(Command::QueryAdd {
+                    id: 2,
+                    values: vec![9.0, 9.0],
+                }),
+                ProtoEvent::Sample(2.5),
+            ]
+        );
     }
 
     #[test]

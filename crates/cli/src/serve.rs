@@ -77,7 +77,7 @@ use spring_monitor::{
 
 use crate::args::Parsed;
 use crate::commands::CliError;
-use crate::proto::{self, CarryForward, ProtoEvent, ProtoParser};
+use crate::proto::{self, CarryForward, Command, ProtoEvent, ProtoParser};
 
 /// Bytes read per `read(2)` call.
 const READ_CHUNK: usize = 4096;
@@ -320,6 +320,14 @@ struct ServerState {
     metrics: Arc<Metrics>,
     notes: Mutex<Vec<Note>>,
     waker: Waker,
+    /// Server-wide query table for the `query`/`attach` verbs: id →
+    /// pattern. Seeded with the serve query under id 0; `query update 0`
+    /// therefore hot-swaps every default per-connection attachment.
+    queries: Mutex<HashMap<u32, Vec<f64>>>,
+    /// Attachments created by the `attach` verb, keyed by the target
+    /// stream so the completion thread can detach them when that stream
+    /// ends.
+    extras: Mutex<HashMap<StreamId, Vec<AttachmentId>>>,
 }
 
 impl ServerState {
@@ -329,6 +337,22 @@ impl ServerState {
             .unwrap_or_else(PoisonError::into_inner)
             .push(note);
         self.waker.wake();
+    }
+
+    fn query_pattern(&self, id: u32) -> Option<Vec<f64>> {
+        self.queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&id)
+            .cloned()
+    }
+
+    fn take_extras(&self, stream: StreamId) -> Vec<AttachmentId> {
+        self.extras
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&stream)
+            .unwrap_or_default()
     }
 }
 
@@ -379,11 +403,17 @@ fn completion_loop(jobs: mpsc::Receiver<Job>, srv: Arc<ServerState>) {
                 if let Some(id) = attachment {
                     let _ = srv.runner.detach(id);
                 }
+                for id in srv.take_extras(stream) {
+                    let _ = srv.runner.detach(id);
+                }
                 srv.sink.remove(stream);
                 srv.note(Note::Finish { token, stream });
             }
             Job::Abort { stream, attachment } => {
                 if let Some(id) = attachment {
+                    let _ = srv.runner.detach(id);
+                }
+                for id in srv.take_extras(stream) {
                     let _ = srv.runner.detach(id);
                 }
                 srv.sink.remove(stream);
@@ -632,12 +662,20 @@ impl EventLoop<'_> {
             // A first line arrived and it is not an HTTP request: this
             // is a sensor session. Register with the sink *before*
             // attaching, so the first match can never race past the
-            // routing table.
-            match self.opts.spec.build(&self.opts.query, self.opts.kernel) {
+            // routing table. The pattern comes from the query table
+            // (id 0) so connections opened after a `query update 0` see
+            // the swapped pattern from their first sample.
+            let pattern = self
+                .srv
+                .query_pattern(0)
+                .unwrap_or_else(|| self.opts.query.clone());
+            match self.opts.spec.build(&pattern, self.opts.kernel) {
                 Ok(monitor) => {
                     self.srv
                         .sink
                         .insert(conn.stream_id, Arc::clone(&conn.shared));
+                    let monitor_spec = self.opts.spec;
+                    let kernel = self.opts.kernel;
                     let spec = RunnerAttachment::new(
                         conn.stream_id,
                         QueryId(0),
@@ -646,7 +684,10 @@ impl EventLoop<'_> {
                         // resolved by CarryForward, like the historical
                         // per-connection loop.
                         GapPolicy::Skip,
-                    );
+                    )
+                    // The stored recipe lets `query update 0` hot-swap
+                    // this attachment in place.
+                    .with_builder(move |q| monitor_spec.build(q, kernel));
                     match self.srv.runner.attach(spec) {
                         Ok(id) => {
                             conn.attachment = Some(id);
@@ -703,6 +744,18 @@ impl EventLoop<'_> {
                         });
                     }
                 }
+                ProtoEvent::Command(cmd) => {
+                    // Control verbs run inline on the acceptor: they
+                    // only enqueue against the shard queues (like
+                    // `push`), never sync, so they cannot stall the
+                    // loop. The reply lands in the issuing connection's
+                    // buffer, in order with its other lines.
+                    let reply = match self.run_command(cmd) {
+                        Ok(line) => line,
+                        Err(msg) => format!("error: {msg}"),
+                    };
+                    conn.shared.out().push_line(&reply);
+                }
                 ProtoEvent::Error(line) => {
                     self.srv.metrics.conn_parse_errors.inc();
                     conn.paused = true;
@@ -728,6 +781,118 @@ impl EventLoop<'_> {
             } else {
                 // Connected and hung up without a single line.
                 conn.closing = true;
+            }
+        }
+    }
+
+    /// Executes one fleet-control verb. Returns the `ok …` reply line,
+    /// or the message for an `error: …` line.
+    ///
+    /// - `query add <id> <v…>` registers a pattern in the server-wide
+    ///   table (rejecting ids already present — `update` is the
+    ///   explicit swap verb).
+    /// - `query update <id> <v…>` hot-swaps the pattern across every
+    ///   live attachment of that query id, fleet-wide and at a frame
+    ///   boundary, and reports the new generation.
+    /// - `query drop <id>` removes the table entry; attachments built
+    ///   from it keep running until their stream ends.
+    /// - `attach <stream> <query-id> <eps>` adds a second monitor to a
+    ///   live stream; its matches interleave into that stream's output
+    ///   and it is detached when the stream ends.
+    fn run_command(&mut self, cmd: Command) -> Result<String, String> {
+        match cmd {
+            Command::QueryAdd { id, values } => {
+                // Build once up front so a bad pattern fails here, not
+                // at first attach.
+                self.opts
+                    .spec
+                    .build(&values, self.opts.kernel)
+                    .map_err(|e| e.to_string())?;
+                let mut table = self
+                    .srv
+                    .queries
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if table.contains_key(&id) {
+                    return Err(format!("query {id} already exists; use `query update`"));
+                }
+                let m = values.len();
+                table.insert(id, values);
+                Ok(format!("ok query {id} added (m={m})"))
+            }
+            Command::QueryUpdate { id, values } => {
+                if self.srv.query_pattern(id).is_none() {
+                    return Err(format!("unknown query {id}; use `query add` first"));
+                }
+                let generation = self
+                    .srv
+                    .runner
+                    .swap_query(QueryId(id), &values)
+                    .map_err(|e| e.to_string())?;
+                self.srv
+                    .queries
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id, values);
+                Ok(format!("ok query {id} generation {generation}"))
+            }
+            Command::QueryDrop { id } => {
+                if id == 0 {
+                    return Err("query 0 is the serve default and cannot be dropped".into());
+                }
+                let removed = self
+                    .srv
+                    .queries
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&id)
+                    .is_some();
+                if removed {
+                    Ok(format!("ok query {id} dropped"))
+                } else {
+                    Err(format!("unknown query {id}"))
+                }
+            }
+            Command::Attach {
+                stream,
+                query,
+                epsilon,
+            } => {
+                if !epsilon.is_finite() || epsilon < 0.0 {
+                    return Err("attach: eps must be a finite non-negative number".into());
+                }
+                let values = self
+                    .srv
+                    .query_pattern(query)
+                    .ok_or_else(|| format!("unknown query {query}; use `query add` first"))?;
+                let target = StreamId(stream);
+                if self.srv.sink.get(target).is_none() {
+                    return Err(format!("no live stream {stream}"));
+                }
+                let kernel = self.opts.kernel;
+                let build = move |q: &[f64]| MonitorSpec::Spring { epsilon }.build(q, kernel);
+                let monitor = build(&values).map_err(|e| e.to_string())?;
+                let spec = RunnerAttachment::new(target, QueryId(query), monitor, GapPolicy::Skip)
+                    .with_builder(build);
+                let id = self.srv.runner.attach(spec).map_err(|e| e.to_string())?;
+                self.srv
+                    .extras
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry(target)
+                    .or_default()
+                    .push(id);
+                // The target stream may have ended between the liveness
+                // check and the bookkeeping above; the completion
+                // thread would then never see this extra. Re-check and
+                // undo rather than leak the attachment.
+                if self.srv.sink.get(target).is_none() {
+                    for extra in self.srv.take_extras(target) {
+                        let _ = self.srv.runner.detach(extra);
+                    }
+                    return Err(format!("no live stream {stream}"));
+                }
+                Ok(format!("ok attach stream {stream} query {query}"))
             }
         }
     }
@@ -857,6 +1022,8 @@ pub fn serve_listener(
         metrics,
         notes: Mutex::new(Vec::new()),
         waker,
+        queries: Mutex::new(HashMap::from([(0u32, opts.query.clone())])),
+        extras: Mutex::new(HashMap::new()),
     });
     let (jobs_tx, jobs_rx) = mpsc::channel();
     let completion = std::thread::spawn({
@@ -1266,6 +1433,116 @@ mod tests {
             "{response}"
         );
         server.join().unwrap();
+    }
+
+    #[test]
+    fn query_update_hot_swaps_the_running_session() {
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        // Quiet samples under the original pattern, then a fleet-wide
+        // hot-swap, then the NEW pattern: the match is against the
+        // swapped query, with tick numbering restarted at the swap
+        // boundary (same semantics as detach + reattach).
+        for v in [50.0, 50.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        writeln!(conn, "query update 0 1 2 3").unwrap();
+        for v in [9.0, 1.0, 2.0, 3.0, 9.0, 9.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(response.contains("ok query 0 generation 1"), "{response}");
+        assert!(response.contains("match ticks 2..=4"), "{response}");
+        assert!(
+            response.contains("done 1 match(es) over 9 ticks"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn attach_adds_a_second_query_to_a_live_stream() {
+        let mut options = opts(vec![0.0, 9.0, 0.0], 0.1);
+        options.once = false;
+        options.accept_limit = Some(2);
+        let (addr, server) = start_with(options);
+        // Stream 0: the sensor. The garbage line's error reply is a
+        // barrier — once it is read back, the session is registered and
+        // a control connection can target it by id.
+        let sensor = TcpStream::connect(addr).unwrap();
+        let mut sensor_r = BufReader::new(sensor.try_clone().unwrap());
+        let mut sensor = sensor;
+        writeln!(sensor, "sync-me").unwrap();
+        let mut line = String::new();
+        sensor_r.read_line(&mut line).unwrap();
+        assert!(line.starts_with("error:"), "{line}");
+        // Stream 1: the control connection registers a second pattern
+        // and attaches it to the live sensor stream.
+        let control = TcpStream::connect(addr).unwrap();
+        let mut control_r = BufReader::new(control.try_clone().unwrap());
+        let mut control = control;
+        writeln!(control, "query add 1 1 2 3").unwrap();
+        writeln!(control, "attach 0 1 0.25").unwrap();
+        let mut ok = String::new();
+        control_r.read_line(&mut ok).unwrap();
+        assert_eq!(ok.trim_end(), "ok query 1 added (m=3)");
+        ok.clear();
+        control_r.read_line(&mut ok).unwrap();
+        assert_eq!(ok.trim_end(), "ok attach stream 0 query 1");
+        // The sensor now matches the attached pattern even though its
+        // default query never fires.
+        for v in [1.0, 2.0, 3.0, 9.0] {
+            writeln!(sensor, "{v}").unwrap();
+        }
+        sensor.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        sensor_r.read_to_string(&mut response).unwrap();
+        assert!(response.contains("match ticks 1..=3"), "{response}");
+        assert!(
+            response.contains("done 1 match(es) over 4 ticks"),
+            "{response}"
+        );
+        control.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut control_done = String::new();
+        control_r.read_to_string(&mut control_done).unwrap();
+        assert!(
+            control_done.contains("done 0 match(es) over 0 ticks"),
+            "{control_done}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn commands_reject_unknown_ids_and_dead_streams() {
+        let (addr, server) = start(vec![0.0, 9.0, 0.0], 1.0);
+        let mut conn = TcpStream::connect(addr).unwrap();
+        writeln!(conn, "query update 9 1 2 3").unwrap();
+        writeln!(conn, "query drop 0").unwrap();
+        writeln!(conn, "query drop 9").unwrap();
+        writeln!(conn, "attach 55 0 0.5").unwrap();
+        writeln!(conn, "query add 2 4 5 6").unwrap();
+        writeln!(conn, "query add 2 4 5 6").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        server.join().unwrap();
+        assert!(
+            response.contains("error: unknown query 9; use `query add` first"),
+            "{response}"
+        );
+        assert!(
+            response.contains("error: query 0 is the serve default and cannot be dropped"),
+            "{response}"
+        );
+        assert!(response.contains("error: unknown query 9\n"), "{response}");
+        assert!(response.contains("error: no live stream 55"), "{response}");
+        assert!(response.contains("ok query 2 added (m=3)"), "{response}");
+        assert!(
+            response.contains("error: query 2 already exists; use `query update`"),
+            "{response}"
+        );
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Shared immutable query storage — the query arena.
+//!
+//! The fleet scenario attaches one query to many streams (or many ε
+//! values to one stream). Before this module every monitor owned a
+//! private copy of the pattern and its derived buffers (reversed-query
+//! cache for the wavefront kernel, z-normalization statistics), so a
+//! fleet cost `O(attachments × m)` for data that never changes after
+//! construction. The arena splits every monitor into:
+//!
+//! * an **immutable shared part** — a [`QueryRef`] holding the pattern
+//!   samples, the precomputed reversed-query cache, z-norm statistics
+//!   and an optional default ε, interned behind an [`Arc`] and
+//!   deduplicated by FNV-1a content hash (`spring-util::hash`); and
+//! * a **mutable per-attachment part** — the DP distance/start columns
+//!   and candidate bookkeeping, which stay inside each monitor.
+//!
+//! Fleet memory becomes `O(queries × m + attachments × m_columns)`,
+//! and because a [`QueryRef`] is immutable, republishing a new entry
+//! under the same logical query id gives atomic fleet-wide query
+//! hot-swap (see `spring-monitor`'s `Engine::swap_query`).
+//!
+//! Monitors built through the plain `&[f64]` constructors keep working:
+//! they mint a private single-use [`QueryRef`] internally, which is
+//! bit-exact with the shared path (same buffers, same kernel calls).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use spring_util::hash::fnv1a;
+
+use crate::error::{check_query, SpringError};
+use crate::mem::MemoryUse;
+
+/// An immutable, shareable query: pattern samples plus every derived
+/// buffer that does not change while the query is attached.
+///
+/// A `QueryRef` is always handled as an [`Arc<QueryRef>`]; monitors
+/// borrow the pattern from the `Arc` and keep only their mutable DP
+/// columns per attachment. Content equality is pinned by an FNV-1a
+/// [`fingerprint`](QueryRef::fingerprint) over the sample bits, the
+/// channel count, and the default ε.
+#[derive(Debug)]
+pub struct QueryRef {
+    /// Pattern samples, flattened row-major: tick `i` occupies
+    /// `samples[i*channels .. (i+1)*channels]`.
+    samples: Vec<f64>,
+    /// Channels per tick (1 for scalar queries).
+    channels: usize,
+    /// The scalar pattern reversed — the wavefront frame kernel reads
+    /// the query back-to-front on every anti-diagonal, so this cache is
+    /// precomputed once per query instead of once per monitor. Empty
+    /// for multivariate queries (the vector path has no frame kernel).
+    qrev: Vec<f64>,
+    /// Population mean of the flattened samples.
+    mean: f64,
+    /// Population standard deviation of the flattened samples.
+    std: f64,
+    /// Default threshold ε carried with the query, if any.
+    epsilon_default: Option<f64>,
+    /// FNV-1a content hash (samples ⊕ channels ⊕ ε default).
+    hash: u64,
+    /// Lazily-built z-normalized variant of a scalar query, computed at
+    /// most once per `QueryRef` no matter how many normalized monitors
+    /// attach to it.
+    znormalized: OnceLock<Arc<QueryRef>>,
+}
+
+/// FNV-1a over the exact bit patterns: two queries share an arena slot
+/// iff every sample bit, the channel count, and the ε default agree.
+fn content_hash(samples: &[f64], channels: usize, epsilon_default: Option<f64>) -> u64 {
+    let mut bytes = Vec::with_capacity(samples.len() * 8 + 16);
+    bytes.extend_from_slice(&(channels as u64).to_le_bytes());
+    for &s in samples {
+        bytes.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    // `None` is distinguished from every finite ε by a NaN sentinel
+    // (check_epsilon rejects NaN, so no real default collides with it).
+    let eps_bits = epsilon_default.unwrap_or(f64::NAN).to_bits();
+    bytes.extend_from_slice(&eps_bits.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+impl QueryRef {
+    /// Builds a shared scalar query.
+    ///
+    /// # Errors
+    /// Rejects empty or non-finite patterns ([`SpringError::EmptyQuery`]
+    /// / [`SpringError::NonFiniteQuery`]).
+    pub fn scalar(samples: &[f64]) -> Result<Arc<Self>, SpringError> {
+        Self::scalar_with_default(samples, None)
+    }
+
+    /// Builds a shared scalar query carrying a default threshold ε.
+    ///
+    /// # Errors
+    /// Rejects empty or non-finite patterns.
+    pub fn scalar_with_default(
+        samples: &[f64],
+        epsilon_default: Option<f64>,
+    ) -> Result<Arc<Self>, SpringError> {
+        check_query(samples)?;
+        let qrev: Vec<f64> = samples.iter().rev().copied().collect();
+        Ok(Arc::new(Self::assemble(
+            samples.to_vec(),
+            1,
+            qrev,
+            epsilon_default,
+        )))
+    }
+
+    /// Builds a shared multivariate query from one row of channel
+    /// values per tick (rows are flattened row-major).
+    ///
+    /// # Errors
+    /// Rejects empty, ragged, zero-channel, or non-finite queries.
+    pub fn vector(rows: &[Vec<f64>]) -> Result<Arc<Self>, SpringError> {
+        let channels = crate::vector::check_vector_query(rows)?;
+        let mut flat = Vec::with_capacity(rows.len() * channels);
+        for row in rows {
+            flat.extend_from_slice(row);
+        }
+        Ok(Arc::new(Self::assemble(flat, channels, Vec::new(), None)))
+    }
+
+    fn assemble(
+        samples: Vec<f64>,
+        channels: usize,
+        qrev: Vec<f64>,
+        epsilon_default: Option<f64>,
+    ) -> Self {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let hash = content_hash(&samples, channels, epsilon_default);
+        QueryRef {
+            samples,
+            channels,
+            qrev,
+            mean,
+            std: var.sqrt(),
+            epsilon_default,
+            hash,
+            znormalized: OnceLock::new(),
+        }
+    }
+
+    /// The flattened pattern samples (row-major for vector queries).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Channels per tick (1 for scalar queries).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Query length `m` in ticks.
+    pub fn len(&self) -> usize {
+        self.samples.len() / self.channels
+    }
+
+    /// True for a zero-tick query (unreachable through the validated
+    /// constructors; present for `len`/`is_empty` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The precomputed reversed pattern (empty for vector queries).
+    pub fn qrev(&self) -> &[f64] {
+        &self.qrev
+    }
+
+    /// Population mean of the flattened samples.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation of the flattened samples.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// The default threshold ε carried with the query, if any.
+    pub fn epsilon_default(&self) -> Option<f64> {
+        self.epsilon_default
+    }
+
+    /// FNV-1a content fingerprint. Stable across runs and processes, so
+    /// it doubles as the arena key and the metrics dedup key.
+    pub fn fingerprint(&self) -> u64 {
+        self.hash
+    }
+
+    /// Shared cells this entry holds resident (pattern + reversed
+    /// cache), in `f64`-sized units — the arena-side term of the
+    /// `O(queries·m + attachments·m)` memory bound.
+    pub fn cells(&self) -> usize {
+        self.samples.len() + self.qrev.len()
+    }
+
+    /// The z-normalized variant of a scalar query, built at most once
+    /// per `QueryRef` and shared by every normalized monitor attached
+    /// to it. Uses the exact arithmetic of [`crate::znorm::znormalize`],
+    /// so normalized monitors stay bit-identical to the un-shared path.
+    ///
+    /// # Panics
+    /// Never for scalar queries (the samples were validated at
+    /// construction); multivariate queries have no z-normalized form
+    /// and panic by contract.
+    pub fn znormalized(self: &Arc<Self>) -> Arc<QueryRef> {
+        assert_eq!(self.channels, 1, "z-normalization is scalar-only");
+        Arc::clone(self.znormalized.get_or_init(|| {
+            let z = crate::znorm::znormalize(&self.samples)
+                .expect("samples were validated at construction");
+            let qrev: Vec<f64> = z.iter().rev().copied().collect();
+            Arc::new(QueryRef::assemble(z, 1, qrev, self.epsilon_default))
+        }))
+    }
+
+    /// Content equality (used to guard against hash collisions when
+    /// interning).
+    fn same_content(&self, samples: &[f64], channels: usize, eps: Option<f64>) -> bool {
+        self.channels == channels
+            && self.epsilon_default.map(f64::to_bits) == eps.map(f64::to_bits)
+            && self.samples.len() == samples.len()
+            && self
+                .samples
+                .iter()
+                .zip(samples)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+impl MemoryUse for QueryRef {
+    fn bytes_used(&self) -> usize {
+        (self.samples.capacity() + self.qrev.capacity()) * std::mem::size_of::<f64>()
+            + self
+                .znormalized
+                .get()
+                .map_or(0, |z| z.bytes_used() + std::mem::size_of::<QueryRef>())
+    }
+}
+
+/// An interning table of shared queries.
+///
+/// `intern` deduplicates by content hash: attaching the same pattern to
+/// 64 streams allocates its samples and reversed cache exactly once.
+/// The arena hands out [`Arc<QueryRef>`] clones; entries stay resident
+/// until [`QueryArena::gc`] removes the ones no monitor references any
+/// more. All methods take `&self` (the table is internally locked), so
+/// one arena can be shared across engine, runner workers, and serve
+/// connections via `Arc<QueryArena>`.
+#[derive(Debug, Default)]
+pub struct QueryArena {
+    entries: Mutex<HashMap<u64, Arc<QueryRef>>>,
+}
+
+impl QueryArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a scalar pattern, returning the canonical shared entry.
+    ///
+    /// # Errors
+    /// Rejects empty or non-finite patterns.
+    pub fn intern(&self, samples: &[f64]) -> Result<Arc<QueryRef>, SpringError> {
+        self.intern_with_default(samples, None)
+    }
+
+    /// Interns a scalar pattern carrying a default ε.
+    ///
+    /// # Errors
+    /// Rejects empty or non-finite patterns.
+    pub fn intern_with_default(
+        &self,
+        samples: &[f64],
+        epsilon_default: Option<f64>,
+    ) -> Result<Arc<QueryRef>, SpringError> {
+        let hash = {
+            check_query(samples)?;
+            content_hash(samples, 1, epsilon_default)
+        };
+        let mut entries = self.entries.lock().expect("arena lock poisoned");
+        if let Some(existing) = entries.get(&hash) {
+            if existing.same_content(samples, 1, epsilon_default) {
+                return Ok(Arc::clone(existing));
+            }
+            // A 64-bit hash collision between distinct patterns: hand
+            // out a private (un-interned) entry rather than aliasing.
+            return QueryRef::scalar_with_default(samples, epsilon_default);
+        }
+        let entry = QueryRef::scalar_with_default(samples, epsilon_default)?;
+        entries.insert(hash, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Interns a multivariate pattern.
+    ///
+    /// # Errors
+    /// Rejects empty, ragged, zero-channel, or non-finite queries.
+    pub fn intern_vector(&self, rows: &[Vec<f64>]) -> Result<Arc<QueryRef>, SpringError> {
+        let entry = QueryRef::vector(rows)?;
+        let mut entries = self.entries.lock().expect("arena lock poisoned");
+        match entries.get(&entry.hash) {
+            Some(existing)
+                if existing.same_content(&entry.samples, entry.channels, entry.epsilon_default) =>
+            {
+                Ok(Arc::clone(existing))
+            }
+            Some(_) => Ok(entry), // collision: private entry
+            None => {
+                entries.insert(entry.hash, Arc::clone(&entry));
+                Ok(entry)
+            }
+        }
+    }
+
+    /// Republishes an externally-built entry (the hot-swap path): the
+    /// entry becomes the canonical table copy for its fingerprint.
+    pub fn publish(&self, entry: Arc<QueryRef>) -> Arc<QueryRef> {
+        let mut entries = self.entries.lock().expect("arena lock poisoned");
+        match entries.get(&entry.hash) {
+            Some(existing)
+                if existing.same_content(&entry.samples, entry.channels, entry.epsilon_default) =>
+            {
+                Arc::clone(existing)
+            }
+            _ => {
+                entries.insert(entry.hash, Arc::clone(&entry));
+                entry
+            }
+        }
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("arena lock poisoned").len()
+    }
+
+    /// True when nothing has been interned (or everything was GC'd).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total shared cells currently resident across all entries (the
+    /// `queries × m` term of the fleet memory bound), in `f64` units.
+    pub fn resident_cells(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("arena lock poisoned")
+            .values()
+            .map(|q| q.cells())
+            .sum()
+    }
+
+    /// Drops entries no monitor references any more (the arena holds
+    /// the only `Arc`). Returns how many entries were released.
+    pub fn gc(&self) -> usize {
+        let mut entries = self.entries.lock().expect("arena lock poisoned");
+        let before = entries.len();
+        entries.retain(|_, q| Arc::strong_count(q) > 1);
+        before - entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_the_same_pattern_yields_the_same_entry() {
+        let arena = QueryArena::new();
+        let a = arena.intern(&[1.0, 2.0, 3.0]).unwrap();
+        let b = arena.intern(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(arena.len(), 1);
+        let c = arena.intern(&[1.0, 2.0, 4.0]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn epsilon_default_distinguishes_entries() {
+        let arena = QueryArena::new();
+        let a = arena.intern_with_default(&[1.0, 2.0], Some(5.0)).unwrap();
+        let b = arena.intern_with_default(&[1.0, 2.0], Some(6.0)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.epsilon_default(), Some(5.0));
+    }
+
+    #[test]
+    fn qrev_is_the_reversed_pattern() {
+        let q = QueryRef::scalar(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(q.qrev(), &[3.0, 2.0, 1.0]);
+        assert_eq!(q.cells(), 6);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.channels(), 1);
+    }
+
+    #[test]
+    fn stats_match_the_znorm_definitions() {
+        let q = QueryRef::scalar(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((q.mean() - 2.0).abs() < 1e-12);
+        assert!((q.std() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalized_variant_is_cached_and_matches_znormalize() {
+        let q = QueryRef::scalar(&[1.0, 5.0, 3.0]).unwrap();
+        let z1 = q.znormalized();
+        let z2 = q.znormalized();
+        assert!(Arc::ptr_eq(&z1, &z2));
+        let expect = crate::znorm::znormalize(&[1.0, 5.0, 3.0]).unwrap();
+        assert_eq!(z1.samples(), expect.as_slice());
+        let rev: Vec<f64> = expect.iter().rev().copied().collect();
+        assert_eq!(z1.qrev(), rev.as_slice());
+    }
+
+    #[test]
+    fn vector_queries_flatten_row_major_with_no_qrev() {
+        let q = QueryRef::vector(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(q.samples(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(q.channels(), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.qrev().is_empty());
+        let arena = QueryArena::new();
+        let a = arena
+            .intern_vector(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
+        let b = arena
+            .intern_vector(&[vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn fingerprints_separate_flat_shape_from_channel_shape() {
+        // Same flattened samples, different channel structure.
+        let flat = QueryRef::scalar(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let wide = QueryRef::vector(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_ne!(flat.fingerprint(), wide.fingerprint());
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        let arena = QueryArena::new();
+        assert!(arena.intern(&[]).is_err());
+        assert!(arena.intern(&[f64::NAN]).is_err());
+        assert!(QueryRef::vector(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert_eq!(arena.len(), 0);
+    }
+
+    #[test]
+    fn gc_drops_only_unreferenced_entries() {
+        let arena = QueryArena::new();
+        let keep = arena.intern(&[1.0, 2.0]).unwrap();
+        let _drop = arena.intern(&[3.0, 4.0]).unwrap();
+        drop(_drop);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.gc(), 1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.resident_cells(), keep.cells());
+    }
+
+    #[test]
+    fn publish_installs_the_entry_for_its_fingerprint() {
+        let arena = QueryArena::new();
+        let fresh = QueryRef::scalar(&[7.0, 8.0]).unwrap();
+        let canon = arena.publish(Arc::clone(&fresh));
+        assert!(Arc::ptr_eq(&fresh, &canon));
+        // Interning the same content now returns the published entry.
+        let again = arena.intern(&[7.0, 8.0]).unwrap();
+        assert!(Arc::ptr_eq(&again, &fresh));
+    }
+}

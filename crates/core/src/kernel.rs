@@ -288,8 +288,6 @@ const DIAG_STRIDE: usize = FRAME_COLS + 1;
 pub(crate) struct Frame {
     d: Vec<f64>,
     s: Vec<u64>,
-    /// The query reversed, so diagonal lane `j` reads `qrev` forward.
-    qrev: Vec<f64>,
     /// Query length this frame is sized for.
     m: usize,
     /// Live sample columns this frame (`1 ..= w` are valid).
@@ -403,8 +401,7 @@ impl Frame {
     pub(crate) fn bytes(&self) -> usize {
         self.d.capacity() * std::mem::size_of::<f64>()
             + self.s.capacity() * std::mem::size_of::<u64>()
-            + (self.qrev.capacity() + self.tmp_pd.capacity() + self.tmp_cd.capacity())
-                * std::mem::size_of::<f64>()
+            + (self.tmp_pd.capacity() + self.tmp_cd.capacity()) * std::mem::size_of::<f64>()
             + (self.tmp_ps.capacity() + self.tmp_cs.capacity()) * std::mem::size_of::<u64>()
     }
 }
@@ -413,9 +410,11 @@ impl Frame {
 /// `d_prev`/`s_prev` is the incoming rolling column for tick `t0`
 /// (loaded into frame lane 0); the caller's tick is NOT advanced —
 /// commit happens after the reporting policy has walked the columns.
+#[allow(clippy::too_many_arguments)] // query + qrev arrive as arena borrows
 pub(crate) fn fill_frame<K: DistanceKernel>(
     kernel: K,
     query: &[f64],
+    qrev: &[f64],
     xs: &[f64],
     t0: u64,
     d_prev: &[f64],
@@ -425,12 +424,9 @@ pub(crate) fn fill_frame<K: DistanceKernel>(
     let m = query.len();
     let w = xs.len();
     frame.ensure(m, w);
-    // A `Frame` is owned by one monitor and always sees the same query,
-    // so the reversed-query cache survives across frames.
-    if frame.qrev.len() != m {
-        frame.qrev.clear();
-        frame.qrev.extend(query.iter().rev());
-    }
+    // The reversed-query cache lives in the shared `QueryRef` (one copy
+    // per query, not per monitor); the caller hands both orientations in.
+    debug_assert_eq!(qrev.len(), m, "qrev must mirror the query");
     // Lane 0: the incoming previous column, spread along the diagonals.
     for i in 0..=m {
         frame.d[i * DIAG_STRIDE] = d_prev[i];
@@ -497,14 +493,14 @@ pub(crate) fn fill_frame<K: DistanceKernel>(
             let mut qa = [0.0f64; FRAME_COLS];
             let q: &[f64; FRAME_COLS] = if k <= m + 1 {
                 // All lanes live: the q window is a plain zero-copy ref.
-                (&frame.qrev[m + 1 - k..m + 1 + FRAME_COLS - k])
+                (&qrev[m + 1 - k..m + 1 + FRAME_COLS - k])
                     .try_into()
                     .unwrap()
             } else {
                 // Down-ramp: shift the surviving q values up past the
                 // dead lanes (cold: at most FRAME_COLS−1 diagonals/frame).
                 let dead = k - m - 1;
-                qa[dead..].copy_from_slice(&frame.qrev[..FRAME_COLS - dead]);
+                qa[dead..].copy_from_slice(&qrev[..FRAME_COLS - dead]);
                 &qa
             };
             wave_full(
@@ -531,7 +527,7 @@ pub(crate) fn fill_frame<K: DistanceKernel>(
             let diag_s = &p2_s[j_lo - 1..j_lo - 1 + lanes];
             let cur_d = &mut tail_d[j_lo..j_lo + lanes];
             let cur_s = &mut tail_s[j_lo..j_lo + lanes];
-            let q = &frame.qrev[q0..q0 + lanes];
+            let q = &qrev[q0..q0 + lanes];
             let x = &xw[j_lo..j_lo + lanes];
             for idx in 0..lanes {
                 let base = kernel.dist(x[idx], q[idx]);
@@ -1078,7 +1074,10 @@ mod tests {
                 let mut frame = Frame::default();
                 let mut t0 = 0u64;
                 for chunk in stream.chunks(w) {
-                    fill_frame(Squared, &query, chunk, t0, &fd_prev, &fs_prev, &mut frame);
+                    let qrev: Vec<f64> = query.iter().rev().copied().collect();
+                    fill_frame(
+                        Squared, &query, &qrev, chunk, t0, &fd_prev, &fs_prev, &mut frame,
+                    );
                     for (j, &x) in chunk.iter().enumerate() {
                         let t = t0 + j as u64 + 1;
                         fill_column_reference(
@@ -1120,7 +1119,8 @@ mod tests {
         let d_prev = vec![f64::INFINITY; m + 1];
         let s_prev = vec![0u64; m + 1];
         let mut frame = Frame::default();
-        fill_frame(Squared, &query, &xs, 0, &d_prev, &s_prev, &mut frame);
+        let qrev: Vec<f64> = query.iter().rev().copied().collect();
+        fill_frame(Squared, &query, &qrev, &xs, 0, &d_prev, &s_prev, &mut frame);
         let cut = 3;
         let te = 2;
         frame.invalidate(cut, te);
@@ -1172,7 +1172,8 @@ mod tests {
         let d_prev = vec![f64::INFINITY; 3];
         let s_prev = vec![0u64; 3];
         let mut frame = Frame::default();
-        fill_frame(Squared, &query, &xs, 0, &d_prev, &s_prev, &mut frame);
+        let qrev: Vec<f64> = query.iter().rev().copied().collect();
+        fill_frame(Squared, &query, &qrev, &xs, 0, &d_prev, &s_prev, &mut frame);
         for j in 1..=4 {
             let (d, s) = frame.col_vec(j);
             assert_eq!(frame.current(j), (d[2], s[2]));

@@ -44,6 +44,9 @@
 //!
 //! ## Module map
 //!
+//! * [`arena`] — the shared immutable query arena ([`QueryArena`] /
+//!   [`QueryRef`]): pattern samples and derived caches interned once
+//!   and borrowed by every attached monitor.
 //! * [`stwm`] — the star-padded subsequence time warping matrix stepper
 //!   (two rolling columns of distances + start positions).
 //! * [`spring`] — the disjoint-query monitor (paper Fig. 4).
@@ -68,6 +71,7 @@
 #![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
 #![cfg_attr(feature = "simd", deny(unsafe_code))]
 
+pub mod arena;
 pub mod best;
 pub mod bounded;
 pub mod error;
@@ -86,6 +90,7 @@ pub mod types;
 pub mod vector;
 pub mod znorm;
 
+pub use arena::{QueryArena, QueryRef};
 pub use best::BestMatch;
 pub use bounded::{BoundedConfig, BoundedSpring};
 pub use error::SpringError;

@@ -178,6 +178,32 @@ pub trait Monitor {
     fn channels(&self) -> Option<usize> {
         None
     }
+
+    /// Cells of *shared* arena state this monitor borrows (pattern
+    /// samples + reversed-query cache in a [`crate::QueryRef`]); 0 for
+    /// monitors that own a private copy. Fleet accounting counts these
+    /// once per [`query_fingerprint`](Monitor::query_fingerprint), not
+    /// once per attachment.
+    fn shared_memory_cells(&self) -> usize {
+        0
+    }
+
+    /// Stable content fingerprint of the shared query entry backing
+    /// this monitor, or `None` when the pattern is privately owned.
+    /// Two monitors with equal fingerprints borrow identical patterns.
+    fn query_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Query generation this monitor reflects; bumped by the fleet-wide
+    /// hot-swap path. Monitors without swap support report 0.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Tags the monitor with a query generation after a hot-swap
+    /// rebuild. A no-op for monitors without swap support.
+    fn set_generation(&mut self, _generation: u64) {}
 }
 
 /// A description of a scalar monitor, buildable against any query — the
@@ -272,6 +298,40 @@ impl MonitorSpec {
             ),
         })
     }
+
+    /// Like [`MonitorSpec::build`], but over a shared arena entry:
+    /// variants whose state machine runs on the raw pattern
+    /// ([`Spring`]) or its cached z-normalized form
+    /// ([`NormalizedSpring`]) borrow the entry instead of copying it,
+    /// so attaching one query to N streams stores the pattern once.
+    /// The remaining variants keep private state (paths,
+    /// length/slope bookkeeping) and fall back to a fresh copy —
+    /// results are bit-identical to [`MonitorSpec::build`] either way.
+    ///
+    /// # Errors
+    /// Propagates the variant's constructor validation.
+    pub fn build_shared(
+        &self,
+        query: &std::sync::Arc<crate::QueryRef>,
+        kernel: Kernel,
+    ) -> Result<ScalarMonitor, SpringError> {
+        Ok(match *self {
+            MonitorSpec::Spring { epsilon } => ScalarMonitor::Spring(Spring::with_query_ref(
+                std::sync::Arc::clone(query),
+                SpringConfig::new(epsilon),
+                kernel,
+            )?),
+            MonitorSpec::Normalized { epsilon, window } => {
+                ScalarMonitor::Normalized(NormalizedSpring::with_query_ref(
+                    std::sync::Arc::clone(query),
+                    epsilon,
+                    window,
+                    kernel,
+                )?)
+            }
+            _ => self.build(query.samples(), kernel)?,
+        })
+    }
 }
 
 /// A scalar monitor of any variant, without boxing: enables
@@ -345,6 +405,22 @@ impl Monitor for ScalarMonitor {
 
     fn memory_cells(&self) -> usize {
         dispatch!(self, m => Monitor::memory_cells(m))
+    }
+
+    fn shared_memory_cells(&self) -> usize {
+        dispatch!(self, m => Monitor::shared_memory_cells(m))
+    }
+
+    fn query_fingerprint(&self) -> Option<u64> {
+        dispatch!(self, m => Monitor::query_fingerprint(m))
+    }
+
+    fn generation(&self) -> u64 {
+        dispatch!(self, m => Monitor::generation(m))
+    }
+
+    fn set_generation(&mut self, generation: u64) {
+        dispatch!(self, m => Monitor::set_generation(m, generation))
     }
 
     fn reset(&mut self) {

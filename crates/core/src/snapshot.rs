@@ -41,6 +41,11 @@ pub struct SpringSnapshot {
     pub candidate: CandidateState,
     /// Matches reported so far.
     pub reported: u64,
+    /// Query generation at checkpoint time (format v2; 0 until a
+    /// fleet-wide hot-swap has republished the query). Absent in
+    /// pre-arena (v1) documents, which decode as generation 0 and
+    /// restore byte-identically.
+    pub generation: u64,
 }
 
 /// The pending-candidate portion of a checkpoint.
@@ -154,6 +159,7 @@ impl SpringSnapshot {
             ("starts".into(), u64_arr(&self.starts)),
             ("candidate".into(), self.candidate.to_json()),
             ("reported".into(), Value::Num(self.reported as f64)),
+            ("generation".into(), Value::Num(self.generation as f64)),
         ])
     }
 
@@ -176,6 +182,14 @@ impl SpringSnapshot {
             starts: u64_arr_field(v, "starts")?,
             candidate: CandidateState::from_json(field(v, "candidate")?)?,
             reported: u64_field(v, "reported")?,
+            // Format v1 (pre-arena) has no generation; default 0. A v2
+            // document carrying the field must still type-check.
+            generation: match v.get("generation") {
+                Some(g) => g
+                    .as_u64()
+                    .ok_or_else(|| bad("`generation` is not an integer"))?,
+                None => 0,
+            },
         })
     }
 
@@ -211,6 +225,7 @@ impl<K: DistanceKernel> Spring<K> {
                 }
             },
             reported: self.reported_count(),
+            generation: self.generation(),
         }
     }
 

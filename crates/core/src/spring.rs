@@ -99,6 +99,10 @@ pub struct Spring<K: DistanceKernel = Squared> {
     /// Wavefront frame for `step_batch`; empty until the first batch,
     /// then a fixed `O(m)` block reused for every frame.
     frame: Frame,
+    /// Query generation this monitor was built against (bumped by the
+    /// fleet-wide hot-swap path; recorded in checkpoints so replay can
+    /// tell pre- from post-swap state).
+    generation: u64,
 }
 
 impl Spring<Squared> {
@@ -121,7 +125,46 @@ impl<K: DistanceKernel> Spring<K> {
             policy: DisjointPolicy::new(config.epsilon),
             reported: 0,
             frame: Frame::default(),
+            generation: 0,
         })
+    }
+
+    /// Monitor over a shared arena entry ([`crate::QueryRef`]): borrows
+    /// the pattern and reversed-query cache, allocating only the
+    /// per-attachment DP columns. Bit-identical to the plain
+    /// constructors on the same pattern.
+    ///
+    /// # Errors
+    /// Rejects an invalid ε or a multivariate entry.
+    pub fn with_query_ref(
+        query: std::sync::Arc<crate::QueryRef>,
+        config: SpringConfig,
+        kernel: K,
+    ) -> Result<Self, SpringError> {
+        check_epsilon(config.epsilon)?;
+        Ok(Spring {
+            stwm: Stwm::with_query_ref(query, kernel)?,
+            policy: DisjointPolicy::new(config.epsilon),
+            reported: 0,
+            frame: Frame::default(),
+            generation: 0,
+        })
+    }
+
+    /// The shared arena entry backing this monitor.
+    pub fn query_ref(&self) -> &std::sync::Arc<crate::QueryRef> {
+        self.stwm.query_ref()
+    }
+
+    /// Query generation this monitor reflects (0 until a hot-swap).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Tags the monitor with a query generation (hot-swap bookkeeping;
+    /// does not touch the matrix).
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// The threshold `ε`.
@@ -170,6 +213,7 @@ impl<K: DistanceKernel> Spring<K> {
         self.policy
             .set_state((c.dmin, c.ts, c.te, c.group_start, c.group_end));
         self.reported = snap.reported;
+        self.generation = snap.generation;
     }
 
     /// Mutable STWM access for [`crate::PathSpring`], which needs the
@@ -320,6 +364,29 @@ impl<K: DistanceKernel> crate::monitor::Monitor for Spring<K> {
 
     fn memory_use(&self) -> usize {
         self.bytes_used()
+    }
+
+    fn memory_cells(&self) -> usize {
+        // Per-attachment cells only: DP columns + scratch + frame. The
+        // shared pattern is reported once per query through
+        // `shared_memory_cells`, not once per attachment.
+        self.stwm.attachment_cells() + self.frame.bytes() / std::mem::size_of::<f64>()
+    }
+
+    fn shared_memory_cells(&self) -> usize {
+        self.stwm.query_ref().cells()
+    }
+
+    fn query_fingerprint(&self) -> Option<u64> {
+        Some(self.stwm.query_ref().fingerprint())
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     fn reset(&mut self) {

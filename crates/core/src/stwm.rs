@@ -10,9 +10,12 @@
 //! Only two columns (current and previous) are retained — `O(m)` space —
 //! and one column is filled per incoming value — `O(m)` time per tick.
 
+use std::sync::Arc;
+
 use spring_dtw::kernels::{DistanceKernel, Squared};
 
-use crate::error::{check_query, SpringError};
+use crate::arena::QueryRef;
+use crate::error::SpringError;
 use crate::kernel::{self, Scratch};
 use crate::mem::MemoryUse;
 
@@ -24,7 +27,9 @@ use crate::mem::MemoryUse;
 /// each [`Stwm::step`], so the policy layers above decide what to report.
 #[derive(Debug, Clone)]
 pub struct Stwm<K: DistanceKernel = Squared> {
-    query: Vec<f64>,
+    /// The shared immutable query (pattern samples + reversed cache);
+    /// one arena entry may back any number of monitors.
+    query: Arc<QueryRef>,
     kernel: K,
     /// `d_cur[i] = d(t, i)` for `i = 0 ..= m`; index 0 is the star row.
     d_cur: Vec<f64>,
@@ -53,12 +58,29 @@ pub enum Step {
 }
 
 impl<K: DistanceKernel> Stwm<K> {
-    /// Creates the STWM for `query` under `kernel`.
+    /// Creates the STWM for `query` under `kernel`, minting a private
+    /// single-use [`QueryRef`] (use [`Stwm::with_query_ref`] to share
+    /// one arena entry across monitors).
     pub fn with_kernel(query: &[f64], kernel: K) -> Result<Self, SpringError> {
-        check_query(query)?;
+        Self::with_query_ref(QueryRef::scalar(query)?, kernel)
+    }
+
+    /// Creates the STWM over a shared arena entry: the monitor borrows
+    /// the pattern and allocates only its own DP columns.
+    ///
+    /// # Errors
+    /// Rejects multivariate entries (`channels != 1`); use
+    /// [`crate::VectorSpring`] for those.
+    pub fn with_query_ref(query: Arc<QueryRef>, kernel: K) -> Result<Self, SpringError> {
+        if query.channels() != 1 {
+            return Err(SpringError::InvalidQuery(format!(
+                "scalar monitor over a {}-channel query",
+                query.channels()
+            )));
+        }
         let m = query.len();
         Ok(Stwm {
-            query: query.to_vec(),
+            query,
             kernel,
             // Star row: d(t, 0) = 0 for every t. Rows 1..=m start at
             // d(0, i) = ∞ (no stream value consumed yet).
@@ -78,6 +100,11 @@ impl<K: DistanceKernel> Stwm<K> {
 
     /// The monitored query sequence.
     pub fn query(&self) -> &[f64] {
+        self.query.samples()
+    }
+
+    /// The shared arena entry backing this matrix.
+    pub fn query_ref(&self) -> &Arc<QueryRef> {
         &self.query
     }
 
@@ -99,7 +126,7 @@ impl<K: DistanceKernel> Stwm<K> {
         self.t += 1;
         kernel::fill_column(
             self.kernel,
-            &self.query,
+            self.query.samples(),
             x,
             self.t,
             &mut self.d_prev,
@@ -129,7 +156,7 @@ impl<K: DistanceKernel> Stwm<K> {
         self.t += 1;
         kernel::fill_column_reference(
             self.kernel,
-            &self.query,
+            self.query.samples(),
             x,
             self.t,
             &mut self.d_prev,
@@ -150,7 +177,8 @@ impl<K: DistanceKernel> Stwm<K> {
     pub(crate) fn fill_frame(&self, xs: &[f64], frame: &mut kernel::Frame) {
         kernel::fill_frame(
             self.kernel,
-            &self.query,
+            self.query.samples(),
+            self.query.qrev(),
             xs,
             self.t,
             &self.d_prev,
@@ -165,7 +193,7 @@ impl<K: DistanceKernel> Stwm<K> {
     pub(crate) fn refill_frame_tail(&mut self, xs: &[f64], frame: &mut kernel::Frame, from: usize) {
         kernel::refill_frame_tail(
             self.kernel,
-            &self.query,
+            self.query.samples(),
             xs,
             self.t,
             frame,
@@ -243,12 +271,27 @@ impl Stwm<Squared> {
 
 impl<K: DistanceKernel> MemoryUse for Stwm<K> {
     fn bytes_used(&self) -> usize {
-        // Query + two distance columns + two start columns + kernel
-        // scratch lanes.
-        self.query.capacity() * std::mem::size_of::<f64>()
+        // Shared query entry (pattern + reversed cache; counted in full
+        // here, deduplicated fleet-wide by the cell accounting in
+        // `Monitor::shared_memory_cells`) + two distance columns + two
+        // start columns + kernel scratch lanes.
+        self.query.bytes_used()
             + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
             + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
             + self.scratch.bytes()
+    }
+}
+
+impl<K: DistanceKernel> Stwm<K> {
+    /// Per-attachment mutable cells (DP columns + kernel scratch), in
+    /// `f64`-sized units — the `attachments × m` term of the fleet
+    /// memory bound. Excludes the shared [`QueryRef`].
+    pub(crate) fn attachment_cells(&self) -> usize {
+        (self.d_cur.capacity()
+            + self.d_prev.capacity()
+            + self.s_cur.capacity()
+            + self.s_prev.capacity())
+            + self.scratch.bytes() / std::mem::size_of::<f64>()
     }
 }
 

@@ -11,9 +11,12 @@
 //! subsequences" — that is exactly the `group_start`/`group_end` extent
 //! every [`Match`] already carries.
 
+use std::sync::Arc;
+
 use spring_dtw::kernels::{DistanceKernel, Squared};
 use spring_dtw::multivariate::element_distance;
 
+use crate::arena::QueryRef;
 use crate::error::{check_epsilon, SpringError};
 use crate::kernel::{self, Scratch};
 use crate::mem::MemoryUse;
@@ -21,7 +24,7 @@ use crate::policy::{ColumnOps, DisjointPolicy};
 use crate::types::Match;
 
 /// Validates a multivariate query and returns its dimensionality.
-fn check_vector_query(query: &[Vec<f64>]) -> Result<usize, SpringError> {
+pub(crate) fn check_vector_query(query: &[Vec<f64>]) -> Result<usize, SpringError> {
     if query.is_empty() {
         return Err(SpringError::EmptyQuery);
     }
@@ -49,8 +52,9 @@ fn check_vector_query(query: &[Vec<f64>]) -> Result<usize, SpringError> {
 /// per-tick scans.
 #[derive(Debug, Clone)]
 struct VectorStwm<K: DistanceKernel> {
-    /// Flattened query, row `i` at `[i*dim .. (i+1)*dim]`.
-    query: Vec<f64>,
+    /// Shared arena entry; samples flattened row-major, row `i` at
+    /// `[i*dim .. (i+1)*dim]`.
+    query: Arc<QueryRef>,
     dim: usize,
     m: usize,
     kernel: K,
@@ -65,14 +69,14 @@ struct VectorStwm<K: DistanceKernel> {
 
 impl<K: DistanceKernel> VectorStwm<K> {
     fn new(query: &[Vec<f64>], kernel: K) -> Result<Self, SpringError> {
-        let dim = check_vector_query(query)?;
+        Self::from_ref(QueryRef::vector(query)?, kernel)
+    }
+
+    fn from_ref(query: Arc<QueryRef>, kernel: K) -> Result<Self, SpringError> {
+        let dim = query.channels();
         let m = query.len();
-        let mut flat = Vec::with_capacity(m * dim);
-        for row in query {
-            flat.extend_from_slice(row);
-        }
         Ok(VectorStwm {
-            query: flat,
+            query,
             dim,
             m,
             kernel,
@@ -95,7 +99,7 @@ impl<K: DistanceKernel> VectorStwm<K> {
         self.t += 1;
         // Same two-phase SoA kernel as the scalar STWM; only the base
         // lane differs (per-row channel sums instead of a 1-D kernel).
-        let query = &self.query;
+        let query = self.query.samples();
         let dim = self.dim;
         let kern = self.kernel;
         kernel::fill_column_with(
@@ -117,10 +121,19 @@ impl<K: DistanceKernel> VectorStwm<K> {
     }
 
     fn bytes(&self) -> usize {
-        self.query.capacity() * std::mem::size_of::<f64>()
+        self.query.bytes_used()
             + (self.d_cur.capacity() + self.d_prev.capacity()) * std::mem::size_of::<f64>()
             + (self.s_cur.capacity() + self.s_prev.capacity()) * std::mem::size_of::<u64>()
             + self.scratch.bytes()
+    }
+
+    /// Per-attachment mutable cells (columns + scratch), in `f64` units.
+    fn attachment_cells(&self) -> usize {
+        self.d_cur.capacity()
+            + self.d_prev.capacity()
+            + self.s_cur.capacity()
+            + self.s_prev.capacity()
+            + self.scratch.bytes() / std::mem::size_of::<f64>()
     }
 }
 
@@ -169,6 +182,31 @@ impl<K: DistanceKernel> VectorSpring<K> {
         })
     }
 
+    /// Vector monitor over a shared arena entry (built by
+    /// [`QueryRef::vector`] or [`crate::QueryArena::intern_vector`]):
+    /// borrows the flattened pattern, allocating only the
+    /// per-attachment DP columns. Bit-identical to
+    /// [`VectorSpring::with_kernel`].
+    ///
+    /// # Errors
+    /// Rejects an invalid ε.
+    pub fn with_query_ref(
+        query: Arc<QueryRef>,
+        epsilon: f64,
+        kernel: K,
+    ) -> Result<Self, SpringError> {
+        check_epsilon(epsilon)?;
+        Ok(VectorSpring {
+            stwm: VectorStwm::from_ref(query, kernel)?,
+            policy: DisjointPolicy::new(epsilon),
+        })
+    }
+
+    /// The shared arena entry backing this monitor.
+    pub fn query_ref(&self) -> &Arc<QueryRef> {
+        &self.stwm.query
+    }
+
     /// Stream dimensionality `k`.
     pub fn dim(&self) -> usize {
         self.stwm.dim
@@ -199,6 +237,7 @@ impl<K: DistanceKernel> VectorSpring<K> {
     pub fn query_rows(&self) -> Vec<Vec<f64>> {
         self.stwm
             .query
+            .samples()
             .chunks_exact(self.stwm.dim)
             .map(<[f64]>::to_vec)
             .collect()
@@ -321,6 +360,18 @@ impl<K: DistanceKernel> crate::monitor::Monitor for VectorSpring<K> {
 
     fn memory_use(&self) -> usize {
         self.bytes_used()
+    }
+
+    fn memory_cells(&self) -> usize {
+        self.stwm.attachment_cells()
+    }
+
+    fn shared_memory_cells(&self) -> usize {
+        self.stwm.query.cells()
+    }
+
+    fn query_fingerprint(&self) -> Option<u64> {
+        Some(self.stwm.query.fingerprint())
     }
 
     fn reset(&mut self) {

@@ -172,9 +172,31 @@ impl<K: DistanceKernel> NormalizedSpring<K> {
         window: usize,
         kernel: K,
     ) -> Result<Self, SpringError> {
-        let znorm_query = znormalize(query)?;
+        Self::with_query_ref(crate::QueryRef::scalar(query)?, epsilon, window, kernel)
+    }
+
+    /// Normalized monitor over a shared arena entry: the z-normalized
+    /// form of the pattern (and its reversed cache) is computed once
+    /// per [`crate::QueryRef`] and borrowed by every normalized monitor
+    /// attached to it. Bit-identical to [`NormalizedSpring::with_kernel`].
+    ///
+    /// # Errors
+    /// Rejects an invalid ε, a window below 2 samples, or a
+    /// multivariate entry.
+    pub fn with_query_ref(
+        query: std::sync::Arc<crate::QueryRef>,
+        epsilon: f64,
+        window: usize,
+        kernel: K,
+    ) -> Result<Self, SpringError> {
+        if query.channels() != 1 {
+            return Err(SpringError::InvalidQuery(format!(
+                "scalar monitor over a {}-channel query",
+                query.channels()
+            )));
+        }
         Ok(NormalizedSpring {
-            inner: Spring::with_kernel(&znorm_query, SpringConfig::new(epsilon), kernel)?,
+            inner: Spring::with_query_ref(query.znormalized(), SpringConfig::new(epsilon), kernel)?,
             stats: RollingStats::new(window)?,
             offset: window as u64 - 1,
         })
@@ -288,6 +310,29 @@ impl<K: DistanceKernel> crate::monitor::Monitor for NormalizedSpring<K> {
 
     fn memory_use(&self) -> usize {
         self.bytes_used()
+    }
+
+    fn memory_cells(&self) -> usize {
+        // Per-attachment cells: the inner monitor's mutable state plus
+        // this monitor's normalization window. The (z-normalized)
+        // pattern is shared and reported via `shared_memory_cells`.
+        crate::monitor::Monitor::memory_cells(&self.inner) + self.stats.window.capacity()
+    }
+
+    fn shared_memory_cells(&self) -> usize {
+        crate::monitor::Monitor::shared_memory_cells(&self.inner)
+    }
+
+    fn query_fingerprint(&self) -> Option<u64> {
+        crate::monitor::Monitor::query_fingerprint(&self.inner)
+    }
+
+    fn generation(&self) -> u64 {
+        crate::monitor::Monitor::generation(&self.inner)
+    }
+
+    fn set_generation(&mut self, generation: u64) {
+        crate::monitor::Monitor::set_generation(&mut self.inner, generation);
     }
 
     fn reset(&mut self) {

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use spring_core::monitor::{Monitor, MonitorVariant};
 use spring_core::{
-    Match, MonitorSpec, ScalarMonitor, Spring, SpringConfig, SpringError, VectorSpring,
+    Match, MonitorSpec, QueryArena, ScalarMonitor, Spring, SpringConfig, SpringError, VectorSpring,
 };
 use spring_dtw::Kernel;
 
@@ -141,6 +141,38 @@ struct StreamState {
 struct QueryDef<M: Monitor> {
     name: String,
     samples: Vec<Owned<M>>,
+    /// Bumped by every [`Engine::swap_query`]; recorded into the
+    /// rebuilt monitors (and from there into checkpoints/snapshots).
+    generation: u64,
+}
+
+/// The stored recipe an attachment was built from: called again with
+/// the query's new samples to rebuild the monitor on a hot-swap,
+/// preserving the attachment's own ε / variant / kernel choices.
+pub type AttachmentBuilder<M> = Arc<dyn Fn(&[Owned<M>]) -> Result<M, SpringError> + Send + Sync>;
+
+/// The registration-time sample validation shared by
+/// [`Engine::add_query`], [`Engine::swap_query`], and
+/// [`crate::Runner::swap_query`]: non-empty, no missing samples, and a
+/// consistent channel count.
+pub(crate) fn validate_query_samples<M: Monitor>(samples: &[Owned<M>]) -> Result<(), MonitorError> {
+    if samples.is_empty() {
+        return Err(MonitorError::Spring(SpringError::EmptyQuery));
+    }
+    let dim = M::sample_dim(samples[0].borrow());
+    for (index, s) in samples.iter().enumerate() {
+        let s: &M::Sample = s.borrow();
+        if M::is_missing(s) {
+            return Err(MonitorError::Spring(SpringError::NonFiniteQuery { index }));
+        }
+        if M::sample_dim(s) != dim {
+            return Err(MonitorError::Spring(SpringError::InvalidQuery(format!(
+                "query row {index} has {} channels, expected {dim}",
+                M::sample_dim(s)
+            ))));
+        }
+    }
+    Ok(())
 }
 
 /// One (stream, query) attachment: a monitor plus its gap handling.
@@ -154,6 +186,10 @@ pub(crate) struct Attachment<M: Monitor> {
     pub(crate) query: QueryId,
     pub(crate) monitor: M,
     pub(crate) gap_policy: GapPolicy,
+    /// The recipe this monitor was built from ([`AttachmentBuilder`]);
+    /// `None` for monitors handed in pre-built, which cannot be rebuilt
+    /// on a query hot-swap.
+    pub(crate) builder: Option<AttachmentBuilder<M>>,
     /// Last present sample (kept only under [`GapPolicy::CarryForward`]).
     last_observed: Option<Owned<M>>,
     /// Samples seen by this attachment (including missing ones).
@@ -176,17 +212,34 @@ impl<M: Monitor> Attachment<M> {
             query,
             monitor,
             gap_policy,
+            builder: None,
             last_observed: None,
             ticks: 0,
             recorder: None,
         }
     }
 
+    /// Stores the recipe this monitor was built from, enabling query
+    /// hot-swap rebuilds.
+    pub(crate) fn with_builder(mut self, builder: AttachmentBuilder<M>) -> Self {
+        self.builder = Some(builder);
+        self
+    }
+
     /// Attaches this monitor to a metrics registry. The first sampled
     /// tick initializes its share of the live memory gauges; dropping
-    /// the attachment releases it.
+    /// the attachment releases it. Monitors borrowing a shared arena
+    /// query also take one fleet-wide reference on its resident cells.
     pub(crate) fn set_metrics(&mut self, metrics: &Arc<Metrics>) {
-        self.recorder = Some(TickRecorder::new(Arc::clone(metrics)));
+        self.recorder = Some(Self::make_recorder(metrics, &self.monitor));
+    }
+
+    fn make_recorder(metrics: &Arc<Metrics>, monitor: &M) -> TickRecorder {
+        let mut rec = TickRecorder::new(Arc::clone(metrics));
+        if let Some(fp) = monitor.query_fingerprint() {
+            rec.retain_shared(fp, monitor.shared_memory_cells());
+        }
+        rec
     }
 
     fn event(&self, m: Match) -> Event {
@@ -264,13 +317,47 @@ impl<M: Monitor> Attachment<M> {
             query: self.query,
             monitor: self.monitor.clone(),
             gap_policy: self.gap_policy,
+            builder: self.builder.clone(),
             last_observed: self.last_observed.clone(),
             ticks: self.ticks,
             recorder: self
                 .recorder
                 .as_ref()
-                .map(|r| TickRecorder::new(Arc::clone(r.metrics()))),
+                .map(|r| Self::make_recorder(r.metrics(), &self.monitor)),
         }
+    }
+
+    /// Rebuilds this attachment's monitor from its stored recipe
+    /// against `samples` — the hot-swap path. Fresh DP state, gap state
+    /// and tick counter (detach-and-reattach semantics); the new
+    /// monitor is stamped with `generation` and the shared-cell metrics
+    /// reference is re-pointed at the new query entry.
+    ///
+    /// # Errors
+    /// Fails when no recipe was stored (pre-built monitor) or the
+    /// builder rejects the new samples.
+    pub(crate) fn apply_swap(
+        &mut self,
+        samples: &[Owned<M>],
+        generation: u64,
+    ) -> Result<(), MonitorError> {
+        let builder = self.builder.as_ref().ok_or_else(|| {
+            MonitorError::Spring(SpringError::InvalidQuery(
+                "attachment was built from a pre-constructed monitor; \
+                 it has no stored recipe to rebuild on a query swap"
+                    .into(),
+            ))
+        })?;
+        let mut monitor = builder(samples)?;
+        monitor.set_generation(generation);
+        self.monitor = monitor;
+        self.last_observed = None;
+        self.ticks = 0;
+        if let Some(rec) = &self.recorder {
+            let metrics = Arc::clone(rec.metrics());
+            self.set_metrics(&metrics);
+        }
+        Ok(())
     }
 
     /// Declares end-of-stream on this attachment, flushing a pending
@@ -310,6 +397,10 @@ pub struct Engine<M: Monitor> {
     attachments: Vec<Attachment<M>>,
     /// Attachment indices per stream, for O(per-stream) dispatch.
     by_stream: HashMap<StreamId, Vec<usize>>,
+    /// Shared immutable query storage: the typed attachers intern
+    /// patterns here, so attaching one query to many streams allocates
+    /// its samples and derived caches exactly once.
+    arena: Arc<QueryArena>,
     /// Observability registry shared by all attachments (see
     /// [`Engine::set_metrics`]); `None` keeps ingestion metric-free.
     metrics: Option<Arc<Metrics>>,
@@ -336,6 +427,7 @@ impl<M: Monitor> Default for Engine<M> {
             queries: Vec::new(),
             attachments: Vec::new(),
             by_stream: HashMap::new(),
+            arena: Arc::new(QueryArena::new()),
             metrics: None,
         }
     }
@@ -395,34 +487,121 @@ impl<M: Monitor> Engine<M> {
         name: impl Into<String>,
         samples: Vec<Owned<M>>,
     ) -> Result<QueryId, MonitorError> {
-        if samples.is_empty() {
-            return Err(MonitorError::Spring(SpringError::EmptyQuery));
-        }
-        let dim = M::sample_dim(samples[0].borrow());
-        for (index, s) in samples.iter().enumerate() {
-            let s: &M::Sample = s.borrow();
-            if M::is_missing(s) {
-                return Err(MonitorError::Spring(SpringError::NonFiniteQuery { index }));
-            }
-            if M::sample_dim(s) != dim {
-                return Err(MonitorError::Spring(SpringError::InvalidQuery(format!(
-                    "query row {index} has {} channels, expected {dim}",
-                    M::sample_dim(s)
-                ))));
-            }
-        }
+        Self::check_query_samples(&samples)?;
         let id = QueryId(self.queries.len() as u32);
         self.queries.push(QueryDef {
             name: name.into(),
             samples,
+            generation: 0,
         });
         Ok(id)
+    }
+
+    /// The registration-time validation shared by [`Engine::add_query`]
+    /// and [`Engine::swap_query`].
+    fn check_query_samples(samples: &[Owned<M>]) -> Result<(), MonitorError> {
+        validate_query_samples::<M>(samples)
+    }
+
+    /// Atomically replaces the pattern behind a registered query and
+    /// rebuilds every attachment that watches it (fresh DP state, same
+    /// ε / variant / kernel — detach-and-reattach semantics, applied
+    /// fleet-wide in one call). Returns the query's new generation,
+    /// which is also stamped into each rebuilt monitor (and from there
+    /// into checkpoints) and published to the
+    /// `spring_query_generation` gauge; `spring_query_swaps_total`
+    /// counts the swap.
+    ///
+    /// The new pattern is validated and every replacement monitor is
+    /// built *before* anything is mutated, so a failing swap leaves the
+    /// engine untouched.
+    ///
+    /// # Errors
+    /// Fails on an unknown query id, invalid samples, builder
+    /// validation, a channel-count mismatch with an attached stream, or
+    /// an attachment whose monitor was handed in pre-built (no stored
+    /// recipe to rebuild from).
+    pub fn swap_query(
+        &mut self,
+        query: QueryId,
+        samples: Vec<Owned<M>>,
+    ) -> Result<u64, MonitorError> {
+        Self::check_query_samples(&samples)?;
+        let def = self
+            .queries
+            .get(query.0 as usize)
+            .ok_or(MonitorError::UnknownQuery(query))?;
+        let generation = def.generation + 1;
+        // Phase 1: rebuild into a side buffer; nothing is committed yet.
+        let mut rebuilt: Vec<(usize, M)> = Vec::new();
+        for (idx, att) in self.attachments.iter().enumerate() {
+            if att.query != query {
+                continue;
+            }
+            let builder = att.builder.as_ref().ok_or_else(|| {
+                MonitorError::Spring(SpringError::InvalidQuery(
+                    "attachment was built from a pre-constructed monitor; \
+                     it has no stored recipe to rebuild on a query swap"
+                        .into(),
+                ))
+            })?;
+            let mut monitor = builder(&samples)?;
+            if let Some(found) = monitor.channels() {
+                if let Some(expected) = self.streams[att.stream.0 as usize].channels {
+                    if found != expected {
+                        return Err(MonitorError::Spring(SpringError::DimensionMismatch {
+                            expected,
+                            found,
+                        }));
+                    }
+                }
+            }
+            monitor.set_generation(generation);
+            rebuilt.push((idx, monitor));
+        }
+        // Phase 2: commit — republish the definition and flip every
+        // affected attachment to its rebuilt monitor.
+        let def = &mut self.queries[query.0 as usize];
+        def.samples = samples;
+        def.generation = generation;
+        for (idx, monitor) in rebuilt {
+            let att = &mut self.attachments[idx];
+            att.monitor = monitor;
+            att.last_observed = None;
+            att.ticks = 0;
+            if let Some(metrics) = &self.metrics {
+                att.set_metrics(metrics); // re-point the shared-cell ref
+            }
+        }
+        // Entries for the old pattern may now be unreferenced.
+        self.arena.gc();
+        if let Some(metrics) = &self.metrics {
+            metrics.query_swaps.inc();
+            metrics.query_generation.set(generation);
+        }
+        Ok(generation)
+    }
+
+    /// Current generation of a registered query (0 until the first
+    /// [`Engine::swap_query`]).
+    pub fn query_generation(&self, id: QueryId) -> Option<u64> {
+        self.queries.get(id.0 as usize).map(|q| q.generation)
+    }
+
+    /// The shared query arena backing this engine's typed attachers.
+    pub fn arena(&self) -> &Arc<QueryArena> {
+        &self.arena
     }
 
     /// Attaches a monitor built by `build` from the registered query's
     /// samples. This is the one generic attachment path; the typed
     /// engines add conveniences ([`SpringEngine::attach`],
     /// [`MixedEngine::attach_spec`], [`VectorEngine::attach`]) on top.
+    ///
+    /// The builder is *stored* with the attachment: a later
+    /// [`Engine::swap_query`] calls it again with the replacement
+    /// pattern, so it must capture everything the monitor needs besides
+    /// the samples (ε, kernel, spec, …) by value.
     ///
     /// # Errors
     /// Fails on unknown ids, on builder (query/epsilon) validation, and
@@ -432,7 +611,7 @@ impl<M: Monitor> Engine<M> {
         stream: StreamId,
         query: QueryId,
         gap_policy: GapPolicy,
-        build: impl FnOnce(&[Owned<M>]) -> Result<M, SpringError>,
+        build: impl Fn(&[Owned<M>]) -> Result<M, SpringError> + Send + Sync + 'static,
     ) -> Result<AttachmentId, MonitorError> {
         if stream.0 as usize >= self.streams.len() {
             return Err(MonitorError::UnknownStream(stream));
@@ -441,7 +620,9 @@ impl<M: Monitor> Engine<M> {
             .queries
             .get(query.0 as usize)
             .ok_or(MonitorError::UnknownQuery(query))?;
-        let monitor = build(&def.samples)?;
+        let mut monitor = build(&def.samples)?;
+        // Late attachments join the query at its current generation.
+        monitor.set_generation(def.generation);
         if let Some(expected) = monitor.channels() {
             let state = &mut self.streams[stream.0 as usize];
             match state.channels {
@@ -458,7 +639,8 @@ impl<M: Monitor> Engine<M> {
         }
         let id = AttachmentId(self.attachments.len() as u32);
         let idx = self.attachments.len();
-        let mut attachment = Attachment::new(id, stream, query, monitor, gap_policy);
+        let mut attachment =
+            Attachment::new(id, stream, query, monitor, gap_policy).with_builder(Arc::new(build));
         if let Some(metrics) = &self.metrics {
             attachment.set_metrics(metrics);
         }
@@ -651,6 +833,21 @@ impl<M: Monitor> Engine<M> {
             .map(|a| a.monitor.memory_use())
             .sum()
     }
+
+    /// Total live DTW cells across the fleet, counting each shared
+    /// arena query once no matter how many attachments borrow it: the
+    /// `O(queries·m + attachments·m_cols)` bound the arena establishes.
+    pub fn memory_cells(&self) -> usize {
+        let mut shared: HashMap<u64, usize> = HashMap::new();
+        let mut per_attachment = 0;
+        for a in &self.attachments {
+            per_attachment += a.monitor.memory_cells();
+            if let Some(fp) = a.monitor.query_fingerprint() {
+                shared.insert(fp, a.monitor.shared_memory_cells());
+            }
+        }
+        per_attachment + shared.values().sum::<usize>()
+    }
 }
 
 impl SpringEngine {
@@ -668,6 +865,10 @@ impl SpringEngine {
     }
 
     /// [`SpringEngine::attach`] with an explicit kernel.
+    ///
+    /// The pattern is interned into the engine's [`QueryArena`], so the
+    /// monitor borrows one shared copy of the samples and derived
+    /// caches instead of allocating its own.
     pub fn attach_with_kernel(
         &mut self,
         stream: StreamId,
@@ -676,8 +877,9 @@ impl SpringEngine {
         gap_policy: GapPolicy,
         kernel: Kernel,
     ) -> Result<AttachmentId, MonitorError> {
-        self.attach_monitor(stream, query, gap_policy, |q| {
-            Spring::with_kernel(q, SpringConfig::new(epsilon), kernel)
+        let arena = Arc::clone(&self.arena);
+        self.attach_monitor(stream, query, gap_policy, move |q| {
+            Spring::with_query_ref(arena.intern(q)?, SpringConfig::new(epsilon), kernel)
         })
     }
 }
@@ -697,6 +899,11 @@ impl MixedEngine {
     }
 
     /// [`MixedEngine::attach_spec`] with an explicit kernel.
+    ///
+    /// The pattern is interned into the engine's [`QueryArena`];
+    /// variants with a shared constructor borrow the interned entry,
+    /// the rest keep a bit-identical private copy
+    /// ([`MonitorSpec::build_shared`]).
     pub fn attach_spec_with_kernel(
         &mut self,
         stream: StreamId,
@@ -705,7 +912,10 @@ impl MixedEngine {
         gap_policy: GapPolicy,
         kernel: Kernel,
     ) -> Result<AttachmentId, MonitorError> {
-        self.attach_monitor(stream, query, gap_policy, |q| spec.build(q, kernel))
+        let arena = Arc::clone(&self.arena);
+        self.attach_monitor(stream, query, gap_policy, move |q| {
+            spec.build_shared(&arena.intern(q)?, kernel)
+        })
     }
 }
 
@@ -719,8 +929,9 @@ impl VectorEngine {
         epsilon: f64,
         gap_policy: GapPolicy,
     ) -> Result<AttachmentId, MonitorError> {
-        self.attach_monitor(stream, query, gap_policy, |rows| {
-            VectorSpring::with_kernel(rows, epsilon, Kernel::Squared)
+        let arena = Arc::clone(&self.arena);
+        self.attach_monitor(stream, query, gap_policy, move |rows| {
+            VectorSpring::with_query_ref(arena.intern_vector(rows)?, epsilon, Kernel::Squared)
         })
     }
 }
@@ -1211,6 +1422,135 @@ mod tests {
                 tick: 2
             }
         );
+    }
+
+    // ---- shared query arena + hot swap ---------------------------------
+
+    #[test]
+    fn attachments_share_one_arena_entry_per_query() {
+        let mut e = SpringEngine::new();
+        let q = e.add_query("spike", vec![0.0, 10.0, 0.0]).unwrap();
+        for i in 0..8 {
+            let s = e.add_stream(format!("s{i}"));
+            e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        }
+        // Eight attachments, one interned entry: pattern + reversed
+        // cache resident exactly once.
+        assert_eq!(e.arena().len(), 1);
+        assert_eq!(e.arena().resident_cells(), 6);
+    }
+
+    #[test]
+    fn fleet_memory_is_queries_m_plus_attachments_columns() {
+        // The regression pin for the arena refactor: total cells must be
+        // O(queries·m + attachments·m_cols), i.e. the shared pattern
+        // (m) + reversed cache (m) are charged once per query, and only
+        // the DP columns scale with the attachment count.
+        let m = 256usize;
+        let query: Vec<f64> = (0..m).map(|i| (i as f64 * 0.1).sin()).collect();
+        let build = |streams: usize| {
+            let mut e = SpringEngine::new();
+            let q = e.add_query("q", query.clone()).unwrap();
+            for i in 0..streams {
+                let s = e.add_stream(format!("s{i}"));
+                e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+            }
+            e
+        };
+        let one = build(1).memory_cells();
+        let many = build(64).memory_cells();
+        // Exactly the shared 2m cells are *not* replicated per
+        // attachment: many = 2m + 64·(one − 2m).
+        assert_eq!(many - one, 63 * (one - 2 * m), "one={one} many={many}");
+        assert!(many < 64 * one, "no sharing gain: one={one} many={many}");
+    }
+
+    #[test]
+    fn swap_query_rebuilds_every_attachment_like_a_fresh_attach() {
+        let old = vec![0.0, 10.0, 0.0];
+        let new = vec![50.0, 45.0, 50.0];
+        let mut e = SpringEngine::new();
+        let s1 = e.add_stream("s1");
+        let s2 = e.add_stream("s2");
+        let q = e.add_query("p", old).unwrap();
+        e.attach(s1, q, 1.0, GapPolicy::Skip).unwrap();
+        e.attach(s2, q, 1.0, GapPolicy::Skip).unwrap();
+        // Warm both attachments with pre-swap traffic.
+        for x in spike_stream(&[3], 10) {
+            e.push(s1, &x).unwrap();
+            e.push(s2, &x).unwrap();
+        }
+        assert_eq!(e.query_generation(q), Some(0));
+        let generation = e.swap_query(q, new.clone()).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(e.query_generation(q), Some(1));
+        assert_eq!(e.query_samples(q), Some(new.as_slice()));
+        // Post-swap, the fleet behaves exactly like a fresh engine
+        // attached to the new pattern (detach-and-reattach semantics).
+        let mut fresh = SpringEngine::new();
+        let f1 = fresh.add_stream("s1");
+        let qf = fresh.add_query("p", new).unwrap();
+        fresh.attach(f1, qf, 1.0, GapPolicy::Skip).unwrap();
+        let mut dip_stream = spike_stream(&[], 12);
+        dip_stream[6] = 45.0;
+        let mut got = Vec::new();
+        let mut expect = Vec::new();
+        for x in dip_stream {
+            got.extend(e.push(s1, &x).unwrap());
+            expect.extend(fresh.push(f1, &x).unwrap());
+        }
+        got.extend(e.finish_stream(s1).unwrap());
+        expect.extend(fresh.finish_stream(f1).unwrap());
+        let got: Vec<Match> = got.iter().map(|ev| ev.m).collect();
+        let expect: Vec<Match> = expect.iter().map(|ev| ev.m).collect();
+        assert_eq!(got, expect);
+        assert!(!got.is_empty(), "the swapped-in dip pattern must fire");
+    }
+
+    #[test]
+    fn swap_query_is_atomic_on_invalid_patterns() {
+        let mut e = SpringEngine::new();
+        let s = e.add_stream("s");
+        let q = e.add_query("p", vec![0.0, 10.0, 0.0]).unwrap();
+        e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        for x in [50.0, 0.0] {
+            e.push(s, &x).unwrap();
+        }
+        assert!(e.swap_query(q, vec![]).is_err());
+        assert!(e.swap_query(q, vec![f64::NAN]).is_err());
+        assert!(e.swap_query(QueryId(9), vec![1.0]).is_err());
+        // The failed swaps left pattern, generation, and DP state alone:
+        // the in-flight match still completes.
+        assert_eq!(e.query_generation(q), Some(0));
+        let mut events = Vec::new();
+        for x in [10.0, 0.0, 50.0, 50.0] {
+            events.extend(e.push(s, &x).unwrap());
+        }
+        events.extend(e.finish_stream(s).unwrap());
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].m.start, events[0].m.end), (2, 4));
+    }
+
+    #[test]
+    fn swap_query_updates_swap_metrics_and_shared_cells() {
+        let metrics = Arc::new(Metrics::new());
+        let mut e = SpringEngine::new();
+        e.set_metrics(Arc::clone(&metrics));
+        let q = e.add_query("p", vec![0.0, 10.0, 0.0]).unwrap();
+        for i in 0..4 {
+            let s = e.add_stream(format!("s{i}"));
+            e.attach(s, q, 1.0, GapPolicy::Skip).unwrap();
+        }
+        assert_eq!(metrics.snapshot().query_swaps_total, 0);
+        e.swap_query(q, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        e.swap_query(q, vec![5.0, 6.0]).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.query_swaps_total, 2);
+        assert_eq!(snap.query_generation, 2);
+        // The old entries were released: one live query of length 2,
+        // charged once (2m = 4 cells), not once per attachment.
+        assert_eq!(e.arena().len(), 1);
+        assert_eq!(e.arena().resident_cells(), 4);
     }
 
     #[test]

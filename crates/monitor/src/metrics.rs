@@ -29,6 +29,8 @@
 //! | `spring_detection_delay_ticks` | histogram | ticks | `t_confirm − t_e` per match (paper "output time") |
 //! | `spring_memory_bytes` | gauge | bytes | live algorithmic state across monitors |
 //! | `spring_memory_cells` | gauge | cells | live DTW cells — the `O(m)` quantity of Theorem 2 |
+//! | `spring_query_swaps_total` | counter | swaps | fleet-wide query hot-swaps applied |
+//! | `spring_query_generation` | gauge | generation | latest query generation published by a hot-swap |
 //! | `spring_batch_len` | histogram | samples | frame sizes seen by the batched ingestion path |
 //! | `spring_worker_lost_total` | counter | workers | runner workers lost (panic or ingest error) |
 //! | `spring_worker_restarts_total` | counter | workers | lost workers restarted by the runner supervisor |
@@ -46,8 +48,9 @@
 //! ticks, keeping the measured overhead on the engine hot path under 5%
 //! (see the `metrics_overhead` bench).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 use spring_core::mem::format_bytes;
@@ -308,6 +311,11 @@ pub struct Metrics {
     /// Live DTW state cells (`spring_memory_cells`) — the quantity
     /// bounded by the paper's Theorem 2.
     pub memory_cells: Gauge,
+    /// Fleet-wide query hot-swaps applied (`spring_query_swaps_total`).
+    pub query_swaps: Counter,
+    /// Latest query generation published by a hot-swap
+    /// (`spring_query_generation`).
+    pub query_generation: Gauge,
     /// Sampled per-attachment step latency
     /// (`spring_tick_latency_seconds`).
     pub tick_latency: Histogram,
@@ -329,6 +337,12 @@ pub struct Metrics {
     /// overflow, or the `--max-conns` cap
     /// (`spring_conn_dropped_total`).
     pub conn_dropped: Counter,
+    /// Shared-query residency: fingerprint → (attachments referencing
+    /// it, resident cells). A query's arena cells enter the
+    /// `spring_memory_cells` gauge exactly once no matter how many
+    /// attachments borrow it (the `queries × m` term of the fleet
+    /// memory bound).
+    shared_queries: Mutex<HashMap<u64, (usize, usize)>>,
     /// Registered runner workers (read-locked only for snapshots; the
     /// hot path goes through each worker's own `Arc`).
     workers: RwLock<Vec<Arc<WorkerMetrics>>>,
@@ -346,6 +360,9 @@ impl Default for Metrics {
             worker_restarts: Counter::new(),
             memory_bytes: Gauge::new(),
             memory_cells: Gauge::new(),
+            query_swaps: Counter::new(),
+            query_generation: Gauge::new(),
+            shared_queries: Mutex::new(HashMap::new()),
             tick_latency: Histogram::latency_buckets(),
             detection_delay: Histogram::delay_buckets(),
             batch_len: Histogram::batch_buckets(),
@@ -398,6 +415,40 @@ impl Metrics {
         self.batch_len.observe(len as f64);
     }
 
+    /// Takes one reference on a shared query entry. The first reference
+    /// adds the entry's `cells` to `spring_memory_cells`; later
+    /// references are free — arena residency is counted once per query,
+    /// not once per attachment.
+    pub fn retain_query(&self, fingerprint: u64, cells: usize) {
+        let mut shared = self
+            .shared_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let entry = shared.entry(fingerprint).or_insert((0, cells));
+        entry.0 += 1;
+        if entry.0 == 1 {
+            entry.1 = cells;
+            self.memory_cells.add(cells as i64);
+        }
+    }
+
+    /// Releases one reference taken by [`Metrics::retain_query`]; the
+    /// last release subtracts the entry's cells from the gauge.
+    pub fn release_query(&self, fingerprint: u64) {
+        let mut shared = self
+            .shared_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(entry) = shared.get_mut(&fingerprint) {
+            entry.0 -= 1;
+            if entry.0 == 0 {
+                let cells = entry.1;
+                shared.remove(&fingerprint);
+                self.memory_cells.add(-(cells as i64));
+            }
+        }
+    }
+
     /// A consistent point-in-time view of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let workers = self
@@ -429,6 +480,8 @@ impl Metrics {
             worker_restarts_total: self.worker_restarts.get(),
             memory_bytes: self.memory_bytes.get(),
             memory_cells: self.memory_cells.get(),
+            query_swaps_total: self.query_swaps.get(),
+            query_generation: self.query_generation.get(),
             tick_latency: self.tick_latency.snapshot(),
             detection_delay: self.detection_delay.snapshot(),
             batch_len: self.batch_len.snapshot(),
@@ -484,6 +537,10 @@ pub struct MetricsSnapshot {
     pub memory_bytes: u64,
     /// Live DTW state cells.
     pub memory_cells: u64,
+    /// Fleet-wide query hot-swaps applied.
+    pub query_swaps_total: u64,
+    /// Latest query generation published by a hot-swap.
+    pub query_generation: u64,
     /// Sampled per-tick latency, seconds.
     pub tick_latency: HistogramSnapshot,
     /// Detection delay per match, ticks.
@@ -573,6 +630,18 @@ impl MetricsSnapshot {
             "gauge",
             "Live DTW state cells (the O(m) bound of Theorem 2).",
             self.memory_cells,
+        );
+        scalar(
+            "spring_query_swaps_total",
+            "counter",
+            "Fleet-wide query hot-swaps applied.",
+            self.query_swaps_total,
+        );
+        scalar(
+            "spring_query_generation",
+            "gauge",
+            "Latest query generation published by a hot-swap.",
+            self.query_generation,
         );
         scalar(
             "spring_connections_open",
@@ -786,6 +855,9 @@ pub struct TickRecorder {
     ticks: u64,
     last_bytes: i64,
     last_cells: i64,
+    /// Fingerprint of the shared query entry this recorder holds a
+    /// [`Metrics::retain_query`] reference on, released on drop.
+    shared_query: Option<u64>,
 }
 
 impl TickRecorder {
@@ -796,12 +868,26 @@ impl TickRecorder {
             ticks: 0,
             last_bytes: 0,
             last_cells: 0,
+            shared_query: None,
         }
     }
 
     /// The registry this recorder feeds.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// Declares that the instrumented monitor borrows the shared query
+    /// entry `fingerprint` holding `cells` resident cells. The entry is
+    /// counted into `spring_memory_cells` once fleet-wide (not once per
+    /// attachment) and released when the recorder drops. Re-declaring
+    /// (after a hot-swap) releases the previous entry first.
+    pub fn retain_shared(&mut self, fingerprint: u64, cells: usize) {
+        if let Some(prev) = self.shared_query.take() {
+            self.metrics.release_query(prev);
+        }
+        self.metrics.retain_query(fingerprint, cells);
+        self.shared_query = Some(fingerprint);
     }
 
     /// Marks the start of a tick; returns a start time on sampled ticks
@@ -898,6 +984,9 @@ impl Drop for TickRecorder {
     fn drop(&mut self) {
         self.metrics.memory_bytes.add(-self.last_bytes);
         self.metrics.memory_cells.add(-self.last_cells);
+        if let Some(fp) = self.shared_query.take() {
+            self.metrics.release_query(fp);
+        }
     }
 }
 
@@ -986,6 +1075,46 @@ mod tests {
     }
 
     #[test]
+    fn shared_query_cells_are_counted_once_per_fingerprint() {
+        let metrics = Arc::new(Metrics::new());
+        let mut recs: Vec<TickRecorder> = (0..3)
+            .map(|_| TickRecorder::new(Arc::clone(&metrics)))
+            .collect();
+        // Three attachments borrow the same 512-cell query entry: the
+        // gauge charges it once.
+        for rec in &mut recs {
+            rec.retain_shared(0xABCD, 512);
+        }
+        assert_eq!(metrics.memory_cells.get(), 512);
+        // A different query adds its own share.
+        let mut other = TickRecorder::new(Arc::clone(&metrics));
+        other.retain_shared(0x1234, 100);
+        assert_eq!(metrics.memory_cells.get(), 612);
+        // Swapping a recorder to a new fingerprint releases the old ref
+        // without disturbing the survivors' share.
+        recs[0].retain_shared(0x1234, 100);
+        assert_eq!(metrics.memory_cells.get(), 612);
+        // Dropping the last holders releases each entry exactly once.
+        drop(recs);
+        assert_eq!(metrics.memory_cells.get(), 100);
+        drop(other);
+        assert_eq!(metrics.memory_cells.get(), 0);
+    }
+
+    #[test]
+    fn query_swap_metrics_round_trip_to_prometheus() {
+        let metrics = Metrics::new();
+        metrics.query_swaps.inc();
+        metrics.query_generation.set(3);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.query_swaps_total, 1);
+        assert_eq!(snap.query_generation, 3);
+        let text = snap.to_prometheus();
+        assert!(text.contains("spring_query_swaps_total 1"), "{text}");
+        assert!(text.contains("spring_query_generation 3"), "{text}");
+    }
+
+    #[test]
     fn latency_sampling_rate_is_one_in_sixty_four() {
         let metrics = Arc::new(Metrics::new());
         let mut rec = TickRecorder::new(Arc::clone(&metrics));
@@ -1015,6 +1144,8 @@ mod tests {
             "spring_worker_restarts_total",
             "spring_memory_bytes",
             "spring_memory_cells",
+            "spring_query_swaps_total",
+            "spring_query_generation",
             "spring_runner_queue_depth",
             "spring_tick_latency_seconds",
             "spring_detection_delay_ticks",

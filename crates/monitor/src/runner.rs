@@ -86,7 +86,10 @@ use std::time::{Duration, Instant};
 
 use spring_core::monitor::Monitor;
 
-use crate::engine::{Attachment, AttachmentId, GapPolicy, MonitorError, Owned, QueryId, StreamId};
+use crate::engine::{
+    validate_query_samples, Attachment, AttachmentBuilder, AttachmentId, GapPolicy, MonitorError,
+    Owned, QueryId, StreamId,
+};
 use crate::metrics::{Metrics, ShardMetrics, WorkerMetrics};
 use crate::sink::MatchSink;
 
@@ -148,7 +151,7 @@ impl RestartPolicy {
 
 /// One attachment specification for a [`Runner`]: a pre-built monitor
 /// plus its routing and gap handling.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunnerAttachment<M: Monitor> {
     /// Stream to watch.
     pub stream: StreamId,
@@ -158,6 +161,21 @@ pub struct RunnerAttachment<M: Monitor> {
     pub monitor: M,
     /// Missing-sample policy.
     pub gap_policy: GapPolicy,
+    /// Recipe to rebuild the monitor on a [`Runner::swap_query`]
+    /// (`None` for pre-built monitors, which cannot be swapped).
+    builder: Option<AttachmentBuilder<M>>,
+}
+
+impl<M: Monitor + std::fmt::Debug> std::fmt::Debug for RunnerAttachment<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunnerAttachment")
+            .field("stream", &self.stream)
+            .field("query_id", &self.query_id)
+            .field("monitor", &self.monitor)
+            .field("gap_policy", &self.gap_policy)
+            .field("swappable", &self.builder.is_some())
+            .finish()
+    }
 }
 
 impl<M: Monitor> RunnerAttachment<M> {
@@ -168,13 +186,34 @@ impl<M: Monitor> RunnerAttachment<M> {
             query_id,
             monitor,
             gap_policy,
+            builder: None,
         }
+    }
+
+    /// Stores the recipe `monitor` was built from, making the
+    /// attachment eligible for [`Runner::swap_query`]: on a swap the
+    /// worker calls `build` again with the query's new samples,
+    /// preserving this attachment's own ε / variant / kernel choices.
+    /// [`RunnerAttachment::spring`] stores one automatically.
+    pub fn with_builder(
+        mut self,
+        build: impl Fn(&[Owned<M>]) -> Result<M, spring_core::SpringError> + Send + Sync + 'static,
+    ) -> Self {
+        self.builder = Some(Arc::new(build));
+        self
+    }
+
+    /// Whether this attachment carries a rebuild recipe (and can
+    /// therefore survive a [`Runner::swap_query`]).
+    pub fn swappable(&self) -> bool {
+        self.builder.is_some()
     }
 }
 
 impl RunnerAttachment<spring_core::Spring<spring_dtw::Kernel>> {
     /// Convenience: a plain SPRING attachment (squared kernel) built
-    /// from query values and a threshold.
+    /// from query values and a threshold. The recipe is stored, so the
+    /// attachment follows [`Runner::swap_query`] rebuilds.
     pub fn spring(
         stream: StreamId,
         query_id: QueryId,
@@ -182,12 +221,15 @@ impl RunnerAttachment<spring_core::Spring<spring_dtw::Kernel>> {
         epsilon: f64,
         gap_policy: GapPolicy,
     ) -> Result<Self, MonitorError> {
-        let monitor = spring_core::Spring::with_kernel(
-            query,
-            spring_core::SpringConfig::new(epsilon),
-            spring_dtw::Kernel::Squared,
-        )?;
-        Ok(RunnerAttachment::new(stream, query_id, monitor, gap_policy))
+        let build = move |q: &[f64]| {
+            spring_core::Spring::with_kernel(
+                q,
+                spring_core::SpringConfig::new(epsilon),
+                spring_dtw::Kernel::Squared,
+            )
+        };
+        let monitor = build(query)?;
+        Ok(RunnerAttachment::new(stream, query_id, monitor, gap_policy).with_builder(build))
     }
 }
 
@@ -254,6 +296,14 @@ enum Msg<M: Monitor> {
     Attach(Box<Attachment<M>>),
     /// Remove an attachment from the receiving worker's shard.
     Detach(AttachmentId),
+    /// Re-point every attachment of `query` at new pattern samples
+    /// (logged and replayed like a frame, so restarts re-apply the
+    /// swap at the same position in the message order).
+    Swap {
+        query: QueryId,
+        samples: Vec<Owned<M>>,
+        generation: u64,
+    },
     /// Arrive at the barrier (see [`Runner::sync`]).
     Sync(Arc<SyncPoint>),
     Shutdown,
@@ -272,6 +322,15 @@ where
             Msg::FinishStream(stream) => Msg::FinishStream(*stream),
             Msg::Attach(att) => Msg::Attach(Box::new(att.fork())),
             Msg::Detach(id) => Msg::Detach(*id),
+            Msg::Swap {
+                query,
+                samples,
+                generation,
+            } => Msg::Swap {
+                query: *query,
+                samples: samples.clone(),
+                generation: *generation,
+            },
             Msg::Sync(point) => Msg::Sync(Arc::clone(point)),
             Msg::Shutdown => Msg::Shutdown,
         }
@@ -326,9 +385,13 @@ struct Core<M: Monitor> {
     /// Worker indices interested in each stream (write-locked only by
     /// attach/detach; routing takes the read lock).
     routes: RwLock<HashMap<StreamId, Vec<usize>>>,
-    /// Owning worker and stream of every live attachment — the
-    /// attach/detach bookkeeping from which routes are recomputed.
-    homes: Mutex<HashMap<AttachmentId, (usize, StreamId)>>,
+    /// Owning worker, stream, and query of every live attachment — the
+    /// attach/detach bookkeeping from which routes are recomputed and
+    /// swap targets are found.
+    homes: Mutex<HashMap<AttachmentId, (usize, StreamId, QueryId)>>,
+    /// Current hot-swap generation per query id (`0` until the first
+    /// [`Runner::swap_query`]).
+    generations: Mutex<HashMap<QueryId, u64>>,
     /// Per-stream sample buffers awaiting a full frame (flushed at
     /// `max_batch`, on `finish_stream`, `flush`, `shutdown`, and — when
     /// a linger is configured — by the janitor on deadline).
@@ -515,6 +578,29 @@ where
                     }
                 }
                 Msg::Detach(id) => shard.retain(|a| a.id != id),
+                Msg::Swap {
+                    query,
+                    samples,
+                    generation,
+                } => {
+                    let mut failed = false;
+                    for att in shard.iter_mut().filter(|a| a.query == query) {
+                        if let Err(e) = att.apply_swap(&samples, generation) {
+                            // A rebuild that fails (no stored recipe, or
+                            // the builder rejects the new pattern) is an
+                            // ingestion-class error: deliberate stop, no
+                            // restart, surfaced at shutdown.
+                            record_error(&ctx.error, e);
+                            ctx.shared.failed.store(true, Ordering::Release);
+                            failed = true;
+                            break;
+                        }
+                    }
+                    if failed {
+                        guard.lost = true;
+                        break 'recv;
+                    }
+                }
                 Msg::Sync(point) => point.arrive(),
                 Msg::Shutdown => break,
             }
@@ -612,7 +698,7 @@ where
         }
         let mut shards: Vec<Vec<Attachment<M>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut routes: HashMap<StreamId, Vec<usize>> = HashMap::new();
-        let mut homes: HashMap<AttachmentId, (usize, StreamId)> = HashMap::new();
+        let mut homes: HashMap<AttachmentId, (usize, StreamId, QueryId)> = HashMap::new();
         let mut next_id: u32 = 0;
         for (i, (id, spec)) in attachments.into_iter().enumerate() {
             let worker = i % workers;
@@ -624,10 +710,13 @@ where
                 spec.monitor,
                 spec.gap_policy,
             );
+            if let Some(build) = spec.builder {
+                attachment = attachment.with_builder(build);
+            }
             if let Some(metrics) = &metrics {
                 attachment.set_metrics(metrics);
             }
-            homes.insert(id, (worker, spec.stream));
+            homes.insert(id, (worker, spec.stream, spec.query_id));
             shards[worker].push(attachment);
             let entry = routes.entry(spec.stream).or_default();
             if !entry.contains(&worker) {
@@ -672,6 +761,7 @@ where
                 slots,
                 routes: RwLock::new(routes),
                 homes: Mutex::new(homes),
+                generations: Mutex::new(HashMap::new()),
                 pending: Mutex::new(HashMap::new()),
                 max_batch: AtomicUsize::new(DEFAULT_MAX_BATCH),
                 linger: AtomicU64::new(0),
@@ -785,6 +875,49 @@ where
     /// worker is permanently lost.
     pub fn detach(&self, id: AttachmentId) -> Result<(), MonitorError> {
         self.core.detach(id)
+    }
+
+    /// Atomically re-points every attachment of `query` at a new
+    /// pattern, returning the query's new generation.
+    ///
+    /// The swap lands on a **frame boundary**: affected streams'
+    /// pending partial frames are flushed first (those samples are
+    /// monitored under the old pattern), then a swap control message is
+    /// enqueued to every owning worker through the same logged,
+    /// replayed path as frames — so per worker the swap point in the
+    /// sample order is exact, checkpoints capture post-swap monitors,
+    /// and a worker restart re-applies the swap at the same position.
+    /// Each attachment is rebuilt from its stored recipe
+    /// ([`RunnerAttachment::with_builder`] /
+    /// [`RunnerAttachment::spring`]) with fresh DP state — exactly as
+    /// if it had been detached and re-attached with the new pattern.
+    ///
+    /// # Errors
+    /// Invalid patterns (empty, non-finite, ragged channels) are
+    /// rejected up front with no state change.
+    /// [`MonitorError::WorkerLost`] when an owning worker is
+    /// permanently lost; an attachment without a stored recipe fails
+    /// worker-side and surfaces at [`Runner::shutdown`].
+    pub fn swap_query(&self, query: QueryId, samples: &[Owned<M>]) -> Result<u64, MonitorError> {
+        self.core.swap_query(query, samples, true)
+    }
+
+    /// [`Runner::swap_query`] with the metric bump made optional: a
+    /// [`crate::ShardedRunner`] broadcasts one logical swap to every
+    /// shard but must count it once.
+    pub(crate) fn swap_query_recorded(
+        &self,
+        query: QueryId,
+        samples: &[Owned<M>],
+        record_metrics: bool,
+    ) -> Result<u64, MonitorError> {
+        self.core.swap_query(query, samples, record_metrics)
+    }
+
+    /// The current hot-swap generation of `query` (`0` until its first
+    /// [`Runner::swap_query`]).
+    pub fn query_generation(&self, query: QueryId) -> u64 {
+        self.core.query_generation(query)
     }
 
     /// Barrier: returns once every worker watching `stream` has drained
@@ -977,7 +1110,7 @@ where
         self.pending.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_homes(&self) -> MutexGuard<'_, HashMap<AttachmentId, (usize, StreamId)>> {
+    fn lock_homes(&self) -> MutexGuard<'_, HashMap<AttachmentId, (usize, StreamId, QueryId)>> {
         self.homes.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -1049,7 +1182,7 @@ where
         let w = {
             let homes = self.lock_homes();
             let mut counts = vec![0usize; self.slots.len()];
-            for &(wk, _) in homes.values() {
+            for &(wk, _, _) in homes.values() {
                 counts[wk] += 1;
             }
             counts
@@ -1059,8 +1192,11 @@ where
                 .map(|(i, _)| i)
                 .expect("runner has at least one worker")
         };
-        let mut attachment =
-            Attachment::new(id, stream, spec.query_id, spec.monitor, spec.gap_policy);
+        let query_id = spec.query_id;
+        let mut attachment = Attachment::new(id, stream, query_id, spec.monitor, spec.gap_policy);
+        if let Some(build) = spec.builder {
+            attachment = attachment.with_builder(build);
+        }
         if let Some(m) = &self.metrics {
             attachment.set_metrics(m);
         }
@@ -1070,7 +1206,7 @@ where
                 return Err(MonitorError::WorkerLost);
             }
         }
-        self.lock_homes().insert(id, (w, stream));
+        self.lock_homes().insert(id, (w, stream, query_id));
         // Route added *after* the Attach is enqueued: the channel is
         // FIFO, so any frame routed from here on reaches the worker
         // after the attachment exists.
@@ -1083,7 +1219,7 @@ where
     }
 
     fn detach(&self, id: AttachmentId) -> Result<(), MonitorError> {
-        let (w, stream) = self
+        let (w, stream, _) = self
             .lock_homes()
             .remove(&id)
             .ok_or(MonitorError::UnknownAttachment(id))?;
@@ -1099,8 +1235,8 @@ where
             let homes = self.lock_homes();
             let mut ws: Vec<usize> = homes
                 .values()
-                .filter(|&&(_, s)| s == stream)
-                .map(|&(wk, _)| wk)
+                .filter(|&&(_, s, _)| s == stream)
+                .map(|&(wk, _, _)| wk)
                 .collect();
             ws.sort_unstable();
             ws.dedup();
@@ -1118,6 +1254,83 @@ where
         } else {
             Err(MonitorError::WorkerLost)
         }
+    }
+
+    fn swap_query(
+        &self,
+        query: QueryId,
+        samples: &[Owned<M>],
+        record_metrics: bool,
+    ) -> Result<u64, MonitorError> {
+        validate_query_samples::<M>(samples)?;
+        // Affected streams and owning workers, from the registry.
+        let (streams, workers) = {
+            let homes = self.lock_homes();
+            let mut streams: Vec<StreamId> = Vec::new();
+            let mut workers: Vec<usize> = Vec::new();
+            for &(wk, s, q) in homes.values() {
+                if q == query {
+                    streams.push(s);
+                    workers.push(wk);
+                }
+            }
+            streams.sort_unstable();
+            streams.dedup();
+            workers.sort_unstable();
+            workers.dedup();
+            (streams, workers)
+        };
+        // Frame boundary: buffered samples were pushed before the swap,
+        // so they are monitored under the old pattern. A lost worker
+        // surfaces below either way.
+        for &s in &streams {
+            let _ = self.flush(s);
+        }
+        let generation = {
+            let mut gens = self
+                .generations
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let g = gens.entry(query).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let mut lost = false;
+        for w in workers {
+            let mut slot = self.lock_slot(w);
+            if slot.dead {
+                lost = true;
+                continue;
+            }
+            let msg = Msg::Swap {
+                query,
+                samples: samples.to_vec(),
+                generation,
+            };
+            if !self.enqueue(w, &mut slot, msg) {
+                lost = true;
+            }
+        }
+        if record_metrics {
+            if let Some(m) = &self.metrics {
+                m.query_swaps.inc();
+                m.query_generation.set(generation);
+            }
+        }
+        if lost {
+            Err(MonitorError::WorkerLost)
+        } else {
+            Ok(generation)
+        }
+    }
+
+    fn query_generation(&self, query: QueryId) -> u64 {
+        *self
+            .generations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&query)
+            .unwrap_or(&0)
     }
 
     fn sync(&self, stream: StreamId) -> Result<(), MonitorError> {
@@ -1947,5 +2160,194 @@ mod tests {
         let snap = metrics.snapshot();
         assert!(snap.worker_restarts_total >= 1);
         assert_eq!(snap.runner_queue_depth(), 0);
+    }
+
+    // ---- query hot-swap ------------------------------------------------
+
+    const OLD_PATTERN: [f64; 3] = [0.0, 10.0, 0.0];
+    const NEW_PATTERN: [f64; 3] = [5.0, -5.0, 5.0];
+
+    /// Runs 4 streams under `OLD_PATTERN`, re-points query 0 at
+    /// `NEW_PATTERN` mid-stream — via `swap_query` or via
+    /// detach-all/re-attach-all — then runs a suffix matching the new
+    /// pattern. Returns the (stream, query, start, end, distance-bits)
+    /// transcript, sorted.
+    fn swap_transcript(via_detach: bool) -> Vec<(u32, u32, u64, u64, u64)> {
+        let sink = Arc::new(VecSink::new());
+        let mut runner = SpringRunner::spawn(Vec::new(), 2, sink.clone()).unwrap();
+        runner.set_max_batch(1);
+        let mut ids = Vec::new();
+        for s in 0..4u32 {
+            let att = RunnerAttachment::spring(
+                StreamId(s),
+                QueryId(0),
+                &OLD_PATTERN,
+                1.0,
+                GapPolicy::Skip,
+            )
+            .unwrap();
+            ids.push(runner.attach(att).unwrap());
+        }
+        for s in 0..4u32 {
+            for x in spike_stream(&[3], 10) {
+                runner.push(StreamId(s), &x).unwrap();
+            }
+        }
+        for s in 0..4u32 {
+            runner.sync(StreamId(s)).unwrap();
+        }
+        if via_detach {
+            for (s, id) in ids.into_iter().enumerate() {
+                runner.detach(id).unwrap();
+                let att = RunnerAttachment::spring(
+                    StreamId(s as u32),
+                    QueryId(0),
+                    &NEW_PATTERN,
+                    1.0,
+                    GapPolicy::Skip,
+                )
+                .unwrap();
+                runner.attach(att).unwrap();
+            }
+        } else {
+            assert_eq!(runner.swap_query(QueryId(0), &NEW_PATTERN).unwrap(), 1);
+        }
+        for s in 0..4u32 {
+            let mut suffix = vec![50.0; 10];
+            suffix[4..7].copy_from_slice(&NEW_PATTERN);
+            for x in suffix {
+                runner.push(StreamId(s), &x).unwrap();
+            }
+            runner.finish_stream(StreamId(s)).unwrap();
+        }
+        runner.shutdown().unwrap();
+        let mut transcript: Vec<(u32, u32, u64, u64, u64)> = sink
+            .events()
+            .iter()
+            .map(|e| {
+                (
+                    e.stream.0,
+                    e.query.0,
+                    e.m.start,
+                    e.m.end,
+                    e.m.distance.to_bits(),
+                )
+            })
+            .collect();
+        transcript.sort_unstable();
+        transcript
+    }
+
+    #[test]
+    fn swap_query_transcript_matches_detach_all_reattach_all() {
+        let swapped = swap_transcript(false);
+        // One old-pattern match and one new-pattern match per stream.
+        assert_eq!(swapped.len(), 8);
+        assert_eq!(swapped, swap_transcript(true));
+    }
+
+    #[test]
+    fn swap_query_flushes_buffered_samples_under_the_old_pattern() {
+        let sink = Arc::new(VecSink::new());
+        let runner =
+            SpringRunner::spawn(vec![spike_attachment(StreamId(0), 0)], 1, sink.clone()).unwrap();
+        // Default max_batch (64): this spike sits in the pending buffer.
+        for x in spike_stream(&[2], 8) {
+            runner.push(StreamId(0), &x).unwrap();
+        }
+        runner.swap_query(QueryId(0), &[7.0, -7.0]).unwrap();
+        runner.sync(StreamId(0)).unwrap();
+        // The swap flushed the partial frame first, so the buffered
+        // spike was monitored under the old pattern.
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].m.start, 3);
+        // From here on the new pattern is live, with fresh DP state.
+        runner
+            .push_batch(StreamId(0), &[50.0, 7.0, -7.0, 50.0])
+            .unwrap();
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[1].m.start, events[1].m.end), (2, 3));
+    }
+
+    #[test]
+    fn swap_is_replayed_across_a_worker_restart() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(FlakySink::new(1));
+        let mut runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink.clone(),
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        runner.set_max_batch(1);
+        for _ in 0..5 {
+            runner.push(StreamId(0), &50.0).unwrap();
+        }
+        runner.swap_query(QueryId(0), &[7.0, -7.0]).unwrap();
+        // The first delivered match panics the sink, killing the worker
+        // *after* the swap was applied but with the last checkpoint
+        // predating it: the restart must re-apply the logged Swap so the
+        // rebuilt shard still matches the new pattern.
+        runner
+            .push_batch(StreamId(0), &[50.0, 7.0, -7.0, 50.0])
+            .unwrap();
+        runner.finish_stream(StreamId(0)).unwrap();
+        runner.shutdown().unwrap();
+        let events = sink.inner.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!((events[0].m.start, events[0].m.end), (2, 3));
+        assert_eq!(metrics.snapshot().worker_restarts_total, 1);
+    }
+
+    #[test]
+    fn swap_on_a_prebuilt_monitor_surfaces_an_error_at_shutdown() {
+        let sink = Arc::new(VecSink::new());
+        let monitor = Spring::with_kernel(
+            &OLD_PATTERN,
+            spring_core::SpringConfig::new(1.0),
+            Kernel::Squared,
+        )
+        .unwrap();
+        let att = RunnerAttachment::new(StreamId(0), QueryId(0), monitor, GapPolicy::Skip);
+        assert!(!att.swappable());
+        let runner = SpringRunner::spawn(vec![att], 1, sink).unwrap();
+        // The swap enqueues fine; the rebuild fails worker-side (no
+        // stored recipe) and surfaces as the recorded ingestion error.
+        runner.swap_query(QueryId(0), &[1.0, 2.0]).unwrap();
+        assert!(matches!(runner.shutdown(), Err(MonitorError::Spring(_))));
+    }
+
+    #[test]
+    fn swap_query_validates_patterns_and_tracks_generations() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = Arc::new(VecSink::new());
+        let runner = SpringRunner::spawn_with_metrics(
+            vec![spike_attachment(StreamId(0), 0)],
+            1,
+            sink,
+            Some(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        assert_eq!(runner.query_generation(QueryId(0)), 0);
+        assert!(runner.swap_query(QueryId(0), &[]).is_err());
+        assert!(runner.swap_query(QueryId(0), &[f64::NAN]).is_err());
+        assert_eq!(
+            runner.query_generation(QueryId(0)),
+            0,
+            "rejected swaps must not allocate a generation"
+        );
+        assert_eq!(runner.swap_query(QueryId(0), &[1.0, 2.0]).unwrap(), 1);
+        assert_eq!(runner.swap_query(QueryId(0), &[3.0, 4.0]).unwrap(), 2);
+        assert_eq!(runner.query_generation(QueryId(0)), 2);
+        // A query with no attachments still versions cleanly.
+        assert_eq!(runner.swap_query(QueryId(9), &[1.0]).unwrap(), 1);
+        runner.shutdown().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.query_swaps_total, 3);
+        assert_eq!(snap.query_generation, 1);
     }
 }

@@ -39,7 +39,7 @@ use std::time::Duration;
 
 use spring_core::monitor::Monitor;
 
-use crate::engine::{AttachmentId, MonitorError, Owned, StreamId};
+use crate::engine::{AttachmentId, MonitorError, Owned, QueryId, StreamId};
 use crate::metrics::Metrics;
 use crate::runner::{error_rank, RestartPolicy, Runner, RunnerAttachment};
 use crate::sink::MatchSink;
@@ -272,6 +272,53 @@ where
         self.shard(stream).sync(stream)
     }
 
+    /// Atomically re-points every attachment of `query` — across all
+    /// shards — at a new pattern, returning the query's new generation
+    /// (see [`Runner::swap_query`]).
+    ///
+    /// The swap is broadcast to every shard, shards with no attachments
+    /// of the query included, so the per-shard generation counters stay
+    /// in lockstep; one logical swap bumps `spring_query_swaps_total`
+    /// once. Every shard is attempted even when an early one fails, and
+    /// the lowest-ranked error is returned (same total order as
+    /// [`ShardedRunner::shutdown`]).
+    ///
+    /// # Errors
+    /// Invalid patterns are rejected up front with no state change;
+    /// [`MonitorError::WorkerLost`] when an owning worker on some shard
+    /// is permanently lost.
+    pub fn swap_query(&self, query: QueryId, samples: &[Owned<M>]) -> Result<u64, MonitorError> {
+        let mut worst: Option<MonitorError> = None;
+        let mut generation = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            match shard.swap_query_recorded(query, samples, i == 0) {
+                Ok(g) => generation = generation.max(g),
+                Err(e) => {
+                    if worst
+                        .as_ref()
+                        .is_none_or(|cur| error_rank(&e) < error_rank(cur))
+                    {
+                        worst = Some(e);
+                    }
+                }
+            }
+        }
+        match worst {
+            Some(e) => Err(e),
+            None => Ok(generation),
+        }
+    }
+
+    /// The current hot-swap generation of `query` (`0` until its first
+    /// [`ShardedRunner::swap_query`]).
+    pub fn query_generation(&self, query: QueryId) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.query_generation(query))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Drains and joins every shard, in index order.
     ///
     /// All shards are fully drained even when an early one fails; the
@@ -481,5 +528,89 @@ mod tests {
         assert!(text.contains("spring_shard_ticks_total{shard=\"0\"}"));
         assert!(text.contains("spring_shard_queue_depth{shard=\"3\"}"));
         assert!(text.contains("spring_shard_restarts_total{shard=\"1\"}"));
+    }
+
+    /// 8 streams over 4 shards, query 0 re-pointed mid-stream — via
+    /// `swap_query` or via detach-all/re-attach-all. Returns the sorted
+    /// (stream, start, end, distance-bits) transcript.
+    fn sharded_swap_transcript(
+        via_detach: bool,
+        metrics: &Arc<Metrics>,
+    ) -> Vec<(u32, u64, u64, u64)> {
+        let old_pattern = [0.0, 10.0, 0.0];
+        let new_pattern = [5.0, -5.0, 5.0];
+        let n_streams = 8u32;
+        let sink = Arc::new(VecSink::new());
+        let mut sharded =
+            Sharded::spawn_with_metrics(Vec::new(), 4, 2, sink.clone(), Some(Arc::clone(metrics)))
+                .unwrap();
+        sharded.set_max_batch(1);
+        let mut ids = Vec::new();
+        for s in 0..n_streams {
+            let att = RunnerAttachment::spring(
+                StreamId(s),
+                QueryId(0),
+                &old_pattern,
+                1.0,
+                GapPolicy::Skip,
+            )
+            .unwrap();
+            ids.push(sharded.attach(att).unwrap());
+        }
+        for s in 0..n_streams {
+            for x in spike_stream(&[3], 10) {
+                sharded.push(StreamId(s), &x).unwrap();
+            }
+        }
+        for s in 0..n_streams {
+            sharded.sync(StreamId(s)).unwrap();
+        }
+        if via_detach {
+            for (s, id) in ids.into_iter().enumerate() {
+                sharded.detach(id).unwrap();
+                let att = RunnerAttachment::spring(
+                    StreamId(s as u32),
+                    QueryId(0),
+                    &new_pattern,
+                    1.0,
+                    GapPolicy::Skip,
+                )
+                .unwrap();
+                sharded.attach(att).unwrap();
+            }
+        } else {
+            assert_eq!(sharded.swap_query(QueryId(0), &new_pattern).unwrap(), 1);
+            assert_eq!(sharded.query_generation(QueryId(0)), 1);
+        }
+        for s in 0..n_streams {
+            let mut suffix = vec![50.0; 10];
+            suffix[4..7].copy_from_slice(&new_pattern);
+            for x in suffix {
+                sharded.push(StreamId(s), &x).unwrap();
+            }
+            sharded.finish_stream(StreamId(s)).unwrap();
+        }
+        sharded.shutdown().unwrap();
+        let mut transcript: Vec<(u32, u64, u64, u64)> = sink
+            .events()
+            .iter()
+            .map(|e| (e.stream.0, e.m.start, e.m.end, e.m.distance.to_bits()))
+            .collect();
+        transcript.sort_unstable();
+        transcript
+    }
+
+    #[test]
+    fn swap_query_across_shards_matches_detach_all_reattach_all() {
+        let swap_metrics = Arc::new(Metrics::new());
+        let swapped = sharded_swap_transcript(false, &swap_metrics);
+        // One old-pattern and one new-pattern match per stream.
+        assert_eq!(swapped.len(), 16);
+        let detach_metrics = Arc::new(Metrics::new());
+        assert_eq!(swapped, sharded_swap_transcript(true, &detach_metrics));
+        // One logical swap counts once, not once per shard.
+        assert_eq!(swap_metrics.snapshot().query_swaps_total, 1);
+        assert_eq!(swap_metrics.snapshot().query_generation, 1);
+        assert_eq!(detach_metrics.snapshot().query_swaps_total, 0);
     }
 }

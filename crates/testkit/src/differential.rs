@@ -117,6 +117,14 @@ pub fn run_monitor<M: Monitor<Sample = f64>>(
     sc: &Scenario,
     monitor: &mut M,
 ) -> Result<Vec<Match>, MonitorError> {
+    run_monitor_inner(sc, monitor, true)
+}
+
+fn run_monitor_inner<M: Monitor<Sample = f64>>(
+    sc: &Scenario,
+    monitor: &mut M,
+    finish: bool,
+) -> Result<Vec<Match>, MonitorError> {
     let mut out = Vec::new();
     let mut last: Option<f64> = None;
     for (i, &x) in sc.stream.iter().enumerate() {
@@ -142,7 +150,9 @@ pub fn run_monitor<M: Monitor<Sample = f64>>(
             out.push(m);
         }
     }
-    out.extend(monitor.finish());
+    if finish {
+        out.extend(monitor.finish());
+    }
     Ok(out)
 }
 
@@ -338,6 +348,219 @@ pub fn run_sharded(
         per[e.stream.0 as usize * N_ATTACH + e.query.0 as usize].push(e.m);
     }
     Ok(per)
+}
+
+/// Query id targeted by the swap differential: the middle of the
+/// `N_ATTACH` attachments, so every run checks both that the swapped
+/// query follows the new pattern *and* that its neighbours (same
+/// streams, same workers) are untouched.
+const SWAPPED_QUERY: u32 = 1;
+
+/// The bare reference for a hot-swapped attachment: the old-query
+/// monitor over the prefix (no `finish` — [`Runner::swap_query`]
+/// replaces the monitor, discarding its pending groups unreported),
+/// then a freshly built new-query monitor over the suffix (with
+/// `finish`). Tick numbering and gap carry-state restart at the swap
+/// boundary, exactly like `Attachment::apply_swap`.
+pub fn run_bare_swapped(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    new_query: &[f64],
+    swap_at: usize,
+) -> Result<Vec<Match>, MonitorError> {
+    let swap_at = swap_at.min(sc.stream.len());
+    let mut out = Vec::new();
+    let prefix = Scenario {
+        stream: sc.stream[..swap_at].to_vec(),
+        ..sc.clone()
+    };
+    let mut old = spec.build(&sc.query, Kernel::Squared)?;
+    out.extend(run_monitor_inner(&prefix, &mut old, false)?);
+    let suffix = Scenario {
+        stream: sc.stream[swap_at..].to_vec(),
+        query: new_query.to_vec(),
+        ..sc.clone()
+    };
+    let mut fresh = spec.build(new_query, Kernel::Squared)?;
+    out.extend(run_monitor_inner(&suffix, &mut fresh, true)?);
+    Ok(out)
+}
+
+/// Like [`run_sharded`], but hot-swaps query `SWAPPED_QUERY` to `new_query`
+/// after `swap_at` samples of every stream have been pushed. The swap
+/// goes through [`ShardedRunner::swap_query`] — one fleet-wide control
+/// message, flushed to a frame boundary per stream — while the other
+/// query ids keep running the original pattern.
+pub fn run_sharded_swapped(
+    sc: &Scenario,
+    spec: MonitorSpec,
+    new_query: &[f64],
+    swap_at: usize,
+    shards: usize,
+    batch: usize,
+) -> Result<Vec<Vec<Match>>, MonitorError> {
+    let mut attachments = Vec::with_capacity(N_STREAMS as usize * N_ATTACH);
+    for s in 0..N_STREAMS {
+        for k in 0..N_ATTACH {
+            let monitor = spec.build(&sc.query, Kernel::Squared)?;
+            attachments.push(
+                RunnerAttachment::new(StreamId(s), QueryId(k as u32), monitor, sc.gap_policy)
+                    .with_builder(move |q| spec.build(q, Kernel::Squared)),
+            );
+        }
+    }
+    let sink = Arc::new(VecSink::new());
+    let mut runner = ShardedRunner::spawn(attachments, shards, 1, sink.clone())?;
+    runner.set_max_batch(batch);
+    let swap_at = swap_at.min(sc.stream.len());
+    let (prefix, suffix) = sc.stream.split_at(swap_at);
+    let mut push_err = None;
+    'prefix: for chunk in prefix.chunks(batch.max(1)) {
+        for s in 0..N_STREAMS {
+            if let Err(e) = runner.push_batch(StreamId(s), chunk) {
+                push_err = Some(e);
+                break 'prefix;
+            }
+        }
+    }
+    if push_err.is_none() {
+        if let Err(e) = runner.swap_query(QueryId(SWAPPED_QUERY), new_query) {
+            push_err = Some(e);
+        }
+    }
+    if push_err.is_none() {
+        'suffix: for chunk in suffix.chunks(batch.max(1)) {
+            for s in 0..N_STREAMS {
+                if let Err(e) = runner.push_batch(StreamId(s), chunk) {
+                    push_err = Some(e);
+                    break 'suffix;
+                }
+            }
+        }
+    }
+    if push_err.is_none() {
+        for s in 0..N_STREAMS {
+            if let Err(e) = runner.finish_stream(StreamId(s)) {
+                push_err = Some(e);
+                break;
+            }
+        }
+    }
+    runner.shutdown()?;
+    if let Some(e) = push_err {
+        return Err(e);
+    }
+    let mut per = vec![Vec::new(); N_STREAMS as usize * N_ATTACH];
+    for e in sink.events() {
+        per[e.stream.0 as usize * N_ATTACH + e.query.0 as usize].push(e.m);
+    }
+    Ok(per)
+}
+
+/// The swap differential for one scenario: across shard counts
+/// [`SHARD_COUNTS`] × batch sizes [`SHARD_BATCHES`], the hot-swapped
+/// query's match stream must equal the prefix-old/suffix-new bare
+/// composition **exactly** (bit-identical distances), and every
+/// untouched query must equal the plain full-stream bare run. Covers
+/// the arena-backed variants (plain and z-normalized SPRING).
+pub fn verify_swap(sc: &Scenario, new_query: &[f64], swap_at: usize) -> Result<(), String> {
+    let specs = [
+        MonitorSpec::Spring {
+            epsilon: sc.epsilon,
+        },
+        MonitorSpec::Normalized {
+            epsilon: sc.epsilon,
+            window: (sc.query.len() + 1).max(2),
+        },
+    ];
+    for spec in specs {
+        let bare_full = run_bare(sc, spec);
+        let bare_swapped = run_bare_swapped(sc, spec, new_query, swap_at);
+        for shards in SHARD_COUNTS {
+            for batch in SHARD_BATCHES {
+                let label = format!("{spec:?}: swapped sharded({shards} shards, batch {batch})");
+                match run_sharded_swapped(sc, spec, new_query, swap_at, shards, batch) {
+                    Ok(per) => {
+                        for (slot, ms) in per.iter().enumerate() {
+                            let k = (slot % N_ATTACH) as u32;
+                            let expect = if k == SWAPPED_QUERY {
+                                &bare_swapped
+                            } else {
+                                &bare_full
+                            };
+                            let Ok(expect) = expect else {
+                                return Err(format!(
+                                    "{label} slot {slot} succeeded but bare errored: {}",
+                                    fmt_matches(expect)
+                                ));
+                            };
+                            if ms != expect {
+                                return Err(format!(
+                                    "{label} slot {slot} (query {k}) diverges\n  \
+                                     bare:   {}\n  runner: {}",
+                                    fmt_matches(&Ok(expect.clone())),
+                                    fmt_matches(&Ok(ms.clone()))
+                                ));
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // An error run must mirror the earliest bare
+                        // error (the swapped path sees it first only if
+                        // the prefix already fails).
+                        let expect = match (&bare_swapped, &bare_full) {
+                            (Err(a), _) => Some(a),
+                            (_, Err(b)) => Some(b),
+                            _ => None,
+                        };
+                        if expect != Some(&e) {
+                            return Err(format!(
+                                "{label} errored with {e} but bare gave\n  \
+                                 swapped: {}\n  full:    {}",
+                                fmt_matches(&bare_swapped.clone()),
+                                fmt_matches(&bare_full.clone())
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `iters` seeded hot-swap scenarios through [`verify_swap`]: each
+/// draws a scenario, a swap tick uniform over the stream (endpoints
+/// included), and a mutated replacement pattern (reversed, rescaled,
+/// shifted — same length, so every spec accepts it). `Fail` gap
+/// scenarios are downgraded to `Skip`: a mid-stream error makes the
+/// swap point unreachable, which is the plain fuzzer's territory.
+pub fn fuzz_swaps(seed: u64, iters: u64) -> Result<u64, String> {
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..iters {
+        let mut sc = Scenario::generate(&mut rng);
+        if sc.gap_policy == GapPolicy::Fail {
+            sc.gap_policy = GapPolicy::Skip;
+        }
+        let swap_at = rng.u64_below(sc.stream.len() as u64 + 1) as usize;
+        let scale = 0.5 + rng.u64_below(8) as f64 * 0.25;
+        let shift = rng.u64_below(11) as f64 - 5.0;
+        let new_query: Vec<f64> = sc.query.iter().rev().map(|v| v * scale + shift).collect();
+        verify_swap(&sc, &new_query, swap_at).map_err(|e| {
+            format!(
+                "swap differential mismatch (seed {seed}, iteration {i}, swap_at {swap_at}):\n\
+                 {e}\n  new_query:  {new_query:?}\n  stream:     {:?}\n  query:      {:?}\n  \
+                 epsilon:    {:?}\n  gap_policy: {:?}\n\
+                 replay: spring fuzz --swap --seed {seed} --iters {}",
+                sc.stream,
+                sc.query,
+                sc.epsilon,
+                sc.gap_policy,
+                i + 1
+            )
+        })?;
+    }
+    Ok(iters)
 }
 
 fn fmt_matches(out: &Result<Vec<Match>, MonitorError>) -> String {
@@ -893,6 +1116,52 @@ mod tests {
             sc.gap_policy = policy;
             verify(&sc).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         }
+    }
+
+    #[test]
+    fn swapped_runs_agree_with_the_prefix_suffix_composition() {
+        let sc = spike_scenario();
+        // Swap between the two spikes: the first fires under the old
+        // pattern, the second must only fire if the NEW pattern matches.
+        verify_swap(&sc, &[50.0, 40.0, 50.0], 12).unwrap();
+        // Degenerate swap points: before any sample and after the last.
+        verify_swap(&sc, &[50.0, 40.0, 50.0], 0).unwrap();
+        verify_swap(&sc, &[50.0, 40.0, 50.0], sc.stream.len()).unwrap();
+    }
+
+    #[test]
+    fn swapped_query_reports_under_the_new_pattern_only() {
+        let sc = spike_scenario();
+        let spec = MonitorSpec::Spring {
+            epsilon: sc.epsilon,
+        };
+        // New pattern matches the stream's quiet plateau around the
+        // second spike's flanks: [50, 0, 50]? No — pick the second
+        // spike reversed-compatible pattern so it still fires.
+        let new_query = [0.0, 10.0, 0.0];
+        let per = run_sharded_swapped(&sc, spec, &new_query, 12, 2, 1).unwrap();
+        let bare_swapped = run_bare_swapped(&sc, spec, &new_query, 12).unwrap();
+        let bare_full = run_bare(&sc, spec).unwrap();
+        // Full run sees both spikes; the swapped run sees the first
+        // spike (prefix, old query) and the second (suffix, new query —
+        // identical pattern here) with restarted tick numbering.
+        assert_eq!(bare_full.len(), 2);
+        assert_eq!(bare_swapped.len(), 2);
+        assert_ne!(bare_swapped, bare_full, "suffix ticks must restart");
+        for (slot, ms) in per.iter().enumerate() {
+            let k = (slot % N_ATTACH) as u32;
+            let expect = if k == SWAPPED_QUERY {
+                &bare_swapped
+            } else {
+                &bare_full
+            };
+            assert_eq!(ms, expect, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn short_swap_fuzz_is_clean() {
+        fuzz_swaps(DEFAULT_FUZZ_SEED, 10).unwrap();
     }
 
     #[test]

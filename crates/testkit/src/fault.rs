@@ -13,7 +13,7 @@ use spring_core::monitor::MonitorSpec;
 use spring_core::Match;
 use spring_monitor::failpoints::{self, FailAction, FailRule};
 
-use crate::differential::{run_runner, run_runner_batched, run_sharded};
+use crate::differential::{run_runner, run_runner_batched, run_sharded, run_sharded_swapped};
 use crate::scenario::Scenario;
 
 /// One deterministic fault to inject into a runner run.
@@ -124,6 +124,46 @@ pub fn verify_under_fault_with(
 /// [`verify_under_fault_with`] on the per-sample ingestion path.
 pub fn verify_under_fault(sc: &Scenario, fault: FaultPlan) -> Result<(), String> {
     verify_under_fault_with(sc, fault, None)
+}
+
+/// Fault conformance for the hot-swap path: runs
+/// [`run_sharded_swapped`] (2 shards, frame size `batch`, swap after
+/// `swap_at` samples) with `fault` armed and demands the deduplicated
+/// per-slot match sets equal the fault-free swapped run's.
+///
+/// Because the swap travels the logged control-message path, a worker
+/// killed *after* the swap restarts from a checkpoint that either
+/// already holds the post-swap monitor or replays the swap message
+/// before the post-swap frames — either way the recovered match set is
+/// the same. A mid-active-group checkpoint (candidate pending at swap
+/// time) is covered by choosing `swap_at` inside a spike.
+///
+/// Uses the global failpoint registry: hold
+/// [`failpoints::exclusive`] around calls in multi-test binaries.
+pub fn verify_swap_under_fault(
+    sc: &Scenario,
+    new_query: &[f64],
+    swap_at: usize,
+    fault: FaultPlan,
+    batch: usize,
+) -> Result<(), String> {
+    let spec = MonitorSpec::Spring {
+        epsilon: sc.epsilon,
+    };
+    failpoints::clear();
+    let clean = run_sharded_swapped(sc, spec, new_query, swap_at, 2, batch)
+        .map_err(|e| format!("fault-free swapped run failed: {e}"))?;
+    fault.arm();
+    let faulted = run_sharded_swapped(sc, spec, new_query, swap_at, 2, batch);
+    failpoints::clear();
+    let faulted = faulted.map_err(|e| format!("faulted swapped run failed: {e} ({fault:?})"))?;
+    let (clean, faulted) = (normalize(clean), normalize(faulted));
+    if clean != faulted {
+        return Err(format!(
+            "swapped match sets diverge under {fault:?}\n  fault-free: {clean:?}\n  faulted:    {faulted:?}"
+        ));
+    }
+    Ok(())
 }
 
 /// The sharded analogue of [`verify_under_fault_with`]: runs the

@@ -9,7 +9,8 @@
 use spring_monitor::failpoints;
 use spring_monitor::GapPolicy;
 use spring_testkit::fault::{
-    verify_under_fault, verify_under_fault_sharded, verify_under_fault_with, FaultPlan,
+    verify_swap_under_fault, verify_under_fault, verify_under_fault_sharded,
+    verify_under_fault_with, FaultPlan,
 };
 use spring_testkit::Scenario;
 use spring_util::Rng;
@@ -94,6 +95,33 @@ fn worker_loss_inside_one_shard_loses_no_matches() {
         }
         verify_under_fault_sharded(&sc, FaultPlan::FramePanic { after: 1 }, batch).unwrap();
         verify_under_fault_sharded(&sc, FaultPlan::SinkPanic { after: 0 }, batch).unwrap();
+    }
+}
+
+#[test]
+fn swap_checkpoints_replay_across_a_frame_boundary_crash() {
+    let _guard = failpoints::exclusive();
+    let sc = spike_scenario(200, &[10, 80, 150]);
+    let new_query = [50.0, 40.0, 50.0];
+    // swap_at = 81: mid-spike, so a candidate group is active when the
+    // swap lands — the checkpoint taken around it must carry the
+    // post-swap monitor (or replay the swap message) and still lose no
+    // matches when a worker dies at a frame boundary before, around,
+    // and after the swap.
+    for batch in [1usize, 64] {
+        for after in [0u64, 2, 5] {
+            verify_swap_under_fault(&sc, &new_query, 81, FaultPlan::FramePanic { after }, batch)
+                .unwrap();
+        }
+        // And a plain worker panic for coverage of the recv site.
+        verify_swap_under_fault(
+            &sc,
+            &new_query,
+            81,
+            FaultPlan::WorkerPanic { after: 9 },
+            batch,
+        )
+        .unwrap();
     }
 }
 

@@ -195,7 +195,7 @@ fn runner_equals_engine_for_normalized_spring() {
     for (k, vals) in streams.iter().enumerate() {
         let s = engine.add_stream(format!("s{k}"));
         engine
-            .attach_monitor(s, q, GapPolicy::Skip, |qs| {
+            .attach_monitor(s, q, GapPolicy::Skip, move |qs| {
                 NormalizedSpring::new(qs, eps, window)
             })
             .unwrap();
