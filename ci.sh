@@ -34,12 +34,23 @@ cargo clippy --workspace --all-targets \
   --features spring/simd,spring-testkit/simd,spring-testkit/failpoints,spring-cli/failpoints \
   -- -D warnings
 
-echo "==> cargo clippy (spring-monitor without the reactor feature)"
+echo "==> cargo clippy (spring-monitor without the reactor/trace features)"
 # Built standalone the crate drops its only unsafe module and must stay
 # warning-free under forbid(unsafe_code); the workspace build above
-# always unifies `reactor` in via spring-cli, so this is the one place
-# the reactor-less configuration is checked.
+# always unifies `reactor` (via spring-cli) and `trace` (via
+# spring-bench) in, so this is the one place the reactor-less,
+# stub-recorder configuration is checked.
 cargo clippy -p spring-monitor --all-targets -- -D warnings
+
+echo "==> cargo clippy (trace feature matrix: flight recorder on and off)"
+# With: cli + monitor build the real lock-free rings behind --trace /
+# --trace-dir. Without: spring-cli standalone keeps the inert stub (the
+# workspace row unifies `trace` in via spring-bench, so the stub only
+# compiles in `-p` rows).
+cargo clippy -p spring-monitor -p spring-cli --all-targets \
+  --features spring-monitor/trace,spring-cli/trace,spring-cli/failpoints \
+  -- -D warnings
+cargo clippy -p spring-cli --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -50,12 +61,15 @@ cargo test -q
 echo "==> cargo test (simd feature: explicit SIMD kernel paths)"
 cargo test -q -p spring-core -p spring-testkit --features simd
 
-echo "==> cargo test (spring-monitor without the reactor feature)"
+echo "==> cargo test (spring-monitor without the reactor/trace features)"
 cargo test -q -p spring-monitor
 
-echo "==> cargo test (failpoints feature: fault-injection conformance)"
+echo "==> cargo test (failpoints + trace: fault injection and postmortems)"
+# `trace` rides along so the worker-loss postmortem acceptance test
+# (crates/monitor/tests/postmortem.rs) and the traced serve conformance
+# row run with the real recorder.
 cargo test -q -p spring-testkit -p spring-monitor -p spring-cli \
-  --features spring-testkit/failpoints,spring-cli/failpoints
+  --features spring-testkit/failpoints,spring-cli/failpoints,spring-monitor/trace,spring-cli/trace
 
 echo "==> differential fuzz (every variant x bare/engine/runner)"
 # CI sets SPRING_FUZZ_SEED to a varying value (e.g. the run id) so the
@@ -85,6 +99,12 @@ if [ "$miri" -eq 1 ]; then
     MIRIFLAGS="${MIRIFLAGS:--Zmiri-seed=2007}" \
       rustup run nightly cargo miri test -p spring-monitor --features reactor \
         --lib -- reactor
+    # The trace rings are lock-free (seqlock-style slots, atomic
+    # tickets); Miri checks the concurrent-writer test for data races
+    # and torn reads at reduced iteration counts.
+    MIRIFLAGS="${MIRIFLAGS:--Zmiri-seed=2007}" \
+      rustup run nightly cargo miri test -p spring-monitor --features trace \
+        --lib -- trace
   else
     echo "WARN: miri unavailable (install with:" \
          "rustup toolchain install nightly --component miri); skipping" >&2

@@ -52,6 +52,7 @@ fn options(batch: usize, conns: usize) -> ServeOptions {
         linger: None,
         max_conns: conns.max(1),
         accept_limit: Some(conns),
+        trace_dir: None,
     }
 }
 

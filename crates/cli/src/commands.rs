@@ -11,7 +11,8 @@ use spring_data::{MaskedChirp, Seismic, Sunspots, Temperature, TimeSeries};
 use spring_dtw::constraint::{dtw_constrained, GlobalConstraint};
 use spring_dtw::{dtw_distance_with, dtw_with_path, Kernel};
 use spring_monitor::{
-    GapPolicy, Metrics, QueryId, RunnerAttachment, ShardedRunner, StreamId, TickRecorder, VecSink,
+    GapPolicy, Metrics, QueryId, RestartPolicy, RunnerAttachment, ShardedRunner, StreamId,
+    TickRecorder, TraceEventKind, TraceHandle, Tracer, VecSink,
 };
 
 use crate::args::{ArgError, Parsed};
@@ -62,24 +63,29 @@ USAGE:
   spring monitor   --query Q.csv --epsilon N [--stream S.csv] [--kernel squared|absolute]
                    [--gap skip|carry] [--min-len N --max-len N | --max-run R | --normalize W]
                    [--resume SNAP.json] [--checkpoint SNAP.json] [--stats] [--batch N]
-                   [--shards N [--linger-ms MS]]
+                   [--shards N [--linger-ms MS]] [--trace OUT.json]
                    (--batch: samples stepped per ingestion batch, default 64;
                     output is identical for every N — --batch 1 is the
                     per-sample loop. --shards: run through the sharded
                     runner instead of the inline monitor — the transcript
                     is identical; --linger-ms bounds how long a partial
-                    frame may wait before being flushed)
+                    frame may wait before being flushed. --trace: write a
+                    Chrome trace-event flight recording of the run, needs
+                    a build with the `trace` feature)
   spring bestmatch --query Q.csv [--stream S.csv] [--kernel squared|absolute]
   spring topk      --query Q.csv --k N [--stream S.csv] [--kernel squared|absolute]
   spring dtw       A.csv B.csv [--kernel squared|absolute] [--band R] [--path]
   spring serve     --query Q.csv --epsilon N [--port P] [--kernel squared|absolute] [--once]
                    [--min-len N --max-len N | --max-run R | --normalize W] [--batch N]
-                   [--shards N] [--linger-ms MS] [--max-conns N]
+                   [--shards N] [--linger-ms MS] [--max-conns N] [--trace-dir DIR]
                    (one acceptor thread multiplexes all connections through a
                     readiness event loop; HTTP `GET /metrics` on the same port
                     serves Prometheus text; connections are routed to --shards
                     runner shards by stream-id hash, default min(8, cores);
-                    --max-conns caps concurrent connections, default 1024)
+                    --max-conns caps concurrent connections, default 1024;
+                    --trace-dir enables the flight recorder: `GET /trace`,
+                    the `trace dump` verb, and automatic postmortem dumps
+                    into DIR when a worker is lost)
   spring generate  maskedchirp|temperature|kursk|sunspots --out DIR [--seed N] [--small]
   spring fuzz      [--seed N] [--iters N] [--swap]
                    (differential conformance: every monitor variant through the bare
@@ -243,6 +249,7 @@ fn flush_monitor_batch(
     hits: &mut Vec<spring_core::Match>,
     missing_in_buf: &mut u64,
     recorder: &mut Option<TickRecorder>,
+    trace: &TraceHandle,
     count: &mut u64,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
@@ -250,10 +257,15 @@ fn flush_monitor_batch(
         return Ok(());
     }
     let started = recorder.as_mut().and_then(|r| r.begin_frame(buf.len()));
+    let step_span = trace.now();
     let before = Monitor::tick(spring);
     hits.clear();
     let stepped = Monitor::step_batch(spring, buf, hits);
     let consumed = Monitor::tick(spring) - before;
+    trace.span(step_span, TraceEventKind::StepBatch, buf.len() as u64);
+    for m in hits.iter() {
+        trace.instant(TraceEventKind::Match, m.end);
+    }
     if let Some(rec) = recorder.as_mut() {
         rec.record_frame(
             started,
@@ -300,12 +312,21 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "batch",
             "shards",
             "linger-ms",
+            "trace",
         ],
         &["stats"],
     )?;
     p.positionals(0)?;
     let kernel = parse_kernel(&p)?;
     let gap = parse_gap(&p)?;
+    let trace_out = p.get("trace").map(std::path::PathBuf::from);
+    if trace_out.is_some() && !spring_monitor::trace::AVAILABLE {
+        return Err(CliError::Compute(
+            "--trace requires a build with tracing compiled in \
+             (cargo build --features spring-cli/trace)"
+                .into(),
+        ));
+    }
     if let Some(shards) = p.get_parsed::<usize>("shards", "integer")? {
         return monitor_sharded(&p, shards, kernel, gap, out);
     }
@@ -376,6 +397,15 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .get_parsed("batch", "integer")?
         .unwrap_or(spring_monitor::DEFAULT_MAX_BATCH)
         .max(1);
+    // `--trace`: record every `step_batch` span and match instant on a
+    // single "monitor" track, exported as Chrome trace-event JSON.
+    let tracer = Tracer::new();
+    let trace = if trace_out.is_some() {
+        tracer.set_enabled(true);
+        tracer.register("monitor")
+    } else {
+        TraceHandle::off()
+    };
     let mut buf: Vec<f64> = Vec::with_capacity(batch_size);
     let mut hits: Vec<spring_core::Match> = Vec::new();
     let mut missing_in_buf = 0u64;
@@ -410,6 +440,7 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 &mut hits,
                 &mut missing_in_buf,
                 &mut recorder,
+                &trace,
                 &mut count,
                 &mut *out,
             )?;
@@ -424,6 +455,7 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         &mut hits,
         &mut missing_in_buf,
         &mut recorder,
+        &trace,
         &mut count,
         out,
     )?;
@@ -444,6 +476,7 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if let Some(rec) = &recorder {
             rec.metrics().record_match(&m);
         }
+        trace.instant(TraceEventKind::Match, m.end);
         count += 1;
         writeln!(
             out,
@@ -463,6 +496,22 @@ pub fn monitor(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(rec) = &recorder {
         write!(out, "{}", rec.metrics().snapshot().render_table())?;
     }
+    write_trace_export(&tracer, trace_out.as_deref(), out)?;
+    Ok(())
+}
+
+/// Exports the flight recorder to `path` (when `--trace` was given) and
+/// notes where it went, so the user can load it in `chrome://tracing`.
+fn write_trace_export(
+    tracer: &Tracer,
+    path: Option<&Path>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    tracer
+        .write_chrome_json(path)
+        .map_err(|e| CliError::Compute(format!("{}: {e}", path.display())))?;
+    writeln!(out, "trace written to {}", path.display())?;
     Ok(())
 }
 
@@ -498,12 +547,21 @@ fn monitor_sharded(
     // NaN never reaches the attachment (gaps are resolved CLI-side
     // below), so the runner-side gap policy is irrelevant.
     let attachment = RunnerAttachment::new(stream_id, QueryId(0), monitor, GapPolicy::Skip);
-    let mut runner = ShardedRunner::spawn_with_metrics(
+    // `--trace`: every shard's worker and supervisor record into their
+    // own rings (`shardI-worker-N` tracks in the export).
+    let trace_out = p.get("trace").map(std::path::PathBuf::from);
+    let tracer = Tracer::new();
+    if trace_out.is_some() {
+        tracer.set_enabled(true);
+    }
+    let mut runner = ShardedRunner::spawn_with_observability(
         vec![attachment],
         shards,
         1,
         sink.clone(),
         metrics.clone(),
+        RestartPolicy::default(),
+        trace_out.is_some().then(|| tracer.clone()),
     )
     .map_err(|e| CliError::Compute(e.to_string()))?;
     let batch: usize = p
@@ -579,6 +637,7 @@ fn monitor_sharded(
     if let Some(m) = &metrics {
         write!(out, "{}", m.snapshot().render_table())?;
     }
+    write_trace_export(&tracer, trace_out.as_deref(), out)?;
     Ok(())
 }
 
@@ -950,6 +1009,72 @@ mod tests {
         assert!(text.contains("tick latency"), "{text}");
         assert!(text.contains("detection delay"), "{text}");
         assert!(text.contains("live memory"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_trace_flag_writes_a_chrome_trace_or_errors_without_the_feature() {
+        let dir = tmpdir("clitrace");
+        let q = write_series(&dir, "q.csv", &[11.0, 6.0, 9.0, 4.0]);
+        let s = write_series(&dir, "s.csv", &[5.0, 12.0, 6.0, 10.0, 6.0, 5.0, 13.0]);
+        if !spring_monitor::trace::AVAILABLE {
+            let mut out = Vec::new();
+            let err = monitor(
+                &argv(&format!(
+                    "--query {} --epsilon 15 --stream {} --trace {}",
+                    q.display(),
+                    s.display(),
+                    dir.join("t.json").display()
+                )),
+                &mut out,
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("trace"), "{err}");
+            std::fs::remove_dir_all(&dir).ok();
+            return;
+        }
+        // Inline path: `step_batch` spans + match instants on one track.
+        // Sharded path: the worker's frame spans on `shardI-worker-N`.
+        for (file, extra, track) in [
+            ("inline.json", "", "monitor"),
+            ("sharded.json", " --shards 2", "shard"),
+        ] {
+            let path = dir.join(file);
+            let mut out = Vec::new();
+            monitor(
+                &argv(&format!(
+                    "--query {} --epsilon 15 --stream {} --trace {}{extra}",
+                    q.display(),
+                    s.display(),
+                    path.display()
+                )),
+                &mut out,
+            )
+            .unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("1 match(es) over 7 ticks"), "{text}");
+            assert!(
+                text.contains(&format!("trace written to {}", path.display())),
+                "{text}"
+            );
+            let doc = spring_util::json::Value::parse(&std::fs::read_to_string(&path).unwrap())
+                .expect("trace export must be valid JSON");
+            let events = doc
+                .get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .expect("traceEvents array");
+            let named = |name: &str| {
+                events.iter().any(|e| {
+                    e.get("name").and_then(|n| n.as_str()) == Some(name)
+                        || e.get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(|n| n.as_str())
+                            .is_some_and(|n| n.contains(name))
+                })
+            };
+            assert!(named("match"), "no match instant in {file}");
+            assert!(named(track), "no {track} track metadata in {file}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -55,15 +55,16 @@ pub enum ProtoEvent {
     Error(String),
 }
 
-/// A fleet-control verb: lines whose first token is `query` or
-/// `attach` manage the server's query table and attachments instead of
-/// carrying a sample.
+/// A fleet-control verb: lines whose first token is `query`, `attach`,
+/// or `trace` manage the server's query table, attachments, and flight
+/// recorder instead of carrying a sample.
 ///
 /// ```text
 /// query add <id> <v1> <v2> …     register a pattern under <id>
 /// query update <id> <v1> <v2> …  hot-swap <id> across every attachment
 /// query drop <id>                remove <id> from the table
 /// attach <stream> <query-id> <eps>   attach <query-id> to a live stream
+/// trace dump                     write a flight-recorder snapshot
 /// ```
 ///
 /// The server answers each verb with one `ok …` or `error: …` line, in
@@ -98,18 +99,34 @@ pub enum Command {
         /// Distance threshold ε for the new attachment.
         epsilon: f64,
     },
+    /// `trace dump` — write a Chrome trace-event snapshot of the flight
+    /// recorder into the server's `--trace-dir`.
+    TraceDump,
 }
 
 /// Parses a control line. `None` when `line` is not a control verb
-/// (first token is neither `query` nor `attach`); `Some(Err(_))` for a
-/// verb with malformed arguments (the message the client gets).
+/// (first token is neither `query`, `attach`, nor `trace`);
+/// `Some(Err(_))` for a verb with malformed arguments (the message the
+/// client gets).
 fn parse_command(line: &str) -> Option<Result<Command, String>> {
     let mut tokens = line.split_whitespace();
     let verb = tokens.next()?;
     match verb {
         "query" => Some(parse_query_command(tokens)),
         "attach" => Some(parse_attach_command(tokens)),
+        "trace" => Some(parse_trace_command(tokens)),
         _ => None,
+    }
+}
+
+fn parse_trace_command<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    match tokens.next() {
+        Some("dump") => match tokens.next() {
+            None => Ok(Command::TraceDump),
+            Some(extra) => Err(format!("trace dump takes no arguments (got `{extra}`)")),
+        },
+        Some(other) => Err(format!("unknown trace action `{other}` (expected dump)")),
+        None => Err("trace needs an action: dump".to_string()),
     }
 }
 
@@ -516,7 +533,7 @@ mod tests {
     #[test]
     fn control_verbs_parse_into_commands() {
         let got = events(
-            &[b"query add 1 0 10 0\nquery update 1 5 -5\nquery drop 1\nattach 3 1 0.5\n"],
+            &[b"query add 1 0 10 0\nquery update 1 5 -5\nquery drop 1\nattach 3 1 0.5\ntrace dump\n"],
             true,
         );
         assert_eq!(
@@ -536,6 +553,7 @@ mod tests {
                     query: 1,
                     epsilon: 0.5,
                 }),
+                ProtoEvent::Command(Command::TraceDump),
             ]
         );
     }
@@ -543,14 +561,14 @@ mod tests {
     #[test]
     fn malformed_control_verbs_become_errors_and_stay_in_sync() {
         let got = events(
-            &[b"query add one 1\nquery zap 1\nattach 1 2\nquery add 2\n7\n"],
+            &[b"query add one 1\nquery zap 1\nattach 1 2\nquery add 2\ntrace\ntrace flush\ntrace dump now\n7\n"],
             true,
         );
-        assert_eq!(got.len(), 5);
-        for ev in &got[..4] {
+        assert_eq!(got.len(), 8);
+        for ev in &got[..7] {
             assert!(matches!(ev, ProtoEvent::Error(_)), "{ev:?}");
         }
-        assert_eq!(got[4], ProtoEvent::Sample(7.0));
+        assert_eq!(got[7], ProtoEvent::Sample(7.0));
     }
 
     #[test]

@@ -72,7 +72,7 @@ use spring_dtw::Kernel;
 use spring_monitor::reactor::{self, Interest, Reactor, Ready, Waker};
 use spring_monitor::{
     AttachmentId, Event, GapPolicy, MatchSink, Metrics, QueryId, RunnerAttachment, ShardedRunner,
-    StreamId,
+    StreamId, TraceEventKind, TraceHandle, Tracer,
 };
 
 use crate::args::Parsed;
@@ -131,12 +131,19 @@ pub struct ServeOptions {
     /// flag; the conformance harness and benches use it to run a
     /// bounded session. `--once` is `Some(1)`.
     pub accept_limit: Option<usize>,
+    /// Flight-recorder directory (`--trace-dir`): enables tracing,
+    /// receives postmortem dumps on worker loss and `trace dump`
+    /// snapshots. `None` = tracing off (hooks cost one relaxed-atomic
+    /// branch). Requires a build with the `trace` feature.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 /// Builds one HTTP response: `GET /metrics` serves the Prometheus text
-/// exposition, anything else a 404. The connection is closed after the
-/// response (`Connection: close`), so request headers need not be read.
-fn http_response(request_line: &str, metrics: &Metrics) -> String {
+/// exposition, `GET /trace` a Chrome trace-event JSON snapshot of the
+/// flight recorder, anything else a 404. The connection is closed after
+/// the response (`Connection: close`), so request headers need not be
+/// read.
+fn http_response(request_line: &str, metrics: &Metrics, tracer: &Tracer) -> String {
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, content_type, body) = if path == "/metrics" {
         (
@@ -144,11 +151,17 @@ fn http_response(request_line: &str, metrics: &Metrics) -> String {
             "text/plain; version=0.0.4; charset=utf-8",
             metrics.snapshot().to_prometheus(),
         )
+    } else if path == "/trace" {
+        (
+            "200 OK",
+            "application/json; charset=utf-8",
+            tracer.to_chrome_json(),
+        )
     } else {
         (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try GET /metrics\n".to_string(),
+            "not found; try GET /metrics or GET /trace\n".to_string(),
         )
     };
     format!(
@@ -328,6 +341,14 @@ struct ServerState {
     /// stream so the completion thread can detach them when that stream
     /// ends.
     extras: Mutex<HashMap<StreamId, Vec<AttachmentId>>>,
+    /// The server-wide flight recorder. Inert (never enabled) without
+    /// `--trace-dir`; a permanent no-op stub without the `trace`
+    /// feature.
+    tracer: Tracer,
+    /// Where `trace dump` snapshots land (`--trace-dir`).
+    trace_dir: Option<std::path::PathBuf>,
+    /// Sequence for `trace dump` file names.
+    trace_dumps: AtomicU64,
 }
 
 impl ServerState {
@@ -466,6 +487,9 @@ struct Conn {
     closing: bool,
     /// Interest currently registered with the reactor.
     registered: Interest,
+    /// Reads currently paused because staged output crossed
+    /// [`OUT_SOFT_LIMIT`] (drives the backpressure trace instants).
+    bp_paused: bool,
 }
 
 /// The single-threaded accept/read/write loop. See the module docs.
@@ -480,6 +504,9 @@ struct EventLoop<'a> {
     accept_limit: Option<usize>,
     accepting: bool,
     next_stream: u32,
+    /// The acceptor thread's flight-recorder ring (reactor wakeups,
+    /// connection open/close, shard routing, backpressure).
+    trace: TraceHandle,
 }
 
 impl EventLoop<'_> {
@@ -497,6 +524,8 @@ impl EventLoop<'_> {
                 return Ok(());
             }
             self.reactor.wait(&mut events, Some(WAIT_TIMEOUT))?;
+            self.trace
+                .instant(TraceEventKind::ReactorWakeup, events.len() as u64);
             let notes: Vec<Note> = {
                 let mut guard = self
                     .srv
@@ -593,6 +622,7 @@ impl EventLoop<'_> {
                 eof: false,
                 closing: false,
                 registered: Interest::READ,
+                bp_paused: false,
             };
             let token = match self.conns.iter().position(Option::is_none) {
                 Some(i) => i,
@@ -608,6 +638,8 @@ impl EventLoop<'_> {
                 eprintln!("client register error: {e}");
                 continue;
             }
+            self.trace
+                .instant(TraceEventKind::ConnOpen, u64::from(stream_id.0));
             self.conns[token] = Some(conn);
             self.srv.metrics.connections_open.add(1);
         }
@@ -692,6 +724,10 @@ impl EventLoop<'_> {
                         Ok(id) => {
                             conn.attachment = Some(id);
                             conn.session = true;
+                            self.trace.instant(
+                                TraceEventKind::ShardRoute,
+                                self.srv.runner.shard_of(conn.stream_id) as u64,
+                            );
                         }
                         Err(e) => {
                             self.srv.sink.remove(conn.stream_id);
@@ -714,9 +750,9 @@ impl EventLoop<'_> {
             };
             match ev {
                 ProtoEvent::Http(line) => {
-                    conn.shared
-                        .out()
-                        .push_bytes(http_response(&line, &self.srv.metrics).as_bytes());
+                    conn.shared.out().push_bytes(
+                        http_response(&line, &self.srv.metrics, &self.srv.tracer).as_bytes(),
+                    );
                     conn.closing = true;
                     conn.pending.clear();
                 }
@@ -894,6 +930,26 @@ impl EventLoop<'_> {
                 }
                 Ok(format!("ok attach stream {stream} query {query}"))
             }
+            Command::TraceDump => {
+                if !spring_monitor::trace::AVAILABLE {
+                    return Err("tracing is not compiled in; rebuild with --features trace".into());
+                }
+                let Some(dir) = &self.srv.trace_dir else {
+                    return Err("tracing is off; start the server with --trace-dir".into());
+                };
+                let n = self.srv.trace_dumps.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("trace-{n}.json"));
+                std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                self.srv
+                    .tracer
+                    .write_chrome_json(&path)
+                    .map_err(|e| e.to_string())?;
+                let events = self.srv.tracer.snapshot().total_events();
+                Ok(format!(
+                    "ok trace dump {} ({events} events)",
+                    path.display()
+                ))
+            }
         }
     }
 
@@ -912,12 +968,26 @@ impl EventLoop<'_> {
         let out_len = conn.shared.out().len();
         if out_len > OUT_HARD_LIMIT {
             // A dead reader: its buffer can only grow. Cut it loose.
+            self.trace.instant(
+                TraceEventKind::BackpressureDrop,
+                u64::from(conn.stream_id.0),
+            );
             self.drop_conn(conn, token, true);
             return;
         }
         if conn.closing && out_len == 0 && !conn.paused && !conn.finishing {
             self.drop_conn(conn, token, false);
             return;
+        }
+        let congested = out_len >= OUT_SOFT_LIMIT;
+        if congested != conn.bp_paused {
+            let kind = if congested {
+                TraceEventKind::BackpressurePause
+            } else {
+                TraceEventKind::BackpressureResume
+            };
+            self.trace.instant(kind, u64::from(conn.stream_id.0));
+            conn.bp_paused = congested;
         }
         let desired = Interest {
             readable: !conn.closing
@@ -964,6 +1034,8 @@ impl EventLoop<'_> {
     /// completion in `spring_conn_dropped_total`.
     fn drop_conn(&mut self, conn: Conn, _token: usize, dropped: bool) {
         let _ = self.reactor.deregister(conn.sock.as_raw_fd());
+        self.trace
+            .instant(TraceEventKind::ConnClose, u64::from(conn.stream_id.0));
         self.srv.metrics.connections_open.add(-1);
         if dropped {
             self.srv.metrics.conn_dropped.inc();
@@ -1001,12 +1073,24 @@ pub fn serve_listener(
     // connection scrapes the registry.
     let metrics = Arc::new(Metrics::new());
     let sink = Arc::new(ServeSink::default());
-    let mut runner = ShardedRunner::spawn_with_metrics(
+    // One flight recorder for the whole server. Without `--trace-dir`
+    // it stays disabled and no rings are registered, so every hook is
+    // one relaxed-atomic branch; without the `trace` feature it is a
+    // zero-size stub either way.
+    let tracer = Tracer::new();
+    let tracing = opts.trace_dir.is_some();
+    if tracing {
+        tracer.set_enabled(true);
+        tracer.set_postmortem_dir(opts.trace_dir.clone());
+    }
+    let mut runner = ShardedRunner::spawn_with_observability(
         Vec::new(),
         opts.shards.max(1),
         1,
         Arc::clone(&sink) as Arc<dyn MatchSink>,
         Some(Arc::clone(&metrics)),
+        spring_monitor::RestartPolicy::default(),
+        tracing.then(|| tracer.clone()),
     )
     .map_err(|e| CliError::Compute(e.to_string()))?;
     runner.set_max_batch(opts.batch.max(1));
@@ -1024,6 +1108,9 @@ pub fn serve_listener(
         waker,
         queries: Mutex::new(HashMap::from([(0u32, opts.query.clone())])),
         extras: Mutex::new(HashMap::new()),
+        trace_dir: opts.trace_dir.clone(),
+        trace_dumps: AtomicU64::new(0),
+        tracer: tracer.clone(),
     });
     let (jobs_tx, jobs_rx) = mpsc::channel();
     let completion = std::thread::spawn({
@@ -1046,6 +1133,11 @@ pub fn serve_listener(
         accept_limit,
         accepting: true,
         next_stream: 0,
+        trace: if tracing {
+            tracer.register("reactor")
+        } else {
+            TraceHandle::off()
+        },
     }
     .run();
     // Retire the completion thread (it drains queued barriers first),
@@ -1091,6 +1183,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "shards",
             "linger-ms",
             "max-conns",
+            "trace-dir",
         ],
         &["once"],
     )?;
@@ -1115,6 +1208,14 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .get_parsed("max-conns", "integer")?
         .unwrap_or(DEFAULT_MAX_CONNS)
         .max(1);
+    let trace_dir = p.get("trace-dir").map(std::path::PathBuf::from);
+    if trace_dir.is_some() && !spring_monitor::trace::AVAILABLE {
+        return Err(CliError::Usage(
+            "--trace-dir needs a build with the `trace` feature \
+             (cargo build --features trace)"
+                .into(),
+        ));
+    }
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     serve_listener(
         listener,
@@ -1128,6 +1229,7 @@ pub fn run_serve(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             linger,
             max_conns,
             accept_limit: None,
+            trace_dir,
         },
         out,
     )
@@ -1152,6 +1254,7 @@ mod tests {
             linger: None,
             max_conns: 64,
             accept_limit: None,
+            trace_dir: None,
         }
     }
 
@@ -1265,6 +1368,7 @@ mod tests {
             linger: None,
             max_conns: 64,
             accept_limit: None,
+            trace_dir: None,
         });
         let mut conn = TcpStream::connect(addr).unwrap();
         // A stretched occurrence (len 5, rejected by the bound) and a
@@ -1294,6 +1398,7 @@ mod tests {
             linger: Some(Duration::from_millis(5)),
             max_conns: 64,
             accept_limit: None,
+            trace_dir: None,
         });
         let mut conn = TcpStream::connect(addr).unwrap();
         for v in [50.0, 50.0, 0.0, 9.0, 0.0, 50.0, 50.0] {
@@ -1332,6 +1437,7 @@ mod tests {
                     linger: None,
                     max_conns: 64,
                     accept_limit: Some(3),
+                    trace_dir: None,
                 },
                 &mut Vec::new(),
             )
@@ -1359,6 +1465,9 @@ mod tests {
         );
         assert!(http.contains("spring_ticks_total 7"), "{http}");
         assert!(http.contains("spring_matches_total 1"), "{http}");
+        // Build identity and uptime ride along with every scrape.
+        assert!(http.contains("spring_build_info{version="), "{http}");
+        assert!(http.contains("spring_uptime_seconds "), "{http}");
         assert!(
             http.contains("spring_tick_latency_seconds_bucket"),
             "{http}"
@@ -1391,6 +1500,61 @@ mod tests {
         other.read_to_string(&mut nf).unwrap();
         assert!(nf.starts_with("HTTP/1.1 404 Not Found"), "{nf}");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn http_get_trace_and_trace_dump_expose_the_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!("spring-serve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut options = opts(vec![0.0, 9.0, 0.0], 1.0);
+        options.once = false;
+        options.accept_limit = Some(2);
+        options.trace_dir = Some(dir.clone());
+        let (addr, server) = start_with(options);
+        // A data session: stream the pattern, ask for a dump, finish.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for v in [50.0, 0.0, 9.0, 0.0, 50.0] {
+            writeln!(conn, "{v}").unwrap();
+        }
+        writeln!(conn, "trace dump").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        BufReader::new(&conn).read_to_string(&mut response).unwrap();
+        if spring_monitor::trace::AVAILABLE {
+            assert!(response.contains("ok trace dump "), "{response}");
+            let dumped = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .find(|e| e.file_name().to_string_lossy().starts_with("trace-"))
+                .expect("trace dump must write a file");
+            let doc =
+                spring_util::json::Value::parse(&std::fs::read_to_string(dumped.path()).unwrap())
+                    .expect("dump must be valid JSON");
+            assert!(doc.get("traceEvents").and_then(|v| v.as_arr()).is_some());
+        } else {
+            assert!(
+                response.contains("tracing is not compiled in"),
+                "{response}"
+            );
+        }
+        // The HTTP endpoint serves the same document live.
+        let mut scrape = TcpStream::connect(addr).unwrap();
+        write!(scrape, "GET /trace HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        scrape.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut http = String::new();
+        scrape.read_to_string(&mut http).unwrap();
+        server.join().unwrap();
+        assert!(http.starts_with("HTTP/1.1 200 OK"), "{http}");
+        assert!(http.contains("Content-Type: application/json"), "{http}");
+        let body = http.split("\r\n\r\n").nth(1).unwrap();
+        let doc = spring_util::json::Value::parse(body).expect("valid chrome-trace JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        if spring_monitor::trace::AVAILABLE {
+            // The reactor and connection instrumentation recorded real
+            // events (conn_open instants at minimum).
+            assert!(!events.is_empty(), "{body}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -90,6 +90,7 @@ fn server_options(shards: usize, batch: usize, accept_limit: usize) -> ServeOpti
         linger: None,
         max_conns: 1024,
         accept_limit: Some(accept_limit),
+        trace_dir: None,
     }
 }
 
@@ -282,6 +283,28 @@ fn mid_line_disconnect_cleans_up_and_serving_continues() {
         "post-abort client diverged:\n{}",
         clean[0]
     );
+}
+
+/// Pinned overhead contract: enabling the flight recorder (`--trace-dir`)
+/// must not change a single transcript byte — same scripts, same
+/// configuration, byte-identical responses with tracing off and on.
+/// (Without the `trace` feature the recorder is a stub; the row then
+/// pins that merely setting `trace_dir` is inert.)
+#[test]
+fn tracing_enabled_transcripts_are_byte_identical() {
+    let dir = tmpdir("traced");
+    let streams = client_streams();
+    let scripts: Vec<ClientScript> = streams.iter().map(|s| sample_script(s)).collect();
+    let (plain_addr, plain_server) = start_server(server_options(2, 3, scripts.len()));
+    let plain = run_clients(plain_addr, &scripts);
+    plain_server.join().unwrap();
+    let mut traced_options = server_options(2, 3, scripts.len());
+    traced_options.trace_dir = Some(dir.join("recorder"));
+    let (addr, server) = start_server(traced_options);
+    let traced = run_clients(addr, &scripts);
+    server.join().unwrap();
+    assert_eq!(traced, plain, "tracing changed a transcript");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Pipelining everything — samples, EOF — into a single write before

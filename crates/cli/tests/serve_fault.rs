@@ -32,6 +32,7 @@ fn options(accept_limit: usize) -> ServeOptions {
         linger: None,
         max_conns: 64,
         accept_limit: Some(accept_limit),
+        trace_dir: None,
     }
 }
 

@@ -30,6 +30,7 @@ use spring_core::{
 use spring_dtw::Kernel;
 
 use crate::metrics::{Metrics, TickRecorder};
+use crate::trace::{EventKind as TraceKind, TraceHandle, Tracer};
 
 /// Identifier of a registered stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -404,6 +405,9 @@ pub struct Engine<M: Monitor> {
     /// Observability registry shared by all attachments (see
     /// [`Engine::set_metrics`]); `None` keeps ingestion metric-free.
     metrics: Option<Arc<Metrics>>,
+    /// Flight-recorder hook (see [`Engine::set_tracer`]); the default
+    /// [`TraceHandle::off`] keeps ingestion trace-free.
+    trace: TraceHandle,
 }
 
 /// Engine over the paper's plain disjoint-query monitor.
@@ -429,6 +433,7 @@ impl<M: Monitor> Default for Engine<M> {
             by_stream: HashMap::new(),
             arena: Arc::new(QueryArena::new()),
             metrics: None,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -454,6 +459,15 @@ impl<M: Monitor> Engine<M> {
     /// The registry installed by [`Engine::set_metrics`], if any.
     pub fn metrics(&self) -> Option<&Arc<Metrics>> {
         self.metrics.as_ref()
+    }
+
+    /// Connects the engine to a flight recorder: registers a ring under
+    /// `label` and records sampled per-tick ingest spans, frame-fill
+    /// spans, match instants, query-swap instants, and flush spans into
+    /// it. The engine is the ring's single writer. With tracing
+    /// disabled every hook is one branch on a relaxed atomic.
+    pub fn set_tracer(&mut self, tracer: &Tracer, label: &str) {
+        self.trace = tracer.register(label);
     }
 
     /// Registers a stream and returns its id.
@@ -579,6 +593,7 @@ impl<M: Monitor> Engine<M> {
             metrics.query_swaps.inc();
             metrics.query_generation.set(generation);
         }
+        self.trace.instant(TraceKind::QuerySwap, generation);
         Ok(generation)
     }
 
@@ -717,6 +732,7 @@ impl<M: Monitor> Engine<M> {
             streams,
             attachments,
             by_stream,
+            trace,
             ..
         } = self;
         let state = streams
@@ -732,11 +748,16 @@ impl<M: Monitor> Engine<M> {
             }
         }
         state.ticks += 1;
+        let span = trace.sampled_now();
         let mut events = Vec::new(); // allocation-free until a match lands
         if let Some(indices) = by_stream.get(&stream) {
             for &idx in indices {
                 events.extend(attachments[idx].ingest(sample)?);
             }
+            trace.span(span, TraceKind::Ingest, indices.len() as u64);
+        }
+        for ev in &events {
+            trace.instant(TraceKind::Match, ev.m.end);
         }
         Ok(events)
     }
@@ -766,6 +787,7 @@ impl<M: Monitor> Engine<M> {
             attachments,
             by_stream,
             metrics,
+            trace,
             ..
         } = self;
         let state = streams
@@ -774,6 +796,9 @@ impl<M: Monitor> Engine<M> {
         if let Some(metrics) = metrics {
             metrics.record_batch(samples.len());
         }
+        // Frame-granular span (one per batch, not per tick): recorded
+        // whenever tracing is enabled.
+        let frame = trace.now();
         let indices: &[usize] = by_stream.get(&stream).map_or(&[], Vec::as_slice);
         let expected = state.channels;
         for sample in samples {
@@ -791,7 +816,10 @@ impl<M: Monitor> Engine<M> {
             let tick_mark = out.len();
             for &idx in indices {
                 match attachments[idx].ingest(sample) {
-                    Ok(Some(ev)) => out.push(ev),
+                    Ok(Some(ev)) => {
+                        trace.instant(TraceKind::Match, ev.m.end);
+                        out.push(ev);
+                    }
                     Ok(None) => {}
                     Err(e) => {
                         // Per-sample `push` drops same-tick events from
@@ -802,6 +830,7 @@ impl<M: Monitor> Engine<M> {
                 }
             }
         }
+        trace.span(frame, TraceKind::Frame, samples.len() as u64);
         Ok(())
     }
 
@@ -814,14 +843,17 @@ impl<M: Monitor> Engine<M> {
         let Engine {
             attachments,
             by_stream,
+            trace,
             ..
         } = self;
+        let span = trace.now();
         let mut events = Vec::new();
         if let Some(indices) = by_stream.get(&stream) {
             for &idx in indices {
                 events.extend(attachments[idx].flush());
             }
         }
+        trace.span(span, TraceKind::Flush, u64::from(stream.0));
         Ok(events)
     }
 

@@ -33,6 +33,11 @@
 //!   registry (tick latency, match counts, detection delay, queue
 //!   depth, live memory), snapshottable as a [`MetricsSnapshot`] or as
 //!   Prometheus text exposition.
+//! * [`trace`] — structured tracing + flight recorder (the `trace`
+//!   feature): lock-free per-thread event rings holding typed spans
+//!   and instants with nanosecond timestamps, exportable as Chrome
+//!   trace-event JSON and dumped automatically on worker loss. Without
+//!   the feature every hook is a zero-size no-op.
 //!
 //! Per-tick cost per attachment is `O(m)` and memory is `O(m)` — SPRING's
 //! guarantees are preserved independently for every (stream, query) pair,
@@ -56,6 +61,7 @@ pub mod reactor;
 pub mod runner;
 pub mod sharded;
 pub mod sink;
+pub mod trace;
 pub mod vector_engine;
 
 /// Evaluates a named fault-injection site (see [`failpoints`]).
@@ -99,3 +105,4 @@ pub use metrics::{
 pub use runner::{RestartPolicy, Runner, RunnerAttachment, CHECKPOINT_EVERY, DEFAULT_MAX_BATCH};
 pub use sharded::ShardedRunner;
 pub use sink::{ChannelSink, CountingSink, FnSink, MatchSink, VecSink};
+pub use trace::{EventKind as TraceEventKind, TraceHandle, TraceSnapshot, Tracer};

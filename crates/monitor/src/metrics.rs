@@ -233,23 +233,31 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0 ≤ q ≤ 1`); the largest finite bound when the quantile falls
-    /// in the overflow bucket, 0 when empty.
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), linearly interpolated
+    /// within the bucket containing the quantile rank — the same
+    /// estimator Prometheus' `histogram_quantile` uses (the first
+    /// bucket's lower edge is 0). Returns the largest finite bound when
+    /// the rank falls in the overflow bucket, 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let (mut prev_le, mut prev_cum) = (0.0f64, 0u64);
         for &(le, cum) in &self.buckets {
-            if cum >= rank {
-                if le.is_finite() {
-                    return le;
+            if cum as f64 >= rank {
+                if !le.is_finite() {
+                    break;
                 }
-                break;
+                // `cum > prev_cum` here (the rank just crossed into this
+                // bucket), so the division is well-defined.
+                let frac = (rank - prev_cum as f64) / (cum - prev_cum) as f64;
+                return prev_le + frac * (le - prev_le);
             }
+            (prev_le, prev_cum) = (le, cum);
         }
-        // Overflow bucket: report the largest finite bound.
+        // Overflow bucket: no upper edge to interpolate against, so
+        // report the largest finite bound.
         self.buckets
             .iter()
             .rev()
@@ -348,6 +356,27 @@ pub struct Metrics {
     workers: RwLock<Vec<Arc<WorkerMetrics>>>,
     /// Registered runner shards (same locking discipline as `workers`).
     shards: RwLock<Vec<Arc<ShardMetrics>>>,
+    /// Registry creation time (`spring_uptime_seconds`).
+    started: std::time::Instant,
+}
+
+/// Crate version baked into `spring_build_info{version=…}`.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Comma-separated optional features compiled into this build, baked
+/// into `spring_build_info{features=…}` (empty string when none).
+pub fn build_features() -> String {
+    let mut names: Vec<&str> = Vec::new();
+    if cfg!(feature = "trace") {
+        names.push("trace");
+    }
+    if cfg!(feature = "reactor") {
+        names.push("reactor");
+    }
+    if cfg!(feature = "failpoints") {
+        names.push("failpoints");
+    }
+    names.join(",")
 }
 
 impl Default for Metrics {
@@ -372,6 +401,7 @@ impl Default for Metrics {
             conn_dropped: Counter::new(),
             workers: RwLock::new(Vec::new()),
             shards: RwLock::new(Vec::new()),
+            started: std::time::Instant::now(),
         }
     }
 }
@@ -489,6 +519,7 @@ impl Metrics {
             conn_read_bytes_total: self.conn_read_bytes.get(),
             conn_parse_errors_total: self.conn_parse_errors.get(),
             conn_dropped_total: self.conn_dropped.get(),
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
             workers,
             shards,
         }
@@ -555,6 +586,8 @@ pub struct MetricsSnapshot {
     pub conn_parse_errors_total: u64,
     /// Serve-path connections dropped by the server.
     pub conn_dropped_total: u64,
+    /// Seconds since the registry was created.
+    pub uptime_seconds: f64,
     /// Per-worker views (empty outside runner deployments).
     pub workers: Vec<WorkerSnapshot>,
     /// Per-shard views (empty outside sharded-runner deployments).
@@ -584,6 +617,24 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(2048);
+        // Build/uptime info first, so a scrape identifies the binary
+        // before any counters.
+        let _ = writeln!(
+            s,
+            "# HELP spring_build_info Build metadata: crate version and compiled features (value is always 1)."
+        );
+        let _ = writeln!(s, "# TYPE spring_build_info gauge");
+        let _ = writeln!(
+            s,
+            "spring_build_info{{version=\"{BUILD_VERSION}\",features=\"{}\"}} 1",
+            build_features()
+        );
+        let _ = writeln!(
+            s,
+            "# HELP spring_uptime_seconds Seconds since this metrics registry was created."
+        );
+        let _ = writeln!(s, "# TYPE spring_uptime_seconds gauge");
+        let _ = writeln!(s, "spring_uptime_seconds {:.3}", self.uptime_seconds);
         let mut scalar = |name: &str, ty: &str, help: &str, value: u64| {
             let _ = writeln!(s, "# HELP {name} {help}");
             let _ = writeln!(s, "# TYPE {name} {ty}");
@@ -772,9 +823,10 @@ impl MetricsSnapshot {
         row(
             "tick latency (sampled 1/64)",
             format!(
-                "mean {:.2} µs  p50 ≤ {:.2} µs  p99 ≤ {:.2} µs  ({} samples)",
+                "mean {:.2} µs  p50 {:.2} µs  p95 {:.2} µs  p99 {:.2} µs  ({} samples)",
                 lat.mean() * 1e6,
                 lat.quantile(0.5) * 1e6,
+                lat.quantile(0.95) * 1e6,
                 lat.quantile(0.99) * 1e6,
                 lat.count
             ),
@@ -783,8 +835,10 @@ impl MetricsSnapshot {
         row(
             "detection delay",
             format!(
-                "mean {:.2} ticks  p99 ≤ {:.0} ticks",
+                "mean {:.2} ticks  p50 {:.1} ticks  p95 {:.1} ticks  p99 {:.1} ticks",
                 delay.mean(),
+                delay.quantile(0.5),
+                delay.quantile(0.95),
                 delay.quantile(0.99)
             ),
         );
@@ -1037,9 +1091,13 @@ mod tests {
         for v in [0.5, 1.5, 1.5, 3.0] {
             h.observe(v);
         }
+        // Cumulative: (1, 1) (2, 3) (4, 4) (+Inf, 4).
         let s = h.snapshot();
+        // rank 1 is the whole first bucket: 0 + 1/1 · (1 − 0).
         assert_eq!(s.quantile(0.25), 1.0);
-        assert_eq!(s.quantile(0.5), 2.0);
+        // rank 2 is halfway through (1, 2]: 1 + 1/2 · (2 − 1).
+        assert_eq!(s.quantile(0.5), 1.5);
+        // rank 4 exhausts (2, 4]: 2 + 1/1 · (4 − 2).
         assert_eq!(s.quantile(1.0), 4.0);
         // Overflow bucket reports the largest finite bound.
         h.observe(99.0);
@@ -1152,10 +1210,31 @@ mod tests {
             "spring_batch_len",
             "spring_worker_ticks_total",
             "spring_worker_queue_depth",
+            "spring_build_info",
+            "spring_uptime_seconds",
         ] {
             assert!(text.contains(&format!("# TYPE {family} ")), "{family}");
         }
         assert!(text.contains("spring_ticks_total 7"), "{text}");
+        // The info-gauge carries the crate version and feature list as
+        // labels with a constant value of 1.
+        assert!(
+            text.contains(&format!(
+                "spring_build_info{{version=\"{BUILD_VERSION}\",features=\""
+            )),
+            "{text}"
+        );
+        let info_line = text
+            .lines()
+            .find(|l| l.starts_with("spring_build_info{"))
+            .unwrap();
+        assert!(info_line.ends_with("} 1"), "{info_line}");
+        assert_eq!(
+            info_line.contains("trace"),
+            crate::trace::AVAILABLE,
+            "{info_line}"
+        );
+        assert!(text.contains("spring_uptime_seconds "), "{text}");
         assert!(
             text.contains("spring_detection_delay_ticks_bucket{le=\"0\"} 1"),
             "{text}"
@@ -1180,5 +1259,13 @@ mod tests {
         assert!(table.contains("100"), "{table}");
         assert!(table.contains("2.00 KiB (256 cells)"), "{table}");
         assert!(table.contains("detection delay"), "{table}");
+        // Latency and delay rows both carry interpolated quantile columns.
+        for line in table.lines() {
+            if line.starts_with("tick latency") || line.starts_with("detection delay") {
+                for col in ["p50", "p95", "p99"] {
+                    assert!(line.contains(col), "missing {col}: {line}");
+                }
+            }
+        }
     }
 }

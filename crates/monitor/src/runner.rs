@@ -92,6 +92,7 @@ use crate::engine::{
 };
 use crate::metrics::{Metrics, ShardMetrics, WorkerMetrics};
 use crate::sink::MatchSink;
+use crate::trace::{EventKind as TraceKind, TraceHandle, Tracer};
 
 /// Queue depth per worker (messages, i.e. frames); bounds memory under
 /// bursty producers.
@@ -376,6 +377,10 @@ struct WorkerCtx<M: Monitor> {
     sm: Option<Arc<ShardMetrics>>,
     metrics: Option<Arc<Metrics>>,
     shared: Arc<WorkerShared<M>>,
+    /// This incarnation's flight-recorder ring (each restart registers
+    /// a fresh ring under the same label, so the dead incarnation's
+    /// final events survive for the postmortem dump).
+    trace: TraceHandle,
 }
 
 /// The runner state shared between the [`Runner`] handle, its workers'
@@ -412,6 +417,16 @@ struct Core<M: Monitor> {
     metrics: Option<Arc<Metrics>>,
     sink: Arc<dyn MatchSink>,
     restart: RestartPolicy,
+    /// Flight recorder shared across the deployment (`None` = no
+    /// tracing). Also the source of postmortem dumps on worker loss.
+    tracer: Option<Tracer>,
+    /// Label prefix for this runner's rings (a [`crate::ShardedRunner`]
+    /// passes `shardN-` so tracks stay distinguishable fleet-wide).
+    trace_prefix: String,
+    /// Per-worker supervisor rings (aligned with `slots`; written only
+    /// with the matching slot lock held, preserving the single-writer
+    /// ring contract across concurrent healers).
+    sup_trace: Vec<TraceHandle>,
 }
 
 /// One stream's samples awaiting a full frame.
@@ -523,6 +538,7 @@ where
             match msg {
                 Msg::Frame { stream, samples } => {
                     crate::fail_point!("runner::worker::frame");
+                    let frame_span = ctx.trace.now();
                     let mut processed = 0u64;
                     let mut failed = false;
                     // Sample-major, like the Engine: each tick runs
@@ -533,6 +549,7 @@ where
                             match att.ingest(std::borrow::Borrow::borrow(value)) {
                                 Ok(Some(event)) => {
                                     crate::fail_point!("runner::sink");
+                                    ctx.trace.instant(TraceKind::Match, event.m.end);
                                     ctx.sink.on_match(&event);
                                 }
                                 Ok(None) => {}
@@ -549,6 +566,7 @@ where
                             }
                         }
                     }
+                    ctx.trace.span(frame_span, TraceKind::Frame, processed);
                     if let Some(wm) = &ctx.wm {
                         wm.ticks.add(processed);
                     }
@@ -562,12 +580,16 @@ where
                     }
                 }
                 Msg::FinishStream(stream) => {
+                    let flush_span = ctx.trace.now();
                     for att in shard.iter_mut().filter(|a| a.stream == stream) {
                         if let Some(event) = att.flush() {
                             crate::fail_point!("runner::sink");
+                            ctx.trace.instant(TraceKind::Match, event.m.end);
                             ctx.sink.on_match(&event);
                         }
                     }
+                    ctx.trace
+                        .span(flush_span, TraceKind::Flush, u64::from(stream.0));
                 }
                 Msg::Attach(att) => {
                     // Replays are pruned against the checkpoint, so a
@@ -600,18 +622,26 @@ where
                         guard.lost = true;
                         break 'recv;
                     }
+                    ctx.trace.instant(TraceKind::QuerySwap, generation);
                 }
-                Msg::Sync(point) => point.arrive(),
+                Msg::Sync(point) => {
+                    let sync_span = ctx.trace.now();
+                    point.arrive();
+                    ctx.trace.span(sync_span, TraceKind::Flush, 0);
+                }
                 Msg::Shutdown => break,
             }
             applied += 1;
-            if applied - ctx.shared.applied.load(Ordering::Relaxed) >= CHECKPOINT_EVERY {
+            let behind = applied - ctx.shared.applied.load(Ordering::Relaxed);
+            if behind >= CHECKPOINT_EVERY {
+                let cp_span = ctx.trace.now();
                 let fork: Vec<Attachment<M>> = shard.iter().map(Attachment::fork).collect();
                 *ctx.shared
                     .checkpoint
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner) = fork;
                 ctx.shared.applied.store(applied, Ordering::Release);
+                ctx.trace.span(cp_span, TraceKind::Checkpoint, behind);
             }
         }
     })
@@ -671,18 +701,38 @@ where
         metrics: Option<Arc<Metrics>>,
         restart: RestartPolicy,
     ) -> Result<Self, MonitorError> {
+        Runner::spawn_with_observability(attachments, workers, sink, metrics, restart, None)
+    }
+
+    /// [`Runner::spawn_with_policy`] plus a flight recorder: each worker
+    /// incarnation records frame/checkpoint/flush spans and match
+    /// instants into its own `worker-N` ring, and the supervisor records
+    /// restart instants and replay spans into `supervisor-N` — dumped to
+    /// the tracer's postmortem directory whenever a worker is lost.
+    ///
+    /// # Errors
+    /// Fails when `workers == 0`.
+    pub fn spawn_with_observability(
+        attachments: Vec<RunnerAttachment<M>>,
+        workers: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+        restart: RestartPolicy,
+        tracer: Option<Tracer>,
+    ) -> Result<Self, MonitorError> {
         let prepared = attachments
             .into_iter()
             .enumerate()
             .map(|(i, a)| (AttachmentId(i as u32), a))
             .collect();
-        Runner::spawn_prepared(prepared, workers, sink, metrics, restart, None)
+        Runner::spawn_prepared(prepared, workers, sink, metrics, restart, None, tracer, "")
     }
 
     /// The innermost constructor: attachment ids are caller-assigned
     /// (a [`crate::ShardedRunner`] keeps ids globally unique across its
     /// shards) and an optional [`ShardMetrics`] mirror aggregates this
     /// runner's worker gauges at shard granularity.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn_prepared(
         attachments: Vec<(AttachmentId, RunnerAttachment<M>)>,
         workers: usize,
@@ -690,6 +740,8 @@ where
         metrics: Option<Arc<Metrics>>,
         restart: RestartPolicy,
         shard_metrics: Option<Arc<ShardMetrics>>,
+        tracer: Option<Tracer>,
+        trace_prefix: &str,
     ) -> Result<Self, MonitorError> {
         if workers == 0 {
             return Err(MonitorError::Spring(
@@ -726,9 +778,14 @@ where
         let error = Arc::new(Mutex::new(None));
         let mut slots = Vec::with_capacity(workers);
         let mut worker_metrics = Vec::with_capacity(workers);
-        for shard in shards {
+        let mut sup_trace = Vec::with_capacity(workers);
+        for (w, shard) in shards.into_iter().enumerate() {
             let wm = metrics.as_ref().map(|m| m.register_worker());
             worker_metrics.push(wm.clone());
+            sup_trace.push(match &tracer {
+                Some(t) => t.register(&format!("{trace_prefix}supervisor-{w}")),
+                None => TraceHandle::off(),
+            });
             // Checkpoint 0: the shard's initial state, so a crash before
             // the first periodic checkpoint can still replay from tick 0.
             let shared = Arc::new(WorkerShared {
@@ -744,6 +801,10 @@ where
                 sm: shard_metrics.clone(),
                 metrics: metrics.clone(),
                 shared: Arc::clone(&shared),
+                trace: match &tracer {
+                    Some(t) => t.register(&format!("{trace_prefix}worker-{w}")),
+                    None => TraceHandle::off(),
+                },
             };
             let handle = spawn_worker(shard, rx, ctx);
             slots.push(Mutex::new(WorkerSlot {
@@ -772,6 +833,9 @@ where
                 metrics,
                 sink,
                 restart,
+                tracer,
+                trace_prefix: trace_prefix.to_string(),
+                sup_trace,
             }),
             janitor: None,
         })
@@ -1375,13 +1439,16 @@ where
                 // Ingestion error: deliberate stop, never restarted; the
                 // recorded error surfaces at shutdown.
                 slot.dead = true;
+                self.postmortem(w, "ingest-error");
                 return Err(MonitorError::WorkerLost);
             }
             if slot.restarts >= self.restart.max_restarts {
                 slot.dead = true;
+                self.postmortem(w, "restarts-exhausted");
                 return Err(MonitorError::WorkerLost);
             }
             slot.restarts += 1;
+            self.sup_trace[w].instant(TraceKind::WorkerRestart, w as u64);
             if let Some(m) = &self.metrics {
                 m.worker_restarts.inc();
             }
@@ -1419,6 +1486,10 @@ where
                 sm: self.shard_metrics.clone(),
                 metrics: self.metrics.clone(),
                 shared: Arc::clone(&slot.shared),
+                trace: match &self.tracer {
+                    Some(t) => t.register(&format!("{}worker-{w}", self.trace_prefix)),
+                    None => TraceHandle::off(),
+                },
             };
             let handle = spawn_worker(shard, rx, ctx);
             slot.sender = tx;
@@ -1426,6 +1497,8 @@ where
             // … and replay the uncheckpointed tail. Delivery is at least
             // once: a match confirmed between the checkpoint and the
             // crash is emitted to the sink again here.
+            let replay_span = self.sup_trace[w].now();
+            let replayed = slot.log.len() as u64;
             for (_, m) in &slot.log {
                 if let Some(wm) = &self.worker_metrics[w] {
                     wm.queue_depth.add(1);
@@ -1438,7 +1511,20 @@ where
                     continue 'attempt;
                 }
             }
+            self.sup_trace[w].span(replay_span, TraceKind::Replay, replayed);
+            // The healed timeline — the dead incarnation's final events,
+            // the restart instant, the replay — is exactly what a
+            // postmortem should hold; dump it while it is fresh.
+            self.postmortem(w, "worker-restarted");
             return Ok(());
+        }
+    }
+
+    /// Dumps the flight recorder after worker `w` was lost (best
+    /// effort; a no-op without a tracer or a postmortem directory).
+    fn postmortem(&self, w: usize, reason: &str) {
+        if let Some(t) = &self.tracer {
+            let _ = t.postmortem_dump(&format!("{}{reason}-worker-{w}", self.trace_prefix));
         }
     }
 

@@ -43,6 +43,7 @@ use crate::engine::{AttachmentId, MonitorError, Owned, QueryId, StreamId};
 use crate::metrics::Metrics;
 use crate::runner::{error_rank, RestartPolicy, Runner, RunnerAttachment};
 use crate::sink::MatchSink;
+use crate::trace::Tracer;
 
 /// A pool of independent [`Runner`] shards with streams routed by
 /// stream-id hash.
@@ -124,6 +125,33 @@ where
         metrics: Option<Arc<Metrics>>,
         restart: RestartPolicy,
     ) -> Result<Self, MonitorError> {
+        ShardedRunner::spawn_with_observability(
+            attachments,
+            shards,
+            workers_per_shard,
+            sink,
+            metrics,
+            restart,
+            None,
+        )
+    }
+
+    /// [`ShardedRunner::spawn_with_policy`] plus a flight recorder:
+    /// every shard's workers and supervisors record into rings labelled
+    /// `shardI-worker-N` / `shardI-supervisor-N`, so one trace export
+    /// shows the whole fleet with per-shard tracks.
+    ///
+    /// # Errors
+    /// Fails when `shards == 0` or `workers_per_shard == 0`.
+    pub fn spawn_with_observability(
+        attachments: Vec<RunnerAttachment<M>>,
+        shards: usize,
+        workers_per_shard: usize,
+        sink: Arc<dyn MatchSink>,
+        metrics: Option<Arc<Metrics>>,
+        restart: RestartPolicy,
+        tracer: Option<Tracer>,
+    ) -> Result<Self, MonitorError> {
         if shards == 0 {
             return Err(MonitorError::Spring(
                 spring_core::SpringError::InvalidQuery(
@@ -146,7 +174,7 @@ where
             per_shard[shard].push((id, spec));
         }
         let mut runners = Vec::with_capacity(shards);
-        for prepared in per_shard {
+        for (i, prepared) in per_shard.into_iter().enumerate() {
             let sm = metrics.as_ref().map(|m| m.register_shard());
             runners.push(Runner::spawn_prepared(
                 prepared,
@@ -155,6 +183,8 @@ where
                 metrics.clone(),
                 restart,
                 sm,
+                tracer.clone(),
+                &format!("shard{i}-"),
             )?);
         }
         Ok(ShardedRunner {
